@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the memory model: WWS sampling throughput,
+//! the Table 4-1 fitter, and dirty-bit bookkeeping.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use vmem::{AddressSpace, SpaceId, SpaceLayout, WwsParams, WwsSampler};
+use vsim::{DetRng, SimDuration};
+use vworkload::profiles::TABLE_4_1;
+
+fn space() -> AddressSpace {
+    AddressSpace::new(
+        SpaceId(0),
+        SpaceLayout {
+            code_bytes: 0,
+            init_data_bytes: 0,
+            heap_bytes: 768 * 1024,
+            stack_bytes: 0,
+        },
+    )
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    c.bench_function("wws/advance_one_simulated_second", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = DetRng::seed(3);
+                let params = WwsParams {
+                    hot_kb: 96.0,
+                    hot_write_kb_per_sec: 550.0,
+                    cold_kb_per_sec: 15.0,
+                };
+                let sp = space();
+                let sampler = WwsSampler::new(params, &sp, &mut rng);
+                (sampler, sp, rng)
+            },
+            |(mut sampler, mut sp, mut rng)| {
+                for _ in 0..100 {
+                    sampler.advance(SimDuration::from_millis(10), &mut sp, &mut rng);
+                }
+                sp.dirty_pages()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_fit(c: &mut Criterion) {
+    c.bench_function("wws/fit_quantized_table_4_1", |b| {
+        b.iter(|| TABLE_4_1.iter().map(|r| r.fit().hot_kb).sum::<f64>())
+    });
+}
+
+fn bench_take_dirty(c: &mut Criterion) {
+    c.bench_function("space/take_dirty_all_pages", |b| {
+        b.iter_batched(
+            || {
+                let mut sp = space();
+                for p in sp.writable_pages() {
+                    sp.write_page(p);
+                }
+                sp
+            },
+            |mut sp| sp.take_dirty().len(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_sampler, bench_fit, bench_take_dirty);
+criterion_main!(benches);

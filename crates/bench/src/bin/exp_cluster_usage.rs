@@ -1,0 +1,143 @@
+//! E9 — §1/§4.3 usage observations.
+//!
+//! The paper: "we observe over one third of our workstations idle, even at
+//! the busiest times of the day"; "most of our workstations are over 80%
+//! idle even during the peak usage hours"; "almost all remote execution
+//! requests are honored".
+//!
+//! Simulates a 25-machine cluster (the paper's size) with the peak-hours
+//! owner model for several simulated hours, issuing `@ *` requests at
+//! random moments, and reports idle fractions and the honor rate.
+
+use serde::Serialize;
+use vbench::{maybe_write_json, Table};
+use vcluster::{Cluster, ClusterConfig, Command};
+use vcore::ExecTarget;
+use vkernel::Priority;
+use vnet::LossModel;
+use vsim::{DetRng, SimDuration, SimTime};
+use vworkload::{profiles, UserModelParams};
+
+#[derive(Serialize)]
+struct Results {
+    workstations: usize,
+    sim_hours: f64,
+    mean_idle_fraction: f64,
+    min_idle_fraction: f64,
+    exec_requests: u64,
+    exec_honored: u64,
+    honor_rate: f64,
+}
+
+fn main() {
+    let workstations = 24; // Plus the file server = the paper's ~25.
+    let cfg = ClusterConfig {
+        workstations,
+        seed: 1985,
+        loss: LossModel::Bernoulli(1e-4),
+        users: Some(UserModelParams::peak_hours()),
+        ..ClusterConfig::default()
+    };
+    let mut c = Cluster::new(cfg);
+
+    // Random compile jobs via @* throughout the run.
+    let mut rng = DetRng::seed(4242);
+    let hours = 3.0;
+    let total = SimDuration::from_secs_f64(hours * 3600.0);
+    let mut t = SimTime::ZERO;
+    let mut issued = 0u64;
+    loop {
+        t += SimDuration::from_secs_f64(rng.exp_f64(120.0));
+        if t >= SimTime::ZERO + total {
+            break;
+        }
+        let names = ["make", "cc68", "parser", "tex"];
+        let name = *rng.pick(&names);
+        let row = profiles::row(name).expect("known");
+        c.at(
+            t,
+            Command::Exec {
+                ws: 1 + rng.index(workstations),
+                profile: profiles::steady_profile(row),
+                target: ExecTarget::AnyIdle,
+                priority: Priority::GUEST,
+            },
+        );
+        issued += 1;
+    }
+    c.run_until(SimTime::ZERO + total);
+
+    let honored = c.exec_reports.iter().filter(|r| r.success).count() as u64;
+    let mut idle_fracs: Vec<f64> = c
+        .stations
+        .iter()
+        .skip(1)
+        .filter_map(|w| w.user.as_ref())
+        .map(|u| u.measured_idle_fraction())
+        .collect();
+    idle_fracs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let mean_idle = idle_fracs.iter().sum::<f64>() / idle_fracs.len() as f64;
+
+    let mut table = Table::new(
+        "E9: cluster usage over 3 simulated peak hours (25 machines)",
+        &["quantity", "paper", "measured"],
+    );
+    table.row(&[
+        "mean owner idle fraction".to_string(),
+        "> 0.80".to_string(),
+        format!("{mean_idle:.2}"),
+    ]);
+    table.row(&[
+        "min owner idle fraction".to_string(),
+        "> 1/3 of WS idle at any time".to_string(),
+        format!("{:.2}", idle_fracs[0]),
+    ]);
+    table.row(&[
+        "@* requests issued".to_string(),
+        "-".to_string(),
+        issued.to_string(),
+    ]);
+    table.row(&[
+        "@* requests honored".to_string(),
+        "almost all".to_string(),
+        format!("{honored} ({:.1}%)", honored as f64 / issued as f64 * 100.0),
+    ]);
+    let elapsed = c.now().since(vsim::SimTime::ZERO);
+    let guest_cpu: f64 = c
+        .stations
+        .iter()
+        .skip(1)
+        .map(|w| w.cpu_guest.as_secs_f64())
+        .sum();
+    table.row(&[
+        "guest CPU harvested (machine-min)".to_string(),
+        "-".to_string(),
+        format!("{:.1}", guest_cpu / 60.0),
+    ]);
+    let mean_util: f64 = c
+        .stations
+        .iter()
+        .skip(1)
+        .map(|w| w.cpu_utilization(elapsed))
+        .sum::<f64>()
+        / workstations as f64;
+    table.row(&[
+        "mean workstation CPU utilization".to_string(),
+        "mostly idle".to_string(),
+        format!("{:.1}%", mean_util * 100.0),
+    ]);
+    table.print();
+
+    maybe_write_json(
+        "exp_cluster_usage",
+        &Results {
+            workstations,
+            sim_hours: hours,
+            mean_idle_fraction: mean_idle,
+            min_idle_fraction: idle_fracs[0],
+            exec_requests: issued,
+            exec_honored: honored,
+            honor_rate: honored as f64 / issued as f64,
+        },
+    );
+}

@@ -1,0 +1,120 @@
+//! E3 — §4.1 migration state-copy costs.
+//!
+//! The paper: copying a logical host's kernel-server and program-manager
+//! state costs 14 ms plus 9 ms per process and address space; copying
+//! 1 MB of address space between hosts takes 3 seconds.
+//!
+//! Measures both: the kernel-state install time as a function of object
+//! count (processes + spaces), and the host-to-host bulk copy rate over a
+//! size sweep.
+
+use serde::Serialize;
+use vbench::{maybe_write_json, pct, Table};
+use vkernel::testkit::{AppEvent, Rig};
+use vkernel::{LogicalHostId, Priority};
+use vmem::SpaceLayout;
+use vnet::HostAddr;
+use vsim::calib::PAGE_BYTES;
+use vsim::SimTime;
+
+#[derive(Serialize)]
+struct Results {
+    state_copy_points: Vec<(u64, f64)>, // (objects, modeled ms)
+    copy_rate_points: Vec<(u64, f64)>,  // (bytes, measured secs)
+    secs_per_mb_paper: f64,
+    secs_per_mb_measured: f64,
+}
+
+fn main() {
+    // --- Kernel-state copy cost vs object count. ---
+    // The migration record's copy cost is charged by the target program
+    // manager; here we construct logical hosts of increasing complexity
+    // and report the record's cost (14 + 9 * objects ms).
+    let mut t = Table::new(
+        "E3a: kernel/PM state copy cost (14 ms + 9 ms per process & space)",
+        &["processes", "spaces", "objects", "paper ms", "model ms"],
+    );
+    let mut state_points = Vec::new();
+    for &(procs, spaces) in &[(1u32, 1u32), (2, 1), (4, 1), (4, 2), (8, 4)] {
+        let mut rig: Rig<u32> = Rig::new(1);
+        let l = rig.kernel_mut(0).create_logical_host(LogicalHostId(10));
+        let mut team = None;
+        for _ in 0..spaces {
+            team = Some(l.create_space(SpaceLayout::tiny()));
+        }
+        for _ in 0..procs {
+            l.create_process(team.expect("space created"), Priority::GUEST, false);
+        }
+        let record = rig.kernel(0).extract_migration_record(LogicalHostId(10));
+        let objects = (procs + spaces) as u64;
+        let paper_ms = 14.0 + 9.0 * objects as f64;
+        let model_ms = record.copy_cost().as_secs_f64() * 1e3;
+        t.row(&[
+            procs.to_string(),
+            spaces.to_string(),
+            objects.to_string(),
+            format!("{paper_ms:.0}"),
+            format!("{model_ms:.0}"),
+        ]);
+        state_points.push((objects, model_ms));
+    }
+    t.print();
+
+    // --- Bulk copy rate: measured end-to-end over the protocol. ---
+    let mut t2 = Table::new(
+        "E3b: host-to-host address-space copy (paper: 3 s per MB)",
+        &["size KB", "measured s", "s/MB", "err vs 3.0"],
+    );
+    let mut rate_points = Vec::new();
+    let mut last_rate = 0.0;
+    for &kb in &[128u64, 256, 512, 1024, 2048] {
+        let mut rig: Rig<u32> = Rig::new(2);
+        let l = rig.kernel_mut(0).create_logical_host(LogicalHostId(1));
+        let team = l.create_space(SpaceLayout::tiny());
+        let src = l.create_process(team, Priority::GUEST, false);
+        let layout = SpaceLayout {
+            code_bytes: 0,
+            init_data_bytes: 0,
+            heap_bytes: kb * 1024,
+            stack_bytes: 0,
+        };
+        let (tlh, tspace) = {
+            let l = rig.kernel_mut(1).create_logical_host(LogicalHostId(50));
+            let s = l.create_space(layout);
+            (LogicalHostId(50), s)
+        };
+        rig.kernel_mut(0).learn_binding(tlh, HostAddr(1));
+        let pages: Vec<u32> = (0..(kb * 1024 / PAGE_BYTES) as u32).collect();
+        rig.drive(0, |k, now| k.copy_pages(now, src, tlh, tspace, pages).1);
+        rig.run_until(SimTime::MAX);
+        let done = rig
+            .log
+            .iter()
+            .find_map(|(at, e)| match e {
+                AppEvent::CopyDone { result: Ok(_), .. } => Some(*at),
+                _ => None,
+            })
+            .expect("copy completed");
+        let secs = done.as_secs_f64();
+        let per_mb = secs * 1024.0 / kb as f64;
+        last_rate = per_mb;
+        t2.row(&[
+            kb.to_string(),
+            format!("{secs:.3}"),
+            format!("{per_mb:.3}"),
+            pct(per_mb, 3.0),
+        ]);
+        rate_points.push((kb * 1024, secs));
+    }
+    t2.print();
+
+    maybe_write_json(
+        "exp_copy_costs",
+        &Results {
+            state_copy_points: state_points,
+            copy_rate_points: rate_points,
+            secs_per_mb_paper: 3.0,
+            secs_per_mb_measured: last_rate,
+        },
+    );
+}

@@ -1,0 +1,101 @@
+//! E1 — Table 4-1: dirty-page generation rates.
+//!
+//! For each of the paper's eight programs, runs the fitted workload on a
+//! workstation and measures the unique KB dirtied in windows of 0.2 s, 1 s
+//! and 3 s by clearing and re-reading the MMU dirty bits — the same
+//! measurement the paper made. Prints paper-vs-measured per cell.
+
+use serde::Serialize;
+use vbench::{f1, launch, maybe_write_json, measure_dirty_windows, pct, quiet_cluster, Table};
+use vcore::ExecTarget;
+use vkernel::Priority;
+use vsim::SimDuration;
+use vworkload::profiles::{self, TABLE_4_1};
+use vworkload::ProgramProfile;
+
+#[derive(Serialize)]
+struct Cell {
+    window_secs: f64,
+    paper_kb: f64,
+    measured_kb: f64,
+}
+
+#[derive(Serialize)]
+struct Row {
+    program: String,
+    cells: Vec<Cell>,
+}
+
+fn main() {
+    let windows = [0.2f64, 1.0, 3.0];
+    // Enough windows that sub-page programs (make) average sensibly.
+    let reps = [60usize, 30, 15];
+
+    let mut table = Table::new(
+        "Table 4-1: dirty page generation (KB) — paper vs measured",
+        &[
+            "program",
+            "0.2s paper",
+            "0.2s meas",
+            "err",
+            "1s paper",
+            "1s meas",
+            "err",
+            "3s paper",
+            "3s meas",
+            "err",
+        ],
+    );
+    let mut rows = Vec::new();
+
+    for (pi, r) in TABLE_4_1.iter().enumerate() {
+        let paper = [r.at_0_2s, r.at_1s, r.at_3s];
+        let mut measured = [0.0f64; 3];
+        for (wi, (&w, &n)) in windows.iter().zip(reps.iter()).enumerate() {
+            // A fresh deterministic cluster per cell keeps cells
+            // independent; the program computes throughout.
+            let mut c = quiet_cluster(1, 1985 + pi as u64 * 17 + wi as u64);
+            let profile = ProgramProfile::steady(
+                r.name,
+                profiles::layout_for(r.name),
+                r.fit(),
+                SimDuration::from_secs(3600),
+            );
+            let (lh, team) = launch(&mut c, 1, profile, ExecTarget::Local, Priority::LOCAL);
+            c.run_for(SimDuration::from_secs(2)); // Reach hot-set steady state.
+            let s = measure_dirty_windows(&mut c, lh, team, SimDuration::from_secs_f64(w), n);
+            measured[wi] = s.mean();
+        }
+        table.row(&[
+            r.name.to_string(),
+            f1(paper[0]),
+            f1(measured[0]),
+            pct(measured[0], paper[0]),
+            f1(paper[1]),
+            f1(measured[1]),
+            pct(measured[1], paper[1]),
+            f1(paper[2]),
+            f1(measured[2]),
+            pct(measured[2], paper[2]),
+        ]);
+        rows.push(Row {
+            program: r.name.to_string(),
+            cells: windows
+                .iter()
+                .zip(paper.iter().zip(measured.iter()))
+                .map(|(&w, (&p, &m))| Cell {
+                    window_secs: w,
+                    paper_kb: p,
+                    measured_kb: m,
+                })
+                .collect(),
+        });
+    }
+    table.print();
+    println!(
+        "\nNote: the 'linking loader' row is non-monotone in the paper\n\
+         (39.2 KB @1s vs 37.8 KB @3s — measurement noise); the fitted\n\
+         model is necessarily monotone and smooths it."
+    );
+    maybe_write_json("table_4_1", &rows);
+}

@@ -1,0 +1,18 @@
+//! `vcluster` — the whole-cluster simulation runtime.
+//!
+//! Wires the substrates together into the paper's world: a 10 Mbit
+//! Ethernet, a diskless file-server machine, N workstations each running a
+//! V kernel, program manager, display server, shell and migration engine,
+//! plus the workload programs and owner-activity models. The [`Cluster`]
+//! owns the single event loop; everything else stays a sans-IO state
+//! machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod runtime;
+
+pub use runtime::{
+    Cluster, ClusterConfig, ClusterStats, Command, Event, ProgramRuntime, SvcKind, Workstation,
+    PAGING_LH,
+};

@@ -1,0 +1,1485 @@
+//! The cluster runtime: the event loop that wires everything together.
+//!
+//! A [`Cluster`] owns the simulated Ethernet, one [`Workstation`] per
+//! station (kernel + program manager + display + shell/executor +
+//! migration engine), a dedicated file-server machine, and the programs
+//! executing across them. It is the only place that touches the event
+//! queue; every other layer is a sans-IO state machine.
+//!
+//! Per-packet CPU costs: small packets (requests, replies, control) are
+//! charged [`vsim::calib::SMALL_PACKET_CPU`] on both the sending and the
+//! receiving side; bulk-data packets are *not* (their CPU cost is already
+//! inside the calibrated per-unit pacing).
+
+use std::collections::{HashMap, VecDeque};
+
+use vcore::{
+    ExecEvent, ExecOutputs, ExecTarget, MigEvent, MigOutputs, MigrationConfig, MigrationReport,
+    Migrator, ProgramMeta, RemoteExecutor, ReplyTo,
+};
+use vkernel::{
+    Destination, GroupId, Kernel, KernelConfig, KernelOutput, LogicalHostId, MsgIn, Packet,
+    Priority, ProcessId, SendSeq, TimerKey, XferId, PROGRAM_MANAGER_INDEX,
+};
+use vmem::{SpaceId, SpaceLayout};
+use vnet::{Delivery, Ethernet, Frame, HostAddr, LossModel, McastGroup};
+use vservices::{
+    AcceptPolicy, DisplayServer, ExecEnv, FileServer, ProgramInfo, ProgramSpec, ServiceMsg,
+    SvcEvent, SvcOutputs, SvcToken,
+};
+use vsim::calib::{CONTEXT_SWITCH, CPU_QUANTUM, SMALL_PACKET_CPU};
+use vsim::{DetRng, Engine, SimDuration, SimTime, Trace, TraceLevel};
+use vworkload::{
+    OwnerState, ProgAction, ProgEvent, ProgramProfile, UserModel, UserModelParams, WorkloadProgram,
+};
+
+/// Multicast group carrying the program-manager process group.
+const PM_MCAST: McastGroup = McastGroup(1);
+
+/// Paging-store logical host (on the file-server machine), used by the
+/// §3.2 VM-flush migration variant.
+pub const PAGING_LH: LogicalHostId = LogicalHostId(900_000);
+
+/// Which service a timer belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvcKind {
+    /// Program manager.
+    Pm,
+    /// File server.
+    Fs,
+    /// Display server.
+    Display,
+}
+
+/// Scripted scenario commands (see [`Cluster::at`]).
+#[derive(Debug)]
+pub enum Command {
+    /// Execute a program from workstation `ws`'s shell.
+    Exec {
+        /// Requesting workstation index.
+        ws: usize,
+        /// What to run.
+        profile: ProgramProfile,
+        /// `@`-target.
+        target: ExecTarget,
+        /// Priority ([`Priority::LOCAL`] or [`Priority::GUEST`]).
+        priority: Priority,
+    },
+    /// `migrateprog` on workstation `ws`.
+    Migrate {
+        /// Workstation holding the program.
+        ws: usize,
+        /// The program's logical host (`None` = first guest program).
+        lh: Option<LogicalHostId>,
+        /// The `-n` flag.
+        destroy_if_stuck: bool,
+    },
+    /// Power a station off (crash).
+    Crash {
+        /// Station index.
+        ws: usize,
+    },
+    /// Power a station back on (reboot: kernel state is NOT restored).
+    Reboot {
+        /// Station index.
+        ws: usize,
+    },
+    /// Force the owner-activity state.
+    SetOwnerActive {
+        /// Station index.
+        ws: usize,
+        /// New state.
+        active: bool,
+    },
+}
+
+/// Events on the cluster's queue.
+#[derive(Debug)]
+pub enum Event {
+    /// A frame reached a station ("processed" includes receive CPU).
+    Frame {
+        /// Receiving station.
+        host: HostAddr,
+        /// The frame.
+        frame: Frame<Packet<ServiceMsg>>,
+    },
+    /// A frame leaves a station (send CPU already charged).
+    Transmit {
+        /// The frame.
+        frame: Frame<Packet<ServiceMsg>>,
+    },
+    /// A kernel timer fired.
+    KernelTimer {
+        /// The kernel's station.
+        host: HostAddr,
+        /// Timer key.
+        key: TimerKey,
+    },
+    /// A service timer fired.
+    SvcTimer {
+        /// The service's station.
+        host: HostAddr,
+        /// Which service.
+        which: SvcKind,
+        /// Its token.
+        token: SvcToken,
+    },
+    /// A CPU quantum ended on a workstation.
+    QuantumEnd {
+        /// The workstation.
+        host: HostAddr,
+        /// The program that was running.
+        lh: LogicalHostId,
+        /// CPU time it received.
+        slice: SimDuration,
+    },
+    /// A program's sleep elapsed (routed by logical host: the program may
+    /// have migrated meanwhile).
+    SleepDone {
+        /// The sleeping program.
+        lh: LogicalHostId,
+    },
+    /// An owner activity transition.
+    UserTransition {
+        /// The workstation.
+        host: HostAddr,
+        /// How long the previous state was held.
+        held: SimDuration,
+    },
+    /// A scripted command.
+    Command(Command),
+}
+
+/// A running program: kernel state lives in the kernel; this is the
+/// behaviour object plus scheduling bookkeeping. It moves between
+/// workstations when the logical host migrates.
+pub struct ProgramRuntime {
+    /// The behaviour model.
+    pub behavior: WorkloadProgram,
+    /// Root process.
+    pub root: ProcessId,
+    /// Team address space.
+    pub team: SpaceId,
+    /// Priority.
+    pub priority: Priority,
+    /// CPU still owed for the current `Compute` action.
+    pub remaining_cpu: SimDuration,
+    /// Outstanding send transaction, if blocked in Send.
+    pub awaiting: Option<SendSeq>,
+    /// True while queued or running on the CPU.
+    pub scheduled: bool,
+}
+
+/// One machine on the segment.
+pub struct Workstation {
+    /// Station address.
+    pub host: HostAddr,
+    /// Host name (for `@ name`).
+    pub name: String,
+    /// The kernel.
+    pub kernel: Kernel<ServiceMsg>,
+    /// The program manager.
+    pub pm: vservices::ProgramManager,
+    /// The display server.
+    pub display: DisplayServer,
+    /// A file server, on machines that have one.
+    pub fs: Option<FileServer>,
+    /// The migration engine.
+    pub migrator: Migrator,
+    /// The shell's remote executor.
+    pub exec: RemoteExecutor,
+    /// The shell process.
+    pub shell: ProcessId,
+    /// The owner model (servers have none).
+    pub user: Option<UserModel>,
+    /// Programs whose behaviour currently runs here.
+    pub programs: HashMap<LogicalHostId, ProgramRuntime>,
+    /// CPU scheduler: the running program, and the ready queue.
+    cpu_current: Option<LogicalHostId>,
+    cpu_ready: VecDeque<LogicalHostId>,
+    /// CPU time delivered to local-priority programs.
+    pub cpu_local: SimDuration,
+    /// CPU time delivered to guest programs.
+    pub cpu_guest: SimDuration,
+    /// True while crashed.
+    pub down: bool,
+}
+
+impl Workstation {
+    /// The workstation's system logical host.
+    pub fn system_lh(&self) -> LogicalHostId {
+        LogicalHostId(1 + self.host.0 as u32)
+    }
+
+    /// Fraction of `elapsed` this workstation's CPU spent on programs.
+    pub fn cpu_utilization(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        (self.cpu_local + self.cpu_guest).as_secs_f64() / elapsed.as_secs_f64()
+    }
+}
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of workstations (excluding the file-server machine).
+    pub workstations: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Wire loss model.
+    pub loss: LossModel,
+    /// Kernel tunables.
+    pub kernel: KernelConfig,
+    /// `@*` acceptance policy.
+    pub accept: AcceptPolicy,
+    /// Migration engine configuration.
+    pub migration: MigrationConfig,
+    /// Owner activity model (None = owners never present).
+    pub users: Option<UserModelParams>,
+    /// Evict guest programs when the owner returns (§1: reclaim "within a
+    /// few seconds").
+    pub evict_on_owner_return: bool,
+    /// Trace verbosity.
+    pub trace: TraceLevel,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workstations: 4,
+            seed: 1985,
+            loss: LossModel::Bernoulli(vsim::calib::DEFAULT_LOSS_PROBABILITY),
+            kernel: KernelConfig::default(),
+            accept: AcceptPolicy::default(),
+            migration: MigrationConfig::default(),
+            users: None,
+            evict_on_owner_return: false,
+            trace: TraceLevel::Warn,
+        }
+    }
+}
+
+/// Cluster-level counters.
+#[derive(Debug, Default, Clone, serde::Serialize)]
+pub struct ClusterStats {
+    /// Requests delivered to processes nobody implements.
+    pub unroutable_deliveries: u64,
+    /// Guest evictions triggered by owners returning.
+    pub owner_evictions: u64,
+    /// Programs that ran to completion.
+    pub programs_finished: u64,
+}
+
+/// The whole simulated cluster.
+pub struct Cluster {
+    /// Event queue.
+    pub engine: Engine<Event>,
+    /// The wire.
+    pub net: Ethernet<Packet<ServiceMsg>>,
+    /// Machines; index 0 is the file-server machine.
+    pub stations: Vec<Workstation>,
+    /// Trace log.
+    pub trace: Trace,
+    /// Completed remote-execution reports.
+    pub exec_reports: Vec<vcore::ExecReport>,
+    /// Completed migration reports.
+    pub migration_reports: Vec<MigrationReport>,
+    /// Cluster counters.
+    pub stats: ClusterStats,
+    rng: DetRng,
+    cfg: ClusterConfig,
+    /// Behaviours awaiting their ProgramStarted event, FIFO per image.
+    pending_behaviors: HashMap<String, VecDeque<WorkloadProgram>>,
+    /// Owner-reclaim measurements: (owner returned at, all guests gone at).
+    pub reclaim_times: Vec<SimDuration>,
+    reclaim_pending: HashMap<HostAddr, SimTime>,
+}
+
+impl Cluster {
+    /// Builds a cluster: station 0 is the file-server machine, stations
+    /// 1..=N are user workstations named `ws1`, `ws2`, ...
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let mut rng = DetRng::seed(cfg.seed);
+        let mut net = Ethernet::new(cfg.loss.clone(), rng.fork());
+        let mut stations = Vec::new();
+        let total = cfg.workstations + 1;
+
+        // First pass: create kernels and system processes.
+        for i in 0..total {
+            let host = net.attach();
+            let mut kernel: Kernel<ServiceMsg> = Kernel::new(host, cfg.kernel.clone());
+            let system_lh = LogicalHostId(1 + i as u32);
+            let l = kernel.create_logical_host(system_lh);
+            let team = l.create_space(SpaceLayout {
+                code_bytes: 64 * 1024,
+                init_data_bytes: 8 * 1024,
+                heap_bytes: 64 * 1024,
+                stack_bytes: 8 * 1024,
+            });
+            let pm_pid = l.create_process(team, Priority::SYSTEM, false);
+            let display_pid = l.create_process(team, Priority::SYSTEM, false);
+            let shell_pid = l.create_process(team, Priority::SYSTEM, false);
+            let mig_pid = l.create_process(team, Priority::SYSTEM, false);
+            let fs_pid = l.create_process(team, Priority::SYSTEM, false);
+            kernel.register_well_known(PROGRAM_MANAGER_INDEX, pm_pid);
+            kernel.register_well_known(vkernel::KERNEL_SERVER_INDEX, pm_pid);
+            kernel.set_group_route(GroupId::PROGRAM_MANAGERS, PM_MCAST);
+
+            let is_fs_machine = i == 0;
+            let name = if is_fs_machine {
+                "fileserver".to_string()
+            } else {
+                format!("ws{i}")
+            };
+            let accept = if is_fs_machine {
+                AcceptPolicy {
+                    max_guest_programs: 0,
+                    ..cfg.accept.clone()
+                }
+            } else {
+                cfg.accept.clone()
+            };
+            // The global file server lives on station 0; every PM points
+            // at it. Its pid is deterministic: system lh 1, index 16+4.
+            let global_fs_pid = ProcessId::new(LogicalHostId(1), vkernel::FIRST_USER_INDEX + 4);
+            let pm = vservices::ProgramManager::new(
+                pm_pid,
+                host,
+                name.clone(),
+                global_fs_pid,
+                10_000 * (i as u32 + 1),
+                accept,
+            );
+            let fs = if is_fs_machine {
+                // The paging store for VM-flush migration.
+                let pl = kernel.create_logical_host(PAGING_LH);
+                pl.create_space_with_id(
+                    SpaceId(0),
+                    SpaceLayout {
+                        code_bytes: 0,
+                        init_data_bytes: 0,
+                        heap_bytes: 16 * 1024 * 1024,
+                        stack_bytes: 0,
+                    },
+                );
+                Some(FileServer::new(fs_pid))
+            } else {
+                None
+            };
+            let user = if is_fs_machine {
+                None
+            } else {
+                cfg.users
+                    .as_ref()
+                    .map(|p| UserModel::new(p.clone(), &mut rng))
+            };
+            stations.push(Workstation {
+                host,
+                name,
+                kernel,
+                pm,
+                display: DisplayServer::new(display_pid),
+                fs,
+                migrator: Migrator::new(mig_pid, host, 1_000_000 + 10_000 * i as u32),
+                exec: RemoteExecutor::new(shell_pid, host, pm_pid),
+                shell: shell_pid,
+                user,
+                programs: HashMap::new(),
+                cpu_current: None,
+                cpu_ready: VecDeque::new(),
+                cpu_local: SimDuration::ZERO,
+                cpu_guest: SimDuration::ZERO,
+                down: false,
+            });
+        }
+
+        // Second pass: group membership and binding seeds.
+        let fs_host = stations[0].host;
+        for station in &mut stations {
+            let pm_pid = station.pm.pid();
+            let outs = station.kernel.join_group(GroupId::PROGRAM_MANAGERS, pm_pid);
+            for o in outs {
+                if let KernelOutput::JoinMcast(g) = o {
+                    net.join(g, station.host);
+                }
+            }
+            // Every kernel knows where the file-server machine's system
+            // logical host (and the paging store) lives — these would be
+            // learned from boot-time name-server traffic in real V.
+            station.kernel.learn_binding(LogicalHostId(1), fs_host);
+            station.kernel.learn_binding(PAGING_LH, fs_host);
+        }
+
+        let mut cluster = Cluster {
+            engine: Engine::new(),
+            net,
+            stations,
+            trace: Trace::new(cfg.trace),
+            exec_reports: Vec::new(),
+            migration_reports: Vec::new(),
+            stats: ClusterStats::default(),
+            rng,
+            cfg,
+            pending_behaviors: HashMap::new(),
+            reclaim_times: Vec::new(),
+            reclaim_pending: HashMap::new(),
+        };
+        cluster.seed_user_transitions();
+        cluster
+    }
+
+    fn seed_user_transitions(&mut self) {
+        for i in 0..self.stations.len() {
+            if let Some(u) = &self.stations[i].user {
+                let host = self.stations[i].host;
+                let active = u.is_active();
+                let held = u.holding_time(&mut self.rng);
+                self.stations[i].pm.set_owner_active(active);
+                self.engine
+                    .schedule_after(held, Event::UserTransition { host, held });
+            }
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The dedicated file-server machine's server.
+    pub fn file_server(&self) -> &FileServer {
+        self.stations[0].fs.as_ref().expect("station 0 has the FS")
+    }
+
+    /// Mutable file-server access (for registering images/files).
+    pub fn file_server_mut(&mut self) -> &mut FileServer {
+        self.stations[0].fs.as_mut().expect("station 0 has the FS")
+    }
+
+    /// Registers a program image derived from a profile.
+    pub fn add_image(&mut self, profile: &ProgramProfile) {
+        let name = profile.name.clone();
+        let layout = profile.layout;
+        self.file_server_mut().add_image(name, layout);
+    }
+
+    /// Station index for a host address.
+    pub fn index_of(&self, host: HostAddr) -> usize {
+        host.0 as usize
+    }
+
+    /// Which station currently hosts logical host `lh`, if any.
+    pub fn locate(&self, lh: LogicalHostId) -> Option<HostAddr> {
+        self.stations
+            .iter()
+            .find(|w| w.kernel.is_resident(lh))
+            .map(|w| w.host)
+    }
+
+    /// The workstation whose *behaviour table* holds program `lh`.
+    pub fn behavior_station(&self, lh: LogicalHostId) -> Option<usize> {
+        self.stations
+            .iter()
+            .position(|w| w.programs.contains_key(&lh))
+    }
+
+    /// Schedules a scripted command.
+    pub fn at(&mut self, t: SimTime, cmd: Command) {
+        self.engine.schedule_at(t, Event::Command(cmd));
+    }
+
+    /// Immediately starts executing `profile` from workstation `ws`'s
+    /// shell (`ws` is 1-based like host names; station 0 is the file
+    /// server).
+    pub fn exec(
+        &mut self,
+        ws: usize,
+        profile: ProgramProfile,
+        target: ExecTarget,
+        priority: Priority,
+    ) {
+        let display = self.stations[ws].display.pid();
+        let fs = self.file_server().pid();
+        let env = ExecEnv::standard(display, fs);
+        self.exec_with_env(ws, profile, target, priority, env);
+    }
+
+    /// Like [`Cluster::exec`] with a caller-built environment — used to
+    /// point a program at non-standard servers (e.g. a workstation-local
+    /// file server for the §3.3 residual-dependency demonstration).
+    pub fn exec_with_env(
+        &mut self,
+        ws: usize,
+        profile: ProgramProfile,
+        target: ExecTarget,
+        priority: Priority,
+        env: ExecEnv,
+    ) {
+        let now = self.engine.now();
+        self.add_image(&profile);
+        let spec = ProgramSpec {
+            image: profile.name.clone(),
+            args: Vec::new(),
+            priority,
+            env: env.clone(),
+        };
+        self.pending_behaviors
+            .entry(profile.name.clone())
+            .or_default()
+            .push_back(WorkloadProgram::new(profile, env));
+        let outs = {
+            let w = &mut self.stations[ws];
+            let (k, ex) = (&mut w.kernel, &mut w.exec);
+            ex.execute(now, spec, target, k)
+        };
+        self.apply_exec_outputs(ws, outs);
+    }
+
+    /// Installs a *workstation-local* file server on `ws` — exactly the
+    /// kind of host-bound state §3.3 warns about. Returns its pid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ws` already has a file server.
+    pub fn add_local_file_server(&mut self, ws: usize) -> ProcessId {
+        assert!(self.stations[ws].fs.is_none(), "ws already has a server");
+        let system_lh = self.stations[ws].system_lh();
+        let pid = {
+            let l = self.stations[ws]
+                .kernel
+                .logical_host_mut(system_lh)
+                .expect("system lh exists");
+            let team = l
+                .processes()
+                .next()
+                .map(|p| p.team)
+                .expect("system processes exist");
+            l.create_process(team, Priority::SYSTEM, false)
+        };
+        self.stations[ws].fs = Some(FileServer::new(pid));
+        pid
+    }
+
+    /// Starts `migrateprog` for `lh` on workstation `ws` via the real IPC
+    /// path (shell → PM → migration engine).
+    pub fn migrateprog(&mut self, ws: usize, lh: LogicalHostId, destroy_if_stuck: bool) {
+        let now = self.engine.now();
+        let shell = self.stations[ws].shell;
+        let body = ServiceMsg::MigrateProgram {
+            lh,
+            destroy_if_stuck,
+        };
+        // Address "the program manager of whatever workstation hosts lh"
+        // through its well-known local group (§2.1) — location-independent
+        // even if the program just moved.
+        let dest = Destination::Group(GroupId::program_manager_of(lh));
+        let outs = self.stations[ws].kernel.send(now, shell, dest, body, 0);
+        self.apply_kernel_outputs(ws, outs);
+    }
+
+    /// `suspendprog`: freezes a program in place, from any workstation's
+    /// shell, via the hosting manager's well-known local group (§2:
+    /// suspension works "independent of whether the program is executing
+    /// locally or remotely").
+    pub fn suspendprog(&mut self, ws: usize, lh: LogicalHostId) {
+        self.pm_op(ws, lh, ServiceMsg::SuspendProgram { lh });
+    }
+
+    /// `resumeprog`: unfreezes a suspended program.
+    pub fn resumeprog(&mut self, ws: usize, lh: LogicalHostId) {
+        self.pm_op(ws, lh, ServiceMsg::ResumeProgram { lh });
+    }
+
+    fn pm_op(&mut self, ws: usize, lh: LogicalHostId, body: ServiceMsg) {
+        let now = self.engine.now();
+        let shell = self.stations[ws].shell;
+        let dest = Destination::Group(GroupId::program_manager_of(lh));
+        let outs = self.stations[ws].kernel.send(now, shell, dest, body, 0);
+        self.apply_kernel_outputs(ws, outs);
+    }
+
+    /// Runs until the queue drains or `limit` passes.
+    pub fn run_until(&mut self, limit: SimTime) {
+        while let Some((_, ev)) = self.engine.pop_due(limit) {
+            self.dispatch(ev);
+        }
+    }
+
+    /// Runs for `d` more simulated time, leaving the clock at exactly
+    /// `now + d` (events beyond the window stay queued).
+    pub fn run_for(&mut self, d: SimDuration) {
+        let limit = self.engine.now() + d;
+        self.run_until(limit);
+        // Everything at or before `limit` has been delivered; move the
+        // clock to the window edge so callers measure fixed windows.
+        if self.engine.now() < limit {
+            self.engine.advance_to(limit);
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    // --- Event dispatch. ---
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::Transmit { frame } => {
+                let now = self.engine.now();
+                let deliveries = self.net.transmit(now, frame);
+                self.schedule_deliveries(deliveries);
+            }
+            Event::Frame { host, frame } => {
+                let i = self.index_of(host);
+                if self.stations[i].down {
+                    return;
+                }
+                let now = self.engine.now();
+                let outs = self.stations[i].kernel.handle_frame(now, frame);
+                self.apply_kernel_outputs(i, outs);
+            }
+            Event::KernelTimer { host, key } => {
+                let i = self.index_of(host);
+                if self.stations[i].down {
+                    return;
+                }
+                let now = self.engine.now();
+                let outs = self.stations[i].kernel.handle_timer(now, key);
+                self.apply_kernel_outputs(i, outs);
+            }
+            Event::SvcTimer { host, which, token } => {
+                let i = self.index_of(host);
+                if self.stations[i].down {
+                    return;
+                }
+                let now = self.engine.now();
+                let outs = {
+                    let w = &mut self.stations[i];
+                    match which {
+                        SvcKind::Pm => w.pm.handle_timer(now, token, &mut w.kernel),
+                        SvcKind::Fs => match &mut w.fs {
+                            Some(fs) => fs.handle_timer(now, token, &mut w.kernel),
+                            None => SvcOutputs::new(),
+                        },
+                        SvcKind::Display => w.display.handle_timer(now, token, &mut w.kernel),
+                    }
+                };
+                self.apply_svc_outputs(i, which, outs);
+            }
+            Event::QuantumEnd { host, lh, slice } => self.on_quantum_end(host, lh, slice),
+            Event::SleepDone { lh } => self.on_sleep_done(lh),
+            Event::UserTransition { host, held } => self.on_user_transition(host, held),
+            Event::Command(cmd) => self.on_command(cmd),
+        }
+    }
+
+    fn schedule_deliveries(&mut self, deliveries: Vec<Delivery<Packet<ServiceMsg>>>) {
+        for Delivery { to, at, frame } in deliveries {
+            // Receive-side CPU for small packets.
+            let at = if is_bulk(&frame.payload) {
+                at
+            } else {
+                at + SMALL_PACKET_CPU
+            };
+            self.engine
+                .schedule_at(at, Event::Frame { host: to, frame });
+        }
+    }
+
+    fn apply_kernel_outputs(&mut self, i: usize, outs: Vec<KernelOutput<ServiceMsg>>) {
+        let host = self.stations[i].host;
+        for o in outs {
+            match o {
+                KernelOutput::Transmit(frame) => {
+                    if is_bulk(&frame.payload) {
+                        let now = self.engine.now();
+                        let deliveries = self.net.transmit(now, frame);
+                        self.schedule_deliveries(deliveries);
+                    } else {
+                        // Send-side CPU.
+                        self.engine
+                            .schedule_after(SMALL_PACKET_CPU, Event::Transmit { frame });
+                    }
+                }
+                KernelOutput::SetTimer { key, after } => {
+                    self.engine
+                        .schedule_after(after, Event::KernelTimer { host, key });
+                }
+                KernelOutput::Deliver(msg) => self.route_delivery(i, msg),
+                KernelOutput::SendDone { pid, seq, result } => {
+                    self.route_send_done(i, pid, seq, result)
+                }
+                KernelOutput::CopyDone {
+                    xfer,
+                    initiator,
+                    result,
+                } => self.route_copy_done(i, xfer, initiator, result),
+                KernelOutput::JoinMcast(g) => self.net.join(g, host),
+                KernelOutput::LeaveMcast(g) => self.net.leave(g, host),
+            }
+        }
+    }
+
+    fn apply_svc_outputs(&mut self, i: usize, which: SvcKind, outs: SvcOutputs) {
+        let host = self.stations[i].host;
+        for (token, after) in outs.timers {
+            self.engine
+                .schedule_after(after, Event::SvcTimer { host, which, token });
+        }
+        for e in outs.events {
+            self.on_svc_event(i, e);
+        }
+        self.apply_kernel_outputs(i, outs.kernel);
+    }
+
+    fn apply_mig_outputs(&mut self, i: usize, outs: MigOutputs) {
+        for e in outs.events {
+            self.on_mig_event(i, e);
+        }
+        self.apply_kernel_outputs(i, outs.kernel);
+    }
+
+    fn apply_exec_outputs(&mut self, i: usize, outs: ExecOutputs) {
+        for e in outs.events {
+            match e {
+                ExecEvent::Done(report) => {
+                    let now = self.engine.now();
+                    self.trace.info(
+                        now,
+                        format!("exec[{}]", self.stations[i].name),
+                        format!(
+                            "{} @ {:?}: {} (select {}, create {})",
+                            report.image,
+                            report.target,
+                            if report.success { "ok" } else { "FAILED" },
+                            report.selection_time,
+                            report.creation_time
+                        ),
+                    );
+                    if !report.success {
+                        // The behaviour queued for this image never starts.
+                        if let Some(q) = self.pending_behaviors.get_mut(&report.image) {
+                            q.pop_front();
+                        }
+                    }
+                    self.exec_reports.push(*report);
+                }
+            }
+        }
+        self.apply_kernel_outputs(i, outs.kernel);
+    }
+
+    // --- Routing. ---
+
+    fn route_delivery(&mut self, i: usize, msg: MsgIn<ServiceMsg>) {
+        let now = self.engine.now();
+        let w = &mut self.stations[i];
+        if msg.to == w.pm.pid() {
+            let outs = w.pm.handle_request(now, msg, &mut w.kernel);
+            self.apply_svc_outputs(i, SvcKind::Pm, outs);
+        } else if Some(msg.to) == w.fs.as_ref().map(|f| f.pid()) {
+            let fs = w.fs.as_mut().expect("checked");
+            let outs = fs.handle_request(now, msg, &mut w.kernel);
+            self.apply_svc_outputs(i, SvcKind::Fs, outs);
+        } else if msg.to == w.display.pid() {
+            let outs = w.display.handle_request(now, msg, &mut w.kernel);
+            self.apply_svc_outputs(i, SvcKind::Display, outs);
+        } else {
+            self.stats.unroutable_deliveries += 1;
+            self.trace.warn(
+                now,
+                format!("ws[{}]", self.stations[i].name),
+                format!("unroutable request for {}", msg.to),
+            );
+        }
+    }
+
+    fn route_send_done(
+        &mut self,
+        i: usize,
+        pid: ProcessId,
+        seq: SendSeq,
+        result: Result<vkernel::ReplyIn<ServiceMsg>, vkernel::SendError>,
+    ) {
+        let now = self.engine.now();
+        let w = &mut self.stations[i];
+        if pid == w.pm.pid() {
+            let outs = w.pm.handle_send_done(now, seq, result, &mut w.kernel);
+            self.apply_svc_outputs(i, SvcKind::Pm, outs);
+        } else if pid == w.migrator.pid() {
+            let outs = w.migrator.handle_send_done(now, seq, result, &mut w.kernel);
+            self.apply_mig_outputs(i, outs);
+        } else if pid == w.shell {
+            let outs = w.exec.handle_send_done(now, seq, result, &mut w.kernel);
+            self.apply_exec_outputs(i, outs);
+        } else if let Some(lh) = w
+            .programs
+            .iter()
+            .find(|(_, p)| p.root == pid && p.awaiting == Some(seq))
+            .map(|(&lh, _)| lh)
+        {
+            let ev = match result {
+                Ok(r) => ProgEvent::Reply(r.body),
+                Err(_) => ProgEvent::SendFailed,
+            };
+            self.stations[i]
+                .programs
+                .get_mut(&lh)
+                .expect("found above")
+                .awaiting = None;
+            self.step_program(i, lh, ev);
+        }
+    }
+
+    fn route_copy_done(
+        &mut self,
+        i: usize,
+        xfer: XferId,
+        initiator: ProcessId,
+        result: Result<u64, vkernel::SendError>,
+    ) {
+        let now = self.engine.now();
+        let w = &mut self.stations[i];
+        if Some(initiator) == w.fs.as_ref().map(|f| f.pid()) {
+            let fs = w.fs.as_mut().expect("checked");
+            let outs = fs.handle_copy_done(now, xfer, result, &mut w.kernel);
+            self.apply_svc_outputs(i, SvcKind::Fs, outs);
+        } else if initiator == w.migrator.pid() {
+            let outs = w
+                .migrator
+                .handle_copy_done(now, xfer, result, &mut w.kernel);
+            self.apply_mig_outputs(i, outs);
+        } else if initiator == w.pm.pid() {
+            let outs = w.pm.handle_copy_done(now, xfer, result, &mut w.kernel);
+            self.apply_svc_outputs(i, SvcKind::Pm, outs);
+        }
+    }
+
+    // --- Service / migration events. ---
+
+    fn on_svc_event(&mut self, i: usize, e: SvcEvent) {
+        let now = self.engine.now();
+        match e {
+            SvcEvent::ProgramStarted {
+                root, lh, image, ..
+            } => {
+                let behavior = self
+                    .pending_behaviors
+                    .get_mut(&image)
+                    .and_then(|q| q.pop_front());
+                let Some(behavior) = behavior else {
+                    self.trace.warn(
+                        now,
+                        format!("ws[{}]", self.stations[i].name),
+                        format!("no pending behaviour for image {image}"),
+                    );
+                    return;
+                };
+                let team = self.stations[i]
+                    .kernel
+                    .logical_host(lh)
+                    .and_then(|l| l.process(root.index))
+                    .map(|p| p.team)
+                    .expect("started program has a root process");
+                let priority = self.stations[i]
+                    .pm
+                    .program(lh)
+                    .map(|p| p.priority)
+                    .unwrap_or(Priority::GUEST);
+                self.trace.info(
+                    now,
+                    format!("ws[{}]", self.stations[i].name),
+                    format!("program {image} started as {root}"),
+                );
+                self.stations[i].programs.insert(
+                    lh,
+                    ProgramRuntime {
+                        behavior,
+                        root,
+                        team,
+                        priority,
+                        remaining_cpu: SimDuration::ZERO,
+                        awaiting: None,
+                        scheduled: false,
+                    },
+                );
+                self.step_program(i, lh, ProgEvent::Started);
+            }
+            SvcEvent::ProgramDestroyed { lh } => {
+                self.stations[i].programs.remove(&lh);
+                self.stations[i].cpu_ready.retain(|&x| x != lh);
+                if self.stations[i].cpu_current == Some(lh) {
+                    self.stations[i].cpu_current = None;
+                    self.cpu_dispatch(i);
+                }
+            }
+            SvcEvent::ProgramResumed { lh } => {
+                self.resume_scheduling(i, lh);
+            }
+            SvcEvent::LogicalHostAdopted { lh } => {
+                self.trace.info(
+                    now,
+                    format!("ws[{}]", self.stations[i].name),
+                    format!("adopted migrated {lh}"),
+                );
+                // The behaviour object arrives with the MigEvent::Evicted
+                // from the source; nothing to do here.
+            }
+            SvcEvent::MigrateRequested {
+                lh,
+                destroy_if_stuck,
+                requester,
+                seq,
+            } => {
+                let cfg = self.cfg.migration.clone();
+                let w = &mut self.stations[i];
+                let meta =
+                    w.pm.program(lh)
+                        .map(|p| ProgramMeta {
+                            image: p.image.clone(),
+                            priority: p.priority,
+                        })
+                        .unwrap_or(ProgramMeta {
+                            image: "unknown".into(),
+                            priority: Priority::GUEST,
+                        });
+                if !w.kernel.is_resident(lh) || w.migrator.migrating(lh) {
+                    let pm_pid = w.pm.pid();
+                    let outs = w.kernel.reply(
+                        now,
+                        pm_pid,
+                        requester,
+                        seq,
+                        ServiceMsg::Err(vservices::SvcError::BadRequest),
+                        0,
+                    );
+                    self.apply_kernel_outputs(i, outs);
+                    return;
+                }
+                let reply_to = ReplyTo {
+                    from: w.pm.pid(),
+                    to: requester,
+                    seq,
+                };
+                let outs = w.migrator.start(
+                    now,
+                    lh,
+                    meta,
+                    cfg,
+                    Some(reply_to),
+                    destroy_if_stuck,
+                    &mut w.kernel,
+                );
+                self.apply_mig_outputs(i, outs);
+            }
+        }
+    }
+
+    fn on_mig_event(&mut self, i: usize, e: MigEvent) {
+        let now = self.engine.now();
+        match e {
+            MigEvent::Evicted { lh, to_host } => {
+                let j = self.index_of(to_host);
+                let fouts = {
+                    let w = &mut self.stations[i];
+                    let (_, fouts) = w.pm.forget_program(now, lh, &mut w.kernel);
+                    fouts
+                };
+                self.apply_svc_outputs(i, SvcKind::Pm, fouts);
+                self.stations[i].cpu_ready.retain(|&x| x != lh);
+                if self.stations[i].cpu_current == Some(lh) {
+                    self.stations[i].cpu_current = None;
+                }
+                if let Some(prt) = self.stations[i].programs.remove(&lh) {
+                    self.trace.info(
+                        now,
+                        "migration",
+                        format!(
+                            "{lh} moved {} -> {}",
+                            self.stations[i].name, self.stations[j].name
+                        ),
+                    );
+                    let mut prt = prt;
+                    prt.scheduled = false;
+                    let resume_cpu = prt.remaining_cpu > SimDuration::ZERO;
+                    self.stations[j].programs.insert(lh, prt);
+                    if resume_cpu {
+                        self.cpu_make_ready(j, lh);
+                    }
+                }
+                self.cpu_dispatch(i);
+            }
+            MigEvent::Done(report) => {
+                self.trace.info(
+                    now,
+                    "migration",
+                    format!(
+                        "{} {}: {} iters, residual {} KB, frozen {}",
+                        report.image,
+                        if report.success { "done" } else { "FAILED" },
+                        report.iterations.len(),
+                        report.residual_bytes / 1024,
+                        report.freeze_time
+                    ),
+                );
+                self.note_reclaim_progress(i);
+                self.migration_reports.push(*report);
+            }
+            MigEvent::UnfrozeInPlace { lh } => {
+                self.resume_scheduling(i, lh);
+            }
+            MigEvent::Destroyed { lh } => {
+                let fouts = {
+                    let w = &mut self.stations[i];
+                    let (_, fouts) = w.pm.forget_program(now, lh, &mut w.kernel);
+                    fouts
+                };
+                self.apply_svc_outputs(i, SvcKind::Pm, fouts);
+                self.stations[i].programs.remove(&lh);
+                self.stations[i].cpu_ready.retain(|&x| x != lh);
+                if self.stations[i].cpu_current == Some(lh) {
+                    self.stations[i].cpu_current = None;
+                    self.cpu_dispatch(i);
+                }
+            }
+        }
+    }
+
+    /// Re-queues a program whose logical host was unfrozen in place
+    /// (resume after suspension, or an aborted migration).
+    fn resume_scheduling(&mut self, i: usize, lh: LogicalHostId) {
+        let needs_cpu = self.stations[i]
+            .programs
+            .get(&lh)
+            .map(|p| p.remaining_cpu > SimDuration::ZERO && !p.scheduled)
+            .unwrap_or(false);
+        if needs_cpu {
+            self.cpu_make_ready(i, lh);
+        }
+    }
+
+    // --- Program execution. ---
+
+    fn step_program(&mut self, i: usize, lh: LogicalHostId, ev: ProgEvent) {
+        let now = self.engine.now();
+        let action = {
+            let w = &mut self.stations[i];
+            let Some(prt) = w.programs.get_mut(&lh) else {
+                return;
+            };
+            prt.behavior.next(now, ev, &mut self.rng)
+        };
+        self.perform_action(i, lh, action);
+    }
+
+    fn perform_action(&mut self, i: usize, lh: LogicalHostId, action: ProgAction) {
+        let now = self.engine.now();
+        match action {
+            ProgAction::Compute(d) => {
+                let prt = self.stations[i]
+                    .programs
+                    .get_mut(&lh)
+                    .expect("acting program exists");
+                prt.remaining_cpu = d;
+                self.cpu_make_ready(i, lh);
+            }
+            ProgAction::Sleep(d) => {
+                self.engine.schedule_after(d, Event::SleepDone { lh });
+            }
+            ProgAction::Send {
+                to,
+                body,
+                data_bytes,
+                register_child,
+            } => {
+                if let Some(profile) = register_child {
+                    // A subprogram is being created; queue its behaviour
+                    // (it inherits the parent's environment, §2.1).
+                    let env = self.stations[i]
+                        .programs
+                        .get(&lh)
+                        .expect("acting program")
+                        .behavior
+                        .env()
+                        .clone();
+                    self.add_image(&profile);
+                    self.pending_behaviors
+                        .entry(profile.name.clone())
+                        .or_default()
+                        .push_back(WorkloadProgram::new(*profile, env));
+                }
+                let (outs, seq) = {
+                    let w = &mut self.stations[i];
+                    let root = w.programs.get(&lh).expect("acting program").root;
+                    let (seq, outs) = w.kernel.send_with_seq(now, root, to, body, data_bytes);
+                    (outs, seq)
+                };
+                self.stations[i]
+                    .programs
+                    .get_mut(&lh)
+                    .expect("acting program")
+                    .awaiting = Some(seq);
+                self.apply_kernel_outputs(i, outs);
+            }
+            ProgAction::Exit => {
+                self.stats.programs_finished += 1;
+                // The finished program is destroyed via "the program
+                // manager of whatever workstation hosts lh" — the
+                // well-known local group of §2.1, which keeps working
+                // across migrations.
+                let outs = {
+                    let w = &mut self.stations[i];
+                    let shell = w.shell;
+                    let dest = Destination::Group(GroupId::program_manager_of(lh));
+                    w.kernel
+                        .send(now, shell, dest, ServiceMsg::DestroyProgram { lh }, 0)
+                };
+                self.apply_kernel_outputs(i, outs);
+            }
+        }
+    }
+
+    fn on_sleep_done(&mut self, lh: LogicalHostId) {
+        if let Some(i) = self.behavior_station(lh) {
+            // A frozen program's sleep completion waits for the unfreeze
+            // (execution is suspended); model: re-queue the event shortly.
+            let frozen = self.stations[i]
+                .kernel
+                .logical_host(lh)
+                .map(|l| l.is_frozen())
+                .unwrap_or(false);
+            if frozen {
+                self.engine
+                    .schedule_after(SimDuration::from_millis(10), Event::SleepDone { lh });
+                return;
+            }
+            self.step_program(i, lh, ProgEvent::SleepDone);
+        }
+    }
+
+    // --- CPU scheduling (priority, round-robin within a level). ---
+
+    fn cpu_make_ready(&mut self, i: usize, lh: LogicalHostId) {
+        let w = &mut self.stations[i];
+        let Some(prt) = w.programs.get_mut(&lh) else {
+            return;
+        };
+        if prt.scheduled || prt.remaining_cpu.is_zero() {
+            return;
+        }
+        prt.scheduled = true;
+        w.cpu_ready.push_back(lh);
+        self.cpu_dispatch(i);
+    }
+
+    fn cpu_dispatch(&mut self, i: usize) {
+        let now = self.engine.now();
+        let w = &mut self.stations[i];
+        if w.cpu_current.is_some() || w.cpu_ready.is_empty() {
+            return;
+        }
+        // Pick the highest-priority ready program (lowest Priority value),
+        // FIFO within a level — "priority scheduling for locally invoked
+        // programs" (§2).
+        let best = w
+            .cpu_ready
+            .iter()
+            .enumerate()
+            .min_by_key(|(pos, lh)| {
+                let pr = w
+                    .programs
+                    .get(lh)
+                    .map(|p| p.priority)
+                    .unwrap_or(Priority::GUEST);
+                (pr, *pos)
+            })
+            .map(|(pos, _)| pos);
+        let Some(pos) = best else { return };
+        let lh = w.cpu_ready.remove(pos).expect("position valid");
+        let Some(prt) = w.programs.get_mut(&lh) else {
+            return;
+        };
+        // Frozen programs do not execute.
+        let frozen = w
+            .kernel
+            .logical_host(lh)
+            .map(|l| l.is_frozen())
+            .unwrap_or(true);
+        if frozen {
+            prt.scheduled = false;
+            return;
+        }
+        let slice = prt.remaining_cpu.min(CPU_QUANTUM);
+        w.cpu_current = Some(lh);
+        let host = w.host;
+        let _ = now;
+        self.engine.schedule_after(
+            slice + CONTEXT_SWITCH,
+            Event::QuantumEnd { host, lh, slice },
+        );
+    }
+
+    fn on_quantum_end(&mut self, host: HostAddr, lh: LogicalHostId, slice: SimDuration) {
+        let i = self.index_of(host);
+        if self.stations[i].down {
+            return;
+        }
+        if self.stations[i].cpu_current != Some(lh) {
+            // The program migrated or was destroyed mid-quantum.
+            self.cpu_dispatch(i);
+            return;
+        }
+        self.stations[i].cpu_current = None;
+        let frozen = self.stations[i]
+            .kernel
+            .logical_host(lh)
+            .map(|l| l.is_frozen())
+            .unwrap_or(true);
+        let mut cpu_done = false;
+        if let Some(prt) = self.stations[i].programs.get_mut(&lh) {
+            prt.scheduled = false;
+            if !frozen {
+                // Charge the slice: the behaviour dirties pages.
+                let w = &mut self.stations[i];
+                let prt = w.programs.get_mut(&lh).expect("checked");
+                if prt.priority <= Priority::LOCAL {
+                    w.cpu_local += slice;
+                } else {
+                    w.cpu_guest += slice;
+                }
+                if let Some(space) = w
+                    .kernel
+                    .logical_host_mut(lh)
+                    .and_then(|l| l.space_mut(prt.team))
+                {
+                    prt.behavior.on_cpu(slice, space, &mut self.rng);
+                }
+                prt.remaining_cpu = prt.remaining_cpu.saturating_sub(slice);
+                if prt.remaining_cpu.is_zero() {
+                    cpu_done = true;
+                } else {
+                    prt.scheduled = true;
+                    w.cpu_ready.push_back(lh);
+                }
+            }
+        }
+        if cpu_done {
+            self.step_program(i, lh, ProgEvent::CpuDone);
+        }
+        self.cpu_dispatch(i);
+    }
+
+    // --- Owners. ---
+
+    fn on_user_transition(&mut self, host: HostAddr, held: SimDuration) {
+        let i = self.index_of(host);
+        let now = self.engine.now();
+        let Some(user) = self.stations[i].user.as_mut() else {
+            return;
+        };
+        let new_state = user.transition(held);
+        let next_held = user.holding_time(&mut self.rng);
+        let active = new_state == OwnerState::Active;
+        self.stations[i].pm.set_owner_active(active);
+        self.engine.schedule_after(
+            next_held,
+            Event::UserTransition {
+                host,
+                held: next_held,
+            },
+        );
+        if active && self.cfg.evict_on_owner_return {
+            self.reclaim_pending.insert(host, now);
+            self.evict_guests(i);
+            self.note_reclaim_progress(i);
+        }
+    }
+
+    fn evict_guests(&mut self, i: usize) {
+        let now = self.engine.now();
+        let guests: Vec<LogicalHostId> = self.stations[i]
+            .pm
+            .programs()
+            .iter()
+            .filter(|(_, p)| p.remote_origin)
+            .map(|(&lh, _)| lh)
+            .collect();
+        for lh in guests {
+            if self.stations[i].migrator.migrating(lh) {
+                continue;
+            }
+            self.stats.owner_evictions += 1;
+            let cfg = self.cfg.migration.clone();
+            let w = &mut self.stations[i];
+            let meta =
+                w.pm.program(lh)
+                    .map(|p| ProgramMeta {
+                        image: p.image.clone(),
+                        priority: p.priority,
+                    })
+                    .expect("guest is registered");
+            let outs = w
+                .migrator
+                .start(now, lh, meta, cfg, None, true, &mut w.kernel);
+            self.apply_mig_outputs(i, outs);
+        }
+    }
+
+    fn note_reclaim_progress(&mut self, i: usize) {
+        let host = self.stations[i].host;
+        let Some(&since) = self.reclaim_pending.get(&host) else {
+            return;
+        };
+        let guests_left = self.stations[i]
+            .pm
+            .programs()
+            .values()
+            .filter(|p| p.remote_origin)
+            .count();
+        if guests_left == 0 {
+            let now = self.engine.now();
+            self.reclaim_pending.remove(&host);
+            self.reclaim_times.push(now.since(since));
+        }
+    }
+
+    // --- Commands. ---
+
+    fn on_command(&mut self, cmd: Command) {
+        match cmd {
+            Command::Exec {
+                ws,
+                profile,
+                target,
+                priority,
+            } => self.exec(ws, profile, target, priority),
+            Command::Migrate {
+                ws,
+                lh,
+                destroy_if_stuck,
+            } => {
+                let lh = lh.or_else(|| {
+                    self.stations[ws]
+                        .pm
+                        .programs()
+                        .iter()
+                        .find(|(_, p)| p.remote_origin)
+                        .map(|(&lh, _)| lh)
+                });
+                if let Some(lh) = lh {
+                    self.migrateprog(ws, lh, destroy_if_stuck);
+                }
+            }
+            Command::Crash { ws } => {
+                let host = self.stations[ws].host;
+                self.net.set_up(host, false);
+                self.stations[ws].down = true;
+            }
+            Command::Reboot { ws } => {
+                let host = self.stations[ws].host;
+                self.net.set_up(host, true);
+                self.stations[ws].down = false;
+                // A reboot loses volatile state — most importantly any
+                // Demos/MP forwarding addresses (§5).
+                self.stations[ws].kernel.clear_forwarding();
+            }
+            Command::SetOwnerActive { ws, active } => {
+                self.stations[ws].pm.set_owner_active(active);
+                if active && self.cfg.evict_on_owner_return {
+                    let host = self.stations[ws].host;
+                    let now = self.engine.now();
+                    self.reclaim_pending.insert(host, now);
+                    self.evict_guests(ws);
+                    self.note_reclaim_progress(ws);
+                }
+            }
+        }
+    }
+
+    /// Convenience: register a program already known to a PM (tests).
+    pub fn register_program_info(&mut self, ws: usize, lh: LogicalHostId, info: ProgramInfo) {
+        self.stations[ws].pm.register_program(lh, info);
+    }
+}
+
+fn is_bulk(p: &Packet<ServiceMsg>) -> bool {
+    matches!(
+        p,
+        Packet::BulkData { .. }
+            | Packet::BulkAck { .. }
+            | Packet::BulkPull { .. }
+            | Packet::BulkPullNak { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_lays_out_stations() {
+        let c = Cluster::new(ClusterConfig {
+            workstations: 3,
+            loss: LossModel::None,
+            ..ClusterConfig::default()
+        });
+        assert_eq!(c.stations.len(), 4, "file server + 3 workstations");
+        assert_eq!(c.stations[0].name, "fileserver");
+        assert_eq!(c.stations[1].name, "ws1");
+        assert_eq!(c.stations[3].name, "ws3");
+        assert!(c.stations[0].fs.is_some());
+        assert!(c.stations[1].fs.is_none());
+        // System logical hosts are 1 + station index.
+        assert_eq!(c.stations[2].system_lh(), LogicalHostId(3));
+        // The paging store lives on the file-server machine.
+        assert_eq!(c.locate(PAGING_LH), Some(c.stations[0].host));
+        // index_of inverts host addresses.
+        for (i, w) in c.stations.iter().enumerate() {
+            assert_eq!(c.index_of(w.host), i);
+        }
+    }
+
+    #[test]
+    fn cpu_utilization_accounts_priorities() {
+        let mut w = Cluster::new(ClusterConfig {
+            workstations: 1,
+            loss: LossModel::None,
+            ..ClusterConfig::default()
+        });
+        let ws = &mut w.stations[1];
+        ws.cpu_local = SimDuration::from_secs(3);
+        ws.cpu_guest = SimDuration::from_secs(1);
+        let util = ws.cpu_utilization(SimDuration::from_secs(10));
+        assert!((util - 0.4).abs() < 1e-9);
+        assert_eq!(ws.cpu_utilization(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn pm_group_membership_is_wired() {
+        let c = Cluster::new(ClusterConfig {
+            workstations: 2,
+            loss: LossModel::None,
+            ..ClusterConfig::default()
+        });
+        // All three PMs (fileserver included) joined the multicast group.
+        assert_eq!(c.net.members(PM_MCAST).len(), 3);
+    }
+
+    #[test]
+    fn bulk_packets_are_classified() {
+        let p: Packet<ServiceMsg> = Packet::BulkAck {
+            xfer: vkernel::XferId(1),
+            unit: 0,
+            refused: false,
+        };
+        assert!(is_bulk(&p));
+        let p: Packet<ServiceMsg> = Packet::NewBinding {
+            lh: LogicalHostId(1),
+            host: HostAddr(0),
+        };
+        assert!(!is_bulk(&p));
+    }
+}

@@ -1,0 +1,611 @@
+//! Full-stack integration tests: remote execution and migration running
+//! over the complete simulated cluster (kernels, services, programs, wire).
+
+use vcluster::{Cluster, ClusterConfig, Command};
+use vcore::{ExecTarget, MigrationConfig, StopPolicy, Strategy};
+use vkernel::Priority;
+use vnet::LossModel;
+use vsim::{SimDuration, SimTime};
+use vworkload::profiles;
+use vworkload::{Phase, ProgramProfile};
+
+fn quiet_config(workstations: usize) -> ClusterConfig {
+    ClusterConfig {
+        workstations,
+        loss: LossModel::None,
+        ..ClusterConfig::default()
+    }
+}
+
+fn small_compute_profile(name: &str, secs: u64) -> ProgramProfile {
+    let row = profiles::row("make").expect("row exists");
+    ProgramProfile::steady(
+        name,
+        profiles::layout_for("make"),
+        row.fit(),
+        SimDuration::from_secs(secs),
+    )
+}
+
+#[test]
+fn local_execution_runs_to_completion() {
+    let mut c = Cluster::new(quiet_config(2));
+    c.exec(
+        1,
+        small_compute_profile("job", 2),
+        ExecTarget::Local,
+        Priority::LOCAL,
+    );
+    c.run_for(SimDuration::from_secs(10));
+    assert_eq!(c.exec_reports.len(), 1);
+    let r = &c.exec_reports[0];
+    assert!(r.success, "{r:?}");
+    assert_eq!(r.chosen_name.as_deref(), Some("local"));
+    assert_eq!(r.selection_time, SimDuration::ZERO);
+    assert_eq!(c.stats.programs_finished, 1);
+    // The program's logical host is gone after exit.
+    assert_eq!(c.locate(r.lh.expect("created")), None);
+}
+
+#[test]
+fn remote_execution_at_star_selects_in_about_23ms() {
+    let mut c = Cluster::new(quiet_config(3));
+    c.exec(
+        1,
+        small_compute_profile("job", 1),
+        ExecTarget::AnyIdle,
+        Priority::GUEST,
+    );
+    c.run_for(SimDuration::from_secs(10));
+    assert_eq!(c.exec_reports.len(), 1);
+    let r = c.exec_reports[0].clone();
+    assert!(r.success, "{r:?}");
+    let sel_ms = r.selection_time.as_secs_f64() * 1e3;
+    assert!(
+        (sel_ms - 23.0).abs() < 3.0,
+        "selection took {sel_ms:.2} ms, paper says 23 ms"
+    );
+    assert_eq!(c.stats.programs_finished, 1);
+}
+
+#[test]
+fn remote_execution_at_named_host() {
+    let mut c = Cluster::new(quiet_config(3));
+    c.exec(
+        1,
+        small_compute_profile("job", 1),
+        ExecTarget::Named("ws2".into()),
+        Priority::GUEST,
+    );
+    c.run_for(SimDuration::from_secs(10));
+    let r = c.exec_reports[0].clone();
+    assert!(r.success, "{r:?}");
+    assert_eq!(r.chosen_name.as_deref(), Some("ws2"));
+    assert_eq!(r.chosen_host, Some(c.stations[2].host));
+}
+
+#[test]
+fn remote_program_writes_to_origin_display() {
+    // Network transparency (§2, Figure 2-1): a remotely executed program's
+    // terminal output appears on the display of the workstation it was
+    // started from.
+    let mut c = Cluster::new(quiet_config(3));
+    let profile = ProgramProfile {
+        name: "hello".into(),
+        layout: profiles::layout_for("make"),
+        wws: profiles::row("make").expect("row").fit(),
+        phases: vec![
+            Phase::Display { chars: 120 },
+            Phase::Compute(SimDuration::from_millis(100)),
+        ],
+    };
+    c.exec(1, profile, ExecTarget::Named("ws2".into()), Priority::GUEST);
+    c.run_for(SimDuration::from_secs(10));
+    assert!(c.exec_reports[0].success);
+    // The chars landed on ws1's display, not ws2's.
+    assert_eq!(c.stations[1].display.stats().chars, 120);
+    assert_eq!(c.stations[2].display.stats().chars, 0);
+}
+
+#[test]
+fn remote_program_reads_files_from_global_server() {
+    let mut c = Cluster::new(quiet_config(3));
+    c.file_server_mut().add_file("input.dat", 64 * 1024);
+    let profile = ProgramProfile {
+        name: "reader".into(),
+        layout: profiles::layout_for("make"),
+        wws: profiles::row("make").expect("row").fit(),
+        phases: vec![Phase::FileRead {
+            name: "input.dat".into(),
+            bytes: 64 * 1024,
+            chunk: 16 * 1024,
+        }],
+    };
+    c.exec(1, profile, ExecTarget::Named("ws2".into()), Priority::GUEST);
+    c.run_for(SimDuration::from_secs(20));
+    assert!(c.exec_reports[0].success);
+    assert_eq!(c.stats.programs_finished, 1);
+    assert_eq!(c.file_server().stats().bytes_read, 64 * 1024);
+}
+
+#[test]
+fn migration_end_to_end_with_precopy() {
+    let mut c = Cluster::new(quiet_config(3));
+    // A long-running simulation job on ws2 (started from ws1).
+    let profile = profiles::simulation_profile(SimDuration::from_secs(120));
+    c.exec(1, profile, ExecTarget::Named("ws2".into()), Priority::GUEST);
+    c.run_for(SimDuration::from_secs(20));
+    assert!(c.exec_reports[0].success);
+    let lh = c.exec_reports[0].lh.expect("program created");
+    assert_eq!(c.locate(lh), Some(c.stations[2].host));
+
+    // Evict it from ws2.
+    c.migrateprog(2, lh, false);
+    c.run_for(SimDuration::from_secs(30));
+
+    assert_eq!(c.migration_reports.len(), 1);
+    let r = c.migration_reports[0].clone();
+    assert!(r.success, "{r:?}");
+    assert_eq!(r.strategy, "pre-copy");
+    assert!(
+        !r.iterations.is_empty(),
+        "at least one unfrozen pre-copy round"
+    );
+    // The program moved somewhere else and keeps running.
+    let new_home = c.locate(lh).expect("still alive");
+    assert_ne!(new_home, c.stations[2].host);
+    assert_eq!(r.to_host, Some(new_home));
+    // No residue on the old host.
+    assert!(!c.stations[2].kernel.is_resident(lh));
+    assert_eq!(c.stations[2].kernel.forwarding_entries(), 0);
+    assert!(c.stations[2].programs.is_empty());
+
+    // Freeze time is in the paper's ballpark: well under a second.
+    assert!(
+        r.freeze_time < SimDuration::from_millis(500),
+        "freeze {}",
+        r.freeze_time
+    );
+    // And the program still finishes.
+    c.run_for(SimDuration::from_secs(200));
+    assert_eq!(c.stats.programs_finished, 1);
+}
+
+#[test]
+fn freeze_and_copy_baseline_freezes_for_seconds() {
+    let mut cfg = quiet_config(3);
+    cfg.migration = MigrationConfig {
+        strategy: Strategy::FreezeAndCopy,
+        ..MigrationConfig::default()
+    };
+    let mut c = Cluster::new(cfg);
+    let profile = profiles::simulation_profile(SimDuration::from_secs(120));
+    c.exec(1, profile, ExecTarget::Named("ws2".into()), Priority::GUEST);
+    c.run_for(SimDuration::from_secs(20));
+    let lh = c.exec_reports[0].lh.expect("created");
+    c.migrateprog(2, lh, false);
+    c.run_for(SimDuration::from_secs(30));
+    let r = c.migration_reports[0].clone();
+    assert!(r.success, "{r:?}");
+    assert_eq!(r.strategy, "freeze-and-copy");
+    assert!(r.iterations.is_empty());
+    // ~1 MB program: about 3 seconds frozen.
+    assert!(
+        r.freeze_time > SimDuration::from_secs(2),
+        "freeze {}",
+        r.freeze_time
+    );
+    c.run_for(SimDuration::from_secs(200));
+    assert_eq!(c.stats.programs_finished, 1);
+}
+
+#[test]
+fn precopy_beats_freeze_and_copy_by_orders_of_magnitude() {
+    let freeze_time_of = |strategy: Strategy| {
+        let mut cfg = quiet_config(3);
+        cfg.migration = MigrationConfig {
+            strategy,
+            ..MigrationConfig::default()
+        };
+        let mut c = Cluster::new(cfg);
+        let profile = profiles::simulation_profile(SimDuration::from_secs(120));
+        c.exec(1, profile, ExecTarget::Named("ws2".into()), Priority::GUEST);
+        c.run_for(SimDuration::from_secs(20));
+        let lh = c.exec_reports[0].lh.expect("created");
+        c.migrateprog(2, lh, false);
+        c.run_for(SimDuration::from_secs(60));
+        assert!(c.migration_reports[0].success);
+        c.migration_reports[0].freeze_time
+    };
+    let pre = freeze_time_of(Strategy::PreCopy(StopPolicy::default()));
+    let frz = freeze_time_of(Strategy::FreezeAndCopy);
+    let ratio = frz.as_secs_f64() / pre.as_secs_f64();
+    assert!(
+        ratio > 5.0,
+        "pre-copy {pre} vs freeze-and-copy {frz} (ratio {ratio:.1})"
+    );
+}
+
+#[test]
+fn migrateprog_dash_n_destroys_when_no_host() {
+    // Only one workstation: nowhere to migrate to.
+    let mut c = Cluster::new(quiet_config(1));
+    let profile = profiles::simulation_profile(SimDuration::from_secs(120));
+    c.exec(1, profile, ExecTarget::Local, Priority::LOCAL);
+    c.run_for(SimDuration::from_secs(20));
+    let lh = c.exec_reports[0].lh.expect("created");
+
+    c.migrateprog(1, lh, true);
+    c.run_for(SimDuration::from_secs(60));
+    assert_eq!(c.migration_reports.len(), 1);
+    let r = &c.migration_reports[0];
+    assert!(!r.success);
+    assert_eq!(r.failure, Some(vcore::MigFailure::Destroyed));
+    assert_eq!(c.locate(lh), None, "program destroyed");
+}
+
+#[test]
+fn migrateprog_without_dash_n_keeps_program_when_no_host() {
+    let mut c = Cluster::new(quiet_config(1));
+    let profile = profiles::simulation_profile(SimDuration::from_secs(60));
+    c.exec(1, profile, ExecTarget::Local, Priority::LOCAL);
+    c.run_for(SimDuration::from_secs(20));
+    let lh = c.exec_reports[0].lh.expect("created");
+
+    c.migrateprog(1, lh, false);
+    c.run_for(SimDuration::from_secs(30));
+    let r = &c.migration_reports[0];
+    assert!(!r.success);
+    assert_eq!(r.failure, Some(vcore::MigFailure::NoHostFound));
+    // The program is still there and still running.
+    assert_eq!(c.locate(lh), Some(c.stations[1].host));
+    c.run_for(SimDuration::from_secs(120));
+    assert_eq!(c.stats.programs_finished, 1);
+}
+
+#[test]
+fn owner_return_evicts_guests_within_seconds() {
+    let mut cfg = quiet_config(4);
+    cfg.evict_on_owner_return = true;
+    let mut c = Cluster::new(cfg);
+    let profile = profiles::simulation_profile(SimDuration::from_secs(300));
+    c.exec(1, profile, ExecTarget::Named("ws2".into()), Priority::GUEST);
+    c.run_for(SimDuration::from_secs(20));
+    let lh = c.exec_reports[0].lh.expect("created");
+    assert_eq!(c.locate(lh), Some(c.stations[2].host));
+
+    // The owner of ws2 sits down.
+    let t = c.now();
+    c.at(
+        t + SimDuration::from_millis(1),
+        Command::SetOwnerActive {
+            ws: 2,
+            active: true,
+        },
+    );
+    c.run_for(SimDuration::from_secs(60));
+
+    assert_eq!(c.stats.owner_evictions, 1);
+    assert_eq!(c.reclaim_times.len(), 1, "reclaim recorded");
+    let reclaim = c.reclaim_times[0];
+    // "A user must be able to quickly reclaim his workstation ... within a
+    // few seconds time" (§1).
+    assert!(
+        reclaim < SimDuration::from_secs(15),
+        "reclaim took {reclaim}"
+    );
+    // The guest kept running elsewhere.
+    let home = c.locate(lh).expect("guest survived eviction");
+    assert_ne!(home, c.stations[2].host);
+}
+
+#[test]
+fn local_editor_unaffected_by_guest_job() {
+    // §2: "a text-editing user need not notice the presence of background
+    // jobs" thanks to priority scheduling.
+    let response_with_guest = |guest: bool| {
+        let mut c = Cluster::new(quiet_config(2));
+        if guest {
+            let sim = profiles::simulation_profile(SimDuration::from_secs(600));
+            c.exec(1, sim, ExecTarget::Named("ws1".into()), Priority::GUEST);
+            c.run_for(SimDuration::from_secs(10));
+        }
+        let editor = profiles::editor_profile(60);
+        c.exec(1, editor, ExecTarget::Local, Priority::LOCAL);
+        c.run_for(SimDuration::from_secs(120));
+        let lh = c
+            .exec_reports
+            .iter()
+            .find(|r| r.image == "edit")
+            .and_then(|r| r.lh)
+            .expect("editor created");
+        // The editor may have finished (and been destroyed); look at its
+        // recorded response times via the behaviour if still present, else
+        // accept that it finished comfortably.
+        c.stations
+            .iter()
+            .flat_map(|w| w.programs.get(&lh))
+            .map(|p| p.behavior.response_times.mean())
+            .next()
+    };
+    // Both configurations should leave the editor responsive; detailed
+    // latency comparison is experiment E10's job. Here we just require the
+    // editor finished despite a CPU-hungry guest.
+    let _ = response_with_guest(false);
+    let mut c = Cluster::new(quiet_config(2));
+    let sim = profiles::simulation_profile(SimDuration::from_secs(600));
+    c.exec(1, sim, ExecTarget::Named("ws1".into()), Priority::GUEST);
+    c.run_for(SimDuration::from_secs(10));
+    c.exec(
+        1,
+        profiles::editor_profile(40),
+        ExecTarget::Local,
+        Priority::LOCAL,
+    );
+    c.run_for(SimDuration::from_secs(120));
+    assert!(
+        c.stats.programs_finished >= 1,
+        "editor finished despite the guest"
+    );
+}
+
+#[test]
+fn vm_flush_migration_works_and_double_copies_dirty_pages() {
+    let mut cfg = quiet_config(3);
+    cfg.migration = MigrationConfig {
+        strategy: Strategy::VmFlush {
+            paging_lh: vcluster::PAGING_LH,
+            paging_space: vmem::SpaceId(0),
+            stop: StopPolicy::default(),
+        },
+        ..MigrationConfig::default()
+    };
+    let mut c = Cluster::new(cfg);
+    let profile = profiles::simulation_profile(SimDuration::from_secs(120));
+    c.exec(1, profile, ExecTarget::Named("ws2".into()), Priority::GUEST);
+    c.run_for(SimDuration::from_secs(20));
+    let lh = c.exec_reports[0].lh.expect("created");
+    c.migrateprog(2, lh, false);
+    c.run_for(SimDuration::from_secs(60));
+    let r = c.migration_reports[0].clone();
+    assert!(r.success, "{r:?}");
+    assert_eq!(r.strategy, "vm-flush");
+    assert!(r.double_copied_bytes > 0);
+    // VM-flush ships only written pages, so it moves less data
+    // source-side than a full pre-copy of the ~1 MB program would.
+    assert!(r.precopied_bytes() + r.residual_bytes < 1024 * 1024);
+    // The program survived...
+    let home = c.locate(lh).expect("program alive");
+    // ...and the new host really demand-fetched the flushed pages back
+    // from the paging store (CopyFrom traffic, §3.2's second transfer).
+    c.run_for(SimDuration::from_secs(30));
+    let target = c.index_of(home);
+    assert_eq!(
+        c.stations[target].pm.stats().fetched_bytes,
+        r.double_copied_bytes,
+        "exactly the unique flushed pages came back over the wire"
+    );
+    assert!(c.stations[target].pm.stats().fetched_bytes > 0);
+    assert_eq!(c.stations[0].kernel.stats().pulls_served, 1);
+}
+
+#[test]
+fn deterministic_given_same_seed() {
+    let run = || {
+        let mut c = Cluster::new(quiet_config(3));
+        c.exec(
+            1,
+            small_compute_profile("job", 3),
+            ExecTarget::AnyIdle,
+            Priority::GUEST,
+        );
+        c.run_for(SimDuration::from_secs(30));
+        (
+            c.exec_reports[0].selection_time,
+            c.exec_reports[0].total_time,
+            c.net.stats().frames_sent,
+            c.engine.events_delivered(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn cluster_survives_running_past_all_events() {
+    let mut c = Cluster::new(quiet_config(2));
+    c.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+    assert!(c.now() <= SimTime::ZERO + SimDuration::from_secs(5));
+}
+
+#[test]
+fn cc68_pipeline_decomposes_onto_other_hosts() {
+    // §2 / §4.1 footnote: cc68 runs five passes as subprograms, each
+    // placed by the @* machinery and awaited via WaitProgram.
+    let mut c = Cluster::new(quiet_config(4));
+    c.exec(
+        1,
+        profiles::cc68_pipeline(),
+        ExecTarget::Named("ws1".into()),
+        Priority::LOCAL,
+    );
+    c.run_for(SimDuration::from_secs(400));
+    // Control program + 5 passes all finished.
+    assert_eq!(c.stats.programs_finished, 6, "control + five passes");
+    let pass_reports: Vec<_> = c
+        .exec_reports
+        .iter()
+        .filter(|r| r.image != "cc68")
+        .collect();
+    assert!(
+        pass_reports.is_empty(),
+        "passes are spawned by the program, not the shell"
+    );
+    // Each PM that hosted a pass created a program.
+    let created: u64 = c
+        .stations
+        .iter()
+        .map(|w| w.pm.stats().programs_created)
+        .sum();
+    assert_eq!(created, 6);
+}
+
+#[test]
+fn suspend_and_resume_work_remotely() {
+    // §2: suspension works "independent of whether the program is
+    // executing locally or remotely". Suspend = freeze in place.
+    let mut c = Cluster::new(quiet_config(3));
+    let profile = profiles::simulation_profile(SimDuration::from_secs(30));
+    c.exec(1, profile, ExecTarget::Named("ws2".into()), Priority::GUEST);
+    c.run_for(SimDuration::from_secs(10));
+    let lh = c.exec_reports[0].lh.expect("created");
+
+    // Suspend from ws1, across the network.
+    c.suspendprog(1, lh);
+    c.run_for(SimDuration::from_secs(30));
+    assert!(
+        c.stations[2]
+            .kernel
+            .logical_host(lh)
+            .expect("resident")
+            .is_frozen(),
+        "suspended"
+    );
+    let cpu_at_suspend = cpu_of(&c, lh);
+    c.run_for(SimDuration::from_secs(10));
+    assert_eq!(cpu_of(&c, lh), cpu_at_suspend, "no CPU while suspended");
+
+    // Resume, also remotely.
+    c.resumeprog(1, lh);
+    c.run_for(SimDuration::from_secs(60));
+    assert_eq!(c.stats.programs_finished, 1, "finished after resume");
+}
+
+#[test]
+fn suspended_program_survives_migration() {
+    // Migrating a *suspended* program: the freeze flag is part of the
+    // kernel state; after eviction it resumes only when asked.
+    let mut c = Cluster::new(quiet_config(3));
+    let profile = profiles::simulation_profile(SimDuration::from_secs(60));
+    c.exec(1, profile, ExecTarget::Named("ws2".into()), Priority::GUEST);
+    c.run_for(SimDuration::from_secs(10));
+    let lh = c.exec_reports[0].lh.expect("created");
+    c.suspendprog(1, lh);
+    c.run_for(SimDuration::from_secs(5));
+
+    c.migrateprog(2, lh, false);
+    c.run_for(SimDuration::from_secs(60));
+    let r = &c.migration_reports[0];
+    assert!(r.success, "{r:?}");
+    // After migration the program is unfrozen (unfreeze_migrated) on its
+    // new host and eventually finishes.
+    c.run_for(SimDuration::from_secs(120));
+    assert_eq!(c.stats.programs_finished, 1);
+}
+
+fn cpu_of(c: &Cluster, lh: vkernel::LogicalHostId) -> u64 {
+    c.stations
+        .iter()
+        .find_map(|w| w.programs.get(&lh))
+        .map(|p| p.behavior.stats().cpu_micros)
+        .unwrap_or(u64::MAX)
+}
+
+#[test]
+fn file_server_crash_fails_program_load_cleanly() {
+    let mut c = Cluster::new(quiet_config(2));
+    let profile = profiles::simulation_profile(SimDuration::from_secs(30));
+    // Crash the file-server machine just as the load begins.
+    let t = c.now();
+    c.at(t + SimDuration::from_millis(100), Command::Crash { ws: 0 });
+    c.exec(1, profile, ExecTarget::Named("ws2".into()), Priority::GUEST);
+    c.run_for(SimDuration::from_secs(120));
+    assert_eq!(c.exec_reports.len(), 1, "execution resolved");
+    assert!(!c.exec_reports[0].success, "load must fail, not hang");
+    assert_eq!(c.stats.programs_finished, 0);
+}
+
+/// Churn: hours of simulated cluster life — owners coming and going with
+/// auto-eviction, jobs arriving at random — must settle with conservation
+/// invariants intact.
+#[test]
+fn long_churn_preserves_invariants() {
+    use vsim::DetRng;
+    use vworkload::UserModelParams;
+    let cfg = ClusterConfig {
+        workstations: 8,
+        seed: 777,
+        loss: LossModel::Bernoulli(1e-3),
+        users: Some(UserModelParams {
+            mean_active: SimDuration::from_secs(120),
+            mean_idle: SimDuration::from_secs(300),
+            initially_active: 0.3,
+        }),
+        evict_on_owner_return: true,
+        ..ClusterConfig::default()
+    };
+    let mut c = Cluster::new(cfg);
+    let mut rng = DetRng::seed(31337);
+    let horizon = SimDuration::from_secs(1800); // Half a simulated hour.
+    let mut t = SimTime::ZERO;
+    let mut issued = 0;
+    loop {
+        t += SimDuration::from_secs_f64(rng.exp_f64(60.0));
+        if t >= SimTime::ZERO + horizon {
+            break;
+        }
+        let name = *rng.pick(&["make", "cc68", "optimizer", "assembler"]);
+        let row = profiles::row(name).expect("known");
+        c.at(
+            t,
+            Command::Exec {
+                ws: 1 + rng.index(8),
+                profile: profiles::steady_profile(row),
+                target: ExecTarget::AnyIdle,
+                priority: vkernel::Priority::GUEST,
+            },
+        );
+        issued += 1;
+    }
+    c.run_until(SimTime::ZERO + horizon);
+    // Drain whatever is still in flight.
+    c.run_for(SimDuration::from_secs(300));
+
+    assert_eq!(c.exec_reports.len(), issued, "every request resolved");
+    let succeeded = c.exec_reports.iter().filter(|r| r.success).count();
+    assert!(
+        succeeded * 10 >= issued * 9,
+        "{succeeded}/{issued} honored — the paper says almost all"
+    );
+    // Conservation: finished + still-running == succeeded.
+    let still_running: usize = c.stations.iter().map(|w| w.programs.len()).sum();
+    assert_eq!(
+        c.stats.programs_finished as usize + still_running,
+        succeeded,
+        "no program lost or duplicated"
+    );
+    // Every surviving logical host lives on exactly one station, and its
+    // behaviour lives where its kernel state lives.
+    for r in &c.exec_reports {
+        let Some(lh) = r.lh else { continue };
+        let kernel_homes: Vec<_> = c
+            .stations
+            .iter()
+            .filter(|w| w.kernel.is_resident(lh))
+            .map(|w| w.host)
+            .collect();
+        let behavior_homes: Vec<_> = c
+            .stations
+            .iter()
+            .filter(|w| w.programs.contains_key(&lh))
+            .map(|w| w.host)
+            .collect();
+        assert!(kernel_homes.len() <= 1, "{lh} kernel state duplicated");
+        assert_eq!(kernel_homes, behavior_homes, "{lh} split brain");
+    }
+    // All migrations that claimed success really evicted.
+    for m in &c.migration_reports {
+        if m.success {
+            assert_ne!(Some(m.from_host), m.to_host);
+        }
+    }
+}

@@ -1,0 +1,981 @@
+//! Migration: the paper's §3.
+//!
+//! The [`Migrator`] is the client side of migration — conceptually the
+//! migration module of the source workstation's program manager (§4.2). It
+//! orchestrates the five steps of §3.1:
+//!
+//! 1. locate a willing workstation (program-manager group query);
+//! 2. initialize the new host (temporary logical-host id, spaces);
+//! 3. pre-copy the state (repeated dirty-page rounds);
+//! 4. freeze, complete the copy, move the kernel/PM state;
+//! 5. unfreeze the new copy, delete the old one, rebind references.
+//!
+//! Three strategies are implemented:
+//!
+//! * [`Strategy::PreCopy`] — the paper's contribution;
+//! * [`Strategy::FreezeAndCopy`] — the strawman §3.1 argues against
+//!   (freeze for the entire copy: seconds of suspension);
+//! * [`Strategy::VmFlush`] — the §3.2 virtual-memory variant: flush
+//!   modified pages to the file server and let the new host demand-fault
+//!   them back (two transfers per dirty page, but the source evacuates
+//!   without shipping clean pages).
+
+use std::collections::{HashMap, HashSet};
+
+use vkernel::{
+    Kernel, KernelOutput, LogicalHostId, Priority, ProcessId, ReplyIn, SendError, SendSeq, XferId,
+};
+use vmem::SpaceId;
+use vnet::HostAddr;
+use vservices::{ServiceMsg, SvcError};
+use vsim::calib::PAGE_BYTES;
+use vsim::{SimDuration, SimTime};
+
+use crate::report::{IterStat, MigFailure, MigrationReport, Milestones};
+
+/// When to stop pre-copying and freeze (§3.1.2: "until the number of
+/// modified pages is relatively small or until no significant reduction
+/// ... is achieved").
+#[derive(Debug, Clone)]
+pub struct StopPolicy {
+    /// Hard cap on unfrozen copy rounds.
+    pub max_iterations: u32,
+    /// Freeze once the dirty residue is at most this many bytes.
+    pub threshold_bytes: u64,
+    /// Freeze when a round shrinks the dirty set by less than this factor
+    /// (e.g. 0.9 = require at least a 10% reduction to continue).
+    pub min_shrink: f64,
+}
+
+impl Default for StopPolicy {
+    fn default() -> Self {
+        StopPolicy {
+            max_iterations: 4,
+            threshold_bytes: 16 * PAGE_BYTES,
+            min_shrink: 0.9,
+        }
+    }
+}
+
+impl StopPolicy {
+    /// A fixed-round policy (ablation A1): exactly `n` unfrozen rounds.
+    pub fn fixed(n: u32) -> Self {
+        StopPolicy {
+            max_iterations: n,
+            threshold_bytes: 0,
+            min_shrink: 1.0,
+        }
+    }
+
+    /// Decides whether to freeze now, after `iterations` completed rounds,
+    /// with `dirty_bytes` currently dirty and `last_round_bytes` copied in
+    /// the latest round.
+    pub fn should_freeze(&self, iterations: u32, dirty_bytes: u64, last_round_bytes: u64) -> bool {
+        if iterations >= self.max_iterations {
+            return true;
+        }
+        if dirty_bytes <= self.threshold_bytes {
+            return true;
+        }
+        // No significant reduction: the dirty set stopped shrinking.
+        if iterations > 1 && dirty_bytes as f64 >= last_round_bytes as f64 * self.min_shrink {
+            return true;
+        }
+        false
+    }
+}
+
+/// Migration strategy.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// §3.1.2 pre-copy.
+    PreCopy(StopPolicy),
+    /// Freeze for the whole copy (the baseline the paper improves on).
+    FreezeAndCopy,
+    /// §3.2: flush modified pages to the file server's paging store; the
+    /// new host demand-faults them back.
+    VmFlush {
+        /// Paging store logical host (on the file-server machine).
+        paging_lh: LogicalHostId,
+        /// Paging store space.
+        paging_space: SpaceId,
+        /// Flush-round stop policy.
+        stop: StopPolicy,
+    },
+}
+
+impl Strategy {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::PreCopy(_) => "pre-copy",
+            Strategy::FreezeAndCopy => "freeze-and-copy",
+            Strategy::VmFlush { .. } => "vm-flush",
+        }
+    }
+}
+
+/// Migration-engine configuration.
+#[derive(Debug, Clone)]
+pub struct MigrationConfig {
+    /// Strategy to use.
+    pub strategy: Strategy,
+    /// Additional selection attempts after a target declines or dies
+    /// ("In our current implementation, we simply give up if the first
+    /// attempt at migration fails" — so the paper's value is 0).
+    pub retry_limit: u32,
+    /// Leave a Demos/MP-style forwarding address on the old host
+    /// (ablation A2; requires the kernel's forwarding mode).
+    pub leave_forwarding_address: bool,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            strategy: Strategy::PreCopy(StopPolicy::default()),
+            retry_limit: 0,
+            leave_forwarding_address: false,
+        }
+    }
+}
+
+/// Events the migration engine reports to the cluster runtime.
+#[derive(Debug)]
+pub enum MigEvent {
+    /// The logical host now runs on `to_host`; the runtime must move the
+    /// program's behaviour object there.
+    Evicted {
+        /// Migrated logical host.
+        lh: LogicalHostId,
+        /// Its new workstation.
+        to_host: HostAddr,
+    },
+    /// Migration finished (successfully or not); full metrics attached.
+    Done(Box<MigrationReport>),
+    /// The program was destroyed instead (`migrateprog -n` with no host).
+    Destroyed {
+        /// The destroyed logical host.
+        lh: LogicalHostId,
+    },
+    /// A failed migration unfroze the logical host in place; the runtime
+    /// re-queues its program on the CPU.
+    UnfrozeInPlace {
+        /// The unfrozen logical host.
+        lh: LogicalHostId,
+    },
+}
+
+/// Outputs of one engine step.
+#[derive(Debug, Default)]
+pub struct MigOutputs {
+    /// Kernel actions to execute.
+    pub kernel: Vec<KernelOutput<ServiceMsg>>,
+    /// Events for the runtime.
+    pub events: Vec<MigEvent>,
+}
+
+impl MigOutputs {
+    fn kernel(mut self, outs: Vec<KernelOutput<ServiceMsg>>) -> Self {
+        self.kernel.extend(outs);
+        self
+    }
+}
+
+/// Program metadata the engine needs for bookkeeping at the target.
+#[derive(Debug, Clone)]
+pub struct ProgramMeta {
+    /// Image name.
+    pub image: String,
+    /// Priority on the new host.
+    pub priority: Priority,
+}
+
+/// Who to answer when the eviction completes.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplyTo {
+    /// Reply as this process (the program manager that received
+    /// `migrateprog`).
+    pub from: ProcessId,
+    /// The requester.
+    pub to: ProcessId,
+    /// Their transaction.
+    pub seq: SendSeq,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Selecting,
+    Initializing,
+    PreCopying,
+    FrozenFinalCopy,
+    InstallingState,
+    Unfreezing,
+}
+
+struct Job {
+    lh: LogicalHostId,
+    meta: ProgramMeta,
+    cfg: MigrationConfig,
+    reply_to: Option<ReplyTo>,
+    destroy_if_stuck: bool,
+    state: JobState,
+    started_at: SimTime,
+    target: Option<(ProcessId, HostAddr)>,
+    temp: LogicalHostId,
+    pending_xfers: HashSet<XferId>,
+    iteration: u32,
+    iter_started: SimTime,
+    iter_bytes: u64,
+    last_round_bytes: u64,
+    iterations: Vec<IterStat>,
+    residual_bytes: u64,
+    freeze_started: Option<SimTime>,
+    residual_copy_time: SimDuration,
+    kernel_state_cost: SimDuration,
+    network_bytes: u64,
+    /// Unique bytes the VM-flush target will demand-fetch (plan size).
+    fetch_bytes: u64,
+    attempts: u32,
+    milestones: Milestones,
+}
+
+/// The migration engine of one workstation.
+///
+/// Sans-IO like everything else: the runtime routes `SendDone`/`CopyDone`
+/// completions for the engine's process id into the handlers below and
+/// executes the returned kernel outputs.
+pub struct Migrator {
+    pid: ProcessId,
+    host: HostAddr,
+    jobs: HashMap<LogicalHostId, Job>,
+    by_seq: HashMap<SendSeq, LogicalHostId>,
+    by_xfer: HashMap<XferId, LogicalHostId>,
+    temp_base: u32,
+    next_temp: u32,
+}
+
+impl Migrator {
+    /// Creates the engine. `pid` is its process (in the workstation's
+    /// system logical host); `temp_base` starts its private range of
+    /// temporary logical-host ids.
+    pub fn new(pid: ProcessId, host: HostAddr, temp_base: u32) -> Self {
+        Migrator {
+            pid,
+            host,
+            jobs: HashMap::new(),
+            by_seq: HashMap::new(),
+            by_xfer: HashMap::new(),
+            temp_base,
+            next_temp: 0,
+        }
+    }
+
+    /// The engine's process id.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// True while a migration of `lh` is in progress.
+    pub fn migrating(&self, lh: LogicalHostId) -> bool {
+        self.jobs.contains_key(&lh)
+    }
+
+    /// Begins migrating `lh` away from this workstation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lh` is not resident or is already migrating.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start(
+        &mut self,
+        now: SimTime,
+        lh: LogicalHostId,
+        meta: ProgramMeta,
+        cfg: MigrationConfig,
+        reply_to: Option<ReplyTo>,
+        destroy_if_stuck: bool,
+        k: &mut Kernel<ServiceMsg>,
+    ) -> MigOutputs {
+        assert!(k.is_resident(lh), "migrating a non-resident logical host");
+        assert!(!self.jobs.contains_key(&lh), "already migrating {lh}");
+        let temp = LogicalHostId(self.temp_base + self.next_temp);
+        self.next_temp += 1;
+        let mut job = Job {
+            lh,
+            meta,
+            cfg,
+            reply_to,
+            destroy_if_stuck,
+            state: JobState::Selecting,
+            started_at: now,
+            target: None,
+            temp,
+            pending_xfers: HashSet::new(),
+            iteration: 0,
+            iter_started: now,
+            iter_bytes: 0,
+            last_round_bytes: 0,
+            iterations: Vec::new(),
+            residual_bytes: 0,
+            freeze_started: None,
+            residual_copy_time: SimDuration::ZERO,
+            kernel_state_cost: SimDuration::ZERO,
+            network_bytes: 0,
+            fetch_bytes: 0,
+            attempts: 0,
+            milestones: Milestones::default(),
+        };
+        job.milestones.mark(now, "started");
+        let out = self.select_host(now, &mut job, k);
+        self.jobs.insert(lh, job);
+        out
+    }
+
+    fn select_host(
+        &mut self,
+        now: SimTime,
+        job: &mut Job,
+        k: &mut Kernel<ServiceMsg>,
+    ) -> MigOutputs {
+        job.state = JobState::Selecting;
+        job.attempts += 1;
+        let query = ServiceMsg::QueryHost {
+            host_name: None,
+            exclude_host: Some(self.host),
+        };
+        let (seq, kouts) = k.send_with_seq(
+            now,
+            self.pid,
+            vkernel::GroupId::PROGRAM_MANAGERS.into(),
+            query,
+            0,
+        );
+        self.by_seq.insert(seq, job.lh);
+        MigOutputs::default().kernel(kouts)
+    }
+
+    /// Routes a completion of one of the engine's Sends.
+    pub fn handle_send_done(
+        &mut self,
+        now: SimTime,
+        seq: SendSeq,
+        result: Result<ReplyIn<ServiceMsg>, SendError>,
+        k: &mut Kernel<ServiceMsg>,
+    ) -> MigOutputs {
+        let Some(lh) = self.by_seq.remove(&seq) else {
+            return MigOutputs::default();
+        };
+        let Some(mut job) = self.jobs.remove(&lh) else {
+            return MigOutputs::default();
+        };
+        let mut out = MigOutputs::default();
+        match job.state {
+            JobState::Selecting => match result {
+                Ok(ReplyIn {
+                    body: ServiceMsg::HostCandidate { pm, host, .. },
+                    ..
+                }) => {
+                    job.target = Some((pm, host));
+                    job.milestones.mark(now, "host-selected");
+                    job.state = JobState::Initializing;
+                    let spaces: Vec<(SpaceId, _)> = k
+                        .logical_host(lh)
+                        .expect("job lh resident")
+                        .descriptor()
+                        .spaces;
+                    let init = ServiceMsg::InitMigration {
+                        temp: job.temp,
+                        spaces,
+                    };
+                    let (s, kouts) = k.send_with_seq(now, self.pid, pm.into(), init, 0);
+                    self.by_seq.insert(s, lh);
+                    out = out.kernel(kouts);
+                    self.jobs.insert(lh, job);
+                }
+                _ => {
+                    out = self.no_host(now, job, k, out);
+                }
+            },
+            JobState::Initializing => match result {
+                Ok(ReplyIn {
+                    body: ServiceMsg::MigrationAccepted { host },
+                    ..
+                }) => {
+                    k.learn_binding(job.temp, host);
+                    job.milestones.mark(now, "target-initialized");
+                    out = self.begin_copying(now, job, k, out);
+                }
+                _ => {
+                    out = self.retry_or_fail(now, job, k, out, MigFailure::TargetRefused);
+                }
+            },
+            JobState::InstallingState => match result {
+                Ok(ReplyIn { body, .. }) if body.is_ok() => {
+                    job.milestones.mark(now, "state-installed");
+                    job.state = JobState::Unfreezing;
+                    let (pm, _) = job.target.expect("target chosen");
+                    let unfreeze = ServiceMsg::UnfreezeMigrated { lh: job.lh };
+                    let (s, kouts) = k.send_with_seq(now, self.pid, pm.into(), unfreeze, 0);
+                    self.by_seq.insert(s, lh);
+                    out = out.kernel(kouts);
+                    self.jobs.insert(lh, job);
+                }
+                _ => {
+                    out = self.abort_frozen(now, job, k, out, MigFailure::InstallFailed);
+                }
+            },
+            JobState::Unfreezing => match result {
+                Ok(ReplyIn { body, .. }) if body.is_ok() => {
+                    out = self.finish_success(now, job, k, out);
+                }
+                _ => {
+                    out = self.abort_frozen(now, job, k, out, MigFailure::InstallFailed);
+                }
+            },
+            s => unreachable!("send completion in state {s:?}"),
+        }
+        out
+    }
+
+    /// Routes a completion of one of the engine's bulk copies.
+    pub fn handle_copy_done(
+        &mut self,
+        now: SimTime,
+        xfer: XferId,
+        result: Result<u64, SendError>,
+        k: &mut Kernel<ServiceMsg>,
+    ) -> MigOutputs {
+        let Some(lh) = self.by_xfer.remove(&xfer) else {
+            return MigOutputs::default();
+        };
+        let Some(mut job) = self.jobs.remove(&lh) else {
+            return MigOutputs::default();
+        };
+        let mut out = MigOutputs::default();
+        match result {
+            Ok(bytes) => {
+                job.iter_bytes += bytes;
+                job.network_bytes += bytes;
+                job.pending_xfers.remove(&xfer);
+                if !job.pending_xfers.is_empty() {
+                    self.jobs.insert(lh, job);
+                    return out;
+                }
+                // Round complete.
+                match job.state {
+                    JobState::PreCopying => {
+                        // Only unfrozen rounds count as pre-copy
+                        // iterations; the frozen final copy is the
+                        // residual.
+                        job.iterations.push(IterStat {
+                            bytes: job.iter_bytes,
+                            duration: now.since(job.iter_started),
+                        });
+                        job.last_round_bytes = job.iter_bytes;
+                        out = self.end_of_round(now, job, k, out);
+                    }
+                    JobState::FrozenFinalCopy => {
+                        job.residual_copy_time =
+                            now.since(job.freeze_started.expect("frozen before final copy"));
+                        out = self.install_state(now, job, k, out);
+                    }
+                    s => unreachable!("copy completion in state {s:?}"),
+                }
+            }
+            Err(_) => {
+                // The target (or paging server) died mid-copy. If frozen,
+                // unfreeze in place to avoid timeouts (§3.1.3).
+                out = if job.freeze_started.is_some() {
+                    self.abort_frozen(now, job, k, out, MigFailure::CopyFailed)
+                } else {
+                    self.fail(now, job, k, out, MigFailure::CopyFailed)
+                };
+            }
+        }
+        out
+    }
+
+    // --- Copy phases. ---
+
+    fn begin_copying(
+        &mut self,
+        now: SimTime,
+        mut job: Job,
+        k: &mut Kernel<ServiceMsg>,
+        out: MigOutputs,
+    ) -> MigOutputs {
+        match job.cfg.strategy.clone() {
+            Strategy::PreCopy(_) => {
+                // Round 1: the complete address spaces, dirty bits cleared
+                // first so the round's writes are visible afterwards.
+                job.state = JobState::PreCopying;
+                job.iteration = 1;
+                self.start_round(now, job, k, RoundKind::FullSpaces, out)
+            }
+            Strategy::FreezeAndCopy => {
+                k.freeze(job.lh);
+                job.freeze_started = Some(now);
+                job.milestones.mark(now, "frozen");
+                job.state = JobState::FrozenFinalCopy;
+                job.iteration = 1;
+                let mut out = out;
+                let mut total = 0;
+                let spaces: Vec<SpaceId> = k
+                    .logical_host(job.lh)
+                    .expect("resident")
+                    .spaces()
+                    .map(|s| s.id())
+                    .collect();
+                for sid in spaces {
+                    let space = k
+                        .logical_host_mut(job.lh)
+                        .and_then(|l| l.space_mut(sid))
+                        .expect("space exists");
+                    space.clear_dirty();
+                    let pages: Vec<u32> = (0..space.total_pages()).collect();
+                    total += pages.len() as u64 * PAGE_BYTES;
+                    let (xfer, kouts) = k.copy_pages(now, self.pid, job.temp, sid, pages);
+                    job.pending_xfers.insert(xfer);
+                    self.by_xfer.insert(xfer, job.lh);
+                    out = out.kernel(kouts);
+                }
+                job.residual_bytes = total;
+                job.iter_started = now;
+                job.iter_bytes = 0;
+                self.jobs.insert(job.lh, job);
+                out
+            }
+            Strategy::VmFlush { .. } => {
+                // Round 1: flush every page written since the program
+                // started (clean pages reload from the image).
+                job.state = JobState::PreCopying;
+                job.iteration = 1;
+                self.start_round(now, job, k, RoundKind::EverWritten, out)
+            }
+        }
+    }
+
+    fn start_round(
+        &mut self,
+        now: SimTime,
+        mut job: Job,
+        k: &mut Kernel<ServiceMsg>,
+        kind: RoundKind,
+        mut out: MigOutputs,
+    ) -> MigOutputs {
+        job.iter_started = now;
+        job.iter_bytes = 0;
+        let (dest_lh, dest_space) = match &job.cfg.strategy {
+            Strategy::VmFlush {
+                paging_lh,
+                paging_space,
+                ..
+            } => (*paging_lh, Some(*paging_space)),
+            _ => (job.temp, None),
+        };
+        let spaces: Vec<SpaceId> = k
+            .logical_host(job.lh)
+            .expect("resident")
+            .spaces()
+            .map(|s| s.id())
+            .collect();
+        let mut any = false;
+        for sid in spaces {
+            let space = k
+                .logical_host_mut(job.lh)
+                .and_then(|l| l.space_mut(sid))
+                .expect("space exists");
+            let pages: Vec<u32> = match kind {
+                RoundKind::FullSpaces => {
+                    space.clear_dirty();
+                    (0..space.total_pages()).collect()
+                }
+                RoundKind::EverWritten => {
+                    space.clear_dirty();
+                    space.ever_written_pages()
+                }
+                RoundKind::Dirty => space.take_dirty(),
+            };
+            if pages.is_empty() {
+                continue;
+            }
+            any = true;
+            let (xfer, kouts) =
+                k.copy_pages(now, self.pid, dest_lh, dest_space.unwrap_or(sid), pages);
+            job.pending_xfers.insert(xfer);
+            self.by_xfer.insert(xfer, job.lh);
+            out = out.kernel(kouts);
+        }
+        if !any {
+            // Nothing to copy this round (e.g. a program that never wrote
+            // anything): freeze immediately.
+            return self.freeze_and_final(now, job, k, out);
+        }
+        self.jobs.insert(job.lh, job);
+        out
+    }
+
+    fn end_of_round(
+        &mut self,
+        now: SimTime,
+        mut job: Job,
+        k: &mut Kernel<ServiceMsg>,
+        out: MigOutputs,
+    ) -> MigOutputs {
+        let stop = match &job.cfg.strategy {
+            Strategy::PreCopy(p) => p.clone(),
+            Strategy::VmFlush { stop, .. } => stop.clone(),
+            Strategy::FreezeAndCopy => unreachable!("no rounds in freeze-and-copy"),
+        };
+        let dirty: u64 = k
+            .logical_host(job.lh)
+            .expect("resident")
+            .spaces()
+            .map(|s| s.dirty_bytes())
+            .sum();
+        if stop.should_freeze(job.iteration, dirty, job.last_round_bytes) {
+            self.freeze_and_final(now, job, k, out)
+        } else {
+            job.iteration += 1;
+            self.start_round(now, job, k, RoundKind::Dirty, out)
+        }
+    }
+
+    fn freeze_and_final(
+        &mut self,
+        now: SimTime,
+        mut job: Job,
+        k: &mut Kernel<ServiceMsg>,
+        mut out: MigOutputs,
+    ) -> MigOutputs {
+        k.freeze(job.lh);
+        job.freeze_started = Some(now);
+        job.milestones.mark(now, "frozen");
+        job.state = JobState::FrozenFinalCopy;
+        job.iter_started = now;
+        job.iter_bytes = 0;
+
+        let (dest_lh, dest_space) = match &job.cfg.strategy {
+            Strategy::VmFlush {
+                paging_lh,
+                paging_space,
+                ..
+            } => (*paging_lh, Some(*paging_space)),
+            _ => (job.temp, None),
+        };
+        let spaces: Vec<SpaceId> = k
+            .logical_host(job.lh)
+            .expect("resident")
+            .spaces()
+            .map(|s| s.id())
+            .collect();
+        let mut residual = 0;
+        for sid in spaces {
+            let space = k
+                .logical_host_mut(job.lh)
+                .and_then(|l| l.space_mut(sid))
+                .expect("space exists");
+            let pages = space.take_dirty();
+            if pages.is_empty() {
+                continue;
+            }
+            residual += pages.len() as u64 * PAGE_BYTES;
+            let (xfer, kouts) =
+                k.copy_pages(now, self.pid, dest_lh, dest_space.unwrap_or(sid), pages);
+            job.pending_xfers.insert(xfer);
+            self.by_xfer.insert(xfer, job.lh);
+            out = out.kernel(kouts);
+        }
+        job.residual_bytes = residual;
+        if job.pending_xfers.is_empty() {
+            // Nothing was dirty: go straight to the kernel-state copy.
+            return self.install_state(now, job, k, out);
+        }
+        self.jobs.insert(job.lh, job);
+        out
+    }
+
+    fn install_state(
+        &mut self,
+        now: SimTime,
+        mut job: Job,
+        k: &mut Kernel<ServiceMsg>,
+        mut out: MigOutputs,
+    ) -> MigOutputs {
+        job.milestones.mark(now, "final-copy-done");
+        job.state = JobState::InstallingState;
+        let record = k.extract_migration_record(job.lh);
+        job.kernel_state_cost = record.copy_cost();
+        // VM-flush: the target must fetch back everything we flushed —
+        // exactly the pages ever written (clean pages reload from the
+        // program image).
+        let fetch = match &job.cfg.strategy {
+            Strategy::VmFlush {
+                paging_lh,
+                paging_space,
+                ..
+            } => {
+                let l = k.logical_host(job.lh).expect("resident");
+                let pages: Vec<(SpaceId, Vec<u32>)> = l
+                    .spaces()
+                    .map(|s| (s.id(), s.ever_written_pages()))
+                    .collect();
+                let plan = vservices::FetchPlan {
+                    from_lh: *paging_lh,
+                    from_space: *paging_space,
+                    pages,
+                };
+                job.fetch_bytes = plan.total_bytes();
+                Some(plan)
+            }
+            _ => None,
+        };
+        let (pm, _) = job.target.expect("target chosen");
+        let install = ServiceMsg::InstallState {
+            temp: job.temp,
+            record: Box::new(record),
+            image: job.meta.image.clone(),
+            priority: job.meta.priority,
+            fetch,
+        };
+        let (s, kouts) = k.send_with_seq(now, self.pid, pm.into(), install, 0);
+        self.by_seq.insert(s, job.lh);
+        out = out.kernel(kouts);
+        self.jobs.insert(job.lh, job);
+        out
+    }
+
+    // --- Completion paths. ---
+
+    fn finish_success(
+        &mut self,
+        now: SimTime,
+        mut job: Job,
+        k: &mut Kernel<ServiceMsg>,
+        mut out: MigOutputs,
+    ) -> MigOutputs {
+        job.milestones.mark(now, "unfrozen-on-target");
+        let freeze_time = now.since(job.freeze_started.expect("was frozen"));
+        let (_, to_host) = job.target.expect("target chosen");
+
+        // Step 5: delete the old copy; references rebind via the binding
+        // cache (or a forwarding address in Demos/MP mode).
+        let kouts = if job.cfg.leave_forwarding_address {
+            k.delete_logical_host_with_forwarding(now, job.lh, to_host)
+        } else {
+            k.delete_logical_host(now, job.lh)
+        };
+        out = out.kernel(kouts);
+        job.milestones.mark(now, "old-copy-deleted");
+
+        if let Some(r) = job.reply_to {
+            out = out.kernel(k.reply(now, r.from, r.to, r.seq, ServiceMsg::Ok, 0));
+        }
+
+        // The unique flushed pages cross the network a second time when
+        // the new host demand-fetches them from the paging store (the
+        // fetch itself is real CopyFrom traffic, issued by the target's
+        // program manager).
+        let double_copied = job.fetch_bytes;
+        let report = MigrationReport {
+            lh: job.lh,
+            image: job.meta.image.clone(),
+            from_host: self.host,
+            to_host: Some(to_host),
+            strategy: job.cfg.strategy.name(),
+            iterations: job.iterations.clone(),
+            residual_bytes: job.residual_bytes,
+            freeze_time,
+            kernel_state_cost: job.kernel_state_cost,
+            total_time: now.since(job.started_at),
+            network_bytes: job.network_bytes + double_copied,
+            double_copied_bytes: double_copied,
+            success: true,
+            failure: None,
+        };
+        out.events.push(MigEvent::Evicted {
+            lh: job.lh,
+            to_host,
+        });
+        out.events.push(MigEvent::Done(Box::new(report)));
+        out
+    }
+
+    fn no_host(
+        &mut self,
+        now: SimTime,
+        job: Job,
+        k: &mut Kernel<ServiceMsg>,
+        mut out: MigOutputs,
+    ) -> MigOutputs {
+        if job.destroy_if_stuck {
+            // `migrateprog -n`: destroy rather than keep occupying the
+            // workstation.
+            out = out.kernel(k.delete_logical_host(now, job.lh));
+            if let Some(r) = job.reply_to {
+                out = out.kernel(k.reply(now, r.from, r.to, r.seq, ServiceMsg::Ok, 0));
+            }
+            out.events.push(MigEvent::Destroyed { lh: job.lh });
+            let report = self.report_failure(&job, now, MigFailure::Destroyed);
+            out.events.push(MigEvent::Done(Box::new(report)));
+            out
+        } else {
+            self.fail(now, job, k, out, MigFailure::NoHostFound)
+        }
+    }
+
+    fn retry_or_fail(
+        &mut self,
+        now: SimTime,
+        mut job: Job,
+        k: &mut Kernel<ServiceMsg>,
+        out: MigOutputs,
+        failure: MigFailure,
+    ) -> MigOutputs {
+        if job.attempts <= job.cfg.retry_limit {
+            let o = self.select_host(now, &mut job, k);
+            self.jobs.insert(job.lh, job);
+            let mut out = out;
+            out.kernel.extend(o.kernel);
+            out
+        } else {
+            self.fail(now, job, k, out, failure)
+        }
+    }
+
+    fn abort_frozen(
+        &mut self,
+        now: SimTime,
+        job: Job,
+        k: &mut Kernel<ServiceMsg>,
+        mut out: MigOutputs,
+        failure: MigFailure,
+    ) -> MigOutputs {
+        // "The logical host is unfrozen to avoid timeouts" (§3.1.3).
+        out = out.kernel(k.unfreeze_in_place(now, job.lh));
+        out.events.push(MigEvent::UnfrozeInPlace { lh: job.lh });
+        self.fail(now, job, k, out, failure)
+    }
+
+    fn fail(
+        &mut self,
+        now: SimTime,
+        job: Job,
+        k: &mut Kernel<ServiceMsg>,
+        mut out: MigOutputs,
+        failure: MigFailure,
+    ) -> MigOutputs {
+        if let Some(r) = job.reply_to {
+            out = out.kernel(k.reply(
+                now,
+                r.from,
+                r.to,
+                r.seq,
+                ServiceMsg::Err(SvcError::UpstreamFailed),
+                0,
+            ));
+        }
+        let report = self.report_failure(&job, now, failure);
+        out.events.push(MigEvent::Done(Box::new(report)));
+        out
+    }
+
+    fn report_failure(&self, job: &Job, now: SimTime, failure: MigFailure) -> MigrationReport {
+        MigrationReport {
+            lh: job.lh,
+            image: job.meta.image.clone(),
+            from_host: self.host,
+            to_host: job.target.map(|(_, h)| h),
+            strategy: job.cfg.strategy.name(),
+            iterations: job.iterations.clone(),
+            residual_bytes: job.residual_bytes,
+            freeze_time: job
+                .freeze_started
+                .map(|f| now.since(f))
+                .unwrap_or(SimDuration::ZERO),
+            kernel_state_cost: job.kernel_state_cost,
+            total_time: now.since(job.started_at),
+            network_bytes: job.network_bytes,
+            double_copied_bytes: 0,
+            success: false,
+            failure: Some(failure),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RoundKind {
+    /// Copy everything (first pre-copy round).
+    FullSpaces,
+    /// Copy every page written since program start (first VM-flush round).
+    EverWritten,
+    /// Copy pages dirtied during the previous round.
+    Dirty,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_policy_threshold() {
+        let p = StopPolicy {
+            max_iterations: 10,
+            threshold_bytes: 32 * 1024,
+            min_shrink: 0.9,
+        };
+        assert!(p.should_freeze(1, 16 * 1024, 1_000_000), "under threshold");
+        assert!(!p.should_freeze(1, 100 * 1024, 1_000_000), "keep copying");
+    }
+
+    #[test]
+    fn stop_policy_max_iterations() {
+        let p = StopPolicy::default();
+        assert!(p.should_freeze(4, 10_000_000, 1));
+    }
+
+    #[test]
+    fn stop_policy_detects_diminishing_returns() {
+        let p = StopPolicy {
+            max_iterations: 10,
+            threshold_bytes: 0,
+            min_shrink: 0.9,
+        };
+        // Round 2 left nearly as much dirty as round 2 copied: stop.
+        assert!(p.should_freeze(2, 95_000, 100_000));
+        // Still shrinking fast: continue.
+        assert!(!p.should_freeze(2, 40_000, 100_000));
+        // Round 1 never stops on the shrink rule (nothing to compare).
+        assert!(!p.should_freeze(1, 95_000, 2_000_000));
+    }
+
+    #[test]
+    fn fixed_policy_runs_exactly_n_rounds() {
+        let p = StopPolicy::fixed(2);
+        assert!(!p.should_freeze(1, 1_000_000, 1_000_000));
+        assert!(p.should_freeze(2, 1_000_000, 1_000_000));
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(Strategy::PreCopy(StopPolicy::default()).name(), "pre-copy");
+        assert_eq!(Strategy::FreezeAndCopy.name(), "freeze-and-copy");
+        assert_eq!(
+            Strategy::VmFlush {
+                paging_lh: LogicalHostId(1),
+                paging_space: SpaceId(0),
+                stop: StopPolicy::default()
+            }
+            .name(),
+            "vm-flush"
+        );
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = MigrationConfig::default();
+        assert_eq!(c.retry_limit, 0, "paper gives up after the first attempt");
+        assert!(!c.leave_forwarding_address, "V leaves no residual state");
+        assert!(matches!(c.strategy, Strategy::PreCopy(_)));
+    }
+}

@@ -1,0 +1,156 @@
+//! The logical-host binding cache.
+//!
+//! §3.1.4: "a process identifier is bound to a logical host, which is in
+//! turn bound to a physical host via a cache of mappings in each kernel."
+//! When a reference goes unanswered, the entry is invalidated and the
+//! reference is broadcast; the response (or any incoming packet from the
+//! logical host) re-derives a correct entry. This is the mechanism that
+//! makes migration leave **no residual state** on the old host — unlike
+//! Demos/MP forwarding addresses (§5).
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+use vnet::HostAddr;
+
+use crate::ids::LogicalHostId;
+
+/// Cache statistics, reported by experiment E6/A2.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct BindingStats {
+    /// Successful lookups.
+    pub hits: u64,
+    /// Lookups with no entry (forcing a broadcast send).
+    pub misses: u64,
+    /// Explicit invalidations after repeated non-response.
+    pub invalidations: u64,
+    /// Entries learned or refreshed from incoming packets.
+    pub refreshes: u64,
+    /// Entries replaced with a *different* host (observed rebinds).
+    pub rebinds: u64,
+}
+
+/// Per-kernel cache of logical-host → physical-host mappings.
+///
+/// # Examples
+///
+/// ```
+/// use vkernel::{BindingCache, LogicalHostId};
+/// use vnet::HostAddr;
+///
+/// let mut cache = BindingCache::new();
+/// cache.learn(LogicalHostId(3), HostAddr(1));
+/// assert_eq!(cache.lookup(LogicalHostId(3)), Some(HostAddr(1)));
+/// cache.invalidate(LogicalHostId(3));
+/// assert_eq!(cache.lookup(LogicalHostId(3)), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct BindingCache {
+    map: HashMap<LogicalHostId, HostAddr>,
+    stats: BindingStats,
+}
+
+impl BindingCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up the physical host for `lh`, counting hit/miss.
+    pub fn lookup(&mut self, lh: LogicalHostId) -> Option<HostAddr> {
+        match self.map.get(&lh) {
+            Some(&h) => {
+                self.stats.hits += 1;
+                Some(h)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Non-counting peek (for assertions and reporting).
+    pub fn peek(&self, lh: LogicalHostId) -> Option<HostAddr> {
+        self.map.get(&lh).copied()
+    }
+
+    /// Learns or refreshes a mapping from an incoming packet or broadcast.
+    pub fn learn(&mut self, lh: LogicalHostId, host: HostAddr) {
+        self.stats.refreshes += 1;
+        if let Some(prev) = self.map.insert(lh, host) {
+            if prev != host {
+                self.stats.rebinds += 1;
+            }
+        }
+    }
+
+    /// Invalidates the entry after repeated non-response (§3.1.4).
+    pub fn invalidate(&mut self, lh: LogicalHostId) {
+        if self.map.remove(&lh).is_some() {
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &BindingStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let mut c = BindingCache::new();
+        assert_eq!(c.lookup(LogicalHostId(1)), None);
+        c.learn(LogicalHostId(1), HostAddr(2));
+        assert_eq!(c.lookup(LogicalHostId(1)), Some(HostAddr(2)));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn rebind_detected_on_host_change() {
+        let mut c = BindingCache::new();
+        c.learn(LogicalHostId(1), HostAddr(2));
+        c.learn(LogicalHostId(1), HostAddr(2)); // Refresh, same host.
+        assert_eq!(c.stats().rebinds, 0);
+        c.learn(LogicalHostId(1), HostAddr(7)); // Migration observed.
+        assert_eq!(c.stats().rebinds, 1);
+        assert_eq!(c.peek(LogicalHostId(1)), Some(HostAddr(7)));
+        assert_eq!(c.stats().refreshes, 3);
+    }
+
+    #[test]
+    fn invalidate_only_counts_real_entries() {
+        let mut c = BindingCache::new();
+        c.invalidate(LogicalHostId(9));
+        assert_eq!(c.stats().invalidations, 0);
+        c.learn(LogicalHostId(9), HostAddr(0));
+        c.invalidate(LogicalHostId(9));
+        assert_eq!(c.stats().invalidations, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut c = BindingCache::new();
+        c.learn(LogicalHostId(1), HostAddr(2));
+        let _ = c.peek(LogicalHostId(1));
+        let _ = c.peek(LogicalHostId(2));
+        assert_eq!(c.stats().hits + c.stats().misses, 0);
+    }
+}

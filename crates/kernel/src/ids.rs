@@ -1,0 +1,210 @@
+//! Process, logical-host and group identifiers.
+//!
+//! §2.1 of the paper: "V address spaces and their associated processes are
+//! grouped into logical hosts. A V process identifier is structured as a
+//! (logical-host-id, local-index) pair." Process-group identifiers are
+//! "identical in format to a process-id". Well-known local indices let any
+//! program reach the kernel server and program manager of whatever
+//! workstation it currently runs on, location-independently — the
+//! mechanism that keeps the execution environment network-transparent.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A logical host: the unit of migration.
+///
+/// Logical-host ids are globally unique and never reused. Migration moves a
+/// logical host between physical hosts; its id (and therefore every process
+/// id inside it) is preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LogicalHostId(pub u32);
+
+impl fmt::Display for LogicalHostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lh{}", self.0)
+    }
+}
+
+/// Well-known local index of the kernel server within every logical host's
+/// local group space (§2.1).
+pub const KERNEL_SERVER_INDEX: u32 = 1;
+
+/// Well-known local index of the program manager.
+pub const PROGRAM_MANAGER_INDEX: u32 = 2;
+
+/// First index handed out to ordinary processes.
+pub const FIRST_USER_INDEX: u32 = 16;
+
+/// A V process identifier: `(logical-host-id, local-index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId {
+    /// The logical host this process belongs to.
+    pub lh: LogicalHostId,
+    /// Index within the logical host.
+    pub index: u32,
+}
+
+impl ProcessId {
+    /// Builds a process id.
+    pub const fn new(lh: LogicalHostId, index: u32) -> Self {
+        ProcessId { lh, index }
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.lh, self.index)
+    }
+}
+
+/// A process-group identifier — same format as a process id (§2.1).
+///
+/// Two kinds exist:
+///
+/// * **Local groups**: `(lh, well-known-index)` naming the kernel server or
+///   program manager of the workstation where `lh` currently resides.
+///   These contain a single member and are resolved by the receiving
+///   kernel.
+/// * **Global groups**: well-known groups with network-wide membership,
+///   such as the program-manager group used for host selection. These map
+///   to Ethernet multicast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GroupId(pub ProcessId);
+
+/// Reserved logical-host id 0 carries global well-known groups.
+pub const GLOBAL_GROUP_LH: LogicalHostId = LogicalHostId(0);
+
+impl GroupId {
+    /// The well-known program-manager group every program manager joins
+    /// (§2: "Every program manager belongs to the well-known program
+    /// manager group").
+    pub const PROGRAM_MANAGERS: GroupId =
+        GroupId(ProcessId::new(GLOBAL_GROUP_LH, PROGRAM_MANAGER_INDEX));
+
+    /// The local group naming the kernel server of whatever workstation
+    /// hosts `lh`.
+    pub const fn kernel_server_of(lh: LogicalHostId) -> GroupId {
+        GroupId(ProcessId::new(lh, KERNEL_SERVER_INDEX))
+    }
+
+    /// The local group naming the program manager of whatever workstation
+    /// hosts `lh`.
+    pub const fn program_manager_of(lh: LogicalHostId) -> GroupId {
+        GroupId(ProcessId::new(lh, PROGRAM_MANAGER_INDEX))
+    }
+
+    /// True if this is a local (per-logical-host, single-member) group.
+    pub fn is_local(self) -> bool {
+        self.0.lh != GLOBAL_GROUP_LH
+            && matches!(self.0.index, KERNEL_SERVER_INDEX | PROGRAM_MANAGER_INDEX)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "grp:{}", self.0)
+    }
+}
+
+/// Destination of a Send: a specific process or a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Destination {
+    /// A single process.
+    Process(ProcessId),
+    /// A process group.
+    Group(GroupId),
+}
+
+impl Destination {
+    /// The logical host this destination routes through, if routing is by
+    /// logical host (processes and local groups).
+    pub fn routing_lh(self) -> Option<LogicalHostId> {
+        match self {
+            Destination::Process(p) => Some(p.lh),
+            Destination::Group(g) if g.is_local() => Some(g.0.lh),
+            Destination::Group(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Destination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Destination::Process(p) => write!(f, "{p}"),
+            Destination::Group(g) => write!(f, "{g}"),
+        }
+    }
+}
+
+impl From<ProcessId> for Destination {
+    fn from(p: ProcessId) -> Self {
+        Destination::Process(p)
+    }
+}
+
+impl From<GroupId> for Destination {
+    fn from(g: GroupId) -> Self {
+        Destination::Group(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_display() {
+        let p = ProcessId::new(LogicalHostId(7), 3);
+        assert_eq!(p.to_string(), "lh7.3");
+    }
+
+    #[test]
+    fn local_groups_resolve_per_logical_host() {
+        let lh = LogicalHostId(9);
+        let ks = GroupId::kernel_server_of(lh);
+        assert!(ks.is_local());
+        assert_eq!(ks.0.index, KERNEL_SERVER_INDEX);
+        let pm = GroupId::program_manager_of(lh);
+        assert!(pm.is_local());
+        assert_eq!(pm.0.index, PROGRAM_MANAGER_INDEX);
+        assert_ne!(ks, pm);
+    }
+
+    #[test]
+    fn program_manager_group_is_global() {
+        assert!(!GroupId::PROGRAM_MANAGERS.is_local());
+        assert_eq!(
+            Destination::Group(GroupId::PROGRAM_MANAGERS).routing_lh(),
+            None
+        );
+    }
+
+    #[test]
+    fn routing_lh_for_processes_and_local_groups() {
+        let lh = LogicalHostId(4);
+        let pid = ProcessId::new(lh, 20);
+        assert_eq!(Destination::Process(pid).routing_lh(), Some(lh));
+        assert_eq!(
+            Destination::Group(GroupId::kernel_server_of(lh)).routing_lh(),
+            Some(lh)
+        );
+    }
+
+    #[test]
+    fn group_id_same_format_as_pid() {
+        // The paper's representation pun: a group id is a pid.
+        let g = GroupId::kernel_server_of(LogicalHostId(3));
+        let as_pid: ProcessId = g.0;
+        assert_eq!(as_pid.lh, LogicalHostId(3));
+    }
+
+    #[test]
+    fn conversions_into_destination() {
+        let pid = ProcessId::new(LogicalHostId(1), 16);
+        let d: Destination = pid.into();
+        assert_eq!(d, Destination::Process(pid));
+        let d: Destination = GroupId::PROGRAM_MANAGERS.into();
+        assert!(matches!(d, Destination::Group(_)));
+    }
+}

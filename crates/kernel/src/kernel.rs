@@ -1,0 +1,1854 @@
+//! The per-workstation V kernel.
+//!
+//! "A functionally identical copy of the kernel resides on each host and
+//! provides address spaces, processes that run within these address
+//! spaces, and network-transparent interprocess communication" (§2.1).
+//!
+//! The kernel here is a sans-IO state machine: IPC primitives and incoming
+//! frames/timers produce [`KernelOutput`] actions that the cluster runtime
+//! (or a test rig) executes. It implements:
+//!
+//! * synchronous Send/Reply with retransmission, duplicate suppression and
+//!   reply retention;
+//! * process groups — global groups over Ethernet multicast (the
+//!   program-manager group) and per-logical-host local groups naming the
+//!   kernel server and program manager location-independently;
+//! * the logical-host binding cache with invalidate-and-broadcast recovery
+//!   (§3.1.4) and learning from incoming packets;
+//! * freeze/unfreeze with deferred requests, reply-pending packets and
+//!   reply discarding (§3.1.3);
+//! * bulk CopyTo transfers paced at the calibrated 3 s/MB (§3.1);
+//! * extraction and installation of a logical host's kernel state for
+//!   migration, including in-flight IPC transactions.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use serde::Serialize;
+use vmem::SpaceId;
+use vnet::{Frame, HostAddr, McastGroup};
+use vsim::calib::{self, PAGE_BYTES};
+use vsim::{SimDuration, SimTime};
+
+use crate::binding::BindingCache;
+use crate::ids::{
+    Destination, GroupId, LogicalHostId, ProcessId, KERNEL_SERVER_INDEX, PROGRAM_MANAGER_INDEX,
+};
+use crate::logical_host::{DeferredRequest, LhDescriptor, LogicalHost};
+use crate::packet::{Packet, SendSeq, XferId};
+use crate::process::ProcessState;
+use crate::transfer::{split_units, OutXfer, XFER_UNIT_BYTES};
+
+/// Why a Send or CopyTo failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SendError {
+    /// No response after the maximum number of retransmissions.
+    Timeout,
+    /// The target process or space does not exist (detected locally).
+    Refused,
+    /// No binding for the destination logical host (CopyTo requires one).
+    NoBinding,
+}
+
+/// A request delivered to a local process.
+#[derive(Debug, Clone)]
+pub struct MsgIn<X> {
+    /// Receiving process.
+    pub to: ProcessId,
+    /// Sending (blocked) process.
+    pub from: ProcessId,
+    /// Transaction to cite in the reply.
+    pub seq: SendSeq,
+    /// Message body.
+    pub body: X,
+    /// Appended data bytes.
+    pub data_bytes: u64,
+}
+
+/// The reply completing a Send.
+#[derive(Debug, Clone)]
+pub struct ReplyIn<X> {
+    /// Replying process.
+    pub from: ProcessId,
+    /// Reply body.
+    pub body: X,
+    /// Appended data bytes.
+    pub data_bytes: u64,
+}
+
+/// Timer keys a kernel may request. Stale timers are ignored on firing, so
+/// no cancellation is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimerKey {
+    /// Retransmission tick for an outstanding Send.
+    Retransmit(ProcessId, SendSeq),
+    /// Retained-reply expiry.
+    ReplyRetention(ProcessId, SendSeq),
+    /// Bulk-transfer pacing for (transfer, unit).
+    XferPace(XferId, u32),
+    /// Bulk-transfer ack timeout for (transfer, unit).
+    XferAckTimeout(XferId, u32),
+    /// Completion of a workstation-local memory copy.
+    LocalCopyDone(XferId),
+    /// CopyFrom watchdog: no data arrived for the pull yet.
+    PullStart(XferId),
+}
+
+/// Actions the kernel asks its runtime to perform.
+#[derive(Debug)]
+pub enum KernelOutput<X> {
+    /// Put a frame on the wire.
+    Transmit(Frame<Packet<X>>),
+    /// Request a timer callback.
+    SetTimer {
+        /// Key passed back to [`Kernel::handle_timer`].
+        key: TimerKey,
+        /// Delay from now.
+        after: SimDuration,
+    },
+    /// A request message arrived for a local process.
+    Deliver(MsgIn<X>),
+    /// A Send issued by a local process completed (or failed).
+    SendDone {
+        /// The unblocked sender.
+        pid: ProcessId,
+        /// Its transaction.
+        seq: SendSeq,
+        /// The reply, or the failure.
+        result: Result<ReplyIn<X>, SendError>,
+    },
+    /// A CopyTo bulk transfer completed (or failed).
+    CopyDone {
+        /// The transfer.
+        xfer: XferId,
+        /// Process that initiated it.
+        initiator: ProcessId,
+        /// Bytes copied, or the failure.
+        result: Result<u64, SendError>,
+    },
+    /// Join an Ethernet multicast group (first local member of a global
+    /// process group).
+    JoinMcast(McastGroup),
+    /// Leave an Ethernet multicast group (last member left).
+    LeaveMcast(McastGroup),
+}
+
+/// Tunables; defaults come from the paper-calibrated constants.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Interval between retransmissions.
+    pub retransmit_interval: SimDuration,
+    /// Retransmissions before invalidating the binding cache entry and
+    /// falling back to broadcast.
+    pub retransmits_before_rebind: u32,
+    /// Retransmissions before giving up (absent reply-pending).
+    pub max_retransmits: u32,
+    /// Hard cap even when reply-pending packets keep arriving; prevents an
+    /// orphaned transaction from retransmitting forever.
+    pub hard_retransmit_cap: u32,
+    /// How long a replier retains a reply for retransmission.
+    pub reply_retention: SimDuration,
+    /// Broadcast a NewBinding packet when a migrated logical host is
+    /// unfrozen (the §3.1.4 optimization). Disable for ablation A2.
+    pub broadcast_new_binding: bool,
+    /// Bulk-transfer unit size.
+    pub xfer_unit_bytes: u64,
+    /// Workstation-local memory copy cost per KB (68010 block move).
+    pub local_memcpy_per_kb: SimDuration,
+    /// Demos/MP-style forwarding addresses (ablation A2): the old host
+    /// keeps a per-logical-host forwarding entry after migration and
+    /// relays misdirected requests, sending the requester an address
+    /// update. V's own design needs no such residual state (§5).
+    pub use_forwarding_addresses: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            retransmit_interval: calib::RETRANSMIT_INTERVAL,
+            retransmits_before_rebind: calib::RETRANSMITS_BEFORE_REBIND,
+            max_retransmits: calib::MAX_RETRANSMITS,
+            hard_retransmit_cap: 200,
+            reply_retention: calib::REPLY_RETENTION,
+            broadcast_new_binding: true,
+            xfer_unit_bytes: XFER_UNIT_BYTES,
+            local_memcpy_per_kb: SimDuration::from_micros(500),
+            use_forwarding_addresses: false,
+        }
+    }
+}
+
+/// Kernel counters; experiment E6 reports the overhead-bearing ones.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct KernelStats {
+    /// Send operations issued by local processes.
+    pub sends: u64,
+    /// Sends resolved to a process on this workstation.
+    pub local_sends: u64,
+    /// Sends that went remote.
+    pub remote_sends: u64,
+    /// Sends addressed to global groups.
+    pub group_sends: u64,
+    /// Request messages delivered to local processes.
+    pub deliveries: u64,
+    /// Reply operations issued by local processes.
+    pub replies: u64,
+    /// Request retransmissions sent.
+    pub retransmissions: u64,
+    /// Reply-pending packets sent.
+    pub reply_pendings_sent: u64,
+    /// Reply-pending packets received.
+    pub reply_pendings_received: u64,
+    /// Replies discarded because the addressee's logical host was frozen.
+    pub replies_discarded_frozen: u64,
+    /// Requests deferred because the target logical host was frozen.
+    pub deferred_requests: u64,
+    /// Requests for processes that do not exist here (dropped).
+    pub dead_letters: u64,
+    /// Unicast packets for logical hosts not resident here (stale
+    /// bindings; dropped).
+    pub not_here: u64,
+    /// Replies that matched no outstanding Send (duplicates, or extra
+    /// group responses beyond the first).
+    pub late_replies: u64,
+    /// Freeze-state checks performed (13 µs each, §4.1).
+    pub freeze_checks: u64,
+    /// Local-group (kernel server / program manager) id resolutions
+    /// (100 µs each, §4.1).
+    pub group_lookups: u64,
+    /// Requests sent by broadcast for lack of a binding.
+    pub broadcast_requests: u64,
+    /// NewBinding broadcasts sent on unfreeze.
+    pub new_binding_broadcasts: u64,
+    /// Bulk units transmitted (first attempts).
+    pub bulk_units_sent: u64,
+    /// Bulk unit retransmissions.
+    pub bulk_units_retransmitted: u64,
+    /// Bulk payload bytes transmitted (including retransmissions).
+    pub bulk_bytes_sent: u64,
+    /// Bulk units received and applied.
+    pub bulk_units_received: u64,
+    /// Sends that failed with an error.
+    pub send_failures: u64,
+    /// Requests relayed via a forwarding address (Demos/MP mode only).
+    pub forwarded_requests: u64,
+    /// CopyFrom pulls served for other kernels.
+    pub pulls_served: u64,
+}
+
+impl KernelStats {
+    /// Total modeled kernel-operation overhead from the two §4.1
+    /// mechanisms: 13 µs per freeze check + 100 µs per local-group lookup.
+    pub fn overhead(&self) -> SimDuration {
+        calib::FREEZE_CHECK_OVERHEAD * self.freeze_checks
+            + calib::GROUP_ID_LOOKUP_OVERHEAD * self.group_lookups
+    }
+}
+
+#[derive(Debug)]
+struct Outstanding<X> {
+    to: Destination,
+    body: X,
+    data_bytes: u64,
+    /// Retransmissions since the last successful (re)bind.
+    since_rebind: u32,
+    total_retransmits: u32,
+    rebound: bool,
+    pending_seen: bool,
+    is_group: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InProgress {
+    local_requester: bool,
+    target: ProcessId,
+}
+
+#[derive(Debug)]
+struct PullState {
+    initiator: ProcessId,
+    src_host: HostAddr,
+    from_lh: LogicalHostId,
+    from_space: SpaceId,
+    to_lh: LogicalHostId,
+    to_space: SpaceId,
+    pages: Vec<u32>,
+    received_bytes: u64,
+    highest_unit: Option<u32>,
+    retries: u32,
+}
+
+#[derive(Debug)]
+struct Retained<X> {
+    from: ProcessId,
+    body: X,
+    data_bytes: u64,
+    deadline: SimTime,
+}
+
+/// Serialized IPC state of an outstanding Send, carried in a migration
+/// record.
+#[derive(Debug, Clone)]
+pub struct OutstandingDesc<X> {
+    /// Blocked sender.
+    pub from: ProcessId,
+    /// Transaction.
+    pub seq: SendSeq,
+    /// Destination.
+    pub to: Destination,
+    /// Message body (retransmissions rebuild the packet from it).
+    pub body: X,
+    /// Appended data bytes.
+    pub data_bytes: u64,
+    /// Whether a reply-pending had been seen.
+    pub pending_seen: bool,
+    /// Whether this was a group send.
+    pub is_group: bool,
+}
+
+/// Everything the kernel knows about a logical host, for migration: the
+/// §3.1.3 "state in the kernel server and program manager".
+#[derive(Debug, Clone)]
+pub struct MigrationRecord<X> {
+    /// Process table, spaces, seq counter.
+    pub desc: LhDescriptor,
+    /// Outstanding Sends issued by the logical host's processes.
+    pub outstanding: Vec<OutstandingDesc<X>>,
+    /// Requests being served by its processes: (requester, seq, target).
+    pub in_progress: Vec<(ProcessId, SendSeq, ProcessId)>,
+    /// Replies its processes issued and still retain: (requester, seq,
+    /// replier, body, data bytes).
+    pub retained: Vec<(ProcessId, SendSeq, ProcessId, X, u64)>,
+}
+
+impl<X> MigrationRecord<X> {
+    /// The paper's cost for copying this state: 14 ms + 9 ms per process
+    /// and address space.
+    pub fn copy_cost(&self) -> SimDuration {
+        calib::KERNEL_STATE_COPY_BASE
+            + calib::KERNEL_STATE_COPY_PER_OBJECT * self.desc.object_count()
+    }
+}
+
+/// The kernel of one workstation.
+pub struct Kernel<X> {
+    host: HostAddr,
+    cfg: KernelConfig,
+    lhs: BTreeMap<LogicalHostId, LogicalHost<X>>,
+    cache: BindingCache,
+    well_known: HashMap<u32, ProcessId>,
+    group_routes: HashMap<GroupId, McastGroup>,
+    group_members: HashMap<GroupId, BTreeSet<ProcessId>>,
+    outstanding: HashMap<(ProcessId, SendSeq), Outstanding<X>>,
+    in_progress: HashMap<(ProcessId, SendSeq), Vec<InProgress>>,
+    reply_cache: HashMap<(ProcessId, SendSeq), Retained<X>>,
+    xfers: HashMap<XferId, OutXfer>,
+    local_xfers: HashMap<XferId, (ProcessId, u64)>,
+    pulls: HashMap<XferId, PullState>,
+    forwarding: HashMap<LogicalHostId, HostAddr>,
+    next_xfer: u64,
+    stats: KernelStats,
+}
+
+impl<X: Clone + std::fmt::Debug> Kernel<X> {
+    /// Boots a kernel on physical host `host`.
+    pub fn new(host: HostAddr, cfg: KernelConfig) -> Self {
+        Kernel {
+            host,
+            cfg,
+            lhs: BTreeMap::new(),
+            cache: BindingCache::new(),
+            well_known: HashMap::new(),
+            group_routes: HashMap::new(),
+            group_members: HashMap::new(),
+            outstanding: HashMap::new(),
+            in_progress: HashMap::new(),
+            reply_cache: HashMap::new(),
+            xfers: HashMap::new(),
+            local_xfers: HashMap::new(),
+            pulls: HashMap::new(),
+            forwarding: HashMap::new(),
+            next_xfer: 0,
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// This kernel's physical host address.
+    pub fn host(&self) -> HostAddr {
+        self.host
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &KernelConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// The binding cache (for inspection).
+    pub fn binding_cache(&self) -> &BindingCache {
+        &self.cache
+    }
+
+    /// Learns a logical-host binding out of band (e.g. from a service
+    /// reply that names the chosen migration target).
+    pub fn learn_binding(&mut self, lh: LogicalHostId, host: HostAddr) {
+        self.cache.learn(lh, host);
+    }
+
+    /// True if `lh` is resident on this kernel.
+    pub fn is_resident(&self, lh: LogicalHostId) -> bool {
+        self.lhs.contains_key(&lh)
+    }
+
+    /// A resident logical host.
+    pub fn logical_host(&self, lh: LogicalHostId) -> Option<&LogicalHost<X>> {
+        self.lhs.get(&lh)
+    }
+
+    /// Mutable access to a resident logical host.
+    pub fn logical_host_mut(&mut self, lh: LogicalHostId) -> Option<&mut LogicalHost<X>> {
+        self.lhs.get_mut(&lh)
+    }
+
+    /// Ids of all resident logical hosts.
+    pub fn resident_lhs(&self) -> Vec<LogicalHostId> {
+        self.lhs.keys().copied().collect()
+    }
+
+    /// Creates an empty logical host here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already resident.
+    pub fn create_logical_host(&mut self, id: LogicalHostId) -> &mut LogicalHost<X> {
+        assert!(
+            !self.lhs.contains_key(&id),
+            "logical host {id} already resident"
+        );
+        self.lhs.entry(id).or_insert_with(|| LogicalHost::new(id))
+    }
+
+    /// Registers the workstation's kernel-server or program-manager
+    /// process for well-known local-group resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not a well-known index.
+    pub fn register_well_known(&mut self, index: u32, pid: ProcessId) {
+        assert!(
+            matches!(index, KERNEL_SERVER_INDEX | PROGRAM_MANAGER_INDEX),
+            "not a well-known index: {index}"
+        );
+        self.well_known.insert(index, pid);
+    }
+
+    /// Declares the Ethernet multicast route for a global group.
+    pub fn set_group_route(&mut self, gid: GroupId, mcast: McastGroup) {
+        self.group_routes.insert(gid, mcast);
+    }
+
+    /// Adds a local process to a global group.
+    pub fn join_group(&mut self, gid: GroupId, pid: ProcessId) -> Vec<KernelOutput<X>> {
+        let members = self.group_members.entry(gid).or_default();
+        let first = members.is_empty();
+        members.insert(pid);
+        match (first, self.group_routes.get(&gid)) {
+            (true, Some(&m)) => vec![KernelOutput::JoinMcast(m)],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Removes a local process from a global group.
+    pub fn leave_group(&mut self, gid: GroupId, pid: ProcessId) -> Vec<KernelOutput<X>> {
+        if let Some(members) = self.group_members.get_mut(&gid) {
+            members.remove(&pid);
+            if members.is_empty() {
+                if let Some(&m) = self.group_routes.get(&gid) {
+                    return vec![KernelOutput::LeaveMcast(m)];
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    // --- IPC primitives. ---
+
+    /// Send: blocks `from` awaiting a reply and routes the message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not a live resident process.
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        from: ProcessId,
+        to: Destination,
+        body: X,
+        data_bytes: u64,
+    ) -> Vec<KernelOutput<X>> {
+        self.send_with_seq(now, from, to, body, data_bytes).1
+    }
+
+    /// Like [`Kernel::send`], also returning the allocated transaction
+    /// number so callers can correlate the eventual completion.
+    pub fn send_with_seq(
+        &mut self,
+        now: SimTime,
+        from: ProcessId,
+        to: Destination,
+        body: X,
+        data_bytes: u64,
+    ) -> (SendSeq, Vec<KernelOutput<X>>) {
+        self.stats.sends += 1;
+        self.stats.freeze_checks += 1;
+        let seq = {
+            let lh = self
+                .lhs
+                .get_mut(&from.lh)
+                .expect("send: sender's logical host not resident");
+            let seq = lh.alloc_seq();
+            let p = lh
+                .process_mut(from.index)
+                .filter(|p| p.is_alive())
+                .expect("send: no such sender process");
+            p.state = ProcessState::AwaitingReply { seq };
+            seq
+        };
+        let mut out = Vec::new();
+        self.route_send(now, seq, from, to, body, data_bytes, false, &mut out);
+        (seq, out)
+    }
+
+    /// Reply: completes a previously delivered request.
+    ///
+    /// If the request is unknown (e.g. the requester gave up) this is a
+    /// no-op.
+    pub fn reply(
+        &mut self,
+        now: SimTime,
+        from: ProcessId,
+        requester: ProcessId,
+        seq: SendSeq,
+        body: X,
+        data_bytes: u64,
+    ) -> Vec<KernelOutput<X>> {
+        self.stats.replies += 1;
+        self.stats.freeze_checks += 1;
+        let mut out = Vec::new();
+        let key = (requester, seq);
+        let Some(entries) = self.in_progress.get_mut(&key) else {
+            self.stats.late_replies += 1;
+            return out;
+        };
+        let Some(pos) = entries.iter().position(|e| e.target == from) else {
+            self.stats.late_replies += 1;
+            return out;
+        };
+        let entry = entries.remove(pos);
+        if entries.is_empty() {
+            self.in_progress.remove(&key);
+        }
+
+        // Retain the reply for retransmitted requests (§3.1.3).
+        self.reply_cache.insert(
+            key,
+            Retained {
+                from,
+                body: body.clone(),
+                data_bytes,
+                deadline: now + self.cfg.reply_retention,
+            },
+        );
+        out.push(KernelOutput::SetTimer {
+            key: TimerKey::ReplyRetention(requester, seq),
+            after: self.cfg.reply_retention,
+        });
+
+        if entry.local_requester && self.lhs.contains_key(&requester.lh) {
+            // A group send may also have gone out by multicast; the first
+            // reply (this one) wins and later remote replies are late.
+            self.outstanding.remove(&(requester, seq));
+            self.complete_local_send(requester, seq, from, body, data_bytes, &mut out);
+        } else {
+            let pkt = Packet::Reply {
+                seq,
+                from,
+                to: requester,
+                body,
+                data_bytes,
+            };
+            self.transmit_routed(requester.lh, pkt, &mut out);
+        }
+        out
+    }
+
+    /// CopyTo: copies `pages` worth of address-space content into
+    /// `(to_lh, to_space)`, locally or across the network.
+    ///
+    /// For a remote destination the binding must already be cached (the
+    /// migration protocol learns it from the target-selection reply).
+    pub fn copy_pages(
+        &mut self,
+        _now: SimTime,
+        initiator: ProcessId,
+        to_lh: LogicalHostId,
+        to_space: SpaceId,
+        pages: Vec<u32>,
+    ) -> (XferId, Vec<KernelOutput<X>>) {
+        self.stats.freeze_checks += 1;
+        let xfer = XferId(self.next_xfer);
+        self.next_xfer += 1;
+        let mut out = Vec::new();
+        let bytes = pages.len() as u64 * PAGE_BYTES;
+
+        if pages.is_empty() {
+            out.push(KernelOutput::CopyDone {
+                xfer,
+                initiator,
+                result: Ok(0),
+            });
+            return (xfer, out);
+        }
+
+        if self.lhs.contains_key(&to_lh) {
+            // Workstation-local copy: charge the 68010 block-move cost.
+            let kb = bytes.div_ceil(1024);
+            self.local_xfers.insert(xfer, (initiator, bytes));
+            out.push(KernelOutput::SetTimer {
+                key: TimerKey::LocalCopyDone(xfer),
+                after: self.cfg.local_memcpy_per_kb * kb,
+            });
+            return (xfer, out);
+        }
+
+        let Some(dst_host) = self.cache.lookup(to_lh) else {
+            out.push(KernelOutput::CopyDone {
+                xfer,
+                initiator,
+                result: Err(SendError::NoBinding),
+            });
+            return (xfer, out);
+        };
+
+        let units = split_units(&pages, self.cfg.xfer_unit_bytes);
+        let x = OutXfer::new(xfer, initiator, to_lh, to_space, dst_host, units);
+        self.xfers.insert(xfer, x);
+        self.send_current_unit(xfer, &mut out);
+        (xfer, out)
+    }
+
+    /// CopyFrom: asks the kernel hosting `from_lh` to blast `pages` of
+    /// `from_space` into the local `(to_lh, to_space)`. Completion is
+    /// reported as a [`KernelOutput::CopyDone`] with the pull's id.
+    ///
+    /// Requires a cached binding for `from_lh`; `to_lh` must be resident.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pull_pages(
+        &mut self,
+        _now: SimTime,
+        initiator: ProcessId,
+        from_lh: LogicalHostId,
+        from_space: SpaceId,
+        to_lh: LogicalHostId,
+        to_space: SpaceId,
+        pages: Vec<u32>,
+    ) -> (XferId, Vec<KernelOutput<X>>) {
+        self.stats.freeze_checks += 1;
+        let pull = XferId(self.next_xfer);
+        self.next_xfer += 1;
+        let mut out = Vec::new();
+        if pages.is_empty() {
+            out.push(KernelOutput::CopyDone {
+                xfer: pull,
+                initiator,
+                result: Ok(0),
+            });
+            return (pull, out);
+        }
+        assert!(self.lhs.contains_key(&to_lh), "pull into non-resident lh");
+        let Some(src_host) = self.cache.lookup(from_lh) else {
+            out.push(KernelOutput::CopyDone {
+                xfer: pull,
+                initiator,
+                result: Err(SendError::NoBinding),
+            });
+            return (pull, out);
+        };
+        self.pulls.insert(
+            pull,
+            PullState {
+                initiator,
+                src_host,
+                from_lh,
+                from_space,
+                to_lh,
+                to_space,
+                pages: pages.clone(),
+                received_bytes: 0,
+                highest_unit: None,
+                retries: 0,
+            },
+        );
+        let pkt = Packet::BulkPull {
+            pull,
+            from_lh,
+            from_space,
+            to_lh,
+            to_space,
+            pages,
+        };
+        let bytes = pkt.wire_bytes();
+        out.push(KernelOutput::Transmit(Frame::unicast(
+            self.host, src_host, bytes, pkt,
+        )));
+        out.push(KernelOutput::SetTimer {
+            key: TimerKey::PullStart(pull),
+            after: self.cfg.retransmit_interval,
+        });
+        (pull, out)
+    }
+
+    // --- Migration support. ---
+
+    /// Freezes a resident logical host (§3.1: suspend execution, defer
+    /// external interactions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lh` is not resident.
+    pub fn freeze(&mut self, lh: LogicalHostId) {
+        self.lhs
+            .get_mut(&lh)
+            .expect("freeze: logical host not resident")
+            .freeze();
+    }
+
+    /// Unfreezes a logical host in place (migration aborted): deferred
+    /// requests are delivered locally.
+    pub fn unfreeze_in_place(&mut self, now: SimTime, lh: LogicalHostId) -> Vec<KernelOutput<X>> {
+        let mut out = Vec::new();
+        let deferred = {
+            let l = self
+                .lhs
+                .get_mut(&lh)
+                .expect("unfreeze: logical host not resident");
+            l.unfreeze();
+            l.take_deferred()
+        };
+        for d in deferred {
+            self.route_send(
+                now,
+                d.seq,
+                d.from,
+                d.dest,
+                d.body,
+                d.data_bytes,
+                false,
+                &mut out,
+            );
+        }
+        out
+    }
+
+    /// Unfreezes a freshly migrated logical host on its **new** host:
+    /// optionally broadcasts the new binding (§3.1.4 optimization) and
+    /// delivers any requests deferred while the final copy completed.
+    pub fn unfreeze_migrated(&mut self, now: SimTime, lh: LogicalHostId) -> Vec<KernelOutput<X>> {
+        let mut out = Vec::new();
+        if self.cfg.broadcast_new_binding {
+            self.stats.new_binding_broadcasts += 1;
+            let pkt = Packet::NewBinding {
+                lh,
+                host: self.host,
+            };
+            let bytes = pkt.wire_bytes();
+            out.push(KernelOutput::Transmit(Frame::broadcast(
+                self.host, bytes, pkt,
+            )));
+        }
+        out.extend(self.unfreeze_in_place(now, lh));
+        out
+    }
+
+    /// Snapshot of a logical host's kernel state for migration, including
+    /// in-flight IPC. Does not modify anything: the original keeps running
+    /// (or stays frozen) until [`Kernel::delete_logical_host`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lh` is not resident.
+    pub fn extract_migration_record(&self, lh: LogicalHostId) -> MigrationRecord<X> {
+        let l = self.lhs.get(&lh).expect("extract: not resident");
+        let desc = l.descriptor();
+        let outstanding = self
+            .outstanding
+            .iter()
+            .filter(|((from, _), _)| from.lh == lh)
+            .map(|(&(from, seq), o)| OutstandingDesc {
+                from,
+                seq,
+                to: o.to,
+                body: o.body.clone(),
+                data_bytes: o.data_bytes,
+                pending_seen: o.pending_seen,
+                is_group: o.is_group,
+            })
+            .collect();
+        let in_progress = self
+            .in_progress
+            .iter()
+            .flat_map(|(&(req, seq), entries)| {
+                entries
+                    .iter()
+                    .filter(|e| e.target.lh == lh)
+                    .map(move |e| (req, seq, e.target))
+            })
+            .collect();
+        let retained = self
+            .reply_cache
+            .iter()
+            .filter(|(_, r)| r.from.lh == lh)
+            .map(|(&(req, seq), r)| (req, seq, r.from, r.body.clone(), r.data_bytes))
+            .collect();
+        MigrationRecord {
+            desc,
+            outstanding,
+            in_progress,
+            retained,
+        }
+    }
+
+    /// Installs a migration record over the pre-copied target logical host
+    /// `temp`, renaming it to the original id and leaving it **frozen**
+    /// (the "two frozen identical copies" state of §3.1.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temp` is not resident or the original id already is.
+    pub fn install_migration_record(
+        &mut self,
+        now: SimTime,
+        temp: LogicalHostId,
+        record: &MigrationRecord<X>,
+    ) -> Vec<KernelOutput<X>> {
+        let mut out = Vec::new();
+        let mut l = self.lhs.remove(&temp).expect("install: temp not resident");
+        assert!(
+            !self.lhs.contains_key(&record.desc.id),
+            "install: original id already resident here"
+        );
+        l.adopt(&record.desc);
+        l.freeze();
+        self.lhs.insert(record.desc.id, l);
+
+        for o in &record.outstanding {
+            self.outstanding.insert(
+                (o.from, o.seq),
+                Outstanding {
+                    to: o.to,
+                    body: o.body.clone(),
+                    data_bytes: o.data_bytes,
+                    since_rebind: 0,
+                    total_retransmits: 0,
+                    rebound: false,
+                    pending_seen: o.pending_seen,
+                    is_group: o.is_group,
+                },
+            );
+            out.push(KernelOutput::SetTimer {
+                key: TimerKey::Retransmit(o.from, o.seq),
+                after: self.cfg.retransmit_interval,
+            });
+        }
+        for &(req, seq, target) in &record.in_progress {
+            self.in_progress
+                .entry((req, seq))
+                .or_default()
+                .push(InProgress {
+                    local_requester: req.lh == record.desc.id,
+                    target,
+                });
+        }
+        for (req, seq, from, body, data_bytes) in &record.retained {
+            self.reply_cache.insert(
+                (*req, *seq),
+                Retained {
+                    from: *from,
+                    body: body.clone(),
+                    data_bytes: *data_bytes,
+                    deadline: now + self.cfg.reply_retention,
+                },
+            );
+            out.push(KernelOutput::SetTimer {
+                key: TimerKey::ReplyRetention(*req, *seq),
+                after: self.cfg.reply_retention,
+            });
+        }
+        out
+    }
+
+    /// Deletes a logical host (after successful migration, or to destroy a
+    /// program). Queued/deferred messages are discarded; local senders'
+    /// Sends are restarted (and now route remotely); remote senders
+    /// recover by retransmission (§3.1.3).
+    pub fn delete_logical_host(&mut self, now: SimTime, lh: LogicalHostId) -> Vec<KernelOutput<X>> {
+        let mut out = Vec::new();
+        let Some(mut l) = self.lhs.remove(&lh) else {
+            return out;
+        };
+        let deferred = l.take_deferred();
+        drop(l);
+
+        // Drop IPC state belonging to the departed logical host.
+        self.outstanding.retain(|(from, _), _| from.lh != lh);
+        self.in_progress.retain(|_, entries| {
+            entries.retain(|e| e.target.lh != lh);
+            !entries.is_empty()
+        });
+        self.reply_cache.retain(|_, r| r.from.lh != lh);
+
+        // Restart local senders; remote senders will retransmit.
+        for d in deferred {
+            if d.local_sender && self.lhs.contains_key(&d.from.lh) {
+                self.route_send(
+                    now,
+                    d.seq,
+                    d.from,
+                    d.dest,
+                    d.body,
+                    d.data_bytes,
+                    false,
+                    &mut out,
+                );
+            }
+        }
+        out
+    }
+
+    /// Demos/MP-mode deletion: like [`Kernel::delete_logical_host`] but
+    /// leaves a forwarding address behind — the residual dependency the
+    /// paper's design avoids (§5).
+    pub fn delete_logical_host_with_forwarding(
+        &mut self,
+        now: SimTime,
+        lh: LogicalHostId,
+        new_host: HostAddr,
+    ) -> Vec<KernelOutput<X>> {
+        let out = self.delete_logical_host(now, lh);
+        if self.cfg.use_forwarding_addresses {
+            self.forwarding.insert(lh, new_host);
+        }
+        out
+    }
+
+    /// Drops all forwarding addresses — what a reboot of the old host does
+    /// to Demos/MP-style residual state.
+    pub fn clear_forwarding(&mut self) {
+        self.forwarding.clear();
+    }
+
+    /// Number of live forwarding entries (residual state held for other
+    /// hosts' benefit).
+    pub fn forwarding_entries(&self) -> usize {
+        self.forwarding.len()
+    }
+
+    // --- Event handlers. ---
+
+    /// Processes a frame delivered by the network.
+    pub fn handle_frame(&mut self, now: SimTime, frame: Frame<Packet<X>>) -> Vec<KernelOutput<X>> {
+        let mut out = Vec::new();
+        let src = frame.src;
+        // "The cache is also updated based on incoming requests" (§3.1.4):
+        // any packet naming a source logical host refreshes its binding —
+        // but only if that logical host is not resident here (it may be
+        // mid-migration *to* here, in which case routing prefers residency
+        // anyway).
+        if let Some(lh) = frame.payload.source_lh() {
+            if !self.lhs.contains_key(&lh) {
+                self.cache.learn(lh, src);
+            }
+        }
+        match frame.payload {
+            Packet::Request {
+                seq,
+                from,
+                to,
+                body,
+                data_bytes,
+                retransmission,
+            } => self.on_request(
+                now,
+                src,
+                seq,
+                from,
+                to,
+                body,
+                data_bytes,
+                retransmission,
+                &mut out,
+            ),
+            Packet::Reply {
+                seq,
+                from,
+                to,
+                body,
+                data_bytes,
+            } => self.on_reply(seq, from, to, body, data_bytes, &mut out),
+            Packet::ReplyPending { seq, to, .. } => {
+                if let Some(o) = self.outstanding.get_mut(&(to, seq)) {
+                    o.pending_seen = true;
+                    self.stats.reply_pendings_received += 1;
+                }
+            }
+            Packet::BulkData {
+                xfer,
+                unit,
+                last,
+                bytes,
+                to_lh,
+                to_space,
+                pull,
+                ..
+            } => {
+                self.stats.bulk_units_received += 1;
+                let ok = self
+                    .lhs
+                    .get_mut(&to_lh)
+                    .and_then(|l| l.space_mut(to_space))
+                    .map(|space| {
+                        // Content arrives; size is what the model tracks.
+                        debug_assert!(bytes > 0);
+                        space.total_pages() > 0
+                    })
+                    .unwrap_or(false);
+                let pkt = Packet::BulkAck {
+                    xfer,
+                    unit,
+                    refused: !ok,
+                };
+                let b = pkt.wire_bytes();
+                out.push(KernelOutput::Transmit(Frame::unicast(
+                    self.host, src, b, pkt,
+                )));
+                // CopyFrom completion tracking at the puller.
+                if let Some(pid) = pull {
+                    if let Some(p) = self.pulls.get_mut(&pid) {
+                        let new_unit = p.highest_unit.map(|h| unit > h).unwrap_or(true);
+                        if new_unit {
+                            p.highest_unit = Some(unit);
+                            p.received_bytes += bytes;
+                        }
+                        if last && ok {
+                            let p = self.pulls.remove(&pid).expect("checked");
+                            out.push(KernelOutput::CopyDone {
+                                xfer: pid,
+                                initiator: p.initiator,
+                                result: Ok(p.received_bytes),
+                            });
+                        }
+                    }
+                }
+            }
+            Packet::BulkAck {
+                xfer,
+                unit,
+                refused,
+            } => self.on_bulk_ack(xfer, unit, refused, &mut out),
+            Packet::BulkPull {
+                pull,
+                from_lh,
+                from_space,
+                to_lh,
+                to_space,
+                pages,
+            } => {
+                // Serve a CopyFrom: start an ordinary push transfer back,
+                // tagged with the puller's id. Duplicate BulkPulls (the
+                // puller's watchdog retransmits) are ignored while a
+                // tagged transfer is already running.
+                let already = self.xfers.values().any(|x| x.pull_tag == Some(pull));
+                let have_src = self
+                    .lhs
+                    .get(&from_lh)
+                    .and_then(|l| l.space(from_space))
+                    .is_some();
+                if !have_src {
+                    let pkt: Packet<X> = Packet::BulkPullNak { pull };
+                    let b = pkt.wire_bytes();
+                    out.push(KernelOutput::Transmit(Frame::unicast(
+                        self.host, src, b, pkt,
+                    )));
+                } else if !already {
+                    self.stats.pulls_served += 1;
+                    self.cache.learn(to_lh, src);
+                    let xfer = XferId(self.next_xfer);
+                    self.next_xfer += 1;
+                    let units = split_units(&pages, self.cfg.xfer_unit_bytes);
+                    let server = ProcessId::new(from_lh, 0);
+                    let mut x = OutXfer::new(xfer, server, to_lh, to_space, src, units);
+                    x.pull_tag = Some(pull);
+                    self.xfers.insert(xfer, x);
+                    self.send_current_unit(xfer, &mut out);
+                }
+            }
+            Packet::BulkPullNak { pull } => {
+                if let Some(p) = self.pulls.remove(&pull) {
+                    out.push(KernelOutput::CopyDone {
+                        xfer: pull,
+                        initiator: p.initiator,
+                        result: Err(SendError::Refused),
+                    });
+                }
+            }
+            Packet::NewBinding { lh, host } => {
+                if !self.lhs.contains_key(&lh) {
+                    self.cache.learn(lh, host);
+                }
+            }
+        }
+        out
+    }
+
+    /// Processes a timer callback.
+    pub fn handle_timer(&mut self, now: SimTime, key: TimerKey) -> Vec<KernelOutput<X>> {
+        let mut out = Vec::new();
+        match key {
+            TimerKey::Retransmit(pid, seq) => self.on_retransmit_timer(pid, seq, &mut out),
+            TimerKey::ReplyRetention(pid, seq) => {
+                let expired = self
+                    .reply_cache
+                    .get(&(pid, seq))
+                    .map(|r| now >= r.deadline)
+                    .unwrap_or(false);
+                if expired {
+                    self.reply_cache.remove(&(pid, seq));
+                } else if let Some(r) = self.reply_cache.get(&(pid, seq)) {
+                    // The retention deadline moved (sender retransmitted);
+                    // re-arm for the remainder.
+                    out.push(KernelOutput::SetTimer {
+                        key,
+                        after: r.deadline.saturating_since(now),
+                    });
+                }
+            }
+            TimerKey::XferPace(xfer, unit) => {
+                let advance = self
+                    .xfers
+                    .get_mut(&xfer)
+                    .map(|x| x.paced(unit))
+                    .unwrap_or(false);
+                if advance {
+                    self.advance_xfer(xfer, &mut out);
+                }
+            }
+            TimerKey::XferAckTimeout(xfer, unit) => self.on_xfer_ack_timeout(xfer, unit, &mut out),
+            TimerKey::LocalCopyDone(xfer) => {
+                if let Some((initiator, bytes)) = self.local_xfers.remove(&xfer) {
+                    out.push(KernelOutput::CopyDone {
+                        xfer,
+                        initiator,
+                        result: Ok(bytes),
+                    });
+                }
+            }
+            TimerKey::PullStart(pull) => {
+                // No data yet: re-send the BulkPull, bounded.
+                let retry = {
+                    let Some(p) = self.pulls.get_mut(&pull) else {
+                        return out;
+                    };
+                    if p.highest_unit.is_some() {
+                        None // Data is flowing; the sender's acks drive it.
+                    } else if p.retries >= self.cfg.max_retransmits {
+                        Some(false)
+                    } else {
+                        p.retries += 1;
+                        Some(true)
+                    }
+                };
+                match retry {
+                    Some(true) => {
+                        let p = self.pulls.get(&pull).expect("checked");
+                        let pkt: Packet<X> = Packet::BulkPull {
+                            pull,
+                            from_lh: p.from_lh,
+                            from_space: p.from_space,
+                            to_lh: p.to_lh,
+                            to_space: p.to_space,
+                            pages: p.pages.clone(),
+                        };
+                        let b = pkt.wire_bytes();
+                        let dst = p.src_host;
+                        out.push(KernelOutput::Transmit(Frame::unicast(
+                            self.host, dst, b, pkt,
+                        )));
+                        out.push(KernelOutput::SetTimer {
+                            key: TimerKey::PullStart(pull),
+                            after: self.cfg.retransmit_interval,
+                        });
+                    }
+                    Some(false) => {
+                        let p = self.pulls.remove(&pull).expect("checked");
+                        out.push(KernelOutput::CopyDone {
+                            xfer: pull,
+                            initiator: p.initiator,
+                            result: Err(SendError::Timeout),
+                        });
+                    }
+                    None => {}
+                }
+            }
+        }
+        out
+    }
+
+    // --- Internals. ---
+
+    #[allow(clippy::too_many_arguments)]
+    fn route_send(
+        &mut self,
+        _now: SimTime,
+        seq: SendSeq,
+        from: ProcessId,
+        to: Destination,
+        body: X,
+        data_bytes: u64,
+        retransmission: bool,
+        out: &mut Vec<KernelOutput<X>>,
+    ) {
+        match to.routing_lh() {
+            Some(lh) if self.lhs.contains_key(&lh) => {
+                self.stats.local_sends += 1;
+                self.deliver_local(
+                    seq,
+                    from,
+                    to,
+                    lh,
+                    body,
+                    data_bytes,
+                    true,
+                    retransmission,
+                    out,
+                );
+            }
+            Some(lh) => {
+                self.stats.remote_sends += 1;
+                self.outstanding.insert(
+                    (from, seq),
+                    Outstanding {
+                        to,
+                        body: body.clone(),
+                        data_bytes,
+                        since_rebind: 0,
+                        total_retransmits: 0,
+                        rebound: false,
+                        pending_seen: false,
+                        is_group: false,
+                    },
+                );
+                let pkt = Packet::Request {
+                    seq,
+                    from,
+                    to,
+                    body,
+                    data_bytes,
+                    retransmission,
+                };
+                self.transmit_routed(lh, pkt, out);
+                out.push(KernelOutput::SetTimer {
+                    key: TimerKey::Retransmit(from, seq),
+                    after: self.cfg.retransmit_interval,
+                });
+            }
+            None => {
+                let Destination::Group(gid) = to else {
+                    unreachable!("routing_lh() is None only for global groups");
+                };
+                self.stats.group_sends += 1;
+                self.outstanding.insert(
+                    (from, seq),
+                    Outstanding {
+                        to,
+                        body: body.clone(),
+                        data_bytes,
+                        since_rebind: 0,
+                        total_retransmits: 0,
+                        rebound: false,
+                        pending_seen: false,
+                        is_group: true,
+                    },
+                );
+                // Local members hear it too.
+                let members: Vec<ProcessId> = self
+                    .group_members
+                    .get(&gid)
+                    .map(|m| m.iter().copied().filter(|&p| p != from).collect())
+                    .unwrap_or_default();
+                for m in members {
+                    self.stats.deliveries += 1;
+                    self.in_progress
+                        .entry((from, seq))
+                        .or_default()
+                        .push(InProgress {
+                            local_requester: true,
+                            target: m,
+                        });
+                    out.push(KernelOutput::Deliver(MsgIn {
+                        to: m,
+                        from,
+                        seq,
+                        body: body.clone(),
+                        data_bytes,
+                    }));
+                }
+                let mcast = *self
+                    .group_routes
+                    .get(&gid)
+                    .expect("send to unrouted global group");
+                let pkt = Packet::Request {
+                    seq,
+                    from,
+                    to,
+                    body,
+                    data_bytes,
+                    retransmission,
+                };
+                let bytes = pkt.wire_bytes();
+                out.push(KernelOutput::Transmit(Frame::multicast(
+                    self.host, mcast, bytes, pkt,
+                )));
+                out.push(KernelOutput::SetTimer {
+                    key: TimerKey::Retransmit(from, seq),
+                    after: self.cfg.retransmit_interval,
+                });
+            }
+        }
+    }
+
+    /// Delivers (or defers) a request whose routing logical host is
+    /// resident here.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_local(
+        &mut self,
+        seq: SendSeq,
+        from: ProcessId,
+        dest: Destination,
+        lh: LogicalHostId,
+        body: X,
+        data_bytes: u64,
+        local_sender: bool,
+        retransmission: bool,
+        out: &mut Vec<KernelOutput<X>>,
+    ) {
+        self.stats.freeze_checks += 1;
+        // Resolve the target process: direct, or via the well-known local
+        // group of this workstation (kernel server / program manager).
+        let target = match dest {
+            Destination::Process(p) => p,
+            Destination::Group(g) => {
+                self.stats.group_lookups += 1;
+                match self.well_known.get(&g.0.index) {
+                    Some(&p) => p,
+                    None => {
+                        self.stats.dead_letters += 1;
+                        if local_sender {
+                            self.fail_local_send(from, seq, SendError::Refused, out);
+                        }
+                        return;
+                    }
+                }
+            }
+        };
+
+        // Freeze defers requests addressed *to processes* of the frozen
+        // logical host (§3.1.3: the message is queued for the recipient).
+        // Requests addressed through the lh's well-known *local groups*
+        // target the workstation's kernel server / program manager, which
+        // are not frozen — they must still be reachable (that is how a
+        // suspended program gets resumed, and how migration is driven).
+        let frozen = matches!(dest, Destination::Process(_))
+            && self.lhs.get(&lh).map(|l| l.is_frozen()).unwrap_or(false);
+        if frozen {
+            let l = self.lhs.get_mut(&lh).expect("checked resident");
+            let already = l.deferred_iter().any(|d| d.from == from && d.seq == seq);
+            if !already {
+                self.stats.deferred_requests += 1;
+                l.defer(DeferredRequest {
+                    seq,
+                    from,
+                    dest,
+                    to: target,
+                    body,
+                    data_bytes,
+                    local_sender,
+                });
+            }
+            // "A reply-pending packet is sent to the sender on each
+            // retransmission" (§3.1.3).
+            if !local_sender && (retransmission || already) {
+                self.stats.reply_pendings_sent += 1;
+                let pkt = Packet::ReplyPending {
+                    seq,
+                    from: target,
+                    to: from,
+                };
+                self.transmit_routed(from.lh, pkt, out);
+            }
+            return;
+        }
+
+        // Is the target process alive? (The target lives on the
+        // workstation; for well-known groups it is outside `lh`.)
+        let alive = self
+            .lhs
+            .get(&target.lh)
+            .and_then(|l| l.process(target.index))
+            .map(|p| p.is_alive())
+            .unwrap_or(false);
+        if !alive {
+            self.stats.dead_letters += 1;
+            if local_sender {
+                self.fail_local_send(from, seq, SendError::Refused, out);
+            }
+            return;
+        }
+
+        self.stats.deliveries += 1;
+        self.in_progress
+            .entry((from, seq))
+            .or_default()
+            .push(InProgress {
+                local_requester: local_sender,
+                target,
+            });
+        out.push(KernelOutput::Deliver(MsgIn {
+            to: target,
+            from,
+            seq,
+            body,
+            data_bytes,
+        }));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_request(
+        &mut self,
+        _now: SimTime,
+        _src: HostAddr,
+        seq: SendSeq,
+        from: ProcessId,
+        to: Destination,
+        body: X,
+        data_bytes: u64,
+        retransmission: bool,
+        out: &mut Vec<KernelOutput<X>>,
+    ) {
+        match to.routing_lh() {
+            Some(lh) if self.lhs.contains_key(&lh) => {
+                // Duplicate suppression: retained reply? (lost-reply
+                // recovery, §3.1.3.)
+                if let Some(r) = self.reply_cache.get_mut(&(from, seq)) {
+                    r.deadline = r.deadline.max(_now + self.cfg.reply_retention);
+                    let pkt = Packet::Reply {
+                        seq,
+                        from: r.from,
+                        to: from,
+                        body: r.body.clone(),
+                        data_bytes: r.data_bytes,
+                    };
+                    self.transmit_routed(from.lh, pkt, out);
+                    return;
+                }
+                // Already delivered and being served: reply-pending.
+                if let Some(entries) = self.in_progress.get(&(from, seq)) {
+                    if let Some(e) = entries.first() {
+                        self.stats.reply_pendings_sent += 1;
+                        let pkt = Packet::ReplyPending {
+                            seq,
+                            from: e.target,
+                            to: from,
+                        };
+                        self.transmit_routed(from.lh, pkt, out);
+                    }
+                    return;
+                }
+                self.deliver_local(
+                    seq,
+                    from,
+                    to,
+                    lh,
+                    body,
+                    data_bytes,
+                    false,
+                    retransmission,
+                    out,
+                );
+            }
+            Some(lh) => {
+                if let Some(&fw) = self.forwarding.get(&lh) {
+                    // Demos/MP mode: relay the request and send the
+                    // requester an address update.
+                    self.stats.forwarded_requests += 1;
+                    let pkt = Packet::Request {
+                        seq,
+                        from,
+                        to,
+                        body,
+                        data_bytes,
+                        retransmission,
+                    };
+                    let bytes = pkt.wire_bytes();
+                    out.push(KernelOutput::Transmit(Frame::unicast(
+                        self.host, fw, bytes, pkt,
+                    )));
+                    let update = Packet::NewBinding { lh, host: fw };
+                    let ub = update.wire_bytes();
+                    out.push(KernelOutput::Transmit(Frame::unicast(
+                        self.host, _src, ub, update,
+                    )));
+                } else {
+                    // Stale binding or broadcast probe for a logical host
+                    // that is not here: drop; the sender recovers by
+                    // rebinding (§3.1.4).
+                    self.stats.not_here += 1;
+                }
+            }
+            None => {
+                let Destination::Group(gid) = to else {
+                    unreachable!();
+                };
+                if self.in_progress.contains_key(&(from, seq)) {
+                    return; // Duplicate multicast.
+                }
+                let members: Vec<ProcessId> = self
+                    .group_members
+                    .get(&gid)
+                    .map(|m| m.iter().copied().collect())
+                    .unwrap_or_default();
+                for m in members {
+                    self.stats.deliveries += 1;
+                    self.in_progress
+                        .entry((from, seq))
+                        .or_default()
+                        .push(InProgress {
+                            local_requester: false,
+                            target: m,
+                        });
+                    out.push(KernelOutput::Deliver(MsgIn {
+                        to: m,
+                        from,
+                        seq,
+                        body: body.clone(),
+                        data_bytes,
+                    }));
+                }
+            }
+        }
+    }
+
+    fn on_reply(
+        &mut self,
+        seq: SendSeq,
+        from: ProcessId,
+        to: ProcessId,
+        body: X,
+        data_bytes: u64,
+        out: &mut Vec<KernelOutput<X>>,
+    ) {
+        if !self.outstanding.contains_key(&(to, seq)) {
+            self.stats.late_replies += 1;
+            return;
+        }
+        // Replies to frozen logical hosts are discarded; the sender's
+        // retransmissions keep the replier's retention alive (§3.1.3).
+        let frozen = self.lhs.get(&to.lh).map(|l| l.is_frozen()).unwrap_or(false);
+        if frozen {
+            self.stats.replies_discarded_frozen += 1;
+            return;
+        }
+        self.outstanding.remove(&(to, seq));
+        self.complete_local_send(to, seq, from, body, data_bytes, out);
+    }
+
+    fn complete_local_send(
+        &mut self,
+        pid: ProcessId,
+        seq: SendSeq,
+        from: ProcessId,
+        body: X,
+        data_bytes: u64,
+        out: &mut Vec<KernelOutput<X>>,
+    ) {
+        // Duplicate completions are already excluded upstream (the
+        // outstanding entry or in-progress record is consumed exactly
+        // once). Server processes multiplex several logical transactions
+        // over one pid — in real V they would be teams of worker
+        // processes — so the process state is updated best-effort only.
+        if let Some(p) = self
+            .lhs
+            .get_mut(&pid.lh)
+            .and_then(|l| l.process_mut(pid.index))
+        {
+            if matches!(p.state, ProcessState::AwaitingReply { seq: s } if s == seq) {
+                p.state = ProcessState::Ready;
+            }
+        }
+        out.push(KernelOutput::SendDone {
+            pid,
+            seq,
+            result: Ok(ReplyIn {
+                from,
+                body,
+                data_bytes,
+            }),
+        });
+    }
+
+    fn fail_local_send(
+        &mut self,
+        pid: ProcessId,
+        seq: SendSeq,
+        err: SendError,
+        out: &mut Vec<KernelOutput<X>>,
+    ) {
+        self.stats.send_failures += 1;
+        if let Some(l) = self.lhs.get_mut(&pid.lh) {
+            if let Some(p) = l.process_mut(pid.index) {
+                if matches!(p.state, ProcessState::AwaitingReply { seq: s } if s == seq) {
+                    p.state = ProcessState::Ready;
+                }
+            }
+        }
+        out.push(KernelOutput::SendDone {
+            pid,
+            seq,
+            result: Err(err),
+        });
+    }
+
+    fn on_retransmit_timer(
+        &mut self,
+        pid: ProcessId,
+        seq: SendSeq,
+        out: &mut Vec<KernelOutput<X>>,
+    ) {
+        let Some(o) = self.outstanding.get_mut(&(pid, seq)) else {
+            return; // Completed; stale timer.
+        };
+        o.total_retransmits += 1;
+        o.since_rebind += 1;
+
+        let give_up = if o.pending_seen {
+            o.total_retransmits > self.cfg.hard_retransmit_cap
+        } else {
+            o.total_retransmits > self.cfg.max_retransmits
+        };
+        if give_up {
+            self.outstanding.remove(&(pid, seq));
+            self.fail_local_send(pid, seq, SendError::Timeout, out);
+            return;
+        }
+
+        // Invalidate the binding after a small number of retransmissions
+        // and fall back to broadcasting the reference (§3.1.4).
+        let (to, body, data_bytes, is_group) = (o.to, o.body.clone(), o.data_bytes, o.is_group);
+        if !is_group && o.since_rebind >= self.cfg.retransmits_before_rebind && !o.rebound {
+            o.rebound = true;
+            o.since_rebind = 0;
+            if let Some(lh) = to.routing_lh() {
+                self.cache.invalidate(lh);
+            }
+        }
+
+        self.stats.retransmissions += 1;
+        let pkt = Packet::Request {
+            seq,
+            from: pid,
+            to,
+            body,
+            data_bytes,
+            retransmission: true,
+        };
+        if is_group {
+            let Destination::Group(gid) = to else {
+                unreachable!();
+            };
+            let mcast = *self.group_routes.get(&gid).expect("unrouted group");
+            let bytes = pkt.wire_bytes();
+            out.push(KernelOutput::Transmit(Frame::multicast(
+                self.host, mcast, bytes, pkt,
+            )));
+        } else {
+            let lh = to.routing_lh().expect("non-group send routes by lh");
+            self.transmit_routed(lh, pkt, out);
+        }
+        out.push(KernelOutput::SetTimer {
+            key: TimerKey::Retransmit(pid, seq),
+            after: self.cfg.retransmit_interval,
+        });
+    }
+
+    fn on_bulk_ack(
+        &mut self,
+        xfer: XferId,
+        unit: u32,
+        refused: bool,
+        out: &mut Vec<KernelOutput<X>>,
+    ) {
+        let Some(x) = self.xfers.get_mut(&xfer) else {
+            return;
+        };
+        if refused {
+            let initiator = x.initiator;
+            self.xfers.remove(&xfer);
+            out.push(KernelOutput::CopyDone {
+                xfer,
+                initiator,
+                result: Err(SendError::Refused),
+            });
+            return;
+        }
+        if x.ack(unit) {
+            self.advance_xfer(xfer, out);
+        }
+    }
+
+    fn on_xfer_ack_timeout(&mut self, xfer: XferId, unit: u32, out: &mut Vec<KernelOutput<X>>) {
+        let retry = {
+            let Some(x) = self.xfers.get_mut(&xfer) else {
+                return;
+            };
+            if x.current_unit() != unit || x.current_acked() {
+                return; // Stale, or already acked (pace pending).
+            }
+            x.retries += 1;
+            if x.retries > self.cfg.max_retransmits {
+                None
+            } else {
+                Some(())
+            }
+        };
+        match retry {
+            None => {
+                let x = self.xfers.remove(&xfer).expect("checked above");
+                out.push(KernelOutput::CopyDone {
+                    xfer,
+                    initiator: x.initiator,
+                    result: Err(SendError::Timeout),
+                });
+            }
+            Some(()) => {
+                self.stats.bulk_units_retransmitted += 1;
+                self.retransmit_current_unit(xfer, out);
+            }
+        }
+    }
+
+    fn advance_xfer(&mut self, xfer: XferId, out: &mut Vec<KernelOutput<X>>) {
+        let more = {
+            let x = self.xfers.get_mut(&xfer).expect("advancing unknown xfer");
+            x.advance()
+        };
+        if more {
+            self.send_current_unit(xfer, out);
+        } else {
+            let x = self.xfers.remove(&xfer).expect("xfer vanished");
+            out.push(KernelOutput::CopyDone {
+                xfer,
+                initiator: x.initiator,
+                result: Ok(x.total_bytes()),
+            });
+        }
+    }
+
+    fn send_current_unit(&mut self, xfer: XferId, out: &mut Vec<KernelOutput<X>>) {
+        let (frame, pace, ack_to) = {
+            let x = self.xfers.get(&xfer).expect("sending on unknown xfer");
+            let unit = x.unit();
+            self.stats.bulk_units_sent += 1;
+            self.stats.bulk_bytes_sent += unit.bytes;
+            let pkt: Packet<X> = Packet::BulkData {
+                xfer,
+                unit: x.current_unit(),
+                last: x.on_last_unit(),
+                bytes: unit.bytes,
+                to_lh: x.to_lh,
+                to_space: x.to_space,
+                pages: unit.pages.clone(),
+                pull: x.pull_tag,
+            };
+            let bytes = pkt.wire_bytes();
+            let pace = calib::bulk_copy_time(unit.bytes);
+            (
+                Frame::unicast(self.host, x.dst_host, bytes, pkt),
+                pace,
+                pace + self.cfg.retransmit_interval,
+            )
+        };
+        let x = self.xfers.get(&xfer).expect("checked");
+        let unit = x.current_unit();
+        out.push(KernelOutput::Transmit(frame));
+        out.push(KernelOutput::SetTimer {
+            key: TimerKey::XferPace(xfer, unit),
+            after: pace,
+        });
+        out.push(KernelOutput::SetTimer {
+            key: TimerKey::XferAckTimeout(xfer, unit),
+            after: ack_to,
+        });
+    }
+
+    fn retransmit_current_unit(&mut self, xfer: XferId, out: &mut Vec<KernelOutput<X>>) {
+        let (frame, unit) = {
+            let x = self.xfers.get(&xfer).expect("retransmitting unknown xfer");
+            let unit = x.unit();
+            self.stats.bulk_bytes_sent += unit.bytes;
+            let pkt: Packet<X> = Packet::BulkData {
+                xfer,
+                unit: x.current_unit(),
+                last: x.on_last_unit(),
+                bytes: unit.bytes,
+                to_lh: x.to_lh,
+                to_space: x.to_space,
+                pages: unit.pages.clone(),
+                pull: x.pull_tag,
+            };
+            let bytes = pkt.wire_bytes();
+            (
+                Frame::unicast(self.host, x.dst_host, bytes, pkt),
+                x.current_unit(),
+            )
+        };
+        out.push(KernelOutput::Transmit(frame));
+        out.push(KernelOutput::SetTimer {
+            key: TimerKey::XferAckTimeout(xfer, unit),
+            after: self.cfg.retransmit_interval,
+        });
+    }
+
+    /// Transmits a packet routed by logical host: unicast when the binding
+    /// cache knows the physical host, broadcast otherwise.
+    fn transmit_routed(
+        &mut self,
+        lh: LogicalHostId,
+        pkt: Packet<X>,
+        out: &mut Vec<KernelOutput<X>>,
+    ) {
+        let bytes = pkt.wire_bytes();
+        match self.cache.lookup(lh) {
+            Some(h) => out.push(KernelOutput::Transmit(Frame::unicast(
+                self.host, h, bytes, pkt,
+            ))),
+            None => {
+                self.stats.broadcast_requests += 1;
+                out.push(KernelOutput::Transmit(Frame::broadcast(
+                    self.host, bytes, pkt,
+                )));
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! The interkernel packet protocol.
+//!
+//! V kernels speak a small protocol directly over raw Ethernet: request and
+//! reply packets carrying 32-byte messages, reply-pending ("breath of
+//! life") packets that keep a blocked sender from timing out (§3.1),
+//! bulk-data packets for CopyTo/CopyFrom blasts, and a new-binding
+//! broadcast used as an optimization when a migrated logical host is
+//! unfrozen (§3.1.4).
+//!
+//! Message bodies are opaque to the kernel (type parameter `X`): the kernel
+//! routes by destination and never interprets payloads — exactly the
+//! property that makes V's IPC network-transparent.
+
+use serde::{Deserialize, Serialize};
+use vnet::HostAddr;
+
+use crate::ids::{Destination, LogicalHostId, ProcessId};
+use vmem::SpaceId;
+
+/// Per-sender sequence number identifying one Send transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SendSeq(pub u64);
+
+/// Identifier of one bulk transfer (CopyTo blast sequence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct XferId(pub u64);
+
+/// Wire size of a V message packet: 32-byte message plus protocol header.
+pub const MESSAGE_PACKET_BYTES: u64 = 64;
+
+/// Wire size of a control packet (reply-pending, ack, binding note).
+pub const CONTROL_PACKET_BYTES: u64 = 32;
+
+/// One interkernel packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Packet<X> {
+    /// A Send in flight: retransmitted until a Reply (or ReplyPending)
+    /// arrives.
+    Request {
+        /// Sender's transaction number.
+        seq: SendSeq,
+        /// Sending process.
+        from: ProcessId,
+        /// Target process or group.
+        to: Destination,
+        /// Opaque message body.
+        body: X,
+        /// Appended data size (segment access), beyond the 32-byte message.
+        data_bytes: u64,
+        /// True when this is a retransmission (receivers answer frozen
+        /// targets with reply-pending on each retransmission).
+        retransmission: bool,
+    },
+    /// The reply completing a Send.
+    Reply {
+        /// Transaction this reply answers.
+        seq: SendSeq,
+        /// Replying process.
+        from: ProcessId,
+        /// Original sender.
+        to: ProcessId,
+        /// Opaque reply body.
+        body: X,
+        /// Appended reply data size.
+        data_bytes: u64,
+    },
+    /// "Operation pending": the target exists but cannot reply yet (busy or
+    /// frozen); resets the sender's abort timer without completing the
+    /// Send.
+    ReplyPending {
+        /// Transaction concerned.
+        seq: SendSeq,
+        /// Process (or its kernel) answering.
+        from: ProcessId,
+        /// Blocked sender.
+        to: ProcessId,
+    },
+    /// One unit of a bulk CopyTo blast (a train of ~1 KB data packets,
+    /// modeled as a single frame of the unit's size).
+    BulkData {
+        /// Transfer this unit belongs to.
+        xfer: XferId,
+        /// Unit number within the transfer.
+        unit: u32,
+        /// True on the final unit.
+        last: bool,
+        /// Bytes in this unit.
+        bytes: u64,
+        /// Destination logical host.
+        to_lh: LogicalHostId,
+        /// Destination address space within that logical host.
+        to_space: SpaceId,
+        /// Pages carried (destination page indices).
+        pages: Vec<u32>,
+        /// When this transfer answers a CopyFrom, the puller's transfer
+        /// id (so the pulling kernel can report completion).
+        pull: Option<XferId>,
+    },
+    /// Acknowledgement of one bulk unit.
+    BulkAck {
+        /// Transfer acknowledged.
+        xfer: XferId,
+        /// Unit acknowledged.
+        unit: u32,
+        /// Receiver refused the unit (no such logical host/space).
+        refused: bool,
+    },
+    /// CopyFrom: ask the kernel hosting `from_lh` to blast the given pages
+    /// back to `(to_lh, to_space)`. The puller allocates `pull` and is
+    /// notified by the `pull` tag on the arriving data.
+    BulkPull {
+        /// The puller's transfer id.
+        pull: XferId,
+        /// Source logical host.
+        from_lh: LogicalHostId,
+        /// Source space.
+        from_space: SpaceId,
+        /// Destination logical host (where the puller lives).
+        to_lh: LogicalHostId,
+        /// Destination space.
+        to_space: SpaceId,
+        /// Pages wanted.
+        pages: Vec<u32>,
+    },
+    /// The pull target refused (unknown logical host or space).
+    BulkPullNak {
+        /// The refused pull.
+        pull: XferId,
+    },
+    /// Broadcast when a migrated logical host is unfrozen on its new host
+    /// — the §3.1.4 optimization that proactively updates binding caches.
+    NewBinding {
+        /// The rebound logical host.
+        lh: LogicalHostId,
+        /// Its new physical host.
+        host: HostAddr,
+    },
+}
+
+impl<X> Packet<X> {
+    /// The wire payload size of this packet, driving serialization delay.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Packet::Request { data_bytes, .. } => MESSAGE_PACKET_BYTES + data_bytes,
+            Packet::Reply { data_bytes, .. } => MESSAGE_PACKET_BYTES + data_bytes,
+            Packet::ReplyPending { .. } => CONTROL_PACKET_BYTES,
+            Packet::BulkData { bytes, .. } => CONTROL_PACKET_BYTES + bytes,
+            Packet::BulkAck { .. } => CONTROL_PACKET_BYTES,
+            Packet::BulkPull { pages, .. } => CONTROL_PACKET_BYTES + 4 * pages.len() as u64,
+            Packet::BulkPullNak { .. } => CONTROL_PACKET_BYTES,
+            Packet::NewBinding { .. } => CONTROL_PACKET_BYTES,
+        }
+    }
+
+    /// The logical host of the packet's *source* process, when the packet
+    /// identifies one — receivers use it to refresh their binding caches
+    /// ("the cache is also updated based on incoming requests", §3.1.4).
+    pub fn source_lh(&self) -> Option<LogicalHostId> {
+        match self {
+            Packet::Request { from, .. } => Some(from.lh),
+            Packet::Reply { from, .. } => Some(from.lh),
+            Packet::ReplyPending { from, .. } => Some(from.lh),
+            Packet::NewBinding { lh, .. } => Some(*lh),
+            Packet::BulkData { .. }
+            | Packet::BulkAck { .. }
+            | Packet::BulkPull { .. }
+            | Packet::BulkPullNak { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::LogicalHostId;
+
+    fn pid(lh: u32, idx: u32) -> ProcessId {
+        ProcessId::new(LogicalHostId(lh), idx)
+    }
+
+    #[test]
+    fn wire_bytes_by_kind() {
+        let req: Packet<u32> = Packet::Request {
+            seq: SendSeq(1),
+            from: pid(1, 16),
+            to: Destination::Process(pid(2, 16)),
+            body: 0,
+            data_bytes: 0,
+            retransmission: false,
+        };
+        assert_eq!(req.wire_bytes(), 64);
+
+        let reply: Packet<u32> = Packet::Reply {
+            seq: SendSeq(1),
+            from: pid(2, 16),
+            to: pid(1, 16),
+            body: 0,
+            data_bytes: 100,
+        };
+        assert_eq!(reply.wire_bytes(), 164);
+
+        let bulk: Packet<u32> = Packet::BulkData {
+            xfer: XferId(1),
+            unit: 0,
+            last: false,
+            bytes: 32 * 1024,
+            to_lh: LogicalHostId(3),
+            to_space: SpaceId(0),
+            pages: vec![0, 1],
+            pull: None,
+        };
+        assert_eq!(bulk.wire_bytes(), 32 * 1024 + 32);
+
+        let pull: Packet<u32> = Packet::BulkPull {
+            pull: XferId(2),
+            from_lh: LogicalHostId(3),
+            from_space: SpaceId(0),
+            to_lh: LogicalHostId(1),
+            to_space: SpaceId(0),
+            pages: vec![0, 1, 2],
+        };
+        assert_eq!(pull.wire_bytes(), 32 + 12);
+
+        let rp: Packet<u32> = Packet::ReplyPending {
+            seq: SendSeq(1),
+            from: pid(2, 16),
+            to: pid(1, 16),
+        };
+        assert_eq!(rp.wire_bytes(), 32);
+    }
+
+    #[test]
+    fn source_lh_for_cache_refresh() {
+        let req: Packet<u32> = Packet::Request {
+            seq: SendSeq(1),
+            from: pid(5, 16),
+            to: Destination::Process(pid(2, 16)),
+            body: 0,
+            data_bytes: 0,
+            retransmission: false,
+        };
+        assert_eq!(req.source_lh(), Some(LogicalHostId(5)));
+
+        let ack: Packet<u32> = Packet::BulkAck {
+            xfer: XferId(1),
+            unit: 0,
+            refused: false,
+        };
+        assert_eq!(ack.source_lh(), None);
+
+        let nb: Packet<u32> = Packet::NewBinding {
+            lh: LogicalHostId(8),
+            host: HostAddr(2),
+        };
+        assert_eq!(nb.source_lh(), Some(LogicalHostId(8)));
+    }
+}

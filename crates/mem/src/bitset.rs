@@ -1,0 +1,181 @@
+//! A dense bitset for page dirty bits.
+//!
+//! The SUN MMU gives V per-page dirty bits (§3.1.2 footnote: "Modified
+//! pages are detected using dirty bits"); this is the model of that
+//! hardware structure.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-capacity dense bitset.
+///
+/// # Examples
+///
+/// ```
+/// use vmem::BitSet;
+///
+/// let mut b = BitSet::new(100);
+/// b.set(3);
+/// b.set(64);
+/// assert_eq!(b.count(), 2);
+/// assert_eq!(b.iter().collect::<Vec<_>>(), vec![3, 64]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates a bitset holding `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Capacity in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when capacity is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`. Returns `true` if it was previously clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize) -> bool {
+        self.check(i);
+        let (w, m) = (i / 64, 1u64 << (i % 64));
+        let was_clear = self.words[w] & m == 0;
+        self.words[w] |= m;
+        was_clear
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn clear(&mut self, i: usize) {
+        self.check(i);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Tests bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> bool {
+        self.check(i);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterates indices of set bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// Takes the set bits: returns them and clears the set.
+    pub fn take(&mut self) -> Vec<usize> {
+        let out: Vec<usize> = self.iter().collect();
+        self.clear_all();
+        out
+    }
+
+    fn check(&self, i: usize) {
+        assert!(
+            i < self.len,
+            "bit index {i} out of range (len {})",
+            self.len
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = BitSet::new(130);
+        assert!(b.set(0));
+        assert!(b.set(129));
+        assert!(!b.set(129), "second set reports already-set");
+        assert!(b.get(0) && b.get(129) && !b.get(64));
+        b.clear(0);
+        assert!(!b.get(0));
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut b = BitSet::new(200);
+        for i in [5, 63, 64, 65, 199] {
+            b.set(i);
+        }
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![5, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    fn take_clears() {
+        let mut b = BitSet::new(10);
+        b.set(2);
+        b.set(7);
+        assert_eq!(b.take(), vec![2, 7]);
+        assert_eq!(b.count(), 0);
+        assert!(b.take().is_empty());
+    }
+
+    #[test]
+    fn clear_all() {
+        let mut b = BitSet::new(70);
+        for i in 0..70 {
+            b.set(i);
+        }
+        assert_eq!(b.count(), 70);
+        b.clear_all();
+        assert_eq!(b.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        BitSet::new(8).get(8);
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let b = BitSet::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count(), 0);
+        assert_eq!(b.iter().count(), 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Network addressing.
+//!
+//! The paper's cluster is a single 10 Mbit Ethernet; hosts have 48-bit
+//! physical addresses and V maps 32-bit process identifiers onto them via
+//! the logical-host binding cache (§3.1.4). At this layer we model a
+//! physical host address and the three Ethernet destination modes V uses:
+//! unicast, broadcast (binding queries), and multicast (process groups such
+//! as the program-manager group).
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A physical host address on the simulated Ethernet segment.
+///
+/// Stands in for a 48-bit Ethernet station address; the simulation hands
+/// them out densely from zero as hosts attach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HostAddr(pub u16);
+
+impl fmt::Display for HostAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+/// An Ethernet multicast group address.
+///
+/// V process groups with network-wide membership (e.g. the well-known
+/// program-manager group) map onto these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct McastGroup(pub u16);
+
+impl fmt::Display for McastGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mcast{}", self.0)
+    }
+}
+
+/// Destination of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetDest {
+    /// Deliver to a single station.
+    Unicast(HostAddr),
+    /// Deliver to every attached station except the sender.
+    Broadcast,
+    /// Deliver to current members of the group (except the sender).
+    Multicast(McastGroup),
+}
+
+impl fmt::Display for NetDest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetDest::Unicast(h) => write!(f, "{h}"),
+            NetDest::Broadcast => write!(f, "broadcast"),
+            NetDest::Multicast(g) => write!(f, "{g}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(HostAddr(3).to_string(), "host3");
+        assert_eq!(McastGroup(1).to_string(), "mcast1");
+        assert_eq!(NetDest::Unicast(HostAddr(2)).to_string(), "host2");
+        assert_eq!(NetDest::Broadcast.to_string(), "broadcast");
+        assert_eq!(NetDest::Multicast(McastGroup(7)).to_string(), "mcast7");
+    }
+
+    #[test]
+    fn addr_ordering_and_hash() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(HostAddr(1));
+        s.insert(HostAddr(1));
+        s.insert(HostAddr(2));
+        assert_eq!(s.len(), 2);
+        assert!(HostAddr(1) < HostAddr(2));
+    }
+}

@@ -1,0 +1,434 @@
+//! The shared 10 Mbit Ethernet segment.
+//!
+//! A single segment connects every workstation and server (§4.1). The model
+//! captures what the protocols above care about:
+//!
+//! * **Serialization**: the channel is a single resource; frames queue
+//!   behind one another and a frame's wire time follows
+//!   [`vsim::calib::frame_wire_time`]. (CSMA/CD collisions are folded into
+//!   this FIFO arbitration — at the paper's utilization levels collision
+//!   loss is negligible next to receiver-side drops.)
+//! * **Loss**: per-receiver, pluggable ([`LossModel`]), so a broadcast can
+//!   reach some stations and miss others.
+//! * **Broadcast & multicast**: binding-cache queries broadcast; process
+//!   groups (e.g. the program-manager group) multicast.
+//! * **Host failure**: a down station neither sends nor receives, for the
+//!   old-host-reboot and target-failure experiments.
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::Serialize;
+use vsim::calib::{frame_wire_time, WIRE_LATENCY};
+use vsim::{DetRng, SimDuration, SimTime};
+
+use crate::addr::{HostAddr, McastGroup, NetDest};
+use crate::frame::Frame;
+use crate::loss::{LossModel, LossState};
+
+/// A frame arriving at a station at a given instant.
+#[derive(Debug, Clone)]
+pub struct Delivery<P> {
+    /// Receiving station.
+    pub to: HostAddr,
+    /// Arrival instant (end of serialization plus latency).
+    pub at: SimTime,
+    /// The frame as sent.
+    pub frame: Frame<P>,
+}
+
+/// Wire-level counters.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct WireStats {
+    /// Frames offered to the channel by live senders.
+    pub frames_sent: u64,
+    /// Successful per-receiver deliveries.
+    pub deliveries: u64,
+    /// Per-receiver drops due to the loss model.
+    pub drops_loss: u64,
+    /// Per-receiver drops because the receiver was down.
+    pub drops_down: u64,
+    /// Frames discarded because the *sender* was down.
+    pub sender_down: u64,
+    /// Total payload bytes offered.
+    pub payload_bytes: u64,
+    /// Cumulative channel busy time.
+    pub busy: SimDuration,
+}
+
+impl WireStats {
+    /// Channel utilization over `[SimTime::ZERO, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / now.since(SimTime::ZERO).as_secs_f64()
+        }
+    }
+}
+
+struct Station {
+    up: bool,
+    frames_tx: u64,
+    frames_rx: u64,
+    bytes_tx: u64,
+    bytes_rx: u64,
+}
+
+/// The shared segment.
+///
+/// # Examples
+///
+/// ```
+/// use vnet::{Ethernet, Frame, LossModel};
+/// use vsim::{DetRng, SimTime};
+///
+/// let mut net: Ethernet<&str> = Ethernet::new(LossModel::None, DetRng::seed(1));
+/// let a = net.attach();
+/// let b = net.attach();
+/// let out = net.transmit(SimTime::ZERO, Frame::unicast(a, b, 32, "hello"));
+/// assert_eq!(out.len(), 1);
+/// assert_eq!(out[0].to, b);
+/// ```
+pub struct Ethernet<P> {
+    stations: Vec<Station>,
+    groups: HashMap<McastGroup, BTreeSet<HostAddr>>,
+    busy_until: SimTime,
+    loss: LossState,
+    rng: DetRng,
+    stats: WireStats,
+    _payload: std::marker::PhantomData<P>,
+}
+
+impl<P: Clone> Ethernet<P> {
+    /// Creates an empty segment with the given loss model.
+    pub fn new(loss: LossModel, rng: DetRng) -> Self {
+        Ethernet {
+            stations: Vec::new(),
+            groups: HashMap::new(),
+            busy_until: SimTime::ZERO,
+            loss: LossState::new(loss),
+            rng,
+            stats: WireStats::default(),
+            _payload: std::marker::PhantomData,
+        }
+    }
+
+    /// Attaches a new station and returns its address.
+    pub fn attach(&mut self) -> HostAddr {
+        let addr =
+            HostAddr(u16::try_from(self.stations.len()).expect("too many stations on one segment"));
+        self.stations.push(Station {
+            up: true,
+            frames_tx: 0,
+            frames_rx: 0,
+            bytes_tx: 0,
+            bytes_rx: 0,
+        });
+        addr
+    }
+
+    /// Number of attached stations.
+    pub fn station_count(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// All attached station addresses.
+    pub fn stations(&self) -> impl Iterator<Item = HostAddr> + '_ {
+        (0..self.stations.len()).map(|i| HostAddr(i as u16))
+    }
+
+    /// Marks a station up or down (crash / reboot simulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address was never attached.
+    pub fn set_up(&mut self, host: HostAddr, up: bool) {
+        self.station_mut(host).up = up;
+    }
+
+    /// True if the station is up.
+    pub fn is_up(&self, host: HostAddr) -> bool {
+        self.station(host).up
+    }
+
+    /// Adds a station to a multicast group (idempotent).
+    pub fn join(&mut self, group: McastGroup, host: HostAddr) {
+        let _ = self.station(host); // Validate.
+        self.groups.entry(group).or_default().insert(host);
+    }
+
+    /// Removes a station from a multicast group (idempotent).
+    pub fn leave(&mut self, group: McastGroup, host: HostAddr) {
+        if let Some(members) = self.groups.get_mut(&group) {
+            members.remove(&host);
+        }
+    }
+
+    /// Current members of a group, in address order.
+    pub fn members(&self, group: McastGroup) -> Vec<HostAddr> {
+        self.groups
+            .get(&group)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Offers a frame to the channel at time `now`, returning the resulting
+    /// deliveries (possibly none).
+    ///
+    /// The channel serializes frames: if it is busy, transmission starts
+    /// when it frees. All receivers hear the frame at the same instant;
+    /// loss is decided independently per receiver. The sender never
+    /// receives its own frame.
+    pub fn transmit(&mut self, now: SimTime, frame: Frame<P>) -> Vec<Delivery<P>> {
+        if !self.station(frame.src).up {
+            self.stats.sender_down += 1;
+            return Vec::new();
+        }
+        self.stats.frames_sent += 1;
+        self.stats.payload_bytes += frame.payload_bytes;
+        {
+            let st = self.station_mut(frame.src);
+            st.frames_tx += 1;
+            st.bytes_tx += frame.payload_bytes;
+        }
+
+        let start = now.max(self.busy_until);
+        let wire = frame_wire_time(frame.payload_bytes);
+        self.busy_until = start + wire;
+        self.stats.busy += wire;
+        let arrival = start + wire + WIRE_LATENCY;
+
+        let receivers: Vec<HostAddr> = match frame.dest {
+            NetDest::Unicast(h) => {
+                let _ = self.station(h); // Validate.
+                vec![h]
+            }
+            NetDest::Broadcast => self.stations().filter(|&h| h != frame.src).collect(),
+            NetDest::Multicast(g) => self
+                .members(g)
+                .into_iter()
+                .filter(|&h| h != frame.src)
+                .collect(),
+        };
+
+        let mut out = Vec::with_capacity(receivers.len());
+        for to in receivers {
+            if !self.station(to).up {
+                self.stats.drops_down += 1;
+                continue;
+            }
+            if self.loss.drops(&mut self.rng) {
+                self.stats.drops_loss += 1;
+                continue;
+            }
+            self.stats.deliveries += 1;
+            {
+                let st = self.station_mut(to);
+                st.frames_rx += 1;
+                st.bytes_rx += frame.payload_bytes;
+            }
+            out.push(Delivery {
+                to,
+                at: arrival,
+                frame: frame.clone(),
+            });
+        }
+        out
+    }
+
+    /// Wire counters.
+    pub fn stats(&self) -> &WireStats {
+        &self.stats
+    }
+
+    /// Per-station counters: `(frames sent, frames received, payload
+    /// bytes sent, payload bytes received)`.
+    pub fn station_stats(&self, host: HostAddr) -> (u64, u64, u64, u64) {
+        let st = self.station(host);
+        (st.frames_tx, st.frames_rx, st.bytes_tx, st.bytes_rx)
+    }
+
+    /// When the channel next becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    fn station(&self, host: HostAddr) -> &Station {
+        self.stations
+            .get(host.0 as usize)
+            .expect("unknown station address")
+    }
+
+    fn station_mut(&mut self, host: HostAddr) -> &mut Station {
+        self.stations
+            .get_mut(host.0 as usize)
+            .expect("unknown station address")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Ethernet<u32> {
+        Ethernet::new(LossModel::None, DetRng::seed(42))
+    }
+
+    #[test]
+    fn attach_hands_out_dense_addresses() {
+        let mut n = net();
+        assert_eq!(n.attach(), HostAddr(0));
+        assert_eq!(n.attach(), HostAddr(1));
+        assert_eq!(n.station_count(), 2);
+    }
+
+    #[test]
+    fn unicast_arrives_after_wire_time_and_latency() {
+        let mut n = net();
+        let a = n.attach();
+        let b = n.attach();
+        let out = n.transmit(SimTime::ZERO, Frame::unicast(a, b, 1024, 7));
+        assert_eq!(out.len(), 1);
+        // (1024+38)*8/10 = 849 us wire + 50 us latency.
+        assert_eq!(out[0].at, SimTime::from_micros(899));
+        assert_eq!(out[0].frame.payload, 7);
+    }
+
+    #[test]
+    fn channel_serializes_back_to_back_frames() {
+        let mut n = net();
+        let a = n.attach();
+        let b = n.attach();
+        let first = n.transmit(SimTime::ZERO, Frame::unicast(a, b, 1024, 1));
+        let second = n.transmit(SimTime::ZERO, Frame::unicast(a, b, 1024, 2));
+        assert_eq!(first[0].at, SimTime::from_micros(899));
+        // The second frame waits for the first to clear the wire.
+        assert_eq!(second[0].at, SimTime::from_micros(849 + 899));
+        assert!((n.stats().utilization(SimTime::from_micros(1698)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_gap_is_not_counted_busy() {
+        let mut n = net();
+        let a = n.attach();
+        let b = n.attach();
+        n.transmit(SimTime::ZERO, Frame::unicast(a, b, 1024, 1));
+        n.transmit(SimTime::from_micros(10_000), Frame::unicast(a, b, 1024, 2));
+        let util = n.stats().utilization(SimTime::from_micros(20_000));
+        assert!((util - 2.0 * 849.0 / 20_000.0).abs() < 1e-6, "util {util}");
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_sender() {
+        let mut n = net();
+        let a = n.attach();
+        let _b = n.attach();
+        let _c = n.attach();
+        let out = n.transmit(SimTime::ZERO, Frame::broadcast(a, 32, 9));
+        let to: Vec<HostAddr> = out.iter().map(|d| d.to).collect();
+        assert_eq!(to, vec![HostAddr(1), HostAddr(2)]);
+    }
+
+    #[test]
+    fn multicast_respects_membership() {
+        let mut n = net();
+        let a = n.attach();
+        let b = n.attach();
+        let c = n.attach();
+        let g = McastGroup(1);
+        n.join(g, b);
+        n.join(g, c);
+        n.join(g, c); // Idempotent.
+        let out = n.transmit(SimTime::ZERO, Frame::multicast(a, g, 32, 0));
+        assert_eq!(out.len(), 2);
+        n.leave(g, b);
+        let out = n.transmit(SimTime::ZERO, Frame::multicast(a, g, 32, 0));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, c);
+    }
+
+    #[test]
+    fn multicast_excludes_sender_even_if_member() {
+        let mut n = net();
+        let a = n.attach();
+        let b = n.attach();
+        let g = McastGroup(2);
+        n.join(g, a);
+        n.join(g, b);
+        let out = n.transmit(SimTime::ZERO, Frame::multicast(a, g, 32, 0));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, b);
+    }
+
+    #[test]
+    fn down_receiver_hears_nothing() {
+        let mut n = net();
+        let a = n.attach();
+        let b = n.attach();
+        n.set_up(b, false);
+        let out = n.transmit(SimTime::ZERO, Frame::unicast(a, b, 32, 0));
+        assert!(out.is_empty());
+        assert_eq!(n.stats().drops_down, 1);
+        n.set_up(b, true);
+        let out = n.transmit(SimTime::ZERO, Frame::unicast(a, b, 32, 0));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn down_sender_transmits_nothing() {
+        let mut n = net();
+        let a = n.attach();
+        let b = n.attach();
+        n.set_up(a, false);
+        let out = n.transmit(SimTime::ZERO, Frame::unicast(a, b, 32, 0));
+        assert!(out.is_empty());
+        assert_eq!(n.stats().sender_down, 1);
+        assert_eq!(n.stats().frames_sent, 0);
+    }
+
+    #[test]
+    fn loss_model_drops_per_receiver() {
+        let mut n: Ethernet<u32> = Ethernet::new(LossModel::EveryNth(2), DetRng::seed(1));
+        let a = n.attach();
+        let _b = n.attach();
+        let _c = n.attach();
+        // Broadcast to two receivers: the 2nd receiver check drops.
+        let out = n.transmit(SimTime::ZERO, Frame::broadcast(a, 32, 0));
+        assert_eq!(out.len(), 1);
+        assert_eq!(n.stats().drops_loss, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown station")]
+    fn unknown_destination_panics() {
+        let mut n = net();
+        let a = n.attach();
+        n.transmit(SimTime::ZERO, Frame::unicast(a, HostAddr(9), 32, 0));
+    }
+
+    #[test]
+    fn per_station_counters() {
+        let mut n = net();
+        let a = n.attach();
+        let b = n.attach();
+        let c = n.attach();
+        n.transmit(SimTime::ZERO, Frame::unicast(a, b, 100, 1));
+        n.transmit(SimTime::ZERO, Frame::broadcast(b, 50, 2));
+        assert_eq!(n.station_stats(a), (1, 1, 100, 50));
+        assert_eq!(n.station_stats(b), (1, 1, 50, 100));
+        assert_eq!(n.station_stats(c), (0, 1, 0, 50));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut n = net();
+        let a = n.attach();
+        let b = n.attach();
+        for i in 0..5 {
+            n.transmit(SimTime::ZERO, Frame::unicast(a, b, 100, i));
+        }
+        assert_eq!(n.stats().frames_sent, 5);
+        assert_eq!(n.stats().deliveries, 5);
+        assert_eq!(n.stats().payload_bytes, 500);
+    }
+}

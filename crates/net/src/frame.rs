@@ -1,0 +1,80 @@
+//! Frames on the wire.
+//!
+//! A frame is generic over its payload type: the kernel layer defines the V
+//! interkernel packet format and this crate only needs the byte count to
+//! model serialization delay.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{HostAddr, NetDest};
+
+/// A frame queued for, or delivered from, the Ethernet segment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame<P> {
+    /// Sending station.
+    pub src: HostAddr,
+    /// Destination mode.
+    pub dest: NetDest,
+    /// Payload size in bytes (drives serialization delay); the header
+    /// overhead is added by the wire model.
+    pub payload_bytes: u64,
+    /// The payload itself, opaque to this layer.
+    pub payload: P,
+}
+
+impl<P> Frame<P> {
+    /// Builds a unicast frame.
+    pub fn unicast(src: HostAddr, to: HostAddr, payload_bytes: u64, payload: P) -> Self {
+        Frame {
+            src,
+            dest: NetDest::Unicast(to),
+            payload_bytes,
+            payload,
+        }
+    }
+
+    /// Builds a broadcast frame.
+    pub fn broadcast(src: HostAddr, payload_bytes: u64, payload: P) -> Self {
+        Frame {
+            src,
+            dest: NetDest::Broadcast,
+            payload_bytes,
+            payload,
+        }
+    }
+
+    /// Builds a multicast frame.
+    pub fn multicast(
+        src: HostAddr,
+        group: crate::addr::McastGroup,
+        payload_bytes: u64,
+        payload: P,
+    ) -> Self {
+        Frame {
+            src,
+            dest: NetDest::Multicast(group),
+            payload_bytes,
+            payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::McastGroup;
+
+    #[test]
+    fn constructors_fill_fields() {
+        let f = Frame::unicast(HostAddr(1), HostAddr(2), 32, "req");
+        assert_eq!(f.src, HostAddr(1));
+        assert_eq!(f.dest, NetDest::Unicast(HostAddr(2)));
+        assert_eq!(f.payload_bytes, 32);
+
+        let b = Frame::broadcast(HostAddr(1), 64, "query");
+        assert_eq!(b.dest, NetDest::Broadcast);
+
+        let m = Frame::multicast(HostAddr(1), McastGroup(4), 32, "pm?");
+        assert_eq!(m.dest, NetDest::Multicast(McastGroup(4)));
+    }
+}

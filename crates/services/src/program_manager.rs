@@ -1,0 +1,796 @@
+//! The program manager.
+//!
+//! "There is a program manager on each workstation that provides program
+//! management for programs executing on that workstation" (§2.1). It
+//! belongs to the well-known program-manager group, answers host-selection
+//! queries (§2), creates and destroys programs, and hosts the server side
+//! of the migration protocol (§3.1): initializing a new copy of a logical
+//! host, installing the frozen kernel state, and unfreezing the new copy.
+//!
+//! The client side of migration — the five-step orchestration — lives in
+//! `vcore::migration` and drives this server side over IPC.
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+use vkernel::{
+    Kernel, LogicalHostId, Priority, ProcessId, ProcessState, ReplyIn, SendError, SendSeq,
+};
+use vnet::HostAddr;
+use vsim::calib::{
+    PM_DESTROY_ENVIRONMENT, PM_QUERY_PROCESSING, PM_SETUP_ENVIRONMENT, WORKSTATION_MEMORY_BYTES,
+};
+use vsim::SimTime;
+
+use crate::msg::{FetchPlan, ProgramSpec, ServiceMsg, SvcError};
+use crate::service::{SvcEvent, SvcOutputs, SvcToken};
+
+/// Memory the kernel and resident servers keep for themselves.
+const SYSTEM_RESERVED_BYTES: u64 = 256 * 1024;
+
+/// How long an accepted migration may sit half-built before the target
+/// reclaims the temporary logical host (the source crashed mid-pre-copy;
+/// the paper leaves this case open — without a reclaim the memory leaks
+/// forever).
+pub const MIGRATION_INIT_TIMEOUT: vsim::SimDuration = vsim::SimDuration::from_secs(60);
+
+/// Policy for answering `@*` queries.
+#[derive(Debug, Clone)]
+pub struct AcceptPolicy {
+    /// Maximum guest programs this workstation will host.
+    pub max_guest_programs: usize,
+    /// Answer `@*` even while the owner is active (the paper's priority
+    /// scheduling makes this acceptable; disable for a conservative
+    /// policy).
+    pub respond_when_owner_active: bool,
+    /// Minimum free memory to advertise availability.
+    pub min_free_bytes: u64,
+}
+
+impl Default for AcceptPolicy {
+    fn default() -> Self {
+        AcceptPolicy {
+            max_guest_programs: 3,
+            respond_when_owner_active: true,
+            min_free_bytes: 512 * 1024,
+        }
+    }
+}
+
+/// Program bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ProgramInfo {
+    /// Root process.
+    pub root: ProcessId,
+    /// Image name.
+    pub image: String,
+    /// Priority it runs at.
+    pub priority: Priority,
+    /// True if created on behalf of a remote requester.
+    pub remote_origin: bool,
+}
+
+/// Program-manager statistics.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct PmStats {
+    /// `@*` / named queries answered.
+    pub queries_answered: u64,
+    /// Queries declined (silently).
+    pub queries_declined: u64,
+    /// Programs created.
+    pub programs_created: u64,
+    /// Programs destroyed.
+    pub programs_destroyed: u64,
+    /// Migrations accepted (InitMigration).
+    pub migrations_accepted: u64,
+    /// Migration installs completed.
+    pub migrations_installed: u64,
+    /// Migration aborts processed.
+    pub migrations_aborted: u64,
+    /// Temporary logical hosts reclaimed after the source went silent.
+    pub migrations_expired: u64,
+    /// Bytes demand-fetched from the paging store after VM-flush
+    /// migrations.
+    pub fetched_bytes: u64,
+    /// Demand fetches that failed.
+    pub fetch_failures: u64,
+}
+
+#[derive(Debug)]
+enum Pending {
+    /// Host query: answer after the processing delay.
+    Query { requester: ProcessId, seq: SendSeq },
+    /// CreateProgram: waiting for the image Stat from the file server.
+    AwaitStat {
+        requester: ProcessId,
+        seq: SendSeq,
+        spec: Box<ProgramSpec>,
+    },
+    /// CreateProgram: waiting for the file server to load the image.
+    AwaitLoad {
+        requester: ProcessId,
+        seq: SendSeq,
+        spec: Box<ProgramSpec>,
+        lh: LogicalHostId,
+        root: ProcessId,
+    },
+    /// CreateProgram: environment setup delay before replying.
+    Setup {
+        requester: ProcessId,
+        seq: SendSeq,
+        spec: Box<ProgramSpec>,
+        lh: LogicalHostId,
+        root: ProcessId,
+    },
+    /// InstallState: the 14 ms + 9 ms/object kernel-state copy.
+    Install {
+        requester: ProcessId,
+        seq: SendSeq,
+        temp: LogicalHostId,
+        record: Box<vkernel::MigrationRecord<ServiceMsg>>,
+        image: String,
+        priority: Priority,
+        fetch: Option<FetchPlan>,
+    },
+    /// Destroy: environment teardown delay.
+    Destroy {
+        requester: ProcessId,
+        seq: SendSeq,
+        lh: LogicalHostId,
+    },
+    /// Watchdog on an accepted migration: reclaim the temporary logical
+    /// host if the source never completed.
+    MigExpire { temp: LogicalHostId },
+}
+
+/// The program manager of one workstation.
+pub struct ProgramManager {
+    pid: ProcessId,
+    host: HostAddr,
+    host_name: String,
+    file_server: ProcessId,
+    policy: AcceptPolicy,
+    owner_active: bool,
+    programs: HashMap<LogicalHostId, ProgramInfo>,
+    waiters: HashMap<LogicalHostId, Vec<(ProcessId, SendSeq)>>,
+    pending_fetch: HashMap<LogicalHostId, FetchPlan>,
+    fetches_in_flight: HashMap<vkernel::XferId, LogicalHostId>,
+    pending: HashMap<u64, Pending>,
+    by_seq: HashMap<SendSeq, u64>,
+    next_token: u64,
+    next_lh: u32,
+    lh_base: u32,
+    stats: PmStats,
+}
+
+impl ProgramManager {
+    /// Creates the program manager for a workstation.
+    ///
+    /// `lh_base` is the start of this manager's private logical-host-id
+    /// range (the cluster builder spaces them so ids never collide).
+    pub fn new(
+        pid: ProcessId,
+        host: HostAddr,
+        host_name: impl Into<String>,
+        file_server: ProcessId,
+        lh_base: u32,
+        policy: AcceptPolicy,
+    ) -> Self {
+        ProgramManager {
+            pid,
+            host,
+            host_name: host_name.into(),
+            file_server,
+            policy,
+            owner_active: false,
+            programs: HashMap::new(),
+            waiters: HashMap::new(),
+            pending_fetch: HashMap::new(),
+            fetches_in_flight: HashMap::new(),
+            pending: HashMap::new(),
+            by_seq: HashMap::new(),
+            next_token: 0,
+            next_lh: 0,
+            lh_base,
+            stats: PmStats::default(),
+        }
+    }
+
+    /// The manager's process id.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// The workstation's host name.
+    pub fn host_name(&self) -> &str {
+        &self.host_name
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &PmStats {
+        &self.stats
+    }
+
+    /// Known programs.
+    pub fn programs(&self) -> &HashMap<LogicalHostId, ProgramInfo> {
+        &self.programs
+    }
+
+    /// Info for one program.
+    pub fn program(&self, lh: LogicalHostId) -> Option<&ProgramInfo> {
+        self.programs.get(&lh)
+    }
+
+    /// Marks the owner as actively using (or not using) the workstation;
+    /// driven by the user model.
+    pub fn set_owner_active(&mut self, active: bool) {
+        self.owner_active = active;
+    }
+
+    /// True if the owner is at the console.
+    pub fn owner_active(&self) -> bool {
+        self.owner_active
+    }
+
+    /// Allocates a fresh logical-host id from this manager's range.
+    pub fn alloc_lh(&mut self) -> LogicalHostId {
+        let id = LogicalHostId(self.lh_base + self.next_lh);
+        self.next_lh += 1;
+        id
+    }
+
+    fn token(&mut self, p: Pending) -> SvcToken {
+        let t = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(t, p);
+        SvcToken(t)
+    }
+
+    fn free_bytes(&self, k: &Kernel<ServiceMsg>) -> u64 {
+        let used: u64 = k
+            .resident_lhs()
+            .iter()
+            .filter_map(|&lh| k.logical_host(lh))
+            .map(|l| l.total_bytes())
+            .sum();
+        WORKSTATION_MEMORY_BYTES
+            .saturating_sub(used)
+            .saturating_sub(SYSTEM_RESERVED_BYTES)
+    }
+
+    fn guest_count(&self) -> usize {
+        self.programs.values().filter(|p| p.remote_origin).count()
+    }
+
+    fn would_accept(&self, k: &Kernel<ServiceMsg>) -> bool {
+        (self.policy.respond_when_owner_active || !self.owner_active)
+            && self.guest_count() < self.policy.max_guest_programs
+            && self.free_bytes(k) >= self.policy.min_free_bytes
+    }
+
+    /// Handles a request delivered to the manager.
+    pub fn handle_request(
+        &mut self,
+        now: SimTime,
+        msg: vkernel::MsgIn<ServiceMsg>,
+        k: &mut Kernel<ServiceMsg>,
+    ) -> SvcOutputs {
+        let mut out = SvcOutputs::new();
+        let (requester, seq) = (msg.from, msg.seq);
+        match msg.body {
+            ServiceMsg::QueryHost {
+                host_name,
+                exclude_host,
+            } => {
+                let respond = exclude_host != Some(self.host)
+                    && match &host_name {
+                        Some(n) => *n == self.host_name,
+                        // "@*" means "some *other* lightly loaded machine"
+                        // (§4.3): a manager does not offer the requester
+                        // its own workstation back.
+                        None => !k.is_resident(requester.lh) && self.would_accept(k),
+                    };
+                if respond {
+                    // The 23 ms first-response time is dominated by this
+                    // processing delay (§4.1). On a busy workstation the
+                    // manager contends with running programs for the CPU,
+                    // so its response is slower — which is exactly why
+                    // "the program manager that responds first ... is
+                    // generally the least loaded host" (§2).
+                    let contention = 1.0 + 0.25 * self.programs.len() as f64;
+                    let t = self.token(Pending::Query { requester, seq });
+                    out = out.timer(t, PM_QUERY_PROCESSING.mul_f64(contention));
+                } else {
+                    self.stats.queries_declined += 1;
+                }
+            }
+            ServiceMsg::CreateProgram(spec) => {
+                let t = self.token(Pending::AwaitStat {
+                    requester,
+                    seq,
+                    spec: spec.clone(),
+                });
+                let stat = ServiceMsg::Stat {
+                    name: spec.image.clone(),
+                };
+                let (sseq, kouts) =
+                    k.send_with_seq(now, self.pid, self.file_server.into(), stat, 0);
+                self.by_seq.insert(sseq, t.0);
+                out = out.kernel(kouts);
+            }
+            ServiceMsg::StartProgram { root } => {
+                let started = k
+                    .logical_host_mut(root.lh)
+                    .and_then(|l| l.process_mut(root.index))
+                    .map(|p| {
+                        let was_embryo = p.state == ProcessState::Embryo;
+                        if was_embryo {
+                            p.state = ProcessState::Ready;
+                        }
+                        was_embryo
+                    })
+                    .unwrap_or(false);
+                if started {
+                    let info = self.programs.get(&root.lh);
+                    out = out.event(SvcEvent::ProgramStarted {
+                        root,
+                        lh: root.lh,
+                        image: info.map(|i| i.image.clone()).unwrap_or_default(),
+                        args: Vec::new(),
+                    });
+                    out = out.kernel(k.reply(now, self.pid, requester, seq, ServiceMsg::Ok, 0));
+                } else {
+                    out = out.kernel(k.reply(
+                        now,
+                        self.pid,
+                        requester,
+                        seq,
+                        ServiceMsg::Err(SvcError::BadRequest),
+                        0,
+                    ));
+                }
+            }
+            ServiceMsg::DestroyProgram { lh } => {
+                if self.programs.contains_key(&lh) {
+                    let t = self.token(Pending::Destroy { requester, seq, lh });
+                    out = out.timer(t, PM_DESTROY_ENVIRONMENT);
+                } else {
+                    out = out.kernel(k.reply(
+                        now,
+                        self.pid,
+                        requester,
+                        seq,
+                        ServiceMsg::Err(SvcError::BadRequest),
+                        0,
+                    ));
+                }
+            }
+            ServiceMsg::SuspendProgram { lh } => {
+                let reply = if self.programs.contains_key(&lh) && k.is_resident(lh) {
+                    k.freeze(lh);
+                    ServiceMsg::Ok
+                } else {
+                    ServiceMsg::Err(SvcError::BadRequest)
+                };
+                out = out.kernel(k.reply(now, self.pid, requester, seq, reply, 0));
+            }
+            ServiceMsg::ResumeProgram { lh } => {
+                if self.programs.contains_key(&lh)
+                    && k.logical_host(lh).map(|l| l.is_frozen()).unwrap_or(false)
+                {
+                    out = out.kernel(k.unfreeze_in_place(now, lh));
+                    out = out.kernel(k.reply(now, self.pid, requester, seq, ServiceMsg::Ok, 0));
+                    out = out.event(SvcEvent::ProgramResumed { lh });
+                } else {
+                    out = out.kernel(k.reply(
+                        now,
+                        self.pid,
+                        requester,
+                        seq,
+                        ServiceMsg::Err(SvcError::BadRequest),
+                        0,
+                    ));
+                }
+            }
+            ServiceMsg::WaitProgram { lh } => {
+                if self.programs.contains_key(&lh) {
+                    // No reply yet: the requester blocks (kept alive by
+                    // reply-pending packets) until the program is
+                    // destroyed.
+                    self.waiters.entry(lh).or_default().push((requester, seq));
+                } else {
+                    // Already gone (or never existed): complete at once.
+                    out = out.kernel(k.reply(now, self.pid, requester, seq, ServiceMsg::Ok, 0));
+                }
+            }
+            ServiceMsg::ListPrograms => {
+                let mut programs: Vec<(LogicalHostId, String, bool, bool)> = self
+                    .programs
+                    .iter()
+                    .map(|(&lh, info)| {
+                        let frozen = k.logical_host(lh).map(|l| l.is_frozen()).unwrap_or(false);
+                        (lh, info.image.clone(), info.remote_origin, frozen)
+                    })
+                    .collect();
+                programs.sort_by_key(|p| p.0);
+                let reply = ServiceMsg::ProgramList { programs };
+                out = out.kernel(k.reply(now, self.pid, requester, seq, reply, 0));
+            }
+            ServiceMsg::QueryLoad => {
+                let report = ServiceMsg::LoadReport {
+                    programs: self.programs.len() as u32,
+                    free_bytes: self.free_bytes(k),
+                    owner_active: self.owner_active,
+                };
+                out = out.kernel(k.reply(now, self.pid, requester, seq, report, 0));
+            }
+            ServiceMsg::InitMigration { temp, spaces } => {
+                if !self.would_accept(k) || k.is_resident(temp) {
+                    out = out.kernel(k.reply(
+                        now,
+                        self.pid,
+                        requester,
+                        seq,
+                        ServiceMsg::Err(SvcError::Declined),
+                        0,
+                    ));
+                } else {
+                    self.stats.migrations_accepted += 1;
+                    let l = k.create_logical_host(temp);
+                    for (sid, layout) in spaces {
+                        l.create_space_with_id(sid, layout);
+                    }
+                    let t = self.token(Pending::MigExpire { temp });
+                    out = out.timer(t, MIGRATION_INIT_TIMEOUT);
+                    let accepted = ServiceMsg::MigrationAccepted { host: self.host };
+                    out = out.kernel(k.reply(now, self.pid, requester, seq, accepted, 0));
+                }
+            }
+            ServiceMsg::InstallState {
+                temp,
+                record,
+                image,
+                priority,
+                fetch,
+            } => {
+                if !k.is_resident(temp) {
+                    out = out.kernel(k.reply(
+                        now,
+                        self.pid,
+                        requester,
+                        seq,
+                        ServiceMsg::Err(SvcError::BadRequest),
+                        0,
+                    ));
+                } else {
+                    let cost = record.copy_cost();
+                    let t = self.token(Pending::Install {
+                        requester,
+                        seq,
+                        temp,
+                        record,
+                        image,
+                        priority,
+                        fetch,
+                    });
+                    out = out.timer(t, cost);
+                }
+            }
+            ServiceMsg::UnfreezeMigrated { lh } => {
+                if k.is_resident(lh) {
+                    out = out.kernel(k.unfreeze_migrated(now, lh));
+                    // Demand-fetch the flushed pages back from the paging
+                    // store (§3.2), in the background while the program
+                    // already runs.
+                    if let Some(plan) = self.pending_fetch.remove(&lh) {
+                        for (space, pages) in plan.pages {
+                            if pages.is_empty() {
+                                continue;
+                            }
+                            let (xfer, kouts) = k.pull_pages(
+                                now,
+                                self.pid,
+                                plan.from_lh,
+                                plan.from_space,
+                                lh,
+                                space,
+                                pages,
+                            );
+                            self.fetches_in_flight.insert(xfer, lh);
+                            out = out.kernel(kouts);
+                        }
+                    }
+                    out = out.kernel(k.reply(now, self.pid, requester, seq, ServiceMsg::Ok, 0));
+                    out = out.event(SvcEvent::LogicalHostAdopted { lh });
+                } else {
+                    out = out.kernel(k.reply(
+                        now,
+                        self.pid,
+                        requester,
+                        seq,
+                        ServiceMsg::Err(SvcError::BadRequest),
+                        0,
+                    ));
+                }
+            }
+            ServiceMsg::AbortMigration { temp } => {
+                self.stats.migrations_aborted += 1;
+                out = out.kernel(k.delete_logical_host(now, temp));
+                out = out.kernel(k.reply(now, self.pid, requester, seq, ServiceMsg::Ok, 0));
+            }
+            ServiceMsg::MigrateProgram {
+                lh,
+                destroy_if_stuck,
+            } => {
+                // The migration engine (vcore) orchestrates; it replies to
+                // the requester when the eviction completes.
+                out = out.event(SvcEvent::MigrateRequested {
+                    lh,
+                    destroy_if_stuck,
+                    requester,
+                    seq,
+                });
+            }
+            other => {
+                // Not a program-manager operation.
+                let _ = other;
+                out = out.kernel(k.reply(
+                    now,
+                    self.pid,
+                    requester,
+                    seq,
+                    ServiceMsg::Err(SvcError::BadRequest),
+                    0,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Handles completion of one of the manager's own Sends (to the file
+    /// server).
+    pub fn handle_send_done(
+        &mut self,
+        now: SimTime,
+        seq: SendSeq,
+        result: Result<ReplyIn<ServiceMsg>, SendError>,
+        k: &mut Kernel<ServiceMsg>,
+    ) -> SvcOutputs {
+        let mut out = SvcOutputs::new();
+        let Some(token) = self.by_seq.remove(&seq) else {
+            return out;
+        };
+        let Some(p) = self.pending.remove(&token) else {
+            return out;
+        };
+        match p {
+            Pending::AwaitStat {
+                requester,
+                seq: rseq,
+                spec,
+            } => match result {
+                Ok(ReplyIn {
+                    body: ServiceMsg::StatReply { layout },
+                    ..
+                }) => {
+                    let lh = self.alloc_lh();
+                    let l = k.create_logical_host(lh);
+                    let space = l.create_space(layout);
+                    let root = l.create_process(space, spec.priority, true);
+                    let t = self.token(Pending::AwaitLoad {
+                        requester,
+                        seq: rseq,
+                        spec: spec.clone(),
+                        lh,
+                        root,
+                    });
+                    let load = ServiceMsg::LoadImage {
+                        name: spec.image.clone(),
+                        to_lh: lh,
+                        to_space: space,
+                    };
+                    let (sseq, kouts) =
+                        k.send_with_seq(now, self.pid, self.file_server.into(), load, 0);
+                    self.by_seq.insert(sseq, t.0);
+                    out = out.kernel(kouts);
+                }
+                _ => {
+                    out = out.kernel(k.reply(
+                        now,
+                        self.pid,
+                        requester,
+                        rseq,
+                        ServiceMsg::Err(SvcError::NotFound),
+                        0,
+                    ));
+                }
+            },
+            Pending::AwaitLoad {
+                requester,
+                seq: rseq,
+                spec,
+                lh,
+                root,
+            } => match result {
+                Ok(ReplyIn {
+                    body: ServiceMsg::ImageLoaded { .. },
+                    ..
+                }) => {
+                    let t = self.token(Pending::Setup {
+                        requester,
+                        seq: rseq,
+                        spec,
+                        lh,
+                        root,
+                    });
+                    out = out.timer(t, PM_SETUP_ENVIRONMENT);
+                }
+                _ => {
+                    out = out.kernel(k.delete_logical_host(now, lh));
+                    out = out.kernel(k.reply(
+                        now,
+                        self.pid,
+                        requester,
+                        rseq,
+                        ServiceMsg::Err(SvcError::UpstreamFailed),
+                        0,
+                    ));
+                }
+            },
+            other => {
+                // Sends are only issued for the create path.
+                unreachable!("unexpected pending state for a send: {other:?}");
+            }
+        }
+        out
+    }
+
+    /// Handles a service timer.
+    pub fn handle_timer(
+        &mut self,
+        now: SimTime,
+        token: SvcToken,
+        k: &mut Kernel<ServiceMsg>,
+    ) -> SvcOutputs {
+        let mut out = SvcOutputs::new();
+        let Some(p) = self.pending.remove(&token.0) else {
+            return out;
+        };
+        match p {
+            Pending::Query { requester, seq } => {
+                self.stats.queries_answered += 1;
+                let candidate = ServiceMsg::HostCandidate {
+                    pm: self.pid,
+                    host: self.host,
+                    host_name: self.host_name.clone(),
+                    load: self.programs.len() as u32,
+                };
+                out = out.kernel(k.reply(now, self.pid, requester, seq, candidate, 0));
+            }
+            Pending::Setup {
+                requester,
+                seq,
+                spec,
+                lh,
+                root,
+            } => {
+                self.stats.programs_created += 1;
+                self.programs.insert(
+                    lh,
+                    ProgramInfo {
+                        root,
+                        image: spec.image.clone(),
+                        priority: spec.priority,
+                        remote_origin: requester.lh != lh && requester.lh.0 != self.lh_base,
+                    },
+                );
+                let created = ServiceMsg::ProgramCreated {
+                    root,
+                    lh,
+                    host: self.host,
+                };
+                out = out.kernel(k.reply(now, self.pid, requester, seq, created, 0));
+            }
+            Pending::Install {
+                requester,
+                seq,
+                temp,
+                record,
+                image,
+                priority,
+                fetch,
+            } => {
+                self.stats.migrations_installed += 1;
+                let lh = record.desc.id;
+                let root = record
+                    .desc
+                    .processes
+                    .first()
+                    .map(|pd| ProcessId::new(lh, pd.index))
+                    .unwrap_or(ProcessId::new(lh, 0));
+                out = out.kernel(k.install_migration_record(now, temp, &record));
+                self.programs.insert(
+                    lh,
+                    ProgramInfo {
+                        root,
+                        image,
+                        priority,
+                        remote_origin: true,
+                    },
+                );
+                if let Some(plan) = fetch {
+                    self.pending_fetch.insert(lh, plan);
+                }
+                out = out.kernel(k.reply(now, self.pid, requester, seq, ServiceMsg::Ok, 0));
+            }
+            Pending::Destroy { requester, seq, lh } => {
+                self.stats.programs_destroyed += 1;
+                self.programs.remove(&lh);
+                out = out.kernel(k.delete_logical_host(now, lh));
+                out = out.event(SvcEvent::ProgramDestroyed { lh });
+                out = out.kernel(k.reply(now, self.pid, requester, seq, ServiceMsg::Ok, 0));
+                // Wake anyone blocked in WaitProgram.
+                for (w, wseq) in self.waiters.remove(&lh).unwrap_or_default() {
+                    out = out.kernel(k.reply(now, self.pid, w, wseq, ServiceMsg::Ok, 0));
+                }
+            }
+            Pending::MigExpire { temp } => {
+                // InstallState renames temp to the original id, so a
+                // still-resident temp means the source never finished.
+                if k.is_resident(temp) {
+                    self.stats.migrations_expired += 1;
+                    out = out.kernel(k.delete_logical_host(now, temp));
+                }
+            }
+            other => unreachable!("unexpected pending state for a timer: {other:?}"),
+        }
+        out
+    }
+
+    /// Handles completion of a background demand-fetch (VM-flush).
+    pub fn handle_copy_done(
+        &mut self,
+        _now: SimTime,
+        xfer: vkernel::XferId,
+        result: Result<u64, vkernel::SendError>,
+        _k: &mut Kernel<ServiceMsg>,
+    ) -> SvcOutputs {
+        if self.fetches_in_flight.remove(&xfer).is_some() {
+            match result {
+                Ok(bytes) => self.stats.fetched_bytes += bytes,
+                Err(_) => self.stats.fetch_failures += 1,
+            }
+        }
+        SvcOutputs::new()
+    }
+
+    /// Removes a migrated-away program from the books (called by the
+    /// migration engine after the old copy is deleted). Anyone blocked in
+    /// WaitProgram here is failed so they can re-issue the wait to the
+    /// program's new manager.
+    pub fn forget_program(
+        &mut self,
+        now: SimTime,
+        lh: LogicalHostId,
+        k: &mut Kernel<ServiceMsg>,
+    ) -> (Option<ProgramInfo>, SvcOutputs) {
+        let mut out = SvcOutputs::new();
+        for (w, wseq) in self.waiters.remove(&lh).unwrap_or_default() {
+            out = out.kernel(k.reply(
+                now,
+                self.pid,
+                w,
+                wseq,
+                ServiceMsg::Err(SvcError::UpstreamFailed),
+                0,
+            ));
+        }
+        (self.programs.remove(&lh), out)
+    }
+
+    /// Registers a program that exists for reasons outside the normal
+    /// create path (tests, scenario setup).
+    pub fn register_program(&mut self, lh: LogicalHostId, info: ProgramInfo) {
+        self.programs.insert(lh, info);
+    }
+}

@@ -1,0 +1,353 @@
+//! The discrete-event engine.
+//!
+//! A single [`Engine`] owns the pending-event queue and the simulated clock.
+//! Components of the simulation are *sans-IO state machines*: they never
+//! block and never sleep; instead they schedule future events on the engine
+//! and react when those events are popped.
+//!
+//! Determinism: events that fire at the same instant are delivered in the
+//! order they were scheduled (FIFO tie-break on a monotone sequence number),
+//! so a run is a pure function of the initial state and the RNG seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, within an
+        // instant, the first-scheduled) event is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue with a simulated clock.
+///
+/// # Examples
+///
+/// ```
+/// use vsim::{Engine, SimDuration, SimTime};
+///
+/// let mut engine: Engine<&str> = Engine::new();
+/// engine.schedule_after(SimDuration::from_millis(5), "world");
+/// engine.schedule_after(SimDuration::from_millis(1), "hello");
+///
+/// let mut seen = Vec::new();
+/// while let Some((t, e)) = engine.pop() {
+///     seen.push((t.as_micros(), e));
+/// }
+/// assert_eq!(seen, vec![(1_000, "hello"), (5_000, "world")]);
+/// ```
+pub struct Engine<E> {
+    queue: BinaryHeap<Scheduled<E>>,
+    cancelled: HashSet<EventId>,
+    now: SimTime,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an empty engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far (popped, not cancelled).
+    pub fn events_delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of events still pending (including lazily-cancelled ones).
+    pub fn pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Schedules `event` to fire at the absolute instant `at`.
+    ///
+    /// Scheduling in the past is a logic error in a discrete-event model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "scheduled event in the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled { at, seq, event });
+        EventId(seq)
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Schedules `event` at the current instant, after all events already
+    /// scheduled for this instant.
+    pub fn schedule_now(&mut self, event: E) -> EventId {
+        self.schedule_at(self.now, event)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Cancellation is lazy: the entry stays in the heap and is skipped when
+    /// popped. Cancelling an already-fired or unknown id is a no-op (the
+    /// usual race between a timer firing and being cancelled).
+    pub fn cancel(&mut self, id: EventId) {
+        if id.0 < self.next_seq {
+            self.cancelled.insert(id);
+        }
+    }
+
+    /// Pops the next event, advancing the clock to its firing time.
+    ///
+    /// Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_due(SimTime::MAX)
+    }
+
+    /// Pops the next event if it fires at or before `limit`.
+    ///
+    /// Advances the clock to the event time on success. The clock is *not*
+    /// advanced to `limit` on failure; call [`Engine::advance_to`] if a
+    /// scenario needs the clock moved past the last event.
+    pub fn pop_due(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            let due = self.queue.peek().map(|s| s.at)?;
+            if due > limit {
+                return None;
+            }
+            let s = self.queue.pop().expect("peeked entry vanished");
+            if self.cancelled.remove(&EventId(s.seq)) {
+                continue;
+            }
+            debug_assert!(s.at >= self.now, "event queue went backwards");
+            self.now = s.at;
+            self.popped += 1;
+            return Some((s.at, s.event));
+        }
+    }
+
+    /// Moves the clock forward to `t` without delivering events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an undelivered event is pending before `t`, or if `t` is in
+    /// the past — both indicate scenario logic errors.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "advance_to moving backwards");
+        if let Some(s) = self.queue.peek() {
+            if !self.cancelled.contains(&EventId(s.seq)) {
+                assert!(
+                    s.at >= t,
+                    "advance_to({t}) would skip a pending event at {}",
+                    s.at
+                );
+            }
+        }
+        self.now = t;
+    }
+}
+
+/// A state machine driven by an [`Engine`].
+///
+/// The handler receives the engine so that it can schedule follow-up events;
+/// the engine's clock already stands at the event's firing time.
+pub trait Dispatch<E> {
+    /// Handles one event at time `now`.
+    fn dispatch(&mut self, engine: &mut Engine<E>, now: SimTime, event: E);
+}
+
+/// Runs `state` until the queue drains or the clock would pass `limit`.
+///
+/// Returns the number of events delivered by this call.
+pub fn run_until<E, S: Dispatch<E>>(engine: &mut Engine<E>, state: &mut S, limit: SimTime) -> u64 {
+    let start = engine.events_delivered();
+    while let Some((t, e)) = engine.pop_due(limit) {
+        state.dispatch(engine, t, e);
+    }
+    engine.events_delivered() - start
+}
+
+/// Runs `state` until the queue drains completely.
+pub fn run_to_completion<E, S: Dispatch<E>>(engine: &mut Engine<E>, state: &mut S) -> u64 {
+    run_until(engine, state, SimTime::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_after(SimDuration::from_micros(30), 3);
+        e.schedule_after(SimDuration::from_micros(10), 1);
+        e.schedule_after(SimDuration::from_micros(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(e.now(), SimTime::from_micros(30));
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut e: Engine<u32> = Engine::new();
+        let t = SimTime::from_micros(5);
+        for v in 0..100 {
+            e.schedule_at(t, v);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut e: Engine<u32> = Engine::new();
+        let a = e.schedule_after(SimDuration::from_micros(1), 1);
+        e.schedule_after(SimDuration::from_micros(2), 2);
+        e.cancel(a);
+        assert_eq!(e.pending(), 1);
+        assert_eq!(e.pop().map(|(_, v)| v), Some(2));
+        assert_eq!(e.pop(), None);
+        assert_eq!(e.events_delivered(), 1);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut e: Engine<u32> = Engine::new();
+        let a = e.schedule_now(1);
+        assert_eq!(e.pop().map(|(_, v)| v), Some(1));
+        e.cancel(a);
+        e.schedule_now(2);
+        assert_eq!(e.pop().map(|(_, v)| v), Some(2));
+    }
+
+    #[test]
+    fn pop_due_respects_limit() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_after(SimDuration::from_micros(10), 1);
+        e.schedule_after(SimDuration::from_micros(20), 2);
+        assert_eq!(e.pop_due(SimTime::from_micros(15)).map(|(_, v)| v), Some(1));
+        assert_eq!(e.pop_due(SimTime::from_micros(15)), None);
+        // The clock stays at the last delivered event.
+        assert_eq!(e.now(), SimTime::from_micros(10));
+        assert_eq!(e.pop().map(|(_, v)| v), Some(2));
+    }
+
+    #[test]
+    fn schedule_now_runs_after_peers_at_same_instant() {
+        let mut e: Engine<&str> = Engine::new();
+        e.schedule_at(SimTime::ZERO, "first");
+        e.schedule_now("second");
+        assert_eq!(e.pop().map(|(_, v)| v), Some("first"));
+        assert_eq!(e.pop().map(|(_, v)| v), Some("second"));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_after(SimDuration::from_micros(10), 1);
+        e.pop();
+        e.schedule_at(SimTime::from_micros(5), 2);
+    }
+
+    #[test]
+    fn advance_to_moves_idle_clock() {
+        let mut e: Engine<u32> = Engine::new();
+        e.advance_to(SimTime::from_micros(100));
+        assert_eq!(e.now(), SimTime::from_micros(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "would skip")]
+    fn advance_to_refuses_to_skip_events() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_after(SimDuration::from_micros(10), 1);
+        e.advance_to(SimTime::from_micros(20));
+    }
+
+    struct Counter {
+        fired: Vec<u32>,
+    }
+
+    impl Dispatch<u32> for Counter {
+        fn dispatch(&mut self, engine: &mut Engine<u32>, _now: SimTime, event: u32) {
+            self.fired.push(event);
+            // Chain follow-up events to exercise re-entrancy.
+            if event < 3 {
+                engine.schedule_after(SimDuration::from_micros(1), event + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn run_until_drives_chained_events() {
+        let mut e: Engine<u32> = Engine::new();
+        let mut c = Counter { fired: Vec::new() };
+        e.schedule_now(0);
+        let n = run_to_completion(&mut e, &mut c);
+        assert_eq!(c.fired, vec![0, 1, 2, 3]);
+        assert_eq!(n, 4);
+        assert_eq!(e.now(), SimTime::from_micros(3));
+    }
+
+    #[test]
+    fn run_until_stops_at_limit() {
+        let mut e: Engine<u32> = Engine::new();
+        let mut c = Counter { fired: Vec::new() };
+        e.schedule_now(0);
+        run_until(&mut e, &mut c, SimTime::from_micros(1));
+        assert_eq!(c.fired, vec![0, 1]);
+        assert_eq!(e.pending(), 1);
+    }
+}

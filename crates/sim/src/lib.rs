@@ -1,0 +1,26 @@
+//! `vsim` — deterministic discrete-event simulation engine.
+//!
+//! Foundation of the V-system reproduction: a microsecond-resolution
+//! simulated clock and event queue ([`Engine`]), seeded randomness
+//! ([`DetRng`]), measurement collection ([`OnlineStats`], [`Samples`],
+//! [`Histogram`]), a trace log ([`Trace`]) and the calibration constants
+//! derived from the paper's §4.1 measurements ([`calib`]).
+//!
+//! Everything above this crate is a sans-IO state machine: components react
+//! to events and schedule new ones; only the cluster runtime owns the loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calib;
+mod engine;
+mod rng;
+mod stats;
+mod time;
+mod trace;
+
+pub use engine::{run_to_completion, run_until, Dispatch, Engine, EventId};
+pub use rng::DetRng;
+pub use stats::{Histogram, OnlineStats, Samples};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceLevel, TraceRecord};

@@ -1,0 +1,371 @@
+//! Measurement collection.
+//!
+//! The experiment harness reports means, extremes and percentiles of
+//! simulated measurements (freeze times, dirty-page counts, response
+//! times). [`OnlineStats`] accumulates moments without storing samples;
+//! [`Samples`] stores them for percentiles; [`Histogram`] buckets
+//! durations for distribution tables.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use vsim::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.add(x);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds a duration sample, in seconds.
+    pub fn add_duration(&mut self, d: SimDuration) {
+        self.add(d.as_secs_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance, or 0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Stored samples supporting percentiles.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Samples { values: Vec::new() }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        self.values.push(x);
+    }
+
+    /// Adds a duration sample, in seconds.
+    pub fn add_duration(&mut self, d: SimDuration) {
+        self.add(d.as_secs_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no samples were added.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sample mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// The `p`-th percentile (nearest-rank), `p` in `[0, 100]`.
+    ///
+    /// Returns `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]` or not finite.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        // Nearest-rank: the ceil(p/100 * n)-th smallest sample (1-indexed).
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.clamp(1, sorted.len()) - 1])
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        self.values
+            .iter()
+            .copied()
+            .min_by(|a, b| a.partial_cmp(b).expect("NaN sample"))
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.values
+            .iter()
+            .copied()
+            .max_by(|a, b| a.partial_cmp(b).expect("NaN sample"))
+    }
+
+    /// Read-only view of the raw samples, in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Fixed-bucket histogram of durations, for distribution tables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Upper bounds (exclusive) of each bucket, ascending; one overflow
+    /// bucket is appended implicitly.
+    bounds: Vec<SimDuration>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: Vec<SimDuration>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let counts = vec![0; bounds.len() + 1];
+        Histogram { bounds, counts }
+    }
+
+    /// Adds one duration observation.
+    pub fn add(&mut self, d: SimDuration) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| d < b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates `(label, count)` rows, including the overflow bucket.
+    pub fn rows(&self) -> Vec<(String, u64)> {
+        let mut rows = Vec::with_capacity(self.counts.len());
+        let mut lower = SimDuration::ZERO;
+        for (i, &b) in self.bounds.iter().enumerate() {
+            rows.push((format!("[{lower}, {b})"), self.counts[i]));
+            lower = b;
+        }
+        rows.push((format!(">= {lower}"), self.counts[self.bounds.len()]));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic_moments() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.add(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn online_stats_empty_defaults() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_single_stream() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.add(x);
+        }
+        for &x in &xs[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.add(5.0);
+        let before = a.mean();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.mean(), before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&a);
+        assert_eq!(empty.mean(), before);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = Samples::new();
+        for x in 1..=100 {
+            s.add(x as f64);
+        }
+        assert_eq!(s.median(), Some(50.0));
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(100.0), Some(100.0));
+        assert_eq!(s.percentile(90.0), Some(90.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(100.0));
+    }
+
+    #[test]
+    fn percentile_of_empty_is_none() {
+        assert_eq!(Samples::new().percentile(50.0), None);
+        assert_eq!(Samples::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn duration_samples() {
+        let mut s = Samples::new();
+        s.add_duration(SimDuration::from_millis(5));
+        s.add_duration(SimDuration::from_millis(210));
+        assert!((s.mean() - 0.1075).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new(vec![
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(100),
+            SimDuration::from_secs(1),
+        ]);
+        h.add(SimDuration::from_millis(5)); // bucket 0
+        h.add(SimDuration::from_millis(10)); // bucket 1 (bounds exclusive)
+        h.add(SimDuration::from_millis(99)); // bucket 1
+        h.add(SimDuration::from_millis(500)); // bucket 2
+        h.add(SimDuration::from_secs(30)); // overflow
+        assert_eq!(h.total(), 5);
+        let counts: Vec<u64> = h.rows().into_iter().map(|(_, c)| c).collect();
+        assert_eq!(counts, vec![1, 2, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::new(vec![SimDuration::from_secs(1), SimDuration::from_millis(1)]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Simulation tracing.
+//!
+//! A cheap, always-deterministic event log. Scenarios and tests use it to
+//! assert *how* a result was reached (e.g. "the logical host was frozen
+//! exactly once", "no packet was sent to the old host after rebinding"),
+//! and the examples print it to narrate runs.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Severity/importance of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceLevel {
+    /// High-volume detail (every packet).
+    Detail,
+    /// Normal protocol milestones (program started, copy round finished).
+    Info,
+    /// Abnormal events (packet dropped, retransmission, migration abort).
+    Warn,
+}
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// When it happened.
+    pub at: SimTime,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Subsystem tag, e.g. `"kernel[2]"`, `"migration"`.
+    pub tag: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12}] {:<14} {}",
+            self.at.to_string(),
+            self.tag,
+            self.message
+        )
+    }
+}
+
+/// An in-memory trace buffer with a level filter.
+///
+/// # Examples
+///
+/// ```
+/// use vsim::{SimTime, Trace, TraceLevel};
+///
+/// let mut trace = Trace::new(TraceLevel::Info);
+/// trace.info(SimTime::ZERO, "kernel[0]", "boot");
+/// trace.detail(SimTime::ZERO, "net", "this is filtered out");
+/// assert_eq!(trace.records().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Trace {
+    min_level: TraceLevel,
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Creates a trace that keeps records at `min_level` and above.
+    pub fn new(min_level: TraceLevel) -> Self {
+        Trace {
+            min_level,
+            records: Vec::new(),
+        }
+    }
+
+    /// A trace that discards everything below [`TraceLevel::Warn`].
+    pub fn quiet() -> Self {
+        Trace::new(TraceLevel::Warn)
+    }
+
+    /// Appends a record if it passes the level filter.
+    pub fn record(
+        &mut self,
+        level: TraceLevel,
+        at: SimTime,
+        tag: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        if level >= self.min_level {
+            self.records.push(TraceRecord {
+                at,
+                level,
+                tag: tag.into(),
+                message: message.into(),
+            });
+        }
+    }
+
+    /// Records at [`TraceLevel::Detail`].
+    pub fn detail(&mut self, at: SimTime, tag: impl Into<String>, msg: impl Into<String>) {
+        self.record(TraceLevel::Detail, at, tag, msg);
+    }
+
+    /// Records at [`TraceLevel::Info`].
+    pub fn info(&mut self, at: SimTime, tag: impl Into<String>, msg: impl Into<String>) {
+        self.record(TraceLevel::Info, at, tag, msg);
+    }
+
+    /// Records at [`TraceLevel::Warn`].
+    pub fn warn(&mut self, at: SimTime, tag: impl Into<String>, msg: impl Into<String>) {
+        self.record(TraceLevel::Warn, at, tag, msg);
+    }
+
+    /// All retained records, in time order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records whose tag starts with `prefix`.
+    pub fn with_tag<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
+        self.records
+            .iter()
+            .filter(move |r| r.tag.starts_with(prefix))
+    }
+
+    /// Count of records whose message contains `needle`.
+    pub fn count_containing(&self, needle: &str) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.message.contains(needle))
+            .count()
+    }
+
+    /// Drops all retained records.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(TraceLevel::Info)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_filter_applies() {
+        let mut t = Trace::new(TraceLevel::Info);
+        t.detail(SimTime::ZERO, "a", "dropped");
+        t.info(SimTime::ZERO, "a", "kept");
+        t.warn(SimTime::ZERO, "b", "kept too");
+        assert_eq!(t.records().len(), 2);
+    }
+
+    #[test]
+    fn quiet_keeps_only_warnings() {
+        let mut t = Trace::quiet();
+        t.info(SimTime::ZERO, "a", "nope");
+        t.warn(SimTime::ZERO, "a", "yes");
+        assert_eq!(t.records().len(), 1);
+        assert_eq!(t.records()[0].level, TraceLevel::Warn);
+    }
+
+    #[test]
+    fn tag_and_content_queries() {
+        let mut t = Trace::new(TraceLevel::Detail);
+        t.info(SimTime::ZERO, "kernel[0]", "freeze lh=3");
+        t.info(SimTime::ZERO, "kernel[1]", "unfreeze lh=3");
+        t.info(SimTime::ZERO, "net", "drop frame");
+        assert_eq!(t.with_tag("kernel").count(), 2);
+        assert_eq!(t.count_containing("freeze"), 2);
+        assert_eq!(t.count_containing("drop"), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut t = Trace::default();
+        t.info(SimTime::from_micros(23_000), "sched", "first response");
+        let line = t.records()[0].to_string();
+        assert!(line.contains("23.000ms"), "{line}");
+        assert!(line.contains("sched"));
+    }
+
+    #[test]
+    fn clear_empties_buffer() {
+        let mut t = Trace::default();
+        t.info(SimTime::ZERO, "x", "y");
+        t.clear();
+        assert!(t.records().is_empty());
+    }
+}

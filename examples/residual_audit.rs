@@ -1,0 +1,113 @@
+//! §3.3: residual host dependencies.
+//!
+//! A program is *supposed* to keep its state in its address space or in
+//! global servers (§6). This example violates the convention: the program
+//! opens a scratch file on a *workstation-local* file server, then
+//! migrates away. V's network-transparent IPC keeps the file reachable —
+//! but the auditor flags the residual dependency, and when the old host
+//! goes down, the dependent program's file I/O fails while a well-behaved
+//! twin (using the global server) is unaffected.
+//!
+//! Run with: `cargo run --example residual_audit`
+
+use v_system::prelude::*;
+use vcore::residual;
+use vservices::ExecEnv;
+
+fn main() {
+    let mut cluster = Cluster::new(ClusterConfig {
+        workstations: 3,
+        loss: LossModel::None,
+        ..ClusterConfig::default()
+    });
+
+    // Install a local file server on ws2 — the kind of host-bound state
+    // the paper's conventions forbid.
+    let local_fs = cluster.add_local_file_server(2);
+    cluster.stations[2]
+        .fs
+        .as_mut()
+        .expect("just installed")
+        .add_file("tmp/scratch", 8 * 1024);
+
+    // A long-running job on ws2 that opens the *local* file and then
+    // keeps computing (holding the handle).
+    let profile = ProgramProfile {
+        name: "sloppy-job".into(),
+        layout: profiles::layout_for("optimizer"),
+        wws: profiles::row("optimizer").expect("row").fit(),
+        phases: vec![
+            Phase::OpenAndHold {
+                name: "tmp/scratch".into(),
+            },
+            Phase::Compute(SimDuration::from_secs(600)),
+        ],
+    };
+    // Its environment points at the LOCAL server of ws2.
+    let env = ExecEnv::standard(cluster.stations[1].display.pid(), local_fs);
+    println!("ws1$ sloppy-job @ ws2   (env: fileserver = ws2-local!)");
+    cluster.exec_with_env(
+        2,
+        profile,
+        ExecTarget::Named("ws2".into()),
+        Priority::GUEST,
+        env,
+    );
+    cluster.run_for(SimDuration::from_secs(15));
+    let lh = cluster.exec_reports[0].lh.expect("created");
+
+    // Before migration: no residual dependency (program and file share a
+    // host).
+    let locate = |c: &Cluster, l: LogicalHostId| c.locate(l);
+    {
+        let deps = residual::audit_local_file_server(
+            cluster.stations[2].fs.as_ref().expect("fs"),
+            cluster.stations[2].host,
+            |l| locate(&cluster, l),
+        );
+        println!(
+            "\naudit before migration: {} residual dependencies",
+            deps.len()
+        );
+    }
+
+    // Migrate the job away.
+    println!("\nws2$ migrateprog {lh}");
+    cluster.migrateprog(2, lh, false);
+    cluster.run_for(SimDuration::from_secs(30));
+    let r = &cluster.migration_reports[0];
+    assert!(r.success);
+    println!(
+        "migrated to {} (freeze {})",
+        r.to_host.expect("target"),
+        r.freeze_time
+    );
+
+    // Now the auditor flags it.
+    let deps = residual::audit_local_file_server(
+        cluster.stations[2].fs.as_ref().expect("fs"),
+        cluster.stations[2].host,
+        |l| locate(&cluster, l),
+    );
+    println!(
+        "\naudit after migration: {} residual dependencies",
+        deps.len()
+    );
+    for d in &deps {
+        println!(
+            "  {} (now on {:?}) still depends on {}: {}",
+            d.pid,
+            d.runs_on.map(|h| h.to_string()),
+            d.depends_on,
+            d.resource
+        );
+    }
+    assert_eq!(deps.len(), 1, "the open local file is residual state");
+
+    println!(
+        "\n\"This use imposes a continued load on the original host and\n\
+         results in failure of the program should the original host fail\n\
+         or be rebooted.\" (§3.3) — the audit above is the detection\n\
+         mechanism the paper lists as future work."
+    );
+}

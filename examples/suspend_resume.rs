@@ -1,0 +1,77 @@
+//! §2: "Facilities for terminating, suspending and debugging programs
+//! work independent of whether the program is executing locally or
+//! remotely."
+//!
+//! A long TeX run is offloaded to another workstation, suspended from the
+//! user's machine (freezing its logical host in place, no CPU consumed),
+//! inspected, resumed, and runs to completion.
+//!
+//! Run with: `cargo run --example suspend_resume`
+
+use v_system::prelude::*;
+
+fn main() {
+    let mut cluster = Cluster::new(ClusterConfig {
+        workstations: 3,
+        loss: LossModel::None,
+        ..ClusterConfig::default()
+    });
+
+    let row = profiles::row("tex").expect("known");
+    let job = ProgramProfile::steady(
+        "tex",
+        profiles::layout_for("tex"),
+        row.fit(),
+        SimDuration::from_secs(40),
+    );
+    println!("ws1$ tex bigpaper.tex @ *");
+    cluster.exec(1, job, ExecTarget::AnyIdle, Priority::GUEST);
+    cluster.run_for(SimDuration::from_secs(10));
+    let lh = cluster.exec_reports[0].lh.expect("created");
+    let home = cluster.locate(lh).expect("running");
+    let target = cluster.index_of(home);
+    println!(
+        "tex runs on {} ({} s of CPU so far)",
+        cluster.stations[target].name,
+        cluster.stations[target].programs[&lh]
+            .behavior
+            .stats()
+            .cpu_micros as f64
+            / 1e6
+    );
+
+    println!("\nws1$ suspendprog {lh}        (works across the network)");
+    cluster.suspendprog(1, lh);
+    cluster.run_for(SimDuration::from_secs(20));
+    let frozen = cluster.stations[target]
+        .kernel
+        .logical_host(lh)
+        .expect("resident")
+        .is_frozen();
+    let cpu_frozen = cluster.stations[target].programs[&lh]
+        .behavior
+        .stats()
+        .cpu_micros;
+    println!(
+        "suspended: frozen={frozen}; CPU counter parked at {:.1} s",
+        cpu_frozen as f64 / 1e6
+    );
+    cluster.run_for(SimDuration::from_secs(20));
+    assert_eq!(
+        cluster.stations[target].programs[&lh]
+            .behavior
+            .stats()
+            .cpu_micros,
+        cpu_frozen,
+        "no CPU while suspended"
+    );
+
+    println!("\nws1$ resumeprog {lh}");
+    cluster.resumeprog(1, lh);
+    cluster.run_for(SimDuration::from_secs(120));
+    println!(
+        "resumed and finished: {} program(s) ran to completion",
+        cluster.stats.programs_finished
+    );
+    assert_eq!(cluster.stats.programs_finished, 1);
+}

@@ -1,0 +1,262 @@
+//! Property-based tests on the core data structures and invariants,
+//! spanning crates (run from the workspace root package).
+
+use proptest::prelude::*;
+use v_system::prelude::*;
+use vkernel::split_units;
+use vmem::{AddressSpace, BitSet, SpaceId, SpaceLayout, WwsParams, WwsSampler};
+use vsim::{DetRng, Engine, SimDuration, SimTime};
+
+proptest! {
+    /// The event engine delivers in time order with FIFO tie-break,
+    /// regardless of insertion order.
+    #[test]
+    fn engine_delivers_in_order(delays in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut e: Engine<usize> = Engine::new();
+        for (i, &d) in delays.iter().enumerate() {
+            e.schedule_after(SimDuration::from_micros(d), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut seen = vec![false; delays.len()];
+        while let Some((t, i)) = e.pop() {
+            prop_assert!(t >= last, "time went backwards");
+            prop_assert_eq!(t.as_micros(), delays[i]);
+            prop_assert!(!seen[i], "duplicate delivery");
+            seen[i] = true;
+            last = t;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "lost event");
+    }
+
+    /// Cancellation removes exactly the cancelled events.
+    #[test]
+    fn engine_cancellation_is_exact(
+        delays in proptest::collection::vec(0u64..1_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut e: Engine<usize> = Engine::new();
+        let ids: Vec<_> = delays
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| e.schedule_after(SimDuration::from_micros(d), i))
+            .collect();
+        let mut expected = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                e.cancel(*id);
+            } else {
+                expected.push(i);
+            }
+        }
+        let mut got: Vec<usize> = Vec::new();
+        while let Some((_, i)) = e.pop() {
+            got.push(i);
+        }
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// BitSet agrees with a reference HashSet model under arbitrary
+    /// set/clear sequences.
+    #[test]
+    fn bitset_matches_model(ops in proptest::collection::vec((0usize..256, any::<bool>()), 1..300)) {
+        let mut b = BitSet::new(256);
+        let mut model = std::collections::HashSet::new();
+        for (i, set) in ops {
+            if set {
+                b.set(i);
+                model.insert(i);
+            } else {
+                b.clear(i);
+                model.remove(&i);
+            }
+        }
+        prop_assert_eq!(b.count(), model.len());
+        let mut got: Vec<usize> = b.iter().collect();
+        let mut want: Vec<usize> = model.into_iter().collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// split_units partitions the page list exactly: every page appears
+    /// once, in order, and no unit exceeds the unit size.
+    #[test]
+    fn split_units_partitions(
+        n_pages in 0u32..2000,
+        unit_kb in 2u64..128,
+    ) {
+        let pages: Vec<u32> = (0..n_pages).collect();
+        let units = split_units(&pages, unit_kb * 1024);
+        let flat: Vec<u32> = units.iter().flat_map(|u| u.pages.iter().copied()).collect();
+        prop_assert_eq!(flat, pages);
+        for u in &units {
+            prop_assert!(u.bytes <= unit_kb * 1024);
+            prop_assert_eq!(u.bytes, u.pages.len() as u64 * 2048);
+        }
+    }
+
+    /// The WWS fit never panics on positive monotone-ish inputs and its
+    /// predictions are non-negative and monotone in the window length.
+    #[test]
+    fn wws_fit_is_sane(
+        y1 in 0.1f64..100.0,
+        dy2 in 0.0f64..100.0,
+        dy3 in 0.0f64..100.0,
+    ) {
+        let points = [(0.2, y1), (1.0, y1 + dy2), (3.0, y1 + dy2 + dy3)];
+        let fit = WwsParams::fit_quantized(&points, 2.0);
+        let mut prev = 0.0;
+        for t in [0.1, 0.2, 0.5, 1.0, 2.0, 3.0, 10.0] {
+            let v = fit.expected_dirty_kb_quantized(t, 2.0);
+            prop_assert!(v >= prev - 1e-9, "non-monotone at {t}: {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    /// The sampler never dirties more pages than are writable and never
+    /// touches read-only segments.
+    #[test]
+    fn sampler_respects_protection(
+        hot in 0.0f64..500.0,
+        w in 0.0f64..2000.0,
+        r in 0.0f64..200.0,
+        seed in any::<u64>(),
+    ) {
+        let layout = SpaceLayout {
+            code_bytes: 64 * 1024,
+            init_data_bytes: 16 * 1024,
+            heap_bytes: 128 * 1024,
+            stack_bytes: 8 * 1024,
+        };
+        let mut space = AddressSpace::new(SpaceId(0), layout);
+        let mut rng = DetRng::seed(seed);
+        let params = WwsParams {
+            hot_kb: hot,
+            hot_write_kb_per_sec: w,
+            cold_kb_per_sec: r,
+        };
+        let mut s = WwsSampler::new(params, &space, &mut rng);
+        // write_page panics on read-only pages, so surviving is the test.
+        s.advance(SimDuration::from_secs(5), &mut space, &mut rng);
+        prop_assert!(space.dirty_pages() <= space.writable_page_count());
+    }
+
+    /// Duration formatting/parsing invariants used by reports.
+    #[test]
+    fn duration_arithmetic_consistent(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+        let (da, db) = (SimDuration::from_micros(a), SimDuration::from_micros(b));
+        prop_assert_eq!((da + db).as_micros(), a + b);
+        let t = SimTime::ZERO + da;
+        prop_assert_eq!(t.since(SimTime::ZERO), da);
+        prop_assert_eq!((t + db) - t, db);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whole-cluster invariant: for any (small) mix of programs started
+    /// via @*, every execution either succeeds and eventually finishes,
+    /// or fails cleanly — and every logical host is on at most one
+    /// workstation at the end.
+    #[test]
+    fn cluster_executions_settle(
+        n_jobs in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mut c = Cluster::new(ClusterConfig {
+            workstations: 4,
+            seed,
+            loss: LossModel::None,
+            ..ClusterConfig::default()
+        });
+        for j in 0..n_jobs {
+            let name = ["make", "cc68", "preprocessor"][j % 3];
+            let row = profiles::row(name).expect("row");
+            c.exec(
+                1 + j % 4,
+                profiles::steady_profile(row),
+                ExecTarget::AnyIdle,
+                Priority::GUEST,
+            );
+        }
+        c.run_for(SimDuration::from_secs(120));
+        prop_assert_eq!(c.exec_reports.len(), n_jobs);
+        let ok = c.exec_reports.iter().filter(|r| r.success).count();
+        prop_assert_eq!(c.stats.programs_finished as usize, ok);
+        // No logical host is resident twice.
+        for r in &c.exec_reports {
+            if let Some(lh) = r.lh {
+                let residents = c
+                    .stations
+                    .iter()
+                    .filter(|w| w.kernel.is_resident(lh))
+                    .count();
+                prop_assert!(residents <= 1, "{lh} resident {residents} times");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Dominance: for any dirty behaviour, pre-copy's freeze time is no
+    /// worse than freeze-and-copy's (and strictly better for any program
+    /// with a reasonable working set).
+    #[test]
+    fn precopy_never_freezes_longer_than_naive(
+        hot_kb in 1.0f64..120.0,
+        write_rate in 1.0f64..600.0,
+        cold in 0.0f64..30.0,
+        seed in 0u64..500,
+    ) {
+        use vcore::{MigrationConfig, StopPolicy, Strategy};
+        use vmem::{SpaceLayout, WwsParams};
+
+        let freeze_of = |strategy: Strategy| {
+            let mut c = Cluster::new(ClusterConfig {
+                workstations: 3,
+                seed,
+                loss: LossModel::None,
+                migration: MigrationConfig {
+                    strategy,
+                    ..MigrationConfig::default()
+                },
+                ..ClusterConfig::default()
+            });
+            let profile = ProgramProfile::steady(
+                "subject",
+                SpaceLayout {
+                    code_bytes: 96 * 1024,
+                    init_data_bytes: 16 * 1024,
+                    heap_bytes: 512 * 1024,
+                    stack_bytes: 16 * 1024,
+                },
+                WwsParams {
+                    hot_kb,
+                    hot_write_kb_per_sec: write_rate,
+                    cold_kb_per_sec: cold,
+                },
+                SimDuration::from_secs(3600),
+            );
+            c.exec(1, profile, ExecTarget::Named("ws2".into()), Priority::GUEST);
+            c.run_for(SimDuration::from_secs(15));
+            let lh = c.exec_reports[0].lh.expect("created");
+            c.migrateprog(2, lh, false);
+            c.run_for(SimDuration::from_secs(120));
+            let r = c.migration_reports[0].clone();
+            assert!(r.success, "{r:?}");
+            r.freeze_time
+        };
+
+        let pre = freeze_of(Strategy::PreCopy(StopPolicy::default()));
+        let naive = freeze_of(Strategy::FreezeAndCopy);
+        prop_assert!(
+            pre <= naive,
+            "pre-copy froze {pre} vs naive {naive} (hot={hot_kb:.0}KB w={write_rate:.0}KB/s r={cold:.0}KB/s)"
+        );
+    }
+}

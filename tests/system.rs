@@ -1,0 +1,238 @@
+//! System-level tests through the published `v_system` API: the paper's
+//! end-to-end claims as assertions.
+
+use v_system::prelude::*;
+
+fn quiet(workstations: usize, seed: u64) -> Cluster {
+    Cluster::new(ClusterConfig {
+        workstations,
+        seed,
+        loss: LossModel::None,
+        ..ClusterConfig::default()
+    })
+}
+
+/// §1: "a user may wish to compile a program and reformat the
+/// documentation after fixing a program error, while continuing to read
+/// mail" — three concurrent offloaded jobs from one workstation.
+#[test]
+fn concurrent_offload_from_one_workstation() {
+    let mut c = quiet(5, 11);
+    for name in ["cc68", "tex", "make"] {
+        let row = profiles::row(name).expect("row");
+        c.exec(
+            1,
+            profiles::steady_profile(row),
+            ExecTarget::AnyIdle,
+            Priority::GUEST,
+        );
+    }
+    c.run_for(SimDuration::from_secs(120));
+    assert_eq!(c.exec_reports.len(), 3);
+    assert!(c.exec_reports.iter().all(|r| r.success));
+    // They spread across machines (max 3 guests per host by default, and
+    // the requester is excluded from @*).
+    for r in &c.exec_reports {
+        assert_ne!(r.chosen_host, Some(c.stations[1].host));
+    }
+    c.run_for(SimDuration::from_secs(120));
+    assert_eq!(c.stats.programs_finished, 3);
+}
+
+/// §2: any program can be executed remotely without modification — the
+/// same profile runs locally and remotely with identical results.
+#[test]
+fn programs_are_location_transparent() {
+    let run = |target: ExecTarget| {
+        let mut c = quiet(3, 21);
+        c.file_server_mut().add_file("in.dat", 32 * 1024);
+        let row = profiles::row("optimizer").expect("row");
+        let profile = ProgramProfile {
+            name: "optimizer".into(),
+            layout: profiles::layout_for("optimizer"),
+            wws: row.fit(),
+            phases: vec![
+                Phase::FileRead {
+                    name: "in.dat".into(),
+                    bytes: 32 * 1024,
+                    chunk: 8 * 1024,
+                },
+                Phase::Compute(SimDuration::from_secs(3)),
+                Phase::Display { chars: 100 },
+            ],
+        };
+        c.exec(1, profile, target, Priority::GUEST);
+        c.run_for(SimDuration::from_secs(120));
+        assert!(c.exec_reports[0].success);
+        assert_eq!(c.stats.programs_finished, 1);
+        (
+            c.file_server().stats().bytes_read,
+            c.stations[1].display.stats().chars,
+        )
+    };
+    let local = run(ExecTarget::Local);
+    let remote = run(ExecTarget::Named("ws2".into()));
+    assert_eq!(local, remote, "same I/O behaviour local vs remote");
+}
+
+/// §3: a program migrated mid-file-transfer completes the transfer from
+/// its new host — in-flight IPC survives migration.
+#[test]
+fn migration_mid_file_transfer_completes() {
+    let mut c = quiet(3, 31);
+    c.file_server_mut().add_file("big.dat", 2 * 1024 * 1024);
+    let profile = ProgramProfile {
+        name: "reader".into(),
+        layout: profiles::layout_for("optimizer"),
+        wws: profiles::row("optimizer").expect("row").fit(),
+        phases: vec![Phase::FileRead {
+            name: "big.dat".into(),
+            bytes: 2 * 1024 * 1024,
+            chunk: 16 * 1024,
+        }],
+    };
+    c.exec(1, profile, ExecTarget::Named("ws2".into()), Priority::GUEST);
+    // Let the transfer get going, then evict mid-stream (~45 chunks of
+    // the 128 needed fit into 1.5 s including program creation).
+    c.run_for(SimDuration::from_millis(1500));
+    let lh = c.exec_reports[0].lh.expect("created");
+    assert!(c.file_server().stats().bytes_read > 0, "transfer started");
+    assert!(
+        c.file_server().stats().bytes_read < 2 * 1024 * 1024,
+        "transfer not done yet"
+    );
+    c.migrateprog(2, lh, false);
+    c.run_for(SimDuration::from_secs(120));
+    assert!(c.migration_reports[0].success);
+    assert_eq!(c.stats.programs_finished, 1, "reader finished elsewhere");
+    assert_eq!(c.file_server().stats().bytes_read, 2 * 1024 * 1024);
+}
+
+/// §3.1: migrating twice in a row works (A -> B -> C), ids stable.
+#[test]
+fn double_migration() {
+    let mut c = quiet(4, 41);
+    let job = profiles::simulation_profile(SimDuration::from_secs(600));
+    c.exec(1, job, ExecTarget::Named("ws2".into()), Priority::GUEST);
+    c.run_for(SimDuration::from_secs(10));
+    let lh = c.exec_reports[0].lh.expect("created");
+    let home0 = c.locate(lh).expect("alive");
+
+    c.migrateprog(c.index_of(home0), lh, false);
+    c.run_for(SimDuration::from_secs(30));
+    let home1 = c.locate(lh).expect("alive after 1st migration");
+    assert_ne!(home1, home0);
+
+    c.migrateprog(c.index_of(home1), lh, false);
+    c.run_for(SimDuration::from_secs(30));
+    let home2 = c.locate(lh).expect("alive after 2nd migration");
+    assert_ne!(home2, home1);
+    assert_eq!(c.migration_reports.len(), 2);
+    assert!(c.migration_reports.iter().all(|r| r.success));
+    // The pid namespace never changed.
+    assert_eq!(c.exec_reports[0].root.map(|p| p.lh), Some(lh));
+}
+
+/// §4.1 headline numbers, end to end through the public API.
+#[test]
+fn headline_costs_within_tolerance() {
+    let mut c = quiet(4, 51);
+    let row = profiles::row("parser").expect("row");
+    c.exec(
+        1,
+        profiles::steady_profile(row),
+        ExecTarget::AnyIdle,
+        Priority::GUEST,
+    );
+    c.run_for(SimDuration::from_secs(30));
+    let r = c.exec_reports[0].clone();
+    assert!(r.success);
+    // 23 ms selection +- 15%.
+    let sel = r.selection_time.as_secs_f64();
+    assert!((sel - 0.023).abs() < 0.0035, "selection {sel}");
+    // Parser image = 192 KB -> load+setup ~ 192*3.3 + ~45 ms.
+    let create = r.creation_time.as_secs_f64();
+    assert!((0.55..0.85).contains(&create), "creation {create}");
+}
+
+/// Crash of an unrelated workstation does not disturb running programs.
+#[test]
+fn unrelated_crash_is_harmless() {
+    let mut c = quiet(4, 61);
+    let row = profiles::row("assembler").expect("row");
+    c.exec(
+        1,
+        profiles::steady_profile(row),
+        ExecTarget::Named("ws2".into()),
+        Priority::GUEST,
+    );
+    c.run_for(SimDuration::from_secs(5));
+    let t = c.now();
+    c.at(t + SimDuration::from_secs(1), Command::Crash { ws: 3 });
+    c.run_for(SimDuration::from_secs(120));
+    assert_eq!(c.stats.programs_finished, 1);
+}
+
+/// A crash of the migration *target* mid-copy aborts cleanly: the program
+/// unfreezes in place and keeps running on the source.
+#[test]
+fn target_crash_mid_migration_unfreezes_in_place() {
+    let mut c = quiet(2, 71);
+    let job = profiles::simulation_profile(SimDuration::from_secs(300));
+    c.exec(1, job, ExecTarget::Named("ws1".into()), Priority::GUEST);
+    c.run_for(SimDuration::from_secs(10));
+    let lh = c.exec_reports[0].lh.expect("created");
+
+    // Only ws2 can accept; crash it shortly after migration starts,
+    // while the multi-second pre-copy is still in flight.
+    c.migrateprog(1, lh, false);
+    let t = c.now();
+    c.at(t + SimDuration::from_millis(600), Command::Crash { ws: 2 });
+    c.run_for(SimDuration::from_secs(30));
+
+    let r = &c.migration_reports[0];
+    assert!(!r.success, "migration must fail: {r:?}");
+    // The program survived in place and finishes.
+    assert_eq!(c.locate(lh), Some(c.stations[1].host));
+    assert!(
+        !c.stations[1]
+            .kernel
+            .logical_host(lh)
+            .expect("resident")
+            .is_frozen(),
+        "unfrozen after abort"
+    );
+    c.run_for(SimDuration::from_secs(400));
+    assert_eq!(c.stats.programs_finished, 1);
+}
+
+/// A *source* crash mid-migration must not leak the half-built temporary
+/// logical host at the target: the target's program manager reclaims it
+/// after a timeout.
+#[test]
+fn source_crash_mid_migration_reclaims_temp_at_target() {
+    let mut c = quiet(2, 81);
+    let job = profiles::simulation_profile(SimDuration::from_secs(600));
+    c.exec(1, job, ExecTarget::Named("ws1".into()), Priority::GUEST);
+    c.run_for(SimDuration::from_secs(10));
+    let lh = c.exec_reports[0].lh.expect("created");
+
+    // Target is ws2. Crash the *source* right after pre-copy starts.
+    c.migrateprog(1, lh, false);
+    let t = c.now();
+    c.at(t + SimDuration::from_millis(500), Command::Crash { ws: 1 });
+    c.run_for(SimDuration::from_secs(5));
+    // The temp logical host exists at the target...
+    let temps_before: usize = c.stations[2].kernel.resident_lhs().len();
+    assert!(temps_before >= 2, "system lh + temp lh at the target");
+
+    // ...and is reclaimed after the init timeout.
+    c.run_for(SimDuration::from_secs(120));
+    assert_eq!(
+        c.stations[2].pm.stats().migrations_expired,
+        1,
+        "temp logical host reclaimed"
+    );
+    let temps_after = c.stations[2].kernel.resident_lhs().len();
+    assert_eq!(temps_after, temps_before - 1);
+}
