@@ -1,7 +1,7 @@
-//! Criterion benchmarks for the memory model: WWS sampling throughput,
-//! the Table 4-1 fitter, and dirty-bit bookkeeping.
+//! Benchmarks for the memory model: WWS sampling throughput, the
+//! Table 4-1 fitter, and dirty-bit bookkeeping.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use vbench::bench_case;
 use vmem::{AddressSpace, SpaceId, SpaceLayout, WwsParams, WwsSampler};
 use vsim::{DetRng, SimDuration};
 use vworkload::profiles::TABLE_4_1;
@@ -18,52 +18,31 @@ fn space() -> AddressSpace {
     )
 }
 
-fn bench_sampler(c: &mut Criterion) {
-    c.bench_function("wws/advance_one_simulated_second", |b| {
-        b.iter_batched(
-            || {
-                let mut rng = DetRng::seed(3);
-                let params = WwsParams {
-                    hot_kb: 96.0,
-                    hot_write_kb_per_sec: 550.0,
-                    cold_kb_per_sec: 15.0,
-                };
-                let sp = space();
-                let sampler = WwsSampler::new(params, &sp, &mut rng);
-                (sampler, sp, rng)
-            },
-            |(mut sampler, mut sp, mut rng)| {
-                for _ in 0..100 {
-                    sampler.advance(SimDuration::from_millis(10), &mut sp, &mut rng);
-                }
-                sp.dirty_pages()
-            },
-            BatchSize::SmallInput,
-        )
+fn main() {
+    bench_case("wws/advance_one_simulated_second", 2, 20, || {
+        let mut rng = DetRng::seed(3);
+        let params = WwsParams {
+            hot_kb: 96.0,
+            hot_write_kb_per_sec: 550.0,
+            cold_kb_per_sec: 15.0,
+        };
+        let mut sp = space();
+        let mut sampler = WwsSampler::new(params, &sp, &mut rng);
+        for _ in 0..100 {
+            sampler.advance(SimDuration::from_millis(10), &mut sp, &mut rng);
+        }
+        sp.dirty_pages()
+    });
+
+    bench_case("wws/fit_quantized_table_4_1", 2, 50, || {
+        TABLE_4_1.iter().map(|r| r.fit().hot_kb).sum::<f64>()
+    });
+
+    bench_case("space/take_dirty_all_pages", 2, 50, || {
+        let mut sp = space();
+        for p in sp.writable_pages() {
+            sp.write_page(p);
+        }
+        sp.take_dirty().len()
     });
 }
-
-fn bench_fit(c: &mut Criterion) {
-    c.bench_function("wws/fit_quantized_table_4_1", |b| {
-        b.iter(|| TABLE_4_1.iter().map(|r| r.fit().hot_kb).sum::<f64>())
-    });
-}
-
-fn bench_take_dirty(c: &mut Criterion) {
-    c.bench_function("space/take_dirty_all_pages", |b| {
-        b.iter_batched(
-            || {
-                let mut sp = space();
-                for p in sp.writable_pages() {
-                    sp.write_page(p);
-                }
-                sp
-            },
-            |mut sp| sp.take_dirty().len(),
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-criterion_group!(benches, bench_sampler, bench_fit, bench_take_dirty);
-criterion_main!(benches);

@@ -1,66 +1,44 @@
-//! Criterion benchmarks for the discrete-event engine: these measure the
+//! Benchmarks for the discrete-event engine: these measure the
 //! *simulator's* performance (events/second of wall time), not simulated
 //! quantities — they keep the reproduction fast enough to sweep.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use vbench::bench_case;
 use vsim::{DetRng, Engine, SimDuration};
 
-fn bench_schedule_pop(c: &mut Criterion) {
-    c.bench_function("engine/schedule_pop_10k", |b| {
-        b.iter_batched(
-            Engine::<u64>::new,
-            |mut e| {
-                for i in 0..10_000u64 {
-                    e.schedule_after(SimDuration::from_micros(i % 977), i);
-                }
-                let mut acc = 0u64;
-                while let Some((_, v)) = e.pop() {
-                    acc = acc.wrapping_add(v);
-                }
-                acc
-            },
-            BatchSize::SmallInput,
-        )
+fn main() {
+    bench_case("engine/schedule_pop_10k", 3, 30, || {
+        let mut e = Engine::<u64>::new();
+        for i in 0..10_000u64 {
+            e.schedule_after(SimDuration::from_micros(i % 977), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = e.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
+    });
+
+    bench_case("engine/cancel_half_10k", 3, 30, || {
+        let mut e = Engine::<u64>::new();
+        let ids: Vec<_> = (0..10_000u64)
+            .map(|i| e.schedule_after(SimDuration::from_micros(i), i))
+            .collect();
+        for id in ids.iter().step_by(2) {
+            e.cancel(*id);
+        }
+        let mut n = 0;
+        while e.pop().is_some() {
+            n += 1;
+        }
+        n
+    });
+
+    let mut rng = DetRng::seed(7);
+    bench_case("rng/exp_draws_10k", 3, 30, move || {
+        let mut acc = 0.0;
+        for _ in 0..10_000 {
+            acc += rng.exp_f64(1.0);
+        }
+        acc
     });
 }
-
-fn bench_cancellation(c: &mut Criterion) {
-    c.bench_function("engine/cancel_half_10k", |b| {
-        b.iter_batched(
-            || {
-                let mut e = Engine::<u64>::new();
-                let ids: Vec<_> = (0..10_000u64)
-                    .map(|i| e.schedule_after(SimDuration::from_micros(i), i))
-                    .collect();
-                (e, ids)
-            },
-            |(mut e, ids)| {
-                for id in ids.iter().step_by(2) {
-                    e.cancel(*id);
-                }
-                let mut n = 0;
-                while e.pop().is_some() {
-                    n += 1;
-                }
-                n
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("rng/exp_draws_10k", |b| {
-        let mut rng = DetRng::seed(7);
-        b.iter(|| {
-            let mut acc = 0.0;
-            for _ in 0..10_000 {
-                acc += rng.exp_f64(1.0);
-            }
-            acc
-        })
-    });
-}
-
-criterion_group!(benches, bench_schedule_pop, bench_cancellation, bench_rng);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion benchmarks for kernel IPC paths: local send/reply round
-//! trips, remote frame handling, and binding-cache operations.
+//! Benchmarks for kernel IPC paths: local send/reply round trips, remote
+//! frame handling, and binding-cache operations.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use vbench::bench_case;
 use vkernel::testkit::Rig;
 use vkernel::{BindingCache, LogicalHostId, Priority, ProcessId};
 use vmem::SpaceLayout;
@@ -26,70 +26,43 @@ fn two_process_rig() -> (Rig<u32>, ProcessId, ProcessId) {
     (rig, a, b)
 }
 
-fn bench_remote_round_trip(c: &mut Criterion) {
-    c.bench_function("kernel/remote_send_reply", |b| {
-        b.iter_batched(
-            two_process_rig,
-            |(mut rig, a, bb)| {
-                rig.drive(0, |k, t| k.send(t, a, bb.into(), 1, 0));
-                rig.run_until(SimTime::MAX);
-                rig.send_results().len()
-            },
-            BatchSize::SmallInput,
-        )
+fn main() {
+    bench_case("kernel/remote_send_reply", 3, 50, || {
+        let (mut rig, a, bb) = two_process_rig();
+        rig.drive(0, |k, t| k.send(t, a, bb.into(), 1, 0));
+        rig.run_until(SimTime::MAX);
+        rig.send_results().len()
     });
-}
 
-fn bench_local_round_trip(c: &mut Criterion) {
-    c.bench_function("kernel/local_send_reply", |b| {
-        b.iter_batched(
-            || {
-                let mut rig: Rig<u32> = Rig::new(1);
-                let a = {
-                    let l = rig.kernel_mut(0).create_logical_host(LogicalHostId(1));
-                    let t = l.create_space(SpaceLayout::tiny());
-                    l.create_process(t, Priority::LOCAL, false)
-                };
-                let s = {
-                    let l = rig.kernel_mut(0).create_logical_host(LogicalHostId(2));
-                    let t = l.create_space(SpaceLayout::tiny());
-                    l.create_process(t, Priority::LOCAL, false)
-                };
-                rig.respond(s, |m| Some(m.body));
-                (rig, a, s)
-            },
-            |(mut rig, a, s)| {
-                rig.drive(0, |k, t| k.send(t, a, s.into(), 1, 0));
-                rig.run_until(SimTime::MAX);
-                rig.send_results().len()
-            },
-            BatchSize::SmallInput,
-        )
+    bench_case("kernel/local_send_reply", 3, 50, || {
+        let mut rig: Rig<u32> = Rig::new(1);
+        let a = {
+            let l = rig.kernel_mut(0).create_logical_host(LogicalHostId(1));
+            let t = l.create_space(SpaceLayout::tiny());
+            l.create_process(t, Priority::LOCAL, false)
+        };
+        let s = {
+            let l = rig.kernel_mut(0).create_logical_host(LogicalHostId(2));
+            let t = l.create_space(SpaceLayout::tiny());
+            l.create_process(t, Priority::LOCAL, false)
+        };
+        rig.respond(s, |m| Some(m.body));
+        rig.drive(0, |k, t| k.send(t, a, s.into(), 1, 0));
+        rig.run_until(SimTime::MAX);
+        rig.send_results().len()
     });
-}
 
-fn bench_binding_cache(c: &mut Criterion) {
-    c.bench_function("kernel/binding_cache_1k_lookups", |b| {
-        let mut cache = BindingCache::new();
+    let mut cache = BindingCache::new();
+    for i in 0..1_000 {
+        cache.learn(LogicalHostId(i), HostAddr((i % 32) as u16));
+    }
+    bench_case("kernel/binding_cache_1k_lookups", 3, 100, move || {
+        let mut hits = 0;
         for i in 0..1_000 {
-            cache.learn(LogicalHostId(i), HostAddr((i % 32) as u16));
-        }
-        b.iter(|| {
-            let mut hits = 0;
-            for i in 0..1_000 {
-                if cache.lookup(LogicalHostId(i)).is_some() {
-                    hits += 1;
-                }
+            if cache.lookup(LogicalHostId(i)).is_some() {
+                hits += 1;
             }
-            hits
-        })
+        }
+        hits
     });
 }
-
-criterion_group!(
-    benches,
-    bench_remote_round_trip,
-    bench_local_round_trip,
-    bench_binding_cache
-);
-criterion_main!(benches);

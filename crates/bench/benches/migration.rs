@@ -1,58 +1,42 @@
-//! Criterion benchmarks of whole-cluster scenarios: wall-clock cost of
-//! simulating a remote execution and a full migration (the reproduction
-//! must stay cheap enough for parameter sweeps).
+//! Benchmarks of whole-cluster scenarios: wall-clock cost of simulating a
+//! remote execution and a full migration (the reproduction must stay cheap
+//! enough for parameter sweeps).
 
-use criterion::{criterion_group, criterion_main, Criterion, SamplingMode};
-use vbench::{launch, quiet_cluster};
+use vbench::{bench_case, launch, quiet_cluster};
 use vcore::ExecTarget;
 use vkernel::Priority;
 use vsim::SimDuration;
 use vworkload::profiles;
 
-fn bench_remote_exec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cluster");
-    g.sampling_mode(SamplingMode::Flat).sample_size(10);
-    g.bench_function("remote_exec_setup", |b| {
-        b.iter(|| {
-            let mut cl = quiet_cluster(3, 5);
-            let row = profiles::row("make").expect("row");
-            cl.exec(
-                1,
-                profiles::steady_profile(row),
-                ExecTarget::AnyIdle,
-                Priority::GUEST,
-            );
-            cl.run_for(SimDuration::from_secs(5));
-            assert!(cl.exec_reports[0].success);
-            cl.exec_reports.len()
-        })
+fn main() {
+    bench_case("cluster/remote_exec_setup", 1, 10, || {
+        let mut cl = quiet_cluster(3, 5);
+        let row = profiles::row("make").expect("row");
+        cl.exec(
+            1,
+            profiles::steady_profile(row),
+            ExecTarget::AnyIdle,
+            Priority::GUEST,
+        );
+        cl.run_for(SimDuration::from_secs(5));
+        assert!(cl.exec_reports[0].success);
+        cl.exec_reports.len()
     });
-    g.finish();
-}
 
-fn bench_full_migration(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cluster");
-    g.sampling_mode(SamplingMode::Flat).sample_size(10);
-    g.bench_function("full_precopy_migration", |b| {
-        b.iter(|| {
-            let mut cl = quiet_cluster(3, 6);
-            let profile = profiles::simulation_profile(SimDuration::from_secs(3600));
-            let (lh, _) = launch(
-                &mut cl,
-                1,
-                profile,
-                ExecTarget::Named("ws2".into()),
-                Priority::GUEST,
-            );
-            cl.run_for(SimDuration::from_secs(10));
-            cl.migrateprog(2, lh, false);
-            cl.run_for(SimDuration::from_secs(30));
-            assert!(cl.migration_reports[0].success);
-            cl.migration_reports.len()
-        })
+    bench_case("cluster/full_precopy_migration", 1, 10, || {
+        let mut cl = quiet_cluster(3, 6);
+        let profile = profiles::simulation_profile(SimDuration::from_secs(3600));
+        let (lh, _) = launch(
+            &mut cl,
+            1,
+            profile,
+            ExecTarget::Named("ws2".into()),
+            Priority::GUEST,
+        );
+        cl.run_for(SimDuration::from_secs(10));
+        cl.migrateprog(2, lh, false);
+        cl.run_for(SimDuration::from_secs(30));
+        assert!(cl.migration_reports[0].success);
+        cl.migration_reports.len()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_remote_exec, bench_full_migration);
-criterion_main!(benches);

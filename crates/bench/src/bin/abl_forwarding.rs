@@ -10,15 +10,13 @@
 //! Scenario: a client talks to a server program; the program migrates;
 //! the old host reboots; the client (with a stale cache) tries again.
 
-use serde::Serialize;
-use vbench::{maybe_write_json, Table};
+use vbench::{emit, Table};
 use vkernel::testkit::Rig;
 use vkernel::{KernelConfig, LogicalHostId, Priority, ProcessId};
 use vmem::SpaceLayout;
 use vnet::{HostAddr, LossModel};
 use vsim::SimTime;
 
-#[derive(Serialize)]
 struct Row {
     mode: &'static str,
     works_after_migration: bool,
@@ -26,9 +24,16 @@ struct Row {
     residual_entries_on_old_host: usize,
     works_after_old_host_reboot: bool,
 }
+vsim::impl_to_json!(Row {
+    mode,
+    works_after_migration,
+    forwarded_requests,
+    residual_entries_on_old_host,
+    works_after_old_host_reboot
+});
 
 /// Runs the scenario; `forwarding` selects Demos/MP mode.
-fn scenario(forwarding: bool) -> Row {
+fn scenario(forwarding: bool) -> (Row, vsim::MetricsReport) {
     let cfg = KernelConfig {
         use_forwarding_addresses: forwarding,
         // In Demos/MP mode the V recovery paths are off: no new-binding
@@ -95,7 +100,11 @@ fn scenario(forwarding: bool) -> Row {
     let results = rig.send_results();
     let after_reboot = results.len() == 3 && results[2].2;
 
-    Row {
+    let mut metrics = vsim::MetricsReport::new();
+    for i in 0..3 {
+        metrics.push(rig.kernel(i).metrics().snapshot(&format!("k{i}")));
+    }
+    let row = Row {
         mode: if forwarding {
             "forwarding addresses (Demos/MP)"
         } else {
@@ -105,12 +114,15 @@ fn scenario(forwarding: bool) -> Row {
         forwarded_requests: forwarded,
         residual_entries_on_old_host: residual,
         works_after_old_host_reboot: after_reboot,
-    }
+    };
+    (row, metrics)
 }
 
 fn main() {
-    let v = scenario(false);
-    let demos = scenario(true);
+    let (v, v_metrics) = scenario(false);
+    let (demos, demos_metrics) = scenario(true);
+    let mut metrics = v_metrics.prefixed("v");
+    metrics.absorb(demos_metrics.prefixed("demos"));
     let mut t = Table::new(
         "A2: rebinding vs forwarding addresses after migration (§5)",
         &[
@@ -139,5 +151,5 @@ fn main() {
     assert!(v.works_after_old_host_reboot);
     assert!(!demos.works_after_old_host_reboot);
     assert_eq!(v.residual_entries_on_old_host, 0);
-    maybe_write_json("abl_forwarding", &[v, demos]);
+    emit("abl_forwarding", &[v, demos], &metrics);
 }

@@ -5,8 +5,7 @@
 //! things down but never corrupts. Sweeps the Bernoulli loss rate and
 //! reports migration success, freeze time, and retransmission counts.
 
-use serde::Serialize;
-use vbench::{launch, maybe_write_json, Table};
+use vbench::{emit, launch, Table};
 use vcluster::{Cluster, ClusterConfig};
 use vcore::ExecTarget;
 use vkernel::Priority;
@@ -14,7 +13,6 @@ use vnet::LossModel;
 use vsim::SimDuration;
 use vworkload::profiles;
 
-#[derive(Serialize)]
 struct Row {
     loss: f64,
     success: bool,
@@ -23,9 +21,18 @@ struct Row {
     bulk_retransmissions: u64,
     request_retransmissions: u64,
 }
+vsim::impl_to_json!(Row {
+    loss,
+    success,
+    freeze_ms,
+    total_secs,
+    bulk_retransmissions,
+    request_retransmissions
+});
 
 fn main() {
     let mut rows = Vec::new();
+    let mut metrics = vsim::MetricsReport::new();
     let mut t = Table::new(
         "A3: migration under packet loss (parser, pre-copy)",
         &[
@@ -81,6 +88,7 @@ fn main() {
             .iter()
             .map(|w| w.kernel.stats().retransmissions)
             .sum();
+        metrics.absorb(c.metrics_report().prefixed(&format!("loss{loss:.0e}")));
         t.row(&[
             format!("{loss:.0e}"),
             r.success.to_string(),
@@ -105,5 +113,5 @@ fn main() {
          unit waits out an ack timeout), exactly the overhead §3.1.3\n\
          warns about."
     );
-    maybe_write_json("abl_packet_loss", &rows);
+    emit("abl_packet_loss", &rows, &metrics);
 }

@@ -11,8 +11,7 @@
 //! least-loaded willing host, and what is the mean excess load when it
 //! does not?
 
-use serde::Serialize;
-use vbench::{maybe_write_json, Table};
+use vbench::{emit, Table};
 use vcluster::{Cluster, ClusterConfig};
 use vcore::ExecTarget;
 use vkernel::Priority;
@@ -20,13 +19,18 @@ use vnet::LossModel;
 use vsim::{DetRng, SimDuration};
 use vworkload::profiles;
 
-#[derive(Serialize)]
 struct Results {
     requests: usize,
     picked_least_loaded: usize,
     mean_excess_programs: f64,
     mean_selection_ms: f64,
 }
+vsim::impl_to_json!(Results {
+    requests,
+    picked_least_loaded,
+    mean_excess_programs,
+    mean_selection_ms
+});
 
 fn main() {
     let mut c = Cluster::new(ClusterConfig {
@@ -129,7 +133,7 @@ fn main() {
          essentially zero cost. The paper's \"performs well at minimal\n\
          cost for reasonably small systems\" is this table."
     );
-    maybe_write_json(
+    emit(
         "abl_selection",
         &Results {
             requests,
@@ -137,5 +141,6 @@ fn main() {
             mean_excess_programs: mean_excess,
             mean_selection_ms: mean_sel,
         },
+        &c.metrics_report(),
     );
 }

@@ -7,8 +7,7 @@
 //! round moves the code, later rounds chase the hot set without shrinking
 //! it, so extra rounds cost copy time while barely reducing freeze time.
 
-use serde::Serialize;
-use vbench::{launch, maybe_write_json, Table};
+use vbench::{emit, launch, Table};
 use vcluster::{Cluster, ClusterConfig};
 use vcore::{ExecTarget, MigrationConfig, MigrationReport, StopPolicy, Strategy};
 use vkernel::Priority;
@@ -16,7 +15,6 @@ use vnet::LossModel;
 use vsim::SimDuration;
 use vworkload::profiles;
 
-#[derive(Serialize)]
 struct Row {
     policy: String,
     iterations: usize,
@@ -25,8 +23,16 @@ struct Row {
     freeze_ms: f64,
     total_secs: f64,
 }
+vsim::impl_to_json!(Row {
+    policy,
+    iterations,
+    copied_kb,
+    residual_kb,
+    freeze_ms,
+    total_secs
+});
 
-fn migrate(policy: StopPolicy, name: &str, seed: u64) -> MigrationReport {
+fn migrate(policy: StopPolicy, name: &str, seed: u64) -> (MigrationReport, vsim::MetricsReport) {
     let cfg = ClusterConfig {
         workstations: 3,
         seed,
@@ -57,11 +63,13 @@ fn migrate(policy: StopPolicy, name: &str, seed: u64) -> MigrationReport {
     c.run_for(SimDuration::from_secs(120));
     let r = c.migration_reports[0].clone();
     assert!(r.success, "{r:?}");
-    r
+    let m = c.metrics_report();
+    (r, m)
 }
 
 fn main() {
     let mut rows = Vec::new();
+    let mut metrics = vsim::MetricsReport::new();
     for name in ["parser", "tex"] {
         let mut t = Table::new(
             format!("A1: stop-policy ablation — {name}"),
@@ -79,7 +87,8 @@ fn main() {
             .collect();
         policies.push(("adaptive (paper)".into(), StopPolicy::default()));
         for (label, p) in policies {
-            let r = migrate(p, name, 7 + label.len() as u64);
+            let (r, m) = migrate(p, name, 7 + label.len() as u64);
+            metrics.absorb(m.prefixed(&format!("{name}/{label}")));
             t.row(&[
                 label.clone(),
                 r.iterations.len().to_string(),
@@ -104,5 +113,5 @@ fn main() {
          two and then flattens at the hot-set size — exactly why the paper\n\
          found ~2 iterations useful. Extra rounds only add total time."
     );
-    maybe_write_json("abl_stop_policy", &rows);
+    emit("abl_stop_policy", &rows, &metrics);
 }

@@ -9,8 +9,7 @@
 //! owner model for several simulated hours, issuing `@ *` requests at
 //! random moments, and reports idle fractions and the honor rate.
 
-use serde::Serialize;
-use vbench::{maybe_write_json, Table};
+use vbench::{emit, Table};
 use vcluster::{Cluster, ClusterConfig, Command};
 use vcore::ExecTarget;
 use vkernel::Priority;
@@ -18,7 +17,6 @@ use vnet::LossModel;
 use vsim::{DetRng, SimDuration, SimTime};
 use vworkload::{profiles, UserModelParams};
 
-#[derive(Serialize)]
 struct Results {
     workstations: usize,
     sim_hours: f64,
@@ -28,6 +26,15 @@ struct Results {
     exec_honored: u64,
     honor_rate: f64,
 }
+vsim::impl_to_json!(Results {
+    workstations,
+    sim_hours,
+    mean_idle_fraction,
+    min_idle_fraction,
+    exec_requests,
+    exec_honored,
+    honor_rate
+});
 
 fn main() {
     let workstations = 24; // Plus the file server = the paper's ~25.
@@ -128,7 +135,7 @@ fn main() {
     ]);
     table.print();
 
-    maybe_write_json(
+    emit(
         "exp_cluster_usage",
         &Results {
             workstations,
@@ -139,5 +146,6 @@ fn main() {
             exec_honored: honored,
             honor_rate: honored as f64 / issued as f64,
         },
+        &c.metrics_report(),
     );
 }

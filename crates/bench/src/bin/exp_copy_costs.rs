@@ -8,8 +8,7 @@
 //! count (processes + spaces), and the host-to-host bulk copy rate over a
 //! size sweep.
 
-use serde::Serialize;
-use vbench::{maybe_write_json, pct, Table};
+use vbench::{emit, pct, Table};
 use vkernel::testkit::{AppEvent, Rig};
 use vkernel::{LogicalHostId, Priority};
 use vmem::SpaceLayout;
@@ -17,13 +16,18 @@ use vnet::HostAddr;
 use vsim::calib::PAGE_BYTES;
 use vsim::SimTime;
 
-#[derive(Serialize)]
 struct Results {
     state_copy_points: Vec<(u64, f64)>, // (objects, modeled ms)
     copy_rate_points: Vec<(u64, f64)>,  // (bytes, measured secs)
     secs_per_mb_paper: f64,
     secs_per_mb_measured: f64,
 }
+vsim::impl_to_json!(Results {
+    state_copy_points,
+    copy_rate_points,
+    secs_per_mb_paper,
+    secs_per_mb_measured
+});
 
 fn main() {
     // --- Kernel-state copy cost vs object count. ---
@@ -67,6 +71,7 @@ fn main() {
     );
     let mut rate_points = Vec::new();
     let mut last_rate = 0.0;
+    let mut metrics = vsim::MetricsReport::new();
     for &kb in &[128u64, 256, 512, 1024, 2048] {
         let mut rig: Rig<u32> = Rig::new(2);
         let l = rig.kernel_mut(0).create_logical_host(LogicalHostId(1));
@@ -105,10 +110,14 @@ fn main() {
             pct(per_mb, 3.0),
         ]);
         rate_points.push((kb * 1024, secs));
+        let mut m = vsim::MetricsReport::new();
+        m.push(rig.kernel(0).metrics().snapshot("src"));
+        m.push(rig.kernel(1).metrics().snapshot("dst"));
+        metrics.absorb(m.prefixed(&format!("{kb}kb")));
     }
     t2.print();
 
-    maybe_write_json(
+    emit(
         "exp_copy_costs",
         &Results {
             state_copy_points: state_points,
@@ -116,5 +125,6 @@ fn main() {
             secs_per_mb_paper: 3.0,
             secs_per_mb_measured: last_rate,
         },
+        &metrics,
     );
 }

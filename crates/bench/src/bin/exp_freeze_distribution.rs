@@ -5,8 +5,7 @@
 //! parser migrated at 40 random points in its execution, under mild
 //! packet loss, reporting mean / p95 / max and a histogram.
 
-use serde::Serialize;
-use vbench::{launch, maybe_write_json, Table};
+use vbench::{emit, launch, Table};
 use vcluster::{Cluster, ClusterConfig};
 use vcore::ExecTarget;
 use vkernel::Priority;
@@ -14,7 +13,6 @@ use vnet::LossModel;
 use vsim::{Histogram, Samples, SimDuration};
 use vworkload::profiles;
 
-#[derive(Serialize)]
 struct Results {
     runs: usize,
     mean_ms: f64,
@@ -23,6 +21,14 @@ struct Results {
     max_ms: f64,
     histogram: Vec<(String, u64)>,
 }
+vsim::impl_to_json!(Results {
+    runs,
+    mean_ms,
+    p50_ms,
+    p95_ms,
+    max_ms,
+    histogram
+});
 
 fn main() {
     let mut samples = Samples::new();
@@ -34,6 +40,7 @@ fn main() {
         SimDuration::from_millis(300),
     ]);
     let runs = 40;
+    let mut metrics = vsim::MetricsReport::new();
     for i in 0..runs {
         let cfg = ClusterConfig {
             workstations: 3,
@@ -64,6 +71,9 @@ fn main() {
         assert!(r.success, "run {i}: {r:?}");
         samples.add_duration(r.freeze_time);
         hist.add(r.freeze_time);
+        if i == runs - 1 {
+            metrics = c.metrics_report();
+        }
     }
 
     let ms = |v: f64| v * 1e3;
@@ -96,7 +106,7 @@ fn main() {
          for well under a second (the naive copy would freeze it ~2 s)."
     );
 
-    maybe_write_json(
+    emit(
         "exp_freeze_distribution",
         &Results {
             runs: runs as usize,
@@ -106,5 +116,6 @@ fn main() {
             max_ms: ms(samples.max().expect("non-empty")),
             histogram: hist.rows(),
         },
+        &metrics,
     );
 }

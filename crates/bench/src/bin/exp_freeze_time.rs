@@ -8,8 +8,7 @@
 //! Runs every Table 4-1 program, migrates it mid-run with both strategies,
 //! and reports iterations, residual KB, and freeze time.
 
-use serde::Serialize;
-use vbench::{launch, maybe_write_json, Table};
+use vbench::{emit, launch, Table};
 use vcluster::ClusterConfig;
 use vcore::{ExecTarget, MigrationConfig, MigrationReport, StopPolicy, Strategy};
 use vkernel::Priority;
@@ -18,7 +17,6 @@ use vsim::SimDuration;
 use vworkload::profiles::{self, TABLE_4_1};
 use vworkload::ProgramProfile;
 
-#[derive(Serialize)]
 struct Row {
     program: String,
     iterations: usize,
@@ -29,8 +27,22 @@ struct Row {
     kernel_state_ms: f64,
     naive_freeze_ms: f64,
 }
+vsim::impl_to_json!(Row {
+    program,
+    iterations,
+    precopied_kb,
+    residual_kb,
+    residual_copy_ms,
+    freeze_ms,
+    kernel_state_ms,
+    naive_freeze_ms
+});
 
-fn migrate_once(strategy: Strategy, name: &str, seed: u64) -> MigrationReport {
+fn migrate_once(
+    strategy: Strategy,
+    name: &str,
+    seed: u64,
+) -> (MigrationReport, vsim::MetricsReport) {
     let cfg = ClusterConfig {
         workstations: 3,
         seed,
@@ -63,7 +75,8 @@ fn migrate_once(strategy: Strategy, name: &str, seed: u64) -> MigrationReport {
     assert_eq!(c.migration_reports.len(), 1, "{name}: migration finished");
     let r = c.migration_reports[0].clone();
     assert!(r.success, "{name}: {r:?}");
-    r
+    let m = c.metrics_report();
+    (r, m)
 }
 
 fn main() {
@@ -81,13 +94,17 @@ fn main() {
         ],
     );
     let mut rows = Vec::new();
+    let mut metrics = vsim::MetricsReport::new();
     for (i, row) in TABLE_4_1.iter().enumerate() {
-        let pre = migrate_once(
+        let (pre, pre_metrics) = migrate_once(
             Strategy::PreCopy(StopPolicy::default()),
             row.name,
             2000 + i as u64,
         );
-        let naive = migrate_once(Strategy::FreezeAndCopy, row.name, 3000 + i as u64);
+        let (naive, naive_metrics) =
+            migrate_once(Strategy::FreezeAndCopy, row.name, 3000 + i as u64);
+        metrics.absorb(pre_metrics.prefixed(&format!("{}/precopy", row.name)));
+        metrics.absorb(naive_metrics.prefixed(&format!("{}/naive", row.name)));
         let freeze_ms = pre.freeze_time.as_secs_f64() * 1e3;
         let naive_ms = naive.freeze_time.as_secs_f64() * 1e3;
         t.row(&[
@@ -117,5 +134,5 @@ fn main() {
          suspension 5-210 ms plus the kernel-state copy. Freeze-and-copy\n\
          suspends for the full ~3 s/MB copy."
     );
-    maybe_write_json("exp_freeze_time", &rows);
+    emit("exp_freeze_time", &rows, &metrics);
 }

@@ -5,22 +5,26 @@
 //! Measures the editor's keystroke→echo response time on a workstation
 //! with 0, 1, and 2 guest compute jobs.
 
-use serde::Serialize;
-use vbench::{maybe_write_json, quiet_cluster, Table};
+use vbench::{emit, quiet_cluster, Table};
 use vcore::ExecTarget;
 use vkernel::Priority;
 use vsim::SimDuration;
 use vworkload::profiles;
 
-#[derive(Serialize)]
 struct Row {
     guest_jobs: usize,
     mean_response_ms: f64,
     p95_response_ms: f64,
     keystrokes: usize,
 }
+vsim::impl_to_json!(Row {
+    guest_jobs,
+    mean_response_ms,
+    p95_response_ms,
+    keystrokes
+});
 
-fn run_with_guests(guests: usize, seed: u64) -> Row {
+fn run_with_guests(guests: usize, seed: u64) -> (Row, vsim::MetricsReport) {
     let mut c = quiet_cluster(2, seed);
     for g in 0..guests {
         let sim = profiles::simulation_profile(SimDuration::from_secs(3600));
@@ -53,12 +57,13 @@ fn run_with_guests(guests: usize, seed: u64) -> Row {
         .find_map(|w| w.programs.get(&lh))
         .map(|p| p.behavior.response_times.clone())
         .expect("editor still running (5000 keystrokes outlast the window)");
-    Row {
+    let row = Row {
         guest_jobs: guests,
         mean_response_ms: samples.mean() * 1e3,
         p95_response_ms: samples.percentile(95.0).unwrap_or(0.0) * 1e3,
         keystrokes: samples.count(),
-    }
+    };
+    (row, c.metrics_report())
 }
 
 fn main() {
@@ -67,8 +72,10 @@ fn main() {
         &["guest jobs", "mean ms", "p95 ms", "keystrokes"],
     );
     let mut rows = Vec::new();
+    let mut metrics = vsim::MetricsReport::new();
     for guests in 0..=2 {
-        let r = run_with_guests(guests, 50 + guests as u64);
+        let (r, m) = run_with_guests(guests, 50 + guests as u64);
+        metrics.absorb(m.prefixed(&format!("guests{guests}")));
         t.row(&[
             r.guest_jobs.to_string(),
             format!("{:.1}", r.mean_response_ms),
@@ -85,5 +92,5 @@ fn main() {
     );
     let degradation = rows[2].mean_response_ms / rows[0].mean_response_ms;
     println!("Mean degradation with 2 guests: {degradation:.2}x");
-    maybe_write_json("exp_local_priority", &rows);
+    emit("exp_local_priority", &rows, &metrics);
 }

@@ -7,14 +7,12 @@
 //! count the operations that incur each overhead, and report the modeled
 //! totals alongside the rates.
 
-use serde::Serialize;
-use vbench::{launch, maybe_write_json, quiet_cluster, Table};
+use vbench::{emit, launch, quiet_cluster, Table};
 use vcore::ExecTarget;
 use vkernel::Priority;
 use vsim::SimDuration;
 use vworkload::profiles;
 
-#[derive(Serialize)]
 struct Results {
     freeze_checks: u64,
     group_lookups: u64,
@@ -22,6 +20,13 @@ struct Results {
     sim_seconds: f64,
     overhead_fraction: f64,
 }
+vsim::impl_to_json!(Results {
+    freeze_checks,
+    group_lookups,
+    overhead_ms_total,
+    sim_seconds,
+    overhead_fraction
+});
 
 fn main() {
     // A busy little cluster: remote compile + migration + file traffic.
@@ -82,7 +87,7 @@ fn main() {
          are negligible against millisecond-scale IPC."
     );
 
-    maybe_write_json(
+    emit(
         "exp_overheads",
         &Results {
             freeze_checks,
@@ -91,5 +96,6 @@ fn main() {
             sim_seconds: sim_secs,
             overhead_fraction: overhead.as_secs_f64() / sim_secs,
         },
+        &c.metrics_report(),
     );
 }

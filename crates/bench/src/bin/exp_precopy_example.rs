@@ -13,21 +13,25 @@
 //! tuned so ~0.1 MB is modified per 6 s (≈17 KB/s), and run the pre-copy
 //! engine against it.
 
-use serde::Serialize;
-use vbench::{launch, maybe_write_json, quiet_cluster, Table};
+use vbench::{emit, launch, quiet_cluster, Table};
 use vcore::{ExecTarget, MigrationConfig, StopPolicy, Strategy};
 use vkernel::Priority;
 use vmem::{SpaceLayout, WwsParams};
 use vsim::SimDuration;
 use vworkload::ProgramProfile;
 
-#[derive(Serialize)]
 struct Results {
     rounds: Vec<(u64, f64)>, // (bytes, secs)
     residual_bytes: u64,
     freeze_secs: f64,
     paper_rounds_secs: [f64; 3],
 }
+vsim::impl_to_json!(Results {
+    rounds,
+    residual_bytes,
+    freeze_secs,
+    paper_rounds_secs
+});
 
 fn main() {
     let mut cfg = quiet_cluster(3, 42).config().clone();
@@ -97,7 +101,7 @@ fn main() {
         r.kernel_state_cost.as_secs_f64() * 1e3
     );
 
-    maybe_write_json(
+    emit(
         "exp_precopy_example",
         &Results {
             rounds,
@@ -105,5 +109,6 @@ fn main() {
             freeze_secs: r.freeze_time.as_secs_f64(),
             paper_rounds_secs: paper,
         },
+        &c.metrics_report(),
     );
 }

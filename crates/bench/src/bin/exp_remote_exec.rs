@@ -8,15 +8,13 @@
 //! This binary measures all three on the simulated cluster and sweeps the
 //! image size to show the 330 ms / 100 KB slope.
 
-use serde::Serialize;
-use vbench::{maybe_write_json, ms, pct, quiet_cluster, Table};
+use vbench::{emit, ms, pct, quiet_cluster, Table};
 use vcore::ExecTarget;
 use vkernel::Priority;
 use vmem::{SpaceLayout, WwsParams};
 use vsim::{OnlineStats, SimDuration};
 use vworkload::ProgramProfile;
 
-#[derive(Serialize)]
 struct Results {
     selection_ms_paper: f64,
     selection_ms_measured: f64,
@@ -26,6 +24,15 @@ struct Results {
     load_ms_per_100kb_measured: f64,
     load_points: Vec<(u64, f64)>,
 }
+vsim::impl_to_json!(Results {
+    selection_ms_paper,
+    selection_ms_measured,
+    setup_destroy_ms_paper,
+    setup_destroy_ms_measured,
+    load_ms_per_100kb_paper,
+    load_ms_per_100kb_measured,
+    load_points
+});
 
 fn image_profile(kb: u64, secs: u64) -> ProgramProfile {
     ProgramProfile::steady(
@@ -48,6 +55,7 @@ fn image_profile(kb: u64, secs: u64) -> ProgramProfile {
 fn main() {
     // --- Selection time: first response to "@ *" over many trials. ---
     let mut selection = OnlineStats::new();
+    let mut metrics = vsim::MetricsReport::new();
     for seed in 0..20u64 {
         let mut c = quiet_cluster(6, 100 + seed);
         c.exec(
@@ -60,6 +68,9 @@ fn main() {
         let r = &c.exec_reports[0];
         assert!(r.success, "{r:?}");
         selection.add(r.selection_time.as_secs_f64() * 1e3);
+        if seed == 19 {
+            metrics.absorb(c.metrics_report().prefixed("selection"));
+        }
     }
 
     // --- Load cost slope: creation time vs image size. ---
@@ -82,6 +93,7 @@ fn main() {
         let cms = r.creation_time.as_secs_f64() * 1e3;
         creation_ms.push(cms);
         load_points.push((kb, cms));
+        metrics.absorb(c.metrics_report().prefixed(&format!("load{kb}kb")));
     }
     // Least-squares slope (ms per KB) and intercept (ms).
     let n = sizes_kb.len() as f64;
@@ -138,7 +150,7 @@ fn main() {
     t2.print();
     println!("\n(creation = env setup intercept {intercept:.1} ms + load slope {slope:.3} ms/KB)");
 
-    maybe_write_json(
+    emit(
         "exp_remote_exec",
         &Results {
             selection_ms_paper: 23.0,
@@ -149,6 +161,7 @@ fn main() {
             load_ms_per_100kb_measured: load_per_100kb,
             load_points: load_points.iter().map(|&(kb, ms)| (kb, ms)).collect(),
         },
+        &metrics,
     );
     let _ = ms(SimDuration::ZERO);
 }

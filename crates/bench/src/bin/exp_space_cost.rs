@@ -6,16 +6,20 @@
 //! accounting for this reproduction: source lines of the migration-only
 //! modules versus the rest.
 
-use serde::Serialize;
-use vbench::{maybe_write_json, Table};
+use vbench::{emit, Table};
 
-#[derive(Serialize)]
 struct Results {
     migration_loc: usize,
     kernel_loc: usize,
     services_loc: usize,
     migration_fraction: f64,
 }
+vsim::impl_to_json!(Results {
+    migration_loc,
+    kernel_loc,
+    services_loc,
+    migration_fraction
+});
 
 fn count_loc(path: &str) -> usize {
     std::fs::read_to_string(path)
@@ -90,7 +94,8 @@ fn main() {
          same shape: migration is a modest add-on to a kernel whose IPC\n\
          was network-transparent from the start."
     );
-    maybe_write_json(
+    // Static analysis only — no simulation runs, so the report is empty.
+    emit(
         "exp_space_cost",
         &Results {
             migration_loc: mig,
@@ -98,5 +103,6 @@ fn main() {
             services_loc: svc,
             migration_fraction: mig as f64 / (mig + kern + svc) as f64,
         },
+        &vsim::MetricsReport::new(),
     );
 }

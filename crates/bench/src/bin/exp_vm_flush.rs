@@ -11,8 +11,7 @@
 //! on the source path, total network bytes (including the later demand
 //! fetch), and time to evacuate the source.
 
-use serde::Serialize;
-use vbench::{launch, maybe_write_json, Table};
+use vbench::{emit, launch, Table};
 use vcluster::{Cluster, ClusterConfig, PAGING_LH};
 use vcore::{ExecTarget, MigrationConfig, MigrationReport, StopPolicy, Strategy};
 use vkernel::Priority;
@@ -20,7 +19,6 @@ use vnet::LossModel;
 use vsim::SimDuration;
 use vworkload::profiles;
 
-#[derive(Serialize)]
 struct Row {
     strategy: &'static str,
     source_path_kb: u64,
@@ -29,8 +27,16 @@ struct Row {
     evacuation_secs: f64,
     freeze_ms: f64,
 }
+vsim::impl_to_json!(Row {
+    strategy,
+    source_path_kb,
+    total_network_kb,
+    double_copied_kb,
+    evacuation_secs,
+    freeze_ms
+});
 
-fn migrate(strategy: Strategy, seed: u64) -> (MigrationReport, u64) {
+fn migrate(strategy: Strategy, seed: u64) -> (MigrationReport, u64, vsim::MetricsReport) {
     let cfg = ClusterConfig {
         workstations: 3,
         seed,
@@ -63,12 +69,13 @@ fn migrate(strategy: Strategy, seed: u64) -> (MigrationReport, u64) {
         .iter()
         .map(|w| w.pm.stats().fetched_bytes)
         .sum::<u64>();
-    (r, fetched)
+    let m = c.metrics_report();
+    (r, fetched, m)
 }
 
 fn main() {
-    let (pre, pre_fetched) = migrate(Strategy::PreCopy(StopPolicy::default()), 11);
-    let (vm, vm_fetched) = migrate(
+    let (pre, pre_fetched, pre_metrics) = migrate(Strategy::PreCopy(StopPolicy::default()), 11);
+    let (vm, vm_fetched, vm_metrics) = migrate(
         Strategy::VmFlush {
             paging_lh: PAGING_LH,
             paging_space: vmem::SpaceId(0),
@@ -136,5 +143,7 @@ fn main() {
         "measured fetch equals the planned unique flush set"
     );
     let _ = (pre_fetched, &pre);
-    maybe_write_json("exp_vm_flush", &rows);
+    let mut metrics = pre_metrics.prefixed("precopy");
+    metrics.absorb(vm_metrics.prefixed("vmflush"));
+    emit("exp_vm_flush", &rows, &metrics);
 }

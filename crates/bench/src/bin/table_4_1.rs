@@ -5,26 +5,29 @@
 //! and 3 s by clearing and re-reading the MMU dirty bits — the same
 //! measurement the paper made. Prints paper-vs-measured per cell.
 
-use serde::Serialize;
-use vbench::{f1, launch, maybe_write_json, measure_dirty_windows, pct, quiet_cluster, Table};
+use vbench::{emit, f1, launch, measure_dirty_windows, pct, quiet_cluster, Table};
 use vcore::ExecTarget;
 use vkernel::Priority;
 use vsim::SimDuration;
 use vworkload::profiles::{self, TABLE_4_1};
 use vworkload::ProgramProfile;
 
-#[derive(Serialize)]
 struct Cell {
     window_secs: f64,
     paper_kb: f64,
     measured_kb: f64,
 }
+vsim::impl_to_json!(Cell {
+    window_secs,
+    paper_kb,
+    measured_kb
+});
 
-#[derive(Serialize)]
 struct Row {
     program: String,
     cells: Vec<Cell>,
 }
+vsim::impl_to_json!(Row { program, cells });
 
 fn main() {
     let windows = [0.2f64, 1.0, 3.0];
@@ -47,6 +50,7 @@ fn main() {
         ],
     );
     let mut rows = Vec::new();
+    let mut metrics = vsim::MetricsReport::new();
 
     for (pi, r) in TABLE_4_1.iter().enumerate() {
         let paper = [r.at_0_2s, r.at_1s, r.at_3s];
@@ -65,6 +69,7 @@ fn main() {
             c.run_for(SimDuration::from_secs(2)); // Reach hot-set steady state.
             let s = measure_dirty_windows(&mut c, lh, team, SimDuration::from_secs_f64(w), n);
             measured[wi] = s.mean();
+            metrics = c.metrics_report();
         }
         table.row(&[
             r.name.to_string(),
@@ -97,5 +102,5 @@ fn main() {
          (39.2 KB @1s vs 37.8 KB @3s — measurement noise); the fitted\n\
          model is necessarily monotone and smooths it."
     );
-    maybe_write_json("table_4_1", &rows);
+    emit("table_4_1", &rows, &metrics);
 }

@@ -11,8 +11,10 @@
 #![warn(missing_docs)]
 
 mod runtime;
+mod script;
 
 pub use runtime::{
     Cluster, ClusterConfig, ClusterStats, Command, Event, ProgramRuntime, SvcKind, Workstation,
     PAGING_LH,
 };
+pub use script::{ExecStep, MigrateStep, ScenarioBuilder};

@@ -28,7 +28,11 @@ use vservices::{
     SvcEvent, SvcOutputs, SvcToken,
 };
 use vsim::calib::{CONTEXT_SWITCH, CPU_QUANTUM, SMALL_PACKET_CPU};
-use vsim::{DetRng, Engine, SimDuration, SimTime, Trace, TraceLevel};
+use vsim::metrics::GaugeSnapshot;
+use vsim::{
+    CounterId, DetRng, Engine, Metrics, MetricsReport, SimDuration, SimTime, Subsystem, Trace,
+    TraceEvent, TraceLevel,
+};
 use vworkload::{
     OwnerState, ProgAction, ProgEvent, ProgramProfile, UserModel, UserModelParams, WorkloadProgram,
 };
@@ -261,7 +265,7 @@ impl Default for ClusterConfig {
 }
 
 /// Cluster-level counters.
-#[derive(Debug, Default, Clone, serde::Serialize)]
+#[derive(Debug, Default, Clone)]
 pub struct ClusterStats {
     /// Requests delivered to processes nobody implements.
     pub unroutable_deliveries: u64,
@@ -287,6 +291,13 @@ pub struct Cluster {
     pub migration_reports: Vec<MigrationReport>,
     /// Cluster counters.
     pub stats: ClusterStats,
+    /// Cluster-level metrics (scheduler quanta, routing failures).
+    metrics: Metrics,
+    ctr_quanta_local: CounterId,
+    ctr_quanta_guest: CounterId,
+    ctr_unroutable: CounterId,
+    ctr_evictions: CounterId,
+    ctr_finished: CounterId,
     rng: DetRng,
     cfg: ClusterConfig,
     /// Behaviours awaiting their ProgramStarted event, FIFO per image.
@@ -411,6 +422,12 @@ impl Cluster {
             station.kernel.learn_binding(PAGING_LH, fs_host);
         }
 
+        let mut metrics = Metrics::new();
+        let ctr_quanta_local = metrics.counter(Subsystem::Cluster, "quanta_local");
+        let ctr_quanta_guest = metrics.counter(Subsystem::Cluster, "quanta_guest");
+        let ctr_unroutable = metrics.counter(Subsystem::Cluster, "unroutable_deliveries");
+        let ctr_evictions = metrics.counter(Subsystem::Cluster, "owner_evictions");
+        let ctr_finished = metrics.counter(Subsystem::Cluster, "programs_finished");
         let mut cluster = Cluster {
             engine: Engine::new(),
             net,
@@ -419,12 +436,26 @@ impl Cluster {
             exec_reports: Vec::new(),
             migration_reports: Vec::new(),
             stats: ClusterStats::default(),
+            metrics,
+            ctr_quanta_local,
+            ctr_quanta_guest,
+            ctr_unroutable,
+            ctr_evictions,
+            ctr_finished,
             rng,
             cfg,
             pending_behaviors: HashMap::new(),
             reclaim_times: Vec::new(),
             reclaim_pending: HashMap::new(),
         };
+        // Components are born with quiet traces; give them the cluster's
+        // verbosity so their records survive until merged.
+        let level = cluster.cfg.trace;
+        *cluster.net.trace_mut() = Trace::new(level);
+        for w in &mut cluster.stations {
+            *w.kernel.trace_mut() = Trace::new(level);
+            *w.migrator.trace_mut() = Trace::new(level);
+        }
         cluster.seed_user_transitions();
         cluster
     }
@@ -623,6 +654,60 @@ impl Cluster {
         self.engine.now()
     }
 
+    /// Snapshots every metrics registry in the cluster into one report:
+    /// the event engine, the wire, the cluster scheduler, and each
+    /// station's kernel + migration engine under the station's name.
+    pub fn metrics_report(&self) -> MetricsReport {
+        let elapsed = self.engine.now().since(SimTime::ZERO);
+        let mut report = MetricsReport::new();
+        report.push(self.engine.metrics().snapshot("engine"));
+        report.push(self.net.metrics().snapshot("net"));
+        report.push(self.metrics.snapshot("cluster"));
+        for w in &self.stations {
+            let mut sm = w.kernel.metrics().snapshot(&w.name);
+            let mig = w.migrator.metrics().snapshot(&w.name);
+            sm.counters.extend(mig.counters);
+            sm.gauges.extend(mig.gauges);
+            sm.histograms.extend(mig.histograms);
+            let busy = w.cpu_local + w.cpu_guest;
+            let ms = |d: SimDuration| d.as_secs_f64() * 1e3;
+            sm.gauges.push(GaugeSnapshot {
+                subsystem: Subsystem::Cluster,
+                name: "cpu_local_ms",
+                value: ms(w.cpu_local),
+            });
+            sm.gauges.push(GaugeSnapshot {
+                subsystem: Subsystem::Cluster,
+                name: "cpu_guest_ms",
+                value: ms(w.cpu_guest),
+            });
+            sm.gauges.push(GaugeSnapshot {
+                subsystem: Subsystem::Cluster,
+                name: "cpu_idle_ms",
+                value: ms(elapsed.saturating_sub(busy)),
+            });
+            sm.gauges.push(GaugeSnapshot {
+                subsystem: Subsystem::Cluster,
+                name: "cpu_utilization",
+                value: w.cpu_utilization(elapsed),
+            });
+            report.push(sm);
+        }
+        report
+    }
+
+    /// Folds every component trace (wire drops, kernel retransmissions
+    /// and deferrals, migration phases) into the cluster trace,
+    /// time-sorted with the cluster's own records.
+    pub fn merge_component_traces(&mut self) {
+        for w in &mut self.stations {
+            self.trace.drain_from(w.kernel.trace_mut());
+            self.trace.drain_from(w.migrator.trace_mut());
+        }
+        self.trace.drain_from(self.net.trace_mut());
+        self.trace.sort_by_time();
+    }
+
     // --- Event dispatch. ---
 
     fn dispatch(&mut self, ev: Event) {
@@ -747,18 +832,19 @@ impl Cluster {
             match e {
                 ExecEvent::Done(report) => {
                     let now = self.engine.now();
-                    self.trace.info(
-                        now,
-                        format!("exec[{}]", self.stations[i].name),
-                        format!(
-                            "{} @ {:?}: {} (select {}, create {})",
-                            report.image,
-                            report.target,
-                            if report.success { "ok" } else { "FAILED" },
-                            report.selection_time,
-                            report.creation_time
-                        ),
-                    );
+                    if self.trace.enabled(TraceLevel::Info) {
+                        self.trace.info(
+                            now,
+                            Subsystem::Exec,
+                            TraceEvent::ExecDone {
+                                image: report.image.clone(),
+                                host: report.chosen_host.map(|h| h.0),
+                                success: report.success,
+                                selection_us: report.selection_time.as_micros(),
+                                creation_us: report.creation_time.as_micros(),
+                            },
+                        );
+                    }
                     if !report.success {
                         // The behaviour queued for this image never starts.
                         if let Some(q) = self.pending_behaviors.get_mut(&report.image) {
@@ -789,10 +875,14 @@ impl Cluster {
             self.apply_svc_outputs(i, SvcKind::Display, outs);
         } else {
             self.stats.unroutable_deliveries += 1;
+            self.metrics.inc(self.ctr_unroutable);
             self.trace.warn(
                 now,
-                format!("ws[{}]", self.stations[i].name),
-                format!("unroutable request for {}", msg.to),
+                Subsystem::Cluster,
+                TraceEvent::Unroutable {
+                    lh: msg.to.lh.0,
+                    index: msg.to.index,
+                },
             );
         }
     }
@@ -871,11 +961,15 @@ impl Cluster {
                     .get_mut(&image)
                     .and_then(|q| q.pop_front());
                 let Some(behavior) = behavior else {
-                    self.trace.warn(
-                        now,
-                        format!("ws[{}]", self.stations[i].name),
-                        format!("no pending behaviour for image {image}"),
-                    );
+                    if self.trace.enabled(TraceLevel::Warn) {
+                        self.trace.warn(
+                            now,
+                            Subsystem::Cluster,
+                            TraceEvent::BehaviorMissing {
+                                image: image.clone(),
+                            },
+                        );
+                    }
                     return;
                 };
                 let team = self.stations[i]
@@ -889,11 +983,16 @@ impl Cluster {
                     .program(lh)
                     .map(|p| p.priority)
                     .unwrap_or(Priority::GUEST);
-                self.trace.info(
-                    now,
-                    format!("ws[{}]", self.stations[i].name),
-                    format!("program {image} started as {root}"),
-                );
+                if self.trace.enabled(TraceLevel::Info) {
+                    self.trace.info(
+                        now,
+                        Subsystem::Cluster,
+                        TraceEvent::ProgramStarted {
+                            image: image.clone(),
+                            lh: lh.0,
+                        },
+                    );
+                }
                 self.stations[i].programs.insert(
                     lh,
                     ProgramRuntime {
@@ -920,11 +1019,8 @@ impl Cluster {
                 self.resume_scheduling(i, lh);
             }
             SvcEvent::LogicalHostAdopted { lh } => {
-                self.trace.info(
-                    now,
-                    format!("ws[{}]", self.stations[i].name),
-                    format!("adopted migrated {lh}"),
-                );
+                self.trace
+                    .info(now, Subsystem::Migration, TraceEvent::Adopted { lh: lh.0 });
                 // The behaviour object arrives with the MigEvent::Evicted
                 // from the source; nothing to do here.
             }
@@ -996,11 +1092,12 @@ impl Cluster {
                 if let Some(prt) = self.stations[i].programs.remove(&lh) {
                     self.trace.info(
                         now,
-                        "migration",
-                        format!(
-                            "{lh} moved {} -> {}",
-                            self.stations[i].name, self.stations[j].name
-                        ),
+                        Subsystem::Migration,
+                        TraceEvent::Rebind {
+                            lh: lh.0,
+                            from: self.stations[i].host.0,
+                            to: self.stations[j].host.0,
+                        },
                     );
                     let mut prt = prt;
                     prt.scheduled = false;
@@ -1013,18 +1110,20 @@ impl Cluster {
                 self.cpu_dispatch(i);
             }
             MigEvent::Done(report) => {
-                self.trace.info(
-                    now,
-                    "migration",
-                    format!(
-                        "{} {}: {} iters, residual {} KB, frozen {}",
-                        report.image,
-                        if report.success { "done" } else { "FAILED" },
-                        report.iterations.len(),
-                        report.residual_bytes / 1024,
-                        report.freeze_time
-                    ),
-                );
+                if self.trace.enabled(TraceLevel::Info) {
+                    self.trace.info(
+                        now,
+                        Subsystem::Migration,
+                        TraceEvent::MigrationDone {
+                            image: report.image.clone(),
+                            lh: report.lh.0,
+                            success: report.success,
+                            iterations: report.iterations.len() as u32,
+                            residual_kb: report.residual_bytes / 1024,
+                            freeze_us: report.freeze_time.as_micros(),
+                        },
+                    );
+                }
                 self.note_reclaim_progress(i);
                 self.migration_reports.push(*report);
             }
@@ -1126,6 +1225,7 @@ impl Cluster {
             }
             ProgAction::Exit => {
                 self.stats.programs_finished += 1;
+                self.metrics.inc(self.ctr_finished);
                 // The finished program is destroyed via "the program
                 // manager of whatever workstation hosts lh" — the
                 // well-known local group of §2.1, which keeps working
@@ -1247,8 +1347,10 @@ impl Cluster {
                 let prt = w.programs.get_mut(&lh).expect("checked");
                 if prt.priority <= Priority::LOCAL {
                     w.cpu_local += slice;
+                    self.metrics.inc(self.ctr_quanta_local);
                 } else {
                     w.cpu_guest += slice;
+                    self.metrics.inc(self.ctr_quanta_guest);
                 }
                 if let Some(space) = w
                     .kernel
@@ -1312,6 +1414,7 @@ impl Cluster {
                 continue;
             }
             self.stats.owner_evictions += 1;
+            self.metrics.inc(self.ctr_evictions);
             let cfg = self.cfg.migration.clone();
             let w = &mut self.stations[i];
             let meta =

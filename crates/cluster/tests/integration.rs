@@ -5,7 +5,7 @@ use vcluster::{Cluster, ClusterConfig, Command};
 use vcore::{ExecTarget, MigrationConfig, StopPolicy, Strategy};
 use vkernel::Priority;
 use vnet::LossModel;
-use vsim::{SimDuration, SimTime};
+use vsim::{SimDuration, SimTime, TraceEvent, TraceLevel};
 use vworkload::profiles;
 use vworkload::{Phase, ProgramProfile};
 
@@ -608,4 +608,97 @@ fn long_churn_preserves_invariants() {
             assert_ne!(Some(m.from_host), m.to_host);
         }
     }
+}
+
+#[test]
+fn migration_emits_typed_trace_timeline() {
+    let mut c = Cluster::new(ClusterConfig {
+        trace: TraceLevel::Detail,
+        ..quiet_config(3)
+    });
+    let profile = profiles::simulation_profile(SimDuration::from_secs(120));
+    c.exec(1, profile, ExecTarget::Named("ws2".into()), Priority::GUEST);
+    c.run_for(SimDuration::from_secs(20));
+    let lh = c.exec_reports[0].lh.expect("program created");
+    c.migrateprog(2, lh, false);
+    c.run_for(SimDuration::from_secs(30));
+    assert!(c.migration_reports[0].success);
+
+    // Fold the per-component traces (kernels, migrators, wire) into the
+    // cluster timeline, then assert structurally — no message grepping.
+    c.merge_component_traces();
+    let n = lh.0;
+    assert_eq!(
+        c.trace
+            .count_matching(|e| matches!(e, TraceEvent::Freeze { lh } if *lh == n)),
+        1,
+        "pre-copy freezes exactly once, at the end"
+    );
+    assert_eq!(
+        c.trace
+            .count_matching(|e| matches!(e, TraceEvent::Unfreeze { lh } if *lh == n)),
+        1
+    );
+    assert!(
+        c.trace
+            .count_matching(|e| matches!(e, TraceEvent::PrecopyRound { lh, .. } if *lh == n))
+            >= 1,
+        "at least one unfrozen pre-copy round traced"
+    );
+    assert_eq!(
+        c.trace.count_matching(|e| matches!(
+            e,
+            TraceEvent::MigrationDone { lh, success: true, .. } if *lh == n
+        )),
+        1
+    );
+    assert_eq!(
+        c.trace
+            .count_matching(|e| matches!(e, TraceEvent::Rebind { lh, .. } if *lh == n)),
+        1
+    );
+    // And the timeline is ordered: every pre-copy round precedes the
+    // freeze, which precedes the unfreeze.
+    let pos = |pred: &dyn Fn(&TraceEvent) -> bool| {
+        c.trace
+            .records()
+            .iter()
+            .position(|r| pred(&r.event))
+            .expect("event present")
+    };
+    let freeze_at = pos(&|e| matches!(e, TraceEvent::Freeze { lh } if *lh == n));
+    let unfreeze_at = pos(&|e| matches!(e, TraceEvent::Unfreeze { lh } if *lh == n));
+    let round_at = pos(&|e| matches!(e, TraceEvent::PrecopyRound { lh, .. } if *lh == n));
+    assert!(round_at < freeze_at && freeze_at < unfreeze_at);
+}
+
+#[test]
+fn remote_exec_emits_typed_exec_done() {
+    let mut c = Cluster::new(ClusterConfig {
+        trace: TraceLevel::Info,
+        ..quiet_config(3)
+    });
+    c.exec(
+        1,
+        small_compute_profile("job", 1),
+        ExecTarget::AnyIdle,
+        Priority::GUEST,
+    );
+    c.run_for(SimDuration::from_secs(10));
+    assert_eq!(
+        c.trace.count_matching(|e| matches!(
+            e,
+            TraceEvent::ExecDone {
+                success: true,
+                host: Some(_),
+                ..
+            }
+        )),
+        1
+    );
+    assert_eq!(
+        c.trace
+            .count_matching(|e| matches!(e, TraceEvent::ProgramStarted { .. })),
+        1
+    );
 }

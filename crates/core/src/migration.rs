@@ -29,7 +29,9 @@ use vmem::SpaceId;
 use vnet::HostAddr;
 use vservices::{ServiceMsg, SvcError};
 use vsim::calib::PAGE_BYTES;
-use vsim::{SimDuration, SimTime};
+use vsim::{
+    CounterId, HistogramId, Metrics, SimDuration, SimTime, Subsystem, Trace, TraceEvent, TraceLevel,
+};
 
 use crate::report::{IterStat, MigFailure, MigrationReport, Milestones};
 
@@ -252,6 +254,15 @@ pub struct Migrator {
     by_xfer: HashMap<XferId, LogicalHostId>,
     temp_base: u32,
     next_temp: u32,
+    metrics: Metrics,
+    trace: Trace,
+    ctr_started: CounterId,
+    ctr_succeeded: CounterId,
+    ctr_failed: CounterId,
+    hist_freeze_ms: HistogramId,
+    hist_round_ms: HistogramId,
+    hist_residual_kb: HistogramId,
+    hist_total_ms: HistogramId,
 }
 
 impl Migrator {
@@ -259,6 +270,14 @@ impl Migrator {
     /// system logical host); `temp_base` starts its private range of
     /// temporary logical-host ids.
     pub fn new(pid: ProcessId, host: HostAddr, temp_base: u32) -> Self {
+        let mut metrics = Metrics::new();
+        let ctr_started = metrics.counter(Subsystem::Migration, "started");
+        let ctr_succeeded = metrics.counter(Subsystem::Migration, "succeeded");
+        let ctr_failed = metrics.counter(Subsystem::Migration, "failed");
+        let hist_freeze_ms = metrics.histogram(Subsystem::Migration, "freeze_window_ms", "ms");
+        let hist_round_ms = metrics.histogram(Subsystem::Migration, "precopy_round_ms", "ms");
+        let hist_residual_kb = metrics.histogram(Subsystem::Migration, "residual_kb", "KB");
+        let hist_total_ms = metrics.histogram(Subsystem::Migration, "total_ms", "ms");
         Migrator {
             pid,
             host,
@@ -267,12 +286,38 @@ impl Migrator {
             by_xfer: HashMap::new(),
             temp_base,
             next_temp: 0,
+            metrics,
+            trace: Trace::quiet(),
+            ctr_started,
+            ctr_succeeded,
+            ctr_failed,
+            hist_freeze_ms,
+            hist_round_ms,
+            hist_residual_kb,
+            hist_total_ms,
         }
     }
 
     /// The engine's process id.
     pub fn pid(&self) -> ProcessId {
         self.pid
+    }
+
+    /// The engine's metrics registry (per-phase durations and outcome
+    /// counters).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The engine's trace (freeze/unfreeze and per-round copy events).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable trace handle, e.g. to raise the retained level or drain
+    /// records into a cluster-wide trace.
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
     }
 
     /// True while a migration of `lh` is in progress.
@@ -326,6 +371,7 @@ impl Migrator {
             milestones: Milestones::default(),
         };
         job.milestones.mark(now, "started");
+        self.metrics.inc(self.ctr_started);
         let out = self.select_host(now, &mut job, k);
         self.jobs.insert(lh, job);
         out
@@ -472,6 +518,18 @@ impl Migrator {
                             duration: now.since(job.iter_started),
                         });
                         job.last_round_bytes = job.iter_bytes;
+                        self.metrics
+                            .observe_ms(self.hist_round_ms, now.since(job.iter_started));
+                        self.trace.emit(
+                            TraceLevel::Detail,
+                            now,
+                            Subsystem::Migration,
+                            TraceEvent::PrecopyRound {
+                                lh: job.lh.0,
+                                round: job.iteration,
+                                dirty_kb: job.iter_bytes / 1024,
+                            },
+                        );
                         out = self.end_of_round(now, job, k, out);
                     }
                     JobState::FrozenFinalCopy => {
@@ -516,6 +574,12 @@ impl Migrator {
                 k.freeze(job.lh);
                 job.freeze_started = Some(now);
                 job.milestones.mark(now, "frozen");
+                self.trace.emit(
+                    TraceLevel::Detail,
+                    now,
+                    Subsystem::Migration,
+                    TraceEvent::Freeze { lh: job.lh.0 },
+                );
                 job.state = JobState::FrozenFinalCopy;
                 job.iteration = 1;
                 let mut out = out;
@@ -651,6 +715,12 @@ impl Migrator {
         k.freeze(job.lh);
         job.freeze_started = Some(now);
         job.milestones.mark(now, "frozen");
+        self.trace.emit(
+            TraceLevel::Detail,
+            now,
+            Subsystem::Migration,
+            TraceEvent::Freeze { lh: job.lh.0 },
+        );
         job.state = JobState::FrozenFinalCopy;
         job.iter_started = now;
         job.iter_bytes = 0;
@@ -687,6 +757,17 @@ impl Migrator {
             out = out.kernel(kouts);
         }
         job.residual_bytes = residual;
+        self.metrics
+            .observe(self.hist_residual_kb, residual as f64 / 1024.0);
+        self.trace.emit(
+            TraceLevel::Detail,
+            now,
+            Subsystem::Migration,
+            TraceEvent::ResidualCopy {
+                lh: job.lh.0,
+                kb: residual / 1024,
+            },
+        );
         if job.pending_xfers.is_empty() {
             // Nothing was dirty: go straight to the kernel-state copy.
             return self.install_state(now, job, k, out);
@@ -757,6 +838,16 @@ impl Migrator {
         job.milestones.mark(now, "unfrozen-on-target");
         let freeze_time = now.since(job.freeze_started.expect("was frozen"));
         let (_, to_host) = job.target.expect("target chosen");
+        self.metrics.inc(self.ctr_succeeded);
+        self.metrics.observe_ms(self.hist_freeze_ms, freeze_time);
+        self.metrics
+            .observe_ms(self.hist_total_ms, now.since(job.started_at));
+        self.trace.emit(
+            TraceLevel::Detail,
+            now,
+            Subsystem::Migration,
+            TraceEvent::Unfreeze { lh: job.lh.0 },
+        );
 
         // Step 5: delete the old copy; references rebind via the binding
         // cache (or a forwarding address in Demos/MP mode).
@@ -816,6 +907,7 @@ impl Migrator {
                 out = out.kernel(k.reply(now, r.from, r.to, r.seq, ServiceMsg::Ok, 0));
             }
             out.events.push(MigEvent::Destroyed { lh: job.lh });
+            self.metrics.inc(self.ctr_failed);
             let report = self.report_failure(&job, now, MigFailure::Destroyed);
             out.events.push(MigEvent::Done(Box::new(report)));
             out
@@ -854,6 +946,12 @@ impl Migrator {
         // "The logical host is unfrozen to avoid timeouts" (§3.1.3).
         out = out.kernel(k.unfreeze_in_place(now, job.lh));
         out.events.push(MigEvent::UnfrozeInPlace { lh: job.lh });
+        self.trace.emit(
+            TraceLevel::Detail,
+            now,
+            Subsystem::Migration,
+            TraceEvent::Unfreeze { lh: job.lh.0 },
+        );
         self.fail(now, job, k, out, failure)
     }
 
@@ -875,6 +973,7 @@ impl Migrator {
                 0,
             ));
         }
+        self.metrics.inc(self.ctr_failed);
         let report = self.report_failure(&job, now, failure);
         out.events.push(MigEvent::Done(Box::new(report)));
         out

@@ -2,13 +2,12 @@
 //! engines; the experiment harness serializes these into the paper's
 //! tables.
 
-use serde::Serialize;
 use vkernel::{LogicalHostId, ProcessId};
 use vnet::HostAddr;
 use vsim::{SimDuration, SimTime};
 
 /// How a program's execution host was chosen (`@ machine`, `@ *`, local).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecTarget {
     /// Run on the requesting workstation.
     Local,
@@ -19,7 +18,7 @@ pub enum ExecTarget {
 }
 
 /// Timing breakdown of one remote execution (experiment E2).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExecReport {
     /// Image executed.
     pub image: String,
@@ -48,7 +47,7 @@ pub struct ExecReport {
 }
 
 /// One pre-copy (or flush) round.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct IterStat {
     /// Bytes copied this round.
     pub bytes: u64,
@@ -57,7 +56,7 @@ pub struct IterStat {
 }
 
 /// Outcome of one migration (experiments E3–E5, E8, ablations).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MigrationReport {
     /// The migrated logical host.
     pub lh: LogicalHostId,
@@ -102,7 +101,7 @@ impl MigrationReport {
 }
 
 /// Why a migration did not complete.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MigFailure {
     /// No workstation answered the candidate query.
     NoHostFound,
@@ -118,7 +117,7 @@ pub enum MigFailure {
 }
 
 /// A residual dependency detected by the §3.3 auditor.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ResidualDependency {
     /// The dependent process.
     pub pid: ProcessId,

@@ -10,13 +10,12 @@
 
 use std::collections::HashMap;
 
-use serde::Serialize;
 use vnet::HostAddr;
 
 use crate::ids::LogicalHostId;
 
 /// Cache statistics, reported by experiment E6/A2.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct BindingStats {
     /// Successful lookups.
     pub hits: u64,

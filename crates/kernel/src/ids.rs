@@ -10,14 +10,12 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A logical host: the unit of migration.
 ///
 /// Logical-host ids are globally unique and never reused. Migration moves a
 /// logical host between physical hosts; its id (and therefore every process
 /// id inside it) is preserved.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LogicalHostId(pub u32);
 
 impl fmt::Display for LogicalHostId {
@@ -37,7 +35,7 @@ pub const PROGRAM_MANAGER_INDEX: u32 = 2;
 pub const FIRST_USER_INDEX: u32 = 16;
 
 /// A V process identifier: `(logical-host-id, local-index)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId {
     /// The logical host this process belongs to.
     pub lh: LogicalHostId,
@@ -69,7 +67,7 @@ impl fmt::Display for ProcessId {
 /// * **Global groups**: well-known groups with network-wide membership,
 ///   such as the program-manager group used for host selection. These map
 ///   to Ethernet multicast.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GroupId(pub ProcessId);
 
 /// Reserved logical-host id 0 carries global well-known groups.
@@ -108,7 +106,7 @@ impl fmt::Display for GroupId {
 }
 
 /// Destination of a Send: a specific process or a group.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Destination {
     /// A single process.
     Process(ProcessId),

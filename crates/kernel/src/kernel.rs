@@ -23,11 +23,10 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use serde::Serialize;
 use vmem::SpaceId;
 use vnet::{Frame, HostAddr, McastGroup};
 use vsim::calib::{self, PAGE_BYTES};
-use vsim::{SimDuration, SimTime};
+use vsim::{CounterId, Metrics, SimDuration, SimTime, Subsystem, Trace, TraceEvent, TraceLevel};
 
 use crate::binding::BindingCache;
 use crate::ids::{
@@ -39,7 +38,7 @@ use crate::process::ProcessState;
 use crate::transfer::{split_units, OutXfer, XFER_UNIT_BYTES};
 
 /// Why a Send or CopyTo failed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SendError {
     /// No response after the maximum number of retransmissions.
     Timeout,
@@ -178,7 +177,7 @@ impl Default for KernelConfig {
 }
 
 /// Kernel counters; experiment E6 reports the overhead-bearing ones.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct KernelStats {
     /// Send operations issued by local processes.
     pub sends: u64,
@@ -347,11 +346,34 @@ pub struct Kernel<X> {
     forwarding: HashMap<LogicalHostId, HostAddr>,
     next_xfer: u64,
     stats: KernelStats,
+    metrics: Metrics,
+    trace: Trace,
+    /// Time of the last public entry point, so interior paths without a
+    /// `now` parameter (retransmit timers, deferrals) can stamp trace
+    /// records.
+    now: SimTime,
+    ctr_sends: CounterId,
+    ctr_replies: CounterId,
+    ctr_deliveries: CounterId,
+    ctr_retransmissions: CounterId,
+    ctr_deferred: CounterId,
+    ctr_reply_pendings: CounterId,
+    ctr_binding_hits: CounterId,
+    ctr_binding_misses: CounterId,
 }
 
 impl<X: Clone + std::fmt::Debug> Kernel<X> {
     /// Boots a kernel on physical host `host`.
     pub fn new(host: HostAddr, cfg: KernelConfig) -> Self {
+        let mut metrics = Metrics::new();
+        let ctr_sends = metrics.counter(Subsystem::Kernel, "sends");
+        let ctr_replies = metrics.counter(Subsystem::Kernel, "replies");
+        let ctr_deliveries = metrics.counter(Subsystem::Kernel, "deliveries");
+        let ctr_retransmissions = metrics.counter(Subsystem::Kernel, "retransmissions");
+        let ctr_deferred = metrics.counter(Subsystem::Kernel, "deferred_requests");
+        let ctr_reply_pendings = metrics.counter(Subsystem::Kernel, "reply_pendings_sent");
+        let ctr_binding_hits = metrics.counter(Subsystem::Kernel, "binding_cache_hits");
+        let ctr_binding_misses = metrics.counter(Subsystem::Kernel, "binding_cache_misses");
         Kernel {
             host,
             cfg,
@@ -369,6 +391,17 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
             forwarding: HashMap::new(),
             next_xfer: 0,
             stats: KernelStats::default(),
+            metrics,
+            trace: Trace::quiet(),
+            now: SimTime::ZERO,
+            ctr_sends,
+            ctr_replies,
+            ctr_deliveries,
+            ctr_retransmissions,
+            ctr_deferred,
+            ctr_reply_pendings,
+            ctr_binding_hits,
+            ctr_binding_misses,
         }
     }
 
@@ -385,6 +418,23 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
     /// Accumulated statistics.
     pub fn stats(&self) -> &KernelStats {
         &self.stats
+    }
+
+    /// The kernel's metrics registry (mirrors the overhead-bearing
+    /// [`KernelStats`] fields as typed counters).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The kernel's trace (retransmissions and reply-pending deferrals).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable trace handle, e.g. to raise the retained level or drain
+    /// records into a cluster-wide trace.
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
     }
 
     /// The binding cache (for inspection).
@@ -502,7 +552,9 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
         body: X,
         data_bytes: u64,
     ) -> (SendSeq, Vec<KernelOutput<X>>) {
+        self.now = now;
         self.stats.sends += 1;
+        self.metrics.inc(self.ctr_sends);
         self.stats.freeze_checks += 1;
         let seq = {
             let lh = self
@@ -535,7 +587,9 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
         body: X,
         data_bytes: u64,
     ) -> Vec<KernelOutput<X>> {
+        self.now = now;
         self.stats.replies += 1;
+        self.metrics.inc(self.ctr_replies);
         self.stats.freeze_checks += 1;
         let mut out = Vec::new();
         let key = (requester, seq);
@@ -960,6 +1014,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
 
     /// Processes a frame delivered by the network.
     pub fn handle_frame(&mut self, now: SimTime, frame: Frame<Packet<X>>) -> Vec<KernelOutput<X>> {
+        self.now = now;
         let mut out = Vec::new();
         let src = frame.src;
         // "The cache is also updated based on incoming requests" (§3.1.4):
@@ -1115,6 +1170,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
 
     /// Processes a timer callback.
     pub fn handle_timer(&mut self, now: SimTime, key: TimerKey) -> Vec<KernelOutput<X>> {
+        self.now = now;
         let mut out = Vec::new();
         match key {
             TimerKey::Retransmit(pid, seq) => self.on_retransmit_timer(pid, seq, &mut out),
@@ -1290,6 +1346,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                     .unwrap_or_default();
                 for m in members {
                     self.stats.deliveries += 1;
+                    self.metrics.inc(self.ctr_deliveries);
                     self.in_progress
                         .entry((from, seq))
                         .or_default()
@@ -1377,6 +1434,14 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
             let already = l.deferred_iter().any(|d| d.from == from && d.seq == seq);
             if !already {
                 self.stats.deferred_requests += 1;
+                self.metrics.inc(self.ctr_deferred);
+                self.trace.emit(
+                    TraceLevel::Detail,
+                    self.now,
+                    Subsystem::Kernel,
+                    TraceEvent::ReplyDeferred { lh: lh.0 },
+                );
+                let l = self.lhs.get_mut(&lh).expect("checked resident");
                 l.defer(DeferredRequest {
                     seq,
                     from,
@@ -1391,6 +1456,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
             // retransmission" (§3.1.3).
             if !local_sender && (retransmission || already) {
                 self.stats.reply_pendings_sent += 1;
+                self.metrics.inc(self.ctr_reply_pendings);
                 let pkt = Packet::ReplyPending {
                     seq,
                     from: target,
@@ -1418,6 +1484,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
         }
 
         self.stats.deliveries += 1;
+        self.metrics.inc(self.ctr_deliveries);
         self.in_progress
             .entry((from, seq))
             .or_default()
@@ -1531,6 +1598,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                     .unwrap_or_default();
                 for m in members {
                     self.stats.deliveries += 1;
+                    self.metrics.inc(self.ctr_deliveries);
                     self.in_progress
                         .entry((from, seq))
                         .or_default()
@@ -1641,6 +1709,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
         };
         o.total_retransmits += 1;
         o.since_rebind += 1;
+        let tries = o.total_retransmits;
 
         let give_up = if o.pending_seen {
             o.total_retransmits > self.cfg.hard_retransmit_cap
@@ -1665,6 +1734,16 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
         }
 
         self.stats.retransmissions += 1;
+        self.metrics.inc(self.ctr_retransmissions);
+        self.trace.emit(
+            TraceLevel::Detail,
+            self.now,
+            Subsystem::Kernel,
+            TraceEvent::Retransmit {
+                lh: to.routing_lh().map_or(pid.lh.0, |l| l.0),
+                tries,
+            },
+        );
         let pkt = Packet::Request {
             seq,
             from: pid,
@@ -1840,10 +1919,14 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
     ) {
         let bytes = pkt.wire_bytes();
         match self.cache.lookup(lh) {
-            Some(h) => out.push(KernelOutput::Transmit(Frame::unicast(
-                self.host, h, bytes, pkt,
-            ))),
+            Some(h) => {
+                self.metrics.inc(self.ctr_binding_hits);
+                out.push(KernelOutput::Transmit(Frame::unicast(
+                    self.host, h, bytes, pkt,
+                )))
+            }
             None => {
+                self.metrics.inc(self.ctr_binding_misses);
                 self.stats.broadcast_requests += 1;
                 out.push(KernelOutput::Transmit(Frame::broadcast(
                     self.host, bytes, pkt,

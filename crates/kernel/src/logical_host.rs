@@ -9,7 +9,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 use vmem::{AddressSpace, SpaceId, SpaceLayout};
 
 use crate::ids::{LogicalHostId, ProcessId, FIRST_USER_INDEX};
@@ -37,7 +36,7 @@ pub struct DeferredRequest<X> {
 }
 
 /// Descriptor of one process, as transferred in the kernel-state copy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProcessDesc {
     /// Local index.
     pub index: u32,
@@ -52,7 +51,7 @@ pub struct ProcessDesc {
 /// Descriptor of a logical host's kernel state: what the migration's
 /// "copying the kernel server and program manager state" step moves
 /// (§3.1.3). Its size drives the 14 ms + 9 ms/object cost.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LhDescriptor {
     /// The original logical-host id (re-imposed on the new copy).
     pub id: LogicalHostId,

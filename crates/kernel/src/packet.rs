@@ -11,18 +11,17 @@
 //! routes by destination and never interprets payloads — exactly the
 //! property that makes V's IPC network-transparent.
 
-use serde::{Deserialize, Serialize};
 use vnet::HostAddr;
 
 use crate::ids::{Destination, LogicalHostId, ProcessId};
 use vmem::SpaceId;
 
 /// Per-sender sequence number identifying one Send transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SendSeq(pub u64);
 
 /// Identifier of one bulk transfer (CopyTo blast sequence).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct XferId(pub u64);
 
 /// Wire size of a V message packet: 32-byte message plus protocol header.
@@ -32,7 +31,7 @@ pub const MESSAGE_PACKET_BYTES: u64 = 64;
 pub const CONTROL_PACKET_BYTES: u64 = 32;
 
 /// One interkernel packet.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Packet<X> {
     /// A Send in flight: retransmitted until a Reply (or ReplyPending)
     /// arrives.

@@ -7,7 +7,6 @@
 //! The *behaviour* of a process — what it computes, which pages it writes —
 //! lives in the workload layer.
 
-use serde::{Deserialize, Serialize};
 use vmem::SpaceId;
 
 use crate::ids::ProcessId;
@@ -17,7 +16,7 @@ use crate::packet::SendSeq;
 ///
 /// §2: "Because of priority scheduling for locally invoked programs, a
 /// text-editing user need not notice the presence of background jobs."
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Priority(pub u8);
 
 impl Priority {
@@ -34,7 +33,7 @@ impl Priority {
 }
 
 /// IPC-visible state of a process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProcessState {
     /// Runnable (or running; the CPU scheduler in the cluster layer
     /// decides which ready process executes).
@@ -53,7 +52,7 @@ pub enum ProcessState {
 }
 
 /// A kernel process descriptor.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Process {
     /// The process id.
     pub pid: ProcessId,

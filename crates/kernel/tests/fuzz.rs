@@ -5,13 +5,15 @@
 //! 1. every Send eventually completes (reply or clean failure);
 //! 2. no transaction is delivered to the application more than once;
 //! 3. migration preserves all of the above.
+//!
+//! Cases are generated from a seeded [`DetRng`], so each run covers the
+//! same deterministic set of scenarios.
 
-use proptest::prelude::*;
 use vkernel::testkit::{AppEvent, Rig};
 use vkernel::{KernelConfig, LogicalHostId, Priority, ProcessId, SendSeq};
 use vmem::SpaceLayout;
 use vnet::{HostAddr, LossModel};
-use vsim::{SimDuration, SimTime};
+use vsim::{DetRng, SimDuration, SimTime};
 
 fn spawn(rig: &mut Rig<u32>, i: usize, lh: u32) -> ProcessId {
     let l = rig.kernel_mut(i).create_logical_host(LogicalHostId(lh));
@@ -19,15 +21,13 @@ fn spawn(rig: &mut Rig<u32>, i: usize, lh: u32) -> ProcessId {
     l.create_process(team, Priority::LOCAL, false)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn every_send_completes_exactly_once_under_loss(
-        seed in 0u64..10_000,
-        loss_pct in 0u32..20,
-        n_sends in 1usize..30,
-    ) {
+#[test]
+fn every_send_completes_exactly_once_under_loss() {
+    let mut rng = DetRng::seed(0xF00D);
+    for _case in 0..24 {
+        let seed = rng.range_u64(0, 10_000);
+        let loss_pct = rng.range_u64(0, 20) as u32;
+        let n_sends = rng.index(29) + 1;
         let cfg = KernelConfig::default();
         let mut rig: Rig<u32> = Rig::with_loss(
             4,
@@ -38,7 +38,6 @@ proptest! {
             },
             cfg,
         );
-        let _ = seed;
         // One server per kernel, each echoing the body.
         let servers: Vec<ProcessId> = (0..4).map(|i| spawn(&mut rig, i, 10 + i as u32)).collect();
         let clients: Vec<ProcessId> = (0..4).map(|i| spawn(&mut rig, i, 20 + i as u32)).collect();
@@ -81,13 +80,16 @@ proptest! {
                 .iter()
                 .filter(|(p, s, _)| *p == pid && *s == seq)
                 .count();
-            prop_assert_eq!(n, 1, "transaction {:?}/{:?} completed {} times", pid, seq, n);
+            assert_eq!(n, 1, "transaction {pid:?}/{seq:?} completed {n} times");
         }
         // 2. With loss < hard limits, everything should actually succeed
         //    (servers always answer; reply-pending + retransmission carry
         //    the rest) — allow failures only at extreme loss.
         if loss_pct <= 5 {
-            prop_assert!(results.iter().all(|r| r.2), "a send failed at {loss_pct}% loss");
+            assert!(
+                results.iter().all(|r| r.2),
+                "a send failed at {loss_pct}% loss"
+            );
         }
         // 3. Each transaction reached the application at most once.
         let mut seen = std::collections::HashMap::new();
@@ -97,22 +99,25 @@ proptest! {
             }
         }
         for (k, v) in seen {
-            prop_assert_eq!(v, 1, "transaction {:?} delivered {} times", k, v);
+            assert_eq!(v, 1, "transaction {k:?} delivered {v} times");
         }
     }
+}
 
-    #[test]
-    fn migration_amid_random_traffic_preserves_invariants(
-        seed in 0u64..10_000,
-        migrate_after_ms in 1u64..50,
-        n_sends in 2usize..16,
-    ) {
+#[test]
+fn migration_amid_random_traffic_preserves_invariants() {
+    let mut rng = DetRng::seed(0xBEEF);
+    for _case in 0..24 {
+        let seed = rng.range_u64(0, 10_000);
+        let migrate_after_ms = rng.range_u64(1, 50);
+        let n_sends = rng.index(14) + 2;
         let mut rig: Rig<u32> = Rig::new(3);
         let victim = spawn(&mut rig, 0, 10); // Will migrate 0 -> 1.
         let clients: Vec<ProcessId> = (0..3).map(|i| spawn(&mut rig, i, 20 + i as u32)).collect();
         rig.respond(victim, |m| Some(m.body * 2));
         for i in 0..3usize {
-            rig.kernel_mut(i).learn_binding(LogicalHostId(10), HostAddr(0));
+            rig.kernel_mut(i)
+                .learn_binding(LogicalHostId(10), HostAddr(0));
         }
 
         // Fire sends toward the victim from all hosts, staggered.
@@ -155,16 +160,16 @@ proptest! {
                 .iter()
                 .filter(|(p, s, _)| *p == pid && *s == seq)
                 .count();
-            prop_assert_eq!(n, 1, "transaction {:?}/{:?} completed {} times", pid, seq, n);
+            assert_eq!(n, 1, "transaction {pid:?}/{seq:?} completed {n} times");
         }
         // Post-migration the old host holds nothing for lh10.
-        prop_assert!(!rig.kernel(0).is_resident(LogicalHostId(10)));
-        prop_assert_eq!(rig.kernel(0).forwarding_entries(), 0);
+        assert!(!rig.kernel(0).is_resident(LogicalHostId(10)));
+        assert_eq!(rig.kernel(0).forwarding_entries(), 0);
         // And a fresh send still works.
         let from = clients[2];
         rig.drive(2, |kk, t| kk.send(t, from, victim.into(), 99, 0));
         rig.run_until(SimTime::MAX);
         let last = rig.send_results();
-        prop_assert!(last.last().expect("one more result").2);
+        assert!(last.last().expect("one more result").2);
     }
 }

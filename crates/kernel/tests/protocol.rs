@@ -10,7 +10,7 @@ use vkernel::{
 };
 use vmem::SpaceLayout;
 use vnet::{HostAddr, LossModel, McastGroup};
-use vsim::{SimDuration, SimTime};
+use vsim::{SimDuration, SimTime, Trace, TraceEvent, TraceLevel};
 
 type Body = u32;
 
@@ -92,6 +92,7 @@ fn lost_request_recovered_by_retransmission() {
     // Drop exactly the first delivery (the request); the retransmission
     // gets through and the exchange completes.
     let mut rig: Rig<Body> = Rig::with_loss(2, LossModel::FirstN(1), KernelConfig::default());
+    *rig.kernel_mut(0).trace_mut() = Trace::new(TraceLevel::Detail);
     let a = spawn(&mut rig, 0, 1);
     let b = spawn(&mut rig, 1, 2);
     rig.kernel_mut(0)
@@ -100,7 +101,13 @@ fn lost_request_recovered_by_retransmission() {
     rig.drive(0, |k, t| k.send(t, a, b.into(), 1, 0));
     run_all(&mut rig);
     assert_eq!(rig.send_results(), vec![(a, vkernel::SendSeq(0), true)]);
-    assert!(rig.kernel(0).stats().retransmissions >= 1);
+    // The retransmission is visible as a typed trace event, not a log line.
+    assert!(
+        rig.kernel(0)
+            .trace()
+            .count_matching(|e| matches!(e, TraceEvent::Retransmit { lh: 2, .. }))
+            >= 1
+    );
     // Exactly one application-level delivery despite the loss.
     assert_eq!(rig.kernel(1).stats().deliveries, 1);
 }
@@ -217,6 +224,7 @@ fn busy_server_reply_pending_prevents_abort() {
 #[test]
 fn freeze_defers_and_unfreeze_in_place_delivers() {
     let mut rig: Rig<Body> = Rig::new(2);
+    *rig.kernel_mut(1).trace_mut() = Trace::new(TraceLevel::Detail);
     let a = spawn(&mut rig, 0, 1);
     let b = spawn(&mut rig, 1, 2);
     rig.kernel_mut(0)
@@ -227,7 +235,13 @@ fn freeze_defers_and_unfreeze_in_place_delivers() {
     rig.drive(0, |k, t| k.send(t, a, b.into(), 5, 0));
     rig.run_for(SimDuration::from_secs(2));
     assert!(rig.send_results().is_empty(), "deferred while frozen");
-    assert_eq!(rig.kernel(1).stats().deferred_requests, 1);
+    // The deferral shows up as a structured event on the frozen host.
+    assert_eq!(
+        rig.kernel(1)
+            .trace()
+            .count_matching(|e| matches!(e, TraceEvent::ReplyDeferred { lh: 2 })),
+        1
+    );
     // Retransmissions to the frozen host drew reply-pending packets.
     assert!(rig.kernel(1).stats().reply_pendings_sent >= 1);
     assert_eq!(rig.kernel(1).stats().deliveries, 0);

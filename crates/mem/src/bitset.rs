@@ -4,8 +4,6 @@
 //! pages are detected using dirty bits"); this is the model of that
 //! hardware structure.
 
-use serde::{Deserialize, Serialize};
-
 /// A fixed-capacity dense bitset.
 ///
 /// # Examples
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(b.count(), 2);
 /// assert_eq!(b.iter().collect::<Vec<_>>(), vec![3, 64]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitSet {
     words: Vec<u64>,
     len: usize,

@@ -7,17 +7,16 @@
 //! re-scans dirty pages. The model tracks exactly that, at the paper's 2 KB
 //! hardware page granularity.
 
-use serde::{Deserialize, Serialize};
 use vsim::calib::PAGE_BYTES;
 
 use crate::bitset::BitSet;
 
 /// Identifier of an address space within a logical host.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SpaceId(pub u32);
 
 /// The role of a segment in the address-space layout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SegmentKind {
     /// Program text; read-only, never dirtied.
     Code,
@@ -38,7 +37,7 @@ impl SegmentKind {
 }
 
 /// A contiguous page range of one kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Segment {
     /// Role of the range.
     pub kind: SegmentKind,
@@ -61,7 +60,7 @@ impl Segment {
 }
 
 /// Declarative layout used to build an [`AddressSpace`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpaceLayout {
     /// Code bytes (rounded up to whole pages).
     pub code_bytes: u64,
@@ -124,7 +123,7 @@ impl SpaceLayout {
 /// assert_eq!(space.take_dirty(), vec![heap]);
 /// assert_eq!(space.dirty_pages(), 0);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AddressSpace {
     id: SpaceId,
     segments: Vec<Segment>,

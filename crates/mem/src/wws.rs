@@ -18,14 +18,13 @@
 //! *concrete page writes* against an [`AddressSpace`] so that experiments
 //! measure dirty pages from the page tables, not from the formula.
 
-use serde::{Deserialize, Serialize};
 use vsim::calib::PAGE_BYTES;
 use vsim::{DetRng, SimDuration};
 
 use crate::space::AddressSpace;
 
 /// Fitted parameters of the WWS model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WwsParams {
     /// Hot-set size in KB.
     pub hot_kb: f64,

@@ -9,13 +9,11 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A physical host address on the simulated Ethernet segment.
 ///
 /// Stands in for a 48-bit Ethernet station address; the simulation hands
 /// them out densely from zero as hosts attach.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HostAddr(pub u16);
 
 impl fmt::Display for HostAddr {
@@ -28,7 +26,7 @@ impl fmt::Display for HostAddr {
 ///
 /// V process groups with network-wide membership (e.g. the well-known
 /// program-manager group) map onto these.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct McastGroup(pub u16);
 
 impl fmt::Display for McastGroup {
@@ -38,7 +36,7 @@ impl fmt::Display for McastGroup {
 }
 
 /// Destination of a frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NetDest {
     /// Deliver to a single station.
     Unicast(HostAddr),

@@ -17,9 +17,11 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use serde::Serialize;
 use vsim::calib::{frame_wire_time, WIRE_LATENCY};
-use vsim::{DetRng, SimDuration, SimTime};
+use vsim::{
+    CounterId, DetRng, HistogramId, Metrics, SimDuration, SimTime, Subsystem, Trace, TraceEvent,
+    TraceLevel,
+};
 
 use crate::addr::{HostAddr, McastGroup, NetDest};
 use crate::frame::Frame;
@@ -37,7 +39,7 @@ pub struct Delivery<P> {
 }
 
 /// Wire-level counters.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct WireStats {
     /// Frames offered to the channel by live senders.
     pub frames_sent: u64,
@@ -96,12 +98,31 @@ pub struct Ethernet<P> {
     loss: LossState,
     rng: DetRng,
     stats: WireStats,
+    metrics: Metrics,
+    trace: Trace,
+    ctr_sent: CounterId,
+    ctr_delivered: CounterId,
+    ctr_drop_loss: CounterId,
+    ctr_drop_down: CounterId,
+    ctr_sender_down: CounterId,
+    ctr_payload_bytes: CounterId,
+    ctr_busy_us: CounterId,
+    hist_frame_bytes: HistogramId,
     _payload: std::marker::PhantomData<P>,
 }
 
 impl<P: Clone> Ethernet<P> {
     /// Creates an empty segment with the given loss model.
     pub fn new(loss: LossModel, rng: DetRng) -> Self {
+        let mut metrics = Metrics::new();
+        let ctr_sent = metrics.counter(Subsystem::Net, "frames_sent");
+        let ctr_delivered = metrics.counter(Subsystem::Net, "frames_delivered");
+        let ctr_drop_loss = metrics.counter(Subsystem::Net, "frames_dropped_loss");
+        let ctr_drop_down = metrics.counter(Subsystem::Net, "frames_dropped_down");
+        let ctr_sender_down = metrics.counter(Subsystem::Net, "frames_sender_down");
+        let ctr_payload_bytes = metrics.counter(Subsystem::Net, "payload_bytes");
+        let ctr_busy_us = metrics.counter(Subsystem::Net, "wire_busy_us");
+        let hist_frame_bytes = metrics.histogram(Subsystem::Net, "frame_payload_bytes", "bytes");
         Ethernet {
             stations: Vec::new(),
             groups: HashMap::new(),
@@ -109,6 +130,16 @@ impl<P: Clone> Ethernet<P> {
             loss: LossState::new(loss),
             rng,
             stats: WireStats::default(),
+            metrics,
+            trace: Trace::quiet(),
+            ctr_sent,
+            ctr_delivered,
+            ctr_drop_loss,
+            ctr_drop_down,
+            ctr_sender_down,
+            ctr_payload_bytes,
+            ctr_busy_us,
+            hist_frame_bytes,
             _payload: std::marker::PhantomData,
         }
     }
@@ -182,10 +213,16 @@ impl<P: Clone> Ethernet<P> {
     pub fn transmit(&mut self, now: SimTime, frame: Frame<P>) -> Vec<Delivery<P>> {
         if !self.station(frame.src).up {
             self.stats.sender_down += 1;
+            self.metrics.inc(self.ctr_sender_down);
             return Vec::new();
         }
         self.stats.frames_sent += 1;
         self.stats.payload_bytes += frame.payload_bytes;
+        self.metrics.inc(self.ctr_sent);
+        self.metrics
+            .add(self.ctr_payload_bytes, frame.payload_bytes);
+        self.metrics
+            .observe(self.hist_frame_bytes, frame.payload_bytes as f64);
         {
             let st = self.station_mut(frame.src);
             st.frames_tx += 1;
@@ -196,6 +233,7 @@ impl<P: Clone> Ethernet<P> {
         let wire = frame_wire_time(frame.payload_bytes);
         self.busy_until = start + wire;
         self.stats.busy += wire;
+        self.metrics.add(self.ctr_busy_us, wire.as_micros());
         let arrival = start + wire + WIRE_LATENCY;
 
         let receivers: Vec<HostAddr> = match frame.dest {
@@ -215,13 +253,26 @@ impl<P: Clone> Ethernet<P> {
         for to in receivers {
             if !self.station(to).up {
                 self.stats.drops_down += 1;
+                self.metrics.inc(self.ctr_drop_down);
                 continue;
             }
             if self.loss.drops(&mut self.rng) {
                 self.stats.drops_loss += 1;
+                self.metrics.inc(self.ctr_drop_loss);
+                self.trace.emit(
+                    TraceLevel::Detail,
+                    now,
+                    Subsystem::Net,
+                    TraceEvent::FrameDropped {
+                        from: frame.src.0,
+                        to: to.0,
+                        bytes: frame.payload_bytes,
+                    },
+                );
                 continue;
             }
             self.stats.deliveries += 1;
+            self.metrics.inc(self.ctr_delivered);
             {
                 let st = self.station_mut(to);
                 st.frames_rx += 1;
@@ -239,6 +290,22 @@ impl<P: Clone> Ethernet<P> {
     /// Wire counters.
     pub fn stats(&self) -> &WireStats {
         &self.stats
+    }
+
+    /// The segment's metrics registry (counters mirror [`WireStats`]).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The segment's trace (per-receiver drop events at detail level).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable trace handle, e.g. to raise the retained level or drain
+    /// records into a cluster-wide trace.
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
     }
 
     /// Per-station counters: `(frames sent, frames received, payload

@@ -4,12 +4,10 @@
 //! interkernel packet format and this crate only needs the byte count to
 //! model serialization delay.
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::{HostAddr, NetDest};
 
 /// A frame queued for, or delivered from, the Ethernet segment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame<P> {
     /// Sending station.
     pub src: HostAddr,

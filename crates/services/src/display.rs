@@ -8,7 +8,6 @@
 
 use std::collections::HashMap;
 
-use serde::Serialize;
 use vkernel::{Kernel, ProcessId};
 use vsim::{SimDuration, SimTime};
 
@@ -20,7 +19,7 @@ use crate::service::{SvcOutputs, SvcToken};
 pub const DISPLAY_PER_CHAR: SimDuration = SimDuration::from_micros(80);
 
 /// Display-server statistics.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DisplayStats {
     /// Write requests served.
     pub writes: u64,

@@ -10,7 +10,6 @@
 
 use std::collections::HashMap;
 
-use serde::Serialize;
 use vkernel::{Kernel, LogicalHostId, ProcessId, SendError, SendSeq, XferId};
 use vmem::{SpaceId, SpaceLayout};
 use vsim::calib::{FILE_SERVER_READ_PER_KB, PAGE_BYTES};
@@ -31,7 +30,7 @@ pub struct OpenFile {
 }
 
 /// File-server statistics.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct FsStats {
     /// Program images loaded.
     pub images_loaded: u64,

@@ -8,7 +8,6 @@
 //! file I/O), and display-server output. The kernel routes these bodies
 //! opaquely — it is the `X` type parameter of `vkernel::Kernel`.
 
-use serde::{Deserialize, Serialize};
 use vkernel::{LogicalHostId, MigrationRecord, Priority, ProcessId};
 use vmem::{SpaceId, SpaceLayout};
 use vnet::HostAddr;
@@ -16,7 +15,7 @@ use vnet::HostAddr;
 use crate::env::ExecEnv;
 
 /// A file handle issued by a file server.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FileHandle(pub u64);
 
 /// What a VM-flush migration's target must fetch back from the paging
@@ -53,7 +52,7 @@ pub struct ProgramSpec {
 }
 
 /// Why a service refused an operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SvcError {
     /// Unknown image or file name.
     NotFound,

@@ -12,7 +12,6 @@
 
 use std::collections::HashMap;
 
-use serde::Serialize;
 use vkernel::{
     Kernel, LogicalHostId, Priority, ProcessId, ProcessState, ReplyIn, SendError, SendSeq,
 };
@@ -71,7 +70,7 @@ pub struct ProgramInfo {
 }
 
 /// Program-manager statistics.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct PmStats {
     /// `@*` / named queries answered.
     pub queries_answered: u64,

@@ -13,7 +13,9 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::collections::HashSet;
 
+use crate::metrics::{CounterId, Metrics};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::Subsystem;
 
 /// Handle to a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -72,6 +74,10 @@ pub struct Engine<E> {
     now: SimTime,
     next_seq: u64,
     popped: u64,
+    metrics: Metrics,
+    ctr_scheduled: CounterId,
+    ctr_delivered: CounterId,
+    ctr_cancelled: CounterId,
 }
 
 impl<E> Default for Engine<E> {
@@ -83,18 +89,39 @@ impl<E> Default for Engine<E> {
 impl<E> Engine<E> {
     /// Creates an empty engine with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
+        let mut metrics = Metrics::new();
+        let ctr_scheduled = metrics.counter(Subsystem::Engine, "events_scheduled");
+        let ctr_delivered = metrics.counter(Subsystem::Engine, "events_delivered");
+        let ctr_cancelled = metrics.counter(Subsystem::Engine, "events_cancelled");
         Engine {
             queue: BinaryHeap::new(),
             cancelled: HashSet::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             popped: 0,
+            metrics,
+            ctr_scheduled,
+            ctr_delivered,
+            ctr_cancelled,
         }
     }
 
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The engine's metrics registry, which it owns alongside the clock.
+    ///
+    /// The engine records its own queue counters here; the runtime that
+    /// drives the engine may register additional cluster-level metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access to the engine's metrics registry.
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
     }
 
     /// Number of events delivered so far (popped, not cancelled).
@@ -123,6 +150,7 @@ impl<E> Engine<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.queue.push(Scheduled { at, seq, event });
+        self.metrics.inc(self.ctr_scheduled);
         EventId(seq)
     }
 
@@ -143,8 +171,8 @@ impl<E> Engine<E> {
     /// popped. Cancelling an already-fired or unknown id is a no-op (the
     /// usual race between a timer firing and being cancelled).
     pub fn cancel(&mut self, id: EventId) {
-        if id.0 < self.next_seq {
-            self.cancelled.insert(id);
+        if id.0 < self.next_seq && self.cancelled.insert(id) {
+            self.metrics.inc(self.ctr_cancelled);
         }
     }
 
@@ -173,6 +201,7 @@ impl<E> Engine<E> {
             debug_assert!(s.at >= self.now, "event queue went backwards");
             self.now = s.at;
             self.popped += 1;
+            self.metrics.inc(self.ctr_delivered);
             return Some((s.at, s.event));
         }
     }

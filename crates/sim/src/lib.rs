@@ -3,8 +3,11 @@
 //! Foundation of the V-system reproduction: a microsecond-resolution
 //! simulated clock and event queue ([`Engine`]), seeded randomness
 //! ([`DetRng`]), measurement collection ([`OnlineStats`], [`Samples`],
-//! [`Histogram`]), a trace log ([`Trace`]) and the calibration constants
-//! derived from the paper's §4.1 measurements ([`calib`]).
+//! [`Histogram`]), a structured observability layer (typed [`Trace`]
+//! events and the [`metrics`] registry), a dependency-free [`json`]
+//! serializer for machine-readable experiment artifacts, and the
+//! calibration constants derived from the paper's §4.1 measurements
+//! ([`calib`]).
 //!
 //! Everything above this crate is a sans-IO state machine: components react
 //! to events and schedule new ones; only the cluster runtime owns the loop.
@@ -14,13 +17,17 @@
 
 pub mod calib;
 mod engine;
+pub mod json;
+pub mod metrics;
 mod rng;
 mod stats;
 mod time;
 mod trace;
 
 pub use engine::{run_to_completion, run_until, Dispatch, Engine, EventId};
+pub use json::{Json, ToJson};
+pub use metrics::{CounterId, GaugeId, HistogramId, Metrics, MetricsReport, ScopeMetrics};
 pub use rng::DetRng;
 pub use stats::{Histogram, OnlineStats, Samples};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceLevel, TraceRecord};
+pub use trace::{Subsystem, Trace, TraceEvent, TraceLevel, TraceRecord};

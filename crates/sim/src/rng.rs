@@ -5,9 +5,10 @@
 //! seeded once per scenario, so experiments are exactly reproducible and
 //! differences between runs are attributable to parameters, not noise
 //! sources.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ core seeded through
+//! SplitMix64, so the simulation has no dependency on platform entropy or
+//! external crates and streams are bit-identical across machines.
 
 /// A seeded random-number generator with the distributions the model needs.
 ///
@@ -21,22 +22,50 @@ use rand::{Rng, SeedableRng};
 /// assert_eq!(a.range_u64(0, 100), b.range_u64(0, 100));
 /// ```
 pub struct DetRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used only to expand the seed into the xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
-        DetRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { state }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child generator; used to give each subsystem
     /// its own stream so adding draws in one subsystem does not perturb
     /// another.
     pub fn fork(&mut self) -> DetRng {
-        DetRng::seed(self.inner.gen())
+        DetRng::seed(self.next_u64())
     }
 
     /// A uniform integer in `[lo, hi)`.
@@ -46,7 +75,20 @@ impl DetRng {
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        lo + self.bounded(hi - lo)
+    }
+
+    /// Lemire-style unbiased bounded draw in `[0, n)`; `n` must be > 0.
+    fn bounded(&mut self, n: u64) -> u64 {
+        // Rejection sampling on the top of the range keeps the draw
+        // uniform without 128-bit multiplies on every call.
+        let zone = n.wrapping_neg() % n; // count of biased low values
+        loop {
+            let x = self.next_u64();
+            if x >= zone {
+                return x % n;
+            }
+        }
     }
 
     /// A uniform integer in `[0, n)`, for indexing.
@@ -56,12 +98,13 @@ impl DetRng {
     /// Panics if `n` is zero.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index into empty collection");
-        self.inner.gen_range(0..n)
+        self.bounded(n as u64) as usize
     }
 
     /// A uniform float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -71,7 +114,7 @@ impl DetRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
@@ -81,14 +124,15 @@ impl DetRng {
     /// arrivals).
     pub fn exp_f64(&mut self, mean: f64) -> f64 {
         assert!(mean > 0.0, "exponential mean must be positive");
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        // u is strictly positive so ln(u) is finite.
+        let u = ((self.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64);
         -mean * u.ln()
     }
 
     /// A uniform float in `[lo, hi)`.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        lo + (hi - lo) * self.unit()
     }
 
     /// Picks a uniformly random element of `slice`.
@@ -103,7 +147,7 @@ impl DetRng {
     /// Shuffles `slice` in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.bounded(i as u64 + 1) as usize;
             slice.swap(i, j);
         }
     }
@@ -175,6 +219,25 @@ mod tests {
         let sum: f64 = (0..n).map(|_| r.exp_f64(3.0)).sum();
         let mean = sum / n as f64;
         assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn unit_is_in_range() {
+        let mut r = DetRng::seed(23);
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u), "unit out of range: {u}");
+        }
+    }
+
+    #[test]
+    fn range_u64_covers_bounds() {
+        let mut r = DetRng::seed(29);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[r.range_u64(0, 4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "small range not covered: {seen:?}");
     }
 
     #[test]

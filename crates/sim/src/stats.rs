@@ -6,8 +6,6 @@
 //! [`Samples`] stores them for percentiles; [`Histogram`] buckets
 //! durations for distribution tables.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimDuration;
 
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
@@ -24,7 +22,7 @@ use crate::time::SimDuration;
 /// assert_eq!(s.mean(), 2.0);
 /// assert_eq!(s.count(), 3);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
@@ -120,7 +118,7 @@ impl OnlineStats {
 }
 
 /// Stored samples supporting percentiles.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Samples {
     values: Vec<f64>,
 }
@@ -207,7 +205,7 @@ impl Samples {
 }
 
 /// Fixed-bucket histogram of durations, for distribution tables.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     /// Upper bounds (exclusive) of each bucket, ascending; one overflow
     /// bucket is appended implicitly.
@@ -367,5 +365,40 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn histogram_rejects_unsorted_bounds() {
         Histogram::new(vec![SimDuration::from_secs(1), SimDuration::from_millis(1)]);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_on_random_samples() {
+        let mut rng = crate::DetRng::seed(0x5eed);
+        for case in 0..100 {
+            let mut s = Samples::new();
+            for _ in 0..(1 + rng.index(400)) {
+                s.add(rng.range_f64(-5e3, 5e3));
+            }
+            let p50 = s.percentile(50.0).expect("non-empty");
+            let p95 = s.percentile(95.0).expect("non-empty");
+            let p99 = s.percentile(99.0).expect("non-empty");
+            assert!(
+                p50 <= p95 && p95 <= p99,
+                "case {case}: p50 {p50} p95 {p95} p99 {p99}"
+            );
+            assert!(s.min().expect("non-empty") <= p50);
+            assert!(p99 <= s.max().expect("non-empty"));
+        }
+    }
+
+    #[test]
+    fn percentiles_bounded_by_extremes_with_duplicates() {
+        let mut rng = crate::DetRng::seed(7);
+        for _ in 0..50 {
+            let mut s = Samples::new();
+            let v = rng.range_f64(0.0, 10.0);
+            for _ in 0..(1 + rng.index(20)) {
+                s.add(v); // all-equal sample: every percentile collapses to v
+            }
+            for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+                assert_eq!(s.percentile(p), Some(v));
+            }
+        }
     }
 }

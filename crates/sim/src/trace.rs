@@ -4,6 +4,16 @@
 //! assert *how* a result was reached (e.g. "the logical host was frozen
 //! exactly once", "no packet was sent to the old host after rebinding"),
 //! and the examples print it to narrate runs.
+//!
+//! Records are **typed**: every entry is a [`TraceEvent`] variant tagged
+//! with a [`Subsystem`], not a formatted string. Formatting happens lazily
+//! on [`Display`](fmt::Display); tests match structurally with
+//! [`Trace::count_matching`] instead of grepping message text, and emitting
+//! a filtered-out record allocates nothing.
+//!
+//! `vsim` sits below the kernel and network crates, so event fields carry
+//! raw identifiers: `lh` is the numeric logical-host id, `host` values are
+//! numeric physical-host addresses, `ws` is a station index.
 
 use std::fmt;
 
@@ -20,27 +30,265 @@ pub enum TraceLevel {
     Warn,
 }
 
+/// The layer a trace record or metric originates from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Subsystem {
+    /// The discrete-event engine itself.
+    Engine,
+    /// The Ethernet model.
+    Net,
+    /// The distributed kernel (IPC, bindings, freezing).
+    Kernel,
+    /// Address spaces and dirty-page tracking.
+    Memory,
+    /// Servers outside the kernel (program manager, file server, display).
+    Services,
+    /// Synthetic program/user workload models.
+    Workload,
+    /// Remote-execution machinery (`@ machine`, `@ *`).
+    Exec,
+    /// Migration engine (pre-copy rounds, freeze, install).
+    Migration,
+    /// The whole-cluster runtime.
+    Cluster,
+}
+
+impl Subsystem {
+    /// Stable lower-case label used in reports and display output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Subsystem::Engine => "engine",
+            Subsystem::Net => "net",
+            Subsystem::Kernel => "kernel",
+            Subsystem::Memory => "memory",
+            Subsystem::Services => "services",
+            Subsystem::Workload => "workload",
+            Subsystem::Exec => "exec",
+            Subsystem::Migration => "migration",
+            Subsystem::Cluster => "cluster",
+        }
+    }
+}
+
+impl fmt::Display for Subsystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One structured trace event.
+///
+/// Hot-path variants (frames, retransmissions, deferrals) are `Copy`-cheap
+/// with no owned data; milestone variants carry the program image name for
+/// narration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A remote/local execution finished setting up (or failed).
+    ExecDone {
+        /// Program image name.
+        image: String,
+        /// Chosen physical host address, if any.
+        host: Option<u16>,
+        /// Whether setup succeeded.
+        success: bool,
+        /// Host-selection phase, µs.
+        selection_us: u64,
+        /// Environment-creation + image-load phase, µs.
+        creation_us: u64,
+    },
+    /// A program's root process started running.
+    ProgramStarted {
+        /// Program image name.
+        image: String,
+        /// Numeric logical-host id.
+        lh: u32,
+    },
+    /// A migrated logical host was adopted by its new workstation.
+    Adopted {
+        /// Numeric logical-host id.
+        lh: u32,
+    },
+    /// A logical host moved between physical hosts (eviction/rebind).
+    Rebind {
+        /// Numeric logical-host id.
+        lh: u32,
+        /// Old physical-host address.
+        from: u16,
+        /// New physical-host address.
+        to: u16,
+    },
+    /// A migration completed (successfully or not).
+    MigrationDone {
+        /// Program image name.
+        image: String,
+        /// Numeric logical-host id.
+        lh: u32,
+        /// Whether the program runs on the new host.
+        success: bool,
+        /// Number of unfrozen pre-copy rounds.
+        iterations: u32,
+        /// Bytes copied while frozen, in KB.
+        residual_kb: u64,
+        /// Wall time frozen, µs.
+        freeze_us: u64,
+    },
+    /// A logical host was frozen (§3.1: queue, don't process).
+    Freeze {
+        /// Numeric logical-host id.
+        lh: u32,
+    },
+    /// A logical host was unfrozen.
+    Unfreeze {
+        /// Numeric logical-host id.
+        lh: u32,
+    },
+    /// One unfrozen pre-copy round finished.
+    PrecopyRound {
+        /// Numeric logical-host id.
+        lh: u32,
+        /// Round number, starting at 1.
+        round: u32,
+        /// Dirty bytes copied this round, in KB.
+        dirty_kb: u64,
+    },
+    /// The frozen residual copy finished.
+    ResidualCopy {
+        /// Numeric logical-host id.
+        lh: u32,
+        /// Residual bytes copied, in KB.
+        kb: u64,
+    },
+    /// The wire dropped a frame (loss model or receiver down).
+    FrameDropped {
+        /// Sender physical-host address.
+        from: u16,
+        /// Receiver physical-host address.
+        to: u16,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// An IPC send was retransmitted.
+    Retransmit {
+        /// Numeric logical-host id of the destination (the sender's own
+        /// for group sends, which have no single destination host).
+        lh: u32,
+        /// Retry count so far.
+        tries: u32,
+    },
+    /// A request was deferred with reply-pending (frozen or busy host).
+    ReplyDeferred {
+        /// Numeric logical-host id of the receiver.
+        lh: u32,
+    },
+    /// A delivered request had no process to route to.
+    Unroutable {
+        /// Numeric logical-host id of the addressee.
+        lh: u32,
+        /// Local process index of the addressee.
+        index: u32,
+    },
+    /// A started program image had no queued behaviour to attach.
+    BehaviorMissing {
+        /// Program image name.
+        image: String,
+    },
+    /// Free-form milestone; the static text keeps emission allocation-free.
+    Note {
+        /// What happened.
+        text: &'static str,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+                TraceEvent::ExecDone {
+                    image,
+                    host,
+                    success,
+                    selection_us,
+                    creation_us,
+                } => {
+                    let outcome = if *success { "ok" } else { "FAILED" };
+                    match host {
+                        Some(h) => write!(
+                            f,
+                            "{image} @ host{h}: {outcome} (select {selection_us}us, create {creation_us}us)"
+                        ),
+                        None => write!(
+                            f,
+                            "{image}: {outcome} (select {selection_us}us, create {creation_us}us)"
+                        ),
+                    }
+                }
+                TraceEvent::ProgramStarted { image, lh } => {
+                    write!(f, "program {image} started on lh{lh}")
+                }
+                TraceEvent::Adopted { lh } => write!(f, "adopted migrated lh{lh}"),
+                TraceEvent::Rebind { lh, from, to } => {
+                    write!(f, "lh{lh} moved host{from} -> host{to}")
+                }
+                TraceEvent::MigrationDone {
+                    image,
+                    lh,
+                    success,
+                    iterations,
+                    residual_kb,
+                    freeze_us,
+                } => write!(
+                    f,
+                    "{image} (lh{lh}) {}: {iterations} iters, residual {residual_kb} KB, frozen {freeze_us}us",
+                    if *success { "done" } else { "FAILED" }
+                ),
+                TraceEvent::Freeze { lh } => write!(f, "freeze lh{lh}"),
+                TraceEvent::Unfreeze { lh } => write!(f, "unfreeze lh{lh}"),
+                TraceEvent::PrecopyRound { lh, round, dirty_kb } => {
+                    write!(f, "lh{lh} pre-copy round {round}: {dirty_kb} KB dirty")
+                }
+                TraceEvent::ResidualCopy { lh, kb } => {
+                    write!(f, "lh{lh} residual copy: {kb} KB while frozen")
+                }
+                TraceEvent::FrameDropped { from, to, bytes } => {
+                    write!(f, "dropped {bytes}B frame host{from} -> host{to}")
+                }
+                TraceEvent::Retransmit { lh, tries } => {
+                    write!(f, "retransmit to lh{lh} (try {tries})")
+                }
+                TraceEvent::ReplyDeferred { lh } => {
+                    write!(f, "reply-pending deferral for lh{lh}")
+                }
+                TraceEvent::Unroutable { lh, index } => {
+                    write!(f, "unroutable request for lh{lh}.{index}")
+                }
+                TraceEvent::BehaviorMissing { image } => {
+                    write!(f, "no pending behaviour for image {image}")
+                }
+                TraceEvent::Note { text } => f.write_str(text),
+            }
+    }
+}
+
 /// One trace record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceRecord {
     /// When it happened.
     pub at: SimTime,
     /// Severity.
     pub level: TraceLevel,
-    /// Subsystem tag, e.g. `"kernel[2]"`, `"migration"`.
-    pub tag: String,
-    /// Human-readable description.
-    pub message: String,
+    /// Originating layer.
+    pub subsystem: Subsystem,
+    /// What happened.
+    pub event: TraceEvent,
 }
 
 impl fmt::Display for TraceRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "[{:>12}] {:<14} {}",
+            "[{:>12}] {:<10} {}",
             self.at.to_string(),
-            self.tag,
-            self.message
+            self.subsystem,
+            self.event
         )
     }
 }
@@ -50,14 +298,15 @@ impl fmt::Display for TraceRecord {
 /// # Examples
 ///
 /// ```
-/// use vsim::{SimTime, Trace, TraceLevel};
+/// use vsim::{SimTime, Subsystem, Trace, TraceEvent, TraceLevel};
 ///
 /// let mut trace = Trace::new(TraceLevel::Info);
-/// trace.info(SimTime::ZERO, "kernel[0]", "boot");
-/// trace.detail(SimTime::ZERO, "net", "this is filtered out");
+/// trace.info(SimTime::ZERO, Subsystem::Kernel, TraceEvent::Freeze { lh: 3 });
+/// trace.detail(SimTime::ZERO, Subsystem::Net, TraceEvent::Note { text: "filtered" });
 /// assert_eq!(trace.records().len(), 1);
+/// assert_eq!(trace.count_matching(|e| matches!(e, TraceEvent::Freeze { lh: 3 })), 1);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Trace {
     min_level: TraceLevel,
     records: Vec<TraceRecord>,
@@ -77,57 +326,81 @@ impl Trace {
         Trace::new(TraceLevel::Warn)
     }
 
+    /// True when records at `level` would be retained; callers building
+    /// events with owned data (image names) should check this first so
+    /// filtered-out records stay allocation-free.
+    #[inline]
+    pub fn enabled(&self, level: TraceLevel) -> bool {
+        level >= self.min_level
+    }
+
     /// Appends a record if it passes the level filter.
-    pub fn record(
+    #[inline]
+    pub fn emit(
         &mut self,
         level: TraceLevel,
         at: SimTime,
-        tag: impl Into<String>,
-        message: impl Into<String>,
+        subsystem: Subsystem,
+        event: TraceEvent,
     ) {
-        if level >= self.min_level {
+        if self.enabled(level) {
             self.records.push(TraceRecord {
                 at,
                 level,
-                tag: tag.into(),
-                message: message.into(),
+                subsystem,
+                event,
             });
         }
     }
 
     /// Records at [`TraceLevel::Detail`].
-    pub fn detail(&mut self, at: SimTime, tag: impl Into<String>, msg: impl Into<String>) {
-        self.record(TraceLevel::Detail, at, tag, msg);
+    pub fn detail(&mut self, at: SimTime, subsystem: Subsystem, event: TraceEvent) {
+        self.emit(TraceLevel::Detail, at, subsystem, event);
     }
 
     /// Records at [`TraceLevel::Info`].
-    pub fn info(&mut self, at: SimTime, tag: impl Into<String>, msg: impl Into<String>) {
-        self.record(TraceLevel::Info, at, tag, msg);
+    pub fn info(&mut self, at: SimTime, subsystem: Subsystem, event: TraceEvent) {
+        self.emit(TraceLevel::Info, at, subsystem, event);
     }
 
     /// Records at [`TraceLevel::Warn`].
-    pub fn warn(&mut self, at: SimTime, tag: impl Into<String>, msg: impl Into<String>) {
-        self.record(TraceLevel::Warn, at, tag, msg);
+    pub fn warn(&mut self, at: SimTime, subsystem: Subsystem, event: TraceEvent) {
+        self.emit(TraceLevel::Warn, at, subsystem, event);
     }
 
-    /// All retained records, in time order.
+    /// All retained records, in emission order.
     pub fn records(&self) -> &[TraceRecord] {
         &self.records
     }
 
-    /// Records whose tag starts with `prefix`.
-    pub fn with_tag<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
-        self.records
-            .iter()
-            .filter(move |r| r.tag.starts_with(prefix))
+    /// Iterates the retained events.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.records.iter().map(|r| &r.event)
     }
 
-    /// Count of records whose message contains `needle`.
-    pub fn count_containing(&self, needle: &str) -> usize {
+    /// Records from `subsystem`.
+    pub fn for_subsystem(&self, subsystem: Subsystem) -> impl Iterator<Item = &TraceRecord> {
         self.records
             .iter()
-            .filter(|r| r.message.contains(needle))
-            .count()
+            .filter(move |r| r.subsystem == subsystem)
+    }
+
+    /// Count of retained events matching `pred` — the structured
+    /// replacement for grepping formatted messages.
+    pub fn count_matching(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.records.iter().filter(|r| pred(&r.event)).count()
+    }
+
+    /// Moves all records out of `other` into this trace (used by the
+    /// cluster runtime to fold per-component traces into one timeline).
+    pub fn drain_from(&mut self, other: &mut Trace) {
+        self.records.append(&mut other.records);
+    }
+
+    /// Sorts records by time (stable, so same-instant records keep
+    /// emission order). Call after folding several traces together.
+    pub fn sort_by_time(&mut self) {
+        self.records.sort_by_key(|r| r.at);
     }
 
     /// Drops all retained records.
@@ -149,45 +422,130 @@ mod tests {
     #[test]
     fn level_filter_applies() {
         let mut t = Trace::new(TraceLevel::Info);
-        t.detail(SimTime::ZERO, "a", "dropped");
-        t.info(SimTime::ZERO, "a", "kept");
-        t.warn(SimTime::ZERO, "b", "kept too");
+        t.detail(
+            SimTime::ZERO,
+            Subsystem::Net,
+            TraceEvent::Note { text: "dropped" },
+        );
+        t.info(
+            SimTime::ZERO,
+            Subsystem::Kernel,
+            TraceEvent::Freeze { lh: 1 },
+        );
+        t.warn(
+            SimTime::ZERO,
+            Subsystem::Net,
+            TraceEvent::FrameDropped {
+                from: 0,
+                to: 1,
+                bytes: 64,
+            },
+        );
         assert_eq!(t.records().len(), 2);
+        assert!(!t.enabled(TraceLevel::Detail));
+        assert!(t.enabled(TraceLevel::Warn));
     }
 
     #[test]
     fn quiet_keeps_only_warnings() {
         let mut t = Trace::quiet();
-        t.info(SimTime::ZERO, "a", "nope");
-        t.warn(SimTime::ZERO, "a", "yes");
+        t.info(
+            SimTime::ZERO,
+            Subsystem::Kernel,
+            TraceEvent::Freeze { lh: 1 },
+        );
+        t.warn(
+            SimTime::ZERO,
+            Subsystem::Kernel,
+            TraceEvent::Retransmit { lh: 1, tries: 2 },
+        );
         assert_eq!(t.records().len(), 1);
         assert_eq!(t.records()[0].level, TraceLevel::Warn);
     }
 
     #[test]
-    fn tag_and_content_queries() {
+    fn structured_queries() {
         let mut t = Trace::new(TraceLevel::Detail);
-        t.info(SimTime::ZERO, "kernel[0]", "freeze lh=3");
-        t.info(SimTime::ZERO, "kernel[1]", "unfreeze lh=3");
-        t.info(SimTime::ZERO, "net", "drop frame");
-        assert_eq!(t.with_tag("kernel").count(), 2);
-        assert_eq!(t.count_containing("freeze"), 2);
-        assert_eq!(t.count_containing("drop"), 1);
+        t.info(
+            SimTime::ZERO,
+            Subsystem::Kernel,
+            TraceEvent::Freeze { lh: 3 },
+        );
+        t.info(
+            SimTime::ZERO,
+            Subsystem::Kernel,
+            TraceEvent::Unfreeze { lh: 3 },
+        );
+        t.detail(
+            SimTime::ZERO,
+            Subsystem::Net,
+            TraceEvent::FrameDropped {
+                from: 0,
+                to: 2,
+                bytes: 1024,
+            },
+        );
+        assert_eq!(t.for_subsystem(Subsystem::Kernel).count(), 2);
+        assert_eq!(
+            t.count_matching(|e| matches!(
+                e,
+                TraceEvent::Freeze { .. } | TraceEvent::Unfreeze { .. }
+            )),
+            2
+        );
+        assert_eq!(
+            t.count_matching(|e| matches!(e, TraceEvent::FrameDropped { to: 2, .. })),
+            1
+        );
     }
 
     #[test]
-    fn display_is_readable() {
+    fn display_is_readable_and_lazy() {
         let mut t = Trace::default();
-        t.info(SimTime::from_micros(23_000), "sched", "first response");
+        t.info(
+            SimTime::from_micros(23_000),
+            Subsystem::Migration,
+            TraceEvent::PrecopyRound {
+                lh: 4,
+                round: 2,
+                dirty_kb: 36,
+            },
+        );
         let line = t.records()[0].to_string();
         assert!(line.contains("23.000ms"), "{line}");
-        assert!(line.contains("sched"));
+        assert!(line.contains("migration"), "{line}");
+        assert!(line.contains("round 2"), "{line}");
+    }
+
+    #[test]
+    fn merge_and_sort_interleaves_timelines() {
+        let mut a = Trace::default();
+        let mut b = Trace::default();
+        a.info(
+            SimTime::from_micros(10),
+            Subsystem::Kernel,
+            TraceEvent::Freeze { lh: 1 },
+        );
+        b.info(
+            SimTime::from_micros(5),
+            Subsystem::Migration,
+            TraceEvent::Unfreeze { lh: 1 },
+        );
+        a.drain_from(&mut b);
+        a.sort_by_time();
+        assert!(b.records().is_empty());
+        assert_eq!(a.records()[0].at, SimTime::from_micros(5));
+        assert_eq!(a.records()[1].at, SimTime::from_micros(10));
     }
 
     #[test]
     fn clear_empties_buffer() {
         let mut t = Trace::default();
-        t.info(SimTime::ZERO, "x", "y");
+        t.info(
+            SimTime::ZERO,
+            Subsystem::Cluster,
+            TraceEvent::Note { text: "y" },
+        );
         t.clear();
         assert!(t.records().is_empty());
     }

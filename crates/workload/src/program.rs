@@ -13,7 +13,6 @@
 //! between workstations when its logical host migrates — the program
 //! itself cannot tell.
 
-use serde::{Deserialize, Serialize};
 use vkernel::{Destination, GroupId, LogicalHostId, ProcessId};
 use vmem::{AddressSpace, SpaceLayout, WwsParams, WwsSampler};
 use vservices::{ExecEnv, FileHandle, ServiceMsg};
@@ -160,7 +159,7 @@ pub enum ProgEvent {
 }
 
 /// Counters a program accumulates (they migrate with it).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ProgStats {
     /// CPU actually consumed.
     pub cpu_micros: u64,

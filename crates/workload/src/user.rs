@@ -7,11 +7,10 @@
 //! machine "within a few seconds". This module models owners as a two-
 //! state (active/idle) process with exponential holding times.
 
-use serde::Serialize;
 use vsim::{DetRng, SimDuration};
 
 /// Owner presence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OwnerState {
     /// At the console (editing, mostly).
     Active,

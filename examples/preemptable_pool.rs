@@ -11,7 +11,6 @@
 //! Run with: `cargo run --example preemptable_pool`
 
 use v_system::prelude::*;
-use vsim::TraceLevel;
 
 fn main() {
     let mut cluster = Cluster::new(ClusterConfig {
@@ -41,14 +40,7 @@ fn main() {
         "\n*** the owner of {} sits down ***",
         cluster.stations[owner_ws].name
     );
-    let t = cluster.now();
-    cluster.at(
-        t + SimDuration::from_millis(1),
-        Command::SetOwnerActive {
-            ws: owner_ws,
-            active: true,
-        },
-    );
+    cluster.script().after_ms(1).owner_active(owner_ws, true);
     cluster.run_for(SimDuration::from_secs(30));
 
     let report = cluster
@@ -83,4 +75,10 @@ fn main() {
         cluster.migration_reports.len()
     );
     assert_eq!(cluster.stats.programs_finished, 1);
+
+    let m = cluster.metrics_report();
+    println!(
+        "guest CPU quanta harvested: {}",
+        m.counter_total(Subsystem::Cluster, "quanta_guest")
+    );
 }

@@ -7,7 +7,6 @@
 //! Run with: `cargo run --example quickstart`
 
 use v_system::prelude::*;
-use vsim::TraceLevel;
 
 fn main() {
     let mut cluster = Cluster::new(ClusterConfig {
@@ -21,7 +20,12 @@ fn main() {
     let row = profiles::row("parser").expect("known program");
     let job = profiles::steady_profile(row);
     println!("ws1$ {} @ *", job.name);
-    cluster.exec(1, job, ExecTarget::AnyIdle, Priority::GUEST);
+    cluster
+        .script()
+        .exec(1)
+        .profile(job)
+        .target(ExecTarget::AnyIdle)
+        .guest();
     cluster.run_for(SimDuration::from_secs(60));
 
     let r = cluster.exec_reports[0].clone();
@@ -42,6 +46,21 @@ fn main() {
         "\nprograms finished: {} (CPU went to {})",
         cluster.stats.programs_finished,
         r.chosen_name.as_deref().unwrap_or("?")
+    );
+
+    println!("\n--- metrics ---");
+    let m = cluster.metrics_report();
+    println!(
+        "  IPC sends       : {}",
+        m.counter_total(Subsystem::Kernel, "sends")
+    );
+    println!(
+        "  frames on wire  : {}",
+        m.counter_total(Subsystem::Net, "frames_sent")
+    );
+    println!(
+        "  guest quanta    : {}",
+        m.counter_total(Subsystem::Cluster, "quanta_guest")
     );
 
     println!("\n--- trace ---");

@@ -48,10 +48,12 @@ pub use vworkload;
 
 /// The names most scenarios need.
 pub mod prelude {
-    pub use vcluster::{Cluster, ClusterConfig, Command};
+    pub use vcluster::{Cluster, ClusterConfig, Command, ScenarioBuilder};
     pub use vcore::{ExecTarget, MigrationConfig, MigrationReport, StopPolicy, Strategy};
     pub use vkernel::{LogicalHostId, Priority, ProcessId};
     pub use vnet::{HostAddr, LossModel};
-    pub use vsim::{SimDuration, SimTime, TraceLevel};
+    pub use vsim::{
+        Metrics, MetricsReport, SimDuration, SimTime, Subsystem, Trace, TraceEvent, TraceLevel,
+    };
     pub use vworkload::{profiles, Phase, ProgramProfile, UserModelParams};
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_forwarding-12c7b6107a27e0c8.d: crates/bench/src/bin/abl_forwarding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_forwarding-12c7b6107a27e0c8.rmeta: crates/bench/src/bin/abl_forwarding.rs Cargo.toml
+
+crates/bench/src/bin/abl_forwarding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

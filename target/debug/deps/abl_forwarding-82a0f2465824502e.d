@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_forwarding-82a0f2465824502e.d: crates/bench/src/bin/abl_forwarding.rs
+
+/root/repo/target/debug/deps/abl_forwarding-82a0f2465824502e: crates/bench/src/bin/abl_forwarding.rs
+
+crates/bench/src/bin/abl_forwarding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_forwarding-87f01a5c729be768.d: crates/bench/src/bin/abl_forwarding.rs
+
+/root/repo/target/debug/deps/abl_forwarding-87f01a5c729be768: crates/bench/src/bin/abl_forwarding.rs
+
+crates/bench/src/bin/abl_forwarding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_packet_loss-3c8cdb8bfcd7ddff.d: crates/bench/src/bin/abl_packet_loss.rs
+
+/root/repo/target/debug/deps/abl_packet_loss-3c8cdb8bfcd7ddff: crates/bench/src/bin/abl_packet_loss.rs
+
+crates/bench/src/bin/abl_packet_loss.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_packet_loss-6240072bc4fb5ab9.d: crates/bench/src/bin/abl_packet_loss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_packet_loss-6240072bc4fb5ab9.rmeta: crates/bench/src/bin/abl_packet_loss.rs Cargo.toml
+
+crates/bench/src/bin/abl_packet_loss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

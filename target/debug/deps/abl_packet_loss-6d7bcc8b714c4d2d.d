@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_packet_loss-6d7bcc8b714c4d2d.d: crates/bench/src/bin/abl_packet_loss.rs
+
+/root/repo/target/debug/deps/abl_packet_loss-6d7bcc8b714c4d2d: crates/bench/src/bin/abl_packet_loss.rs
+
+crates/bench/src/bin/abl_packet_loss.rs:

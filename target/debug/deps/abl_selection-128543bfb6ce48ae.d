@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_selection-128543bfb6ce48ae.d: crates/bench/src/bin/abl_selection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_selection-128543bfb6ce48ae.rmeta: crates/bench/src/bin/abl_selection.rs Cargo.toml
+
+crates/bench/src/bin/abl_selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

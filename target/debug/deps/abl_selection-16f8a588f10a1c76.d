@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_selection-16f8a588f10a1c76.d: crates/bench/src/bin/abl_selection.rs
+
+/root/repo/target/debug/deps/abl_selection-16f8a588f10a1c76: crates/bench/src/bin/abl_selection.rs
+
+crates/bench/src/bin/abl_selection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_selection-8a2cdbfc65ffa96a.d: crates/bench/src/bin/abl_selection.rs
+
+/root/repo/target/debug/deps/abl_selection-8a2cdbfc65ffa96a: crates/bench/src/bin/abl_selection.rs
+
+crates/bench/src/bin/abl_selection.rs:

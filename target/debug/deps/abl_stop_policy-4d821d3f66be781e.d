@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_stop_policy-4d821d3f66be781e.d: crates/bench/src/bin/abl_stop_policy.rs
+
+/root/repo/target/debug/deps/abl_stop_policy-4d821d3f66be781e: crates/bench/src/bin/abl_stop_policy.rs
+
+crates/bench/src/bin/abl_stop_policy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/abl_stop_policy-68b85fd262fa2b66.d: crates/bench/src/bin/abl_stop_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libabl_stop_policy-68b85fd262fa2b66.rmeta: crates/bench/src/bin/abl_stop_policy.rs Cargo.toml
+
+crates/bench/src/bin/abl_stop_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

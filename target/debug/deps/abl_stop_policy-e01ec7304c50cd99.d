@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/abl_stop_policy-e01ec7304c50cd99.d: crates/bench/src/bin/abl_stop_policy.rs
+
+/root/repo/target/debug/deps/abl_stop_policy-e01ec7304c50cd99: crates/bench/src/bin/abl_stop_policy.rs
+
+crates/bench/src/bin/abl_stop_policy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dirty_model-92f9e38167c02212.d: crates/bench/benches/dirty_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdirty_model-92f9e38167c02212.rmeta: crates/bench/benches/dirty_model.rs Cargo.toml
+
+crates/bench/benches/dirty_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

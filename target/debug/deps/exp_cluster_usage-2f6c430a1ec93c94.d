@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_cluster_usage-2f6c430a1ec93c94.d: crates/bench/src/bin/exp_cluster_usage.rs
+
+/root/repo/target/debug/deps/exp_cluster_usage-2f6c430a1ec93c94: crates/bench/src/bin/exp_cluster_usage.rs
+
+crates/bench/src/bin/exp_cluster_usage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_cluster_usage-5c310862e5951669.d: crates/bench/src/bin/exp_cluster_usage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_cluster_usage-5c310862e5951669.rmeta: crates/bench/src/bin/exp_cluster_usage.rs Cargo.toml
+
+crates/bench/src/bin/exp_cluster_usage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

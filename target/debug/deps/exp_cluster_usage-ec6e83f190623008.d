@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_cluster_usage-ec6e83f190623008.d: crates/bench/src/bin/exp_cluster_usage.rs
+
+/root/repo/target/debug/deps/exp_cluster_usage-ec6e83f190623008: crates/bench/src/bin/exp_cluster_usage.rs
+
+crates/bench/src/bin/exp_cluster_usage.rs:

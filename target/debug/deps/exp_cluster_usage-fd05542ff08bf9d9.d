@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_cluster_usage-fd05542ff08bf9d9.d: crates/bench/src/bin/exp_cluster_usage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_cluster_usage-fd05542ff08bf9d9.rmeta: crates/bench/src/bin/exp_cluster_usage.rs Cargo.toml
+
+crates/bench/src/bin/exp_cluster_usage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_copy_costs-1e48d6c869e8e8bc.d: crates/bench/src/bin/exp_copy_costs.rs
+
+/root/repo/target/debug/deps/exp_copy_costs-1e48d6c869e8e8bc: crates/bench/src/bin/exp_copy_costs.rs
+
+crates/bench/src/bin/exp_copy_costs.rs:

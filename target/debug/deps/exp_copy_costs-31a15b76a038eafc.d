@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_copy_costs-31a15b76a038eafc.d: crates/bench/src/bin/exp_copy_costs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_copy_costs-31a15b76a038eafc.rmeta: crates/bench/src/bin/exp_copy_costs.rs Cargo.toml
+
+crates/bench/src/bin/exp_copy_costs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_copy_costs-76d69edb3b741039.d: crates/bench/src/bin/exp_copy_costs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_copy_costs-76d69edb3b741039.rmeta: crates/bench/src/bin/exp_copy_costs.rs Cargo.toml
+
+crates/bench/src/bin/exp_copy_costs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_copy_costs-dfd764e2b301f535.d: crates/bench/src/bin/exp_copy_costs.rs
+
+/root/repo/target/debug/deps/exp_copy_costs-dfd764e2b301f535: crates/bench/src/bin/exp_copy_costs.rs
+
+crates/bench/src/bin/exp_copy_costs.rs:

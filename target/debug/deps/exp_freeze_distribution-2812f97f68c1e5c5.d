@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_freeze_distribution-2812f97f68c1e5c5.d: crates/bench/src/bin/exp_freeze_distribution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_freeze_distribution-2812f97f68c1e5c5.rmeta: crates/bench/src/bin/exp_freeze_distribution.rs Cargo.toml
+
+crates/bench/src/bin/exp_freeze_distribution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

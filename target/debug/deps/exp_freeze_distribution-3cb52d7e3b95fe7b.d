@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_freeze_distribution-3cb52d7e3b95fe7b.d: crates/bench/src/bin/exp_freeze_distribution.rs
+
+/root/repo/target/debug/deps/exp_freeze_distribution-3cb52d7e3b95fe7b: crates/bench/src/bin/exp_freeze_distribution.rs
+
+crates/bench/src/bin/exp_freeze_distribution.rs:

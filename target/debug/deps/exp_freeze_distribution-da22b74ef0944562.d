@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_freeze_distribution-da22b74ef0944562.d: crates/bench/src/bin/exp_freeze_distribution.rs
+
+/root/repo/target/debug/deps/exp_freeze_distribution-da22b74ef0944562: crates/bench/src/bin/exp_freeze_distribution.rs
+
+crates/bench/src/bin/exp_freeze_distribution.rs:

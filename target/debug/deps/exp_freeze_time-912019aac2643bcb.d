@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_freeze_time-912019aac2643bcb.d: crates/bench/src/bin/exp_freeze_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_freeze_time-912019aac2643bcb.rmeta: crates/bench/src/bin/exp_freeze_time.rs Cargo.toml
+
+crates/bench/src/bin/exp_freeze_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

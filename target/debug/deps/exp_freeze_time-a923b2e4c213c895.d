@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_freeze_time-a923b2e4c213c895.d: crates/bench/src/bin/exp_freeze_time.rs
+
+/root/repo/target/debug/deps/exp_freeze_time-a923b2e4c213c895: crates/bench/src/bin/exp_freeze_time.rs
+
+crates/bench/src/bin/exp_freeze_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_freeze_time-cd378f8d18bfad55.d: crates/bench/src/bin/exp_freeze_time.rs
+
+/root/repo/target/debug/deps/exp_freeze_time-cd378f8d18bfad55: crates/bench/src/bin/exp_freeze_time.rs
+
+crates/bench/src/bin/exp_freeze_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_local_priority-105b2f4f89d11ba5.d: crates/bench/src/bin/exp_local_priority.rs
+
+/root/repo/target/debug/deps/exp_local_priority-105b2f4f89d11ba5: crates/bench/src/bin/exp_local_priority.rs
+
+crates/bench/src/bin/exp_local_priority.rs:

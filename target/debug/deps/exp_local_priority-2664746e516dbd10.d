@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_local_priority-2664746e516dbd10.d: crates/bench/src/bin/exp_local_priority.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_local_priority-2664746e516dbd10.rmeta: crates/bench/src/bin/exp_local_priority.rs Cargo.toml
+
+crates/bench/src/bin/exp_local_priority.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

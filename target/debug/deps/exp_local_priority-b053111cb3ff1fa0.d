@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_local_priority-b053111cb3ff1fa0.d: crates/bench/src/bin/exp_local_priority.rs
+
+/root/repo/target/debug/deps/exp_local_priority-b053111cb3ff1fa0: crates/bench/src/bin/exp_local_priority.rs
+
+crates/bench/src/bin/exp_local_priority.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_overheads-ba5010f7701765b3.d: crates/bench/src/bin/exp_overheads.rs
+
+/root/repo/target/debug/deps/exp_overheads-ba5010f7701765b3: crates/bench/src/bin/exp_overheads.rs
+
+crates/bench/src/bin/exp_overheads.rs:

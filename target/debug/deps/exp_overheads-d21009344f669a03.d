@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_overheads-d21009344f669a03.d: crates/bench/src/bin/exp_overheads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_overheads-d21009344f669a03.rmeta: crates/bench/src/bin/exp_overheads.rs Cargo.toml
+
+crates/bench/src/bin/exp_overheads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

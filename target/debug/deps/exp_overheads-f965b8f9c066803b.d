@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_overheads-f965b8f9c066803b.d: crates/bench/src/bin/exp_overheads.rs
+
+/root/repo/target/debug/deps/exp_overheads-f965b8f9c066803b: crates/bench/src/bin/exp_overheads.rs
+
+crates/bench/src/bin/exp_overheads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_precopy_example-065f24e026104b20.d: crates/bench/src/bin/exp_precopy_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_precopy_example-065f24e026104b20.rmeta: crates/bench/src/bin/exp_precopy_example.rs Cargo.toml
+
+crates/bench/src/bin/exp_precopy_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_precopy_example-4daa9933bb7482f4.d: crates/bench/src/bin/exp_precopy_example.rs
+
+/root/repo/target/debug/deps/exp_precopy_example-4daa9933bb7482f4: crates/bench/src/bin/exp_precopy_example.rs
+
+crates/bench/src/bin/exp_precopy_example.rs:

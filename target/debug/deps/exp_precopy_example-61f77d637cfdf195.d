@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_precopy_example-61f77d637cfdf195.d: crates/bench/src/bin/exp_precopy_example.rs
+
+/root/repo/target/debug/deps/exp_precopy_example-61f77d637cfdf195: crates/bench/src/bin/exp_precopy_example.rs
+
+crates/bench/src/bin/exp_precopy_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_remote_exec-2373c9889a4420f7.d: crates/bench/src/bin/exp_remote_exec.rs
+
+/root/repo/target/debug/deps/exp_remote_exec-2373c9889a4420f7: crates/bench/src/bin/exp_remote_exec.rs
+
+crates/bench/src/bin/exp_remote_exec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_remote_exec-3289647eb8df4c79.d: crates/bench/src/bin/exp_remote_exec.rs
+
+/root/repo/target/debug/deps/exp_remote_exec-3289647eb8df4c79: crates/bench/src/bin/exp_remote_exec.rs
+
+crates/bench/src/bin/exp_remote_exec.rs:

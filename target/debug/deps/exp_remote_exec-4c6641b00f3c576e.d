@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_remote_exec-4c6641b00f3c576e.d: crates/bench/src/bin/exp_remote_exec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_remote_exec-4c6641b00f3c576e.rmeta: crates/bench/src/bin/exp_remote_exec.rs Cargo.toml
+
+crates/bench/src/bin/exp_remote_exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_remote_exec-9b94a11ad4046782.d: crates/bench/src/bin/exp_remote_exec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_remote_exec-9b94a11ad4046782.rmeta: crates/bench/src/bin/exp_remote_exec.rs Cargo.toml
+
+crates/bench/src/bin/exp_remote_exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_space_cost-0620d1b3b66ff38f.d: crates/bench/src/bin/exp_space_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_space_cost-0620d1b3b66ff38f.rmeta: crates/bench/src/bin/exp_space_cost.rs Cargo.toml
+
+crates/bench/src/bin/exp_space_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

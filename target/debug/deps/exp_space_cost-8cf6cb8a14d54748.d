@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_space_cost-8cf6cb8a14d54748.d: crates/bench/src/bin/exp_space_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_space_cost-8cf6cb8a14d54748.rmeta: crates/bench/src/bin/exp_space_cost.rs Cargo.toml
+
+crates/bench/src/bin/exp_space_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

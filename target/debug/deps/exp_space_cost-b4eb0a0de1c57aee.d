@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_space_cost-b4eb0a0de1c57aee.d: crates/bench/src/bin/exp_space_cost.rs
+
+/root/repo/target/debug/deps/exp_space_cost-b4eb0a0de1c57aee: crates/bench/src/bin/exp_space_cost.rs
+
+crates/bench/src/bin/exp_space_cost.rs:

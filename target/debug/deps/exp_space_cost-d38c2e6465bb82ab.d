@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_space_cost-d38c2e6465bb82ab.d: crates/bench/src/bin/exp_space_cost.rs
+
+/root/repo/target/debug/deps/exp_space_cost-d38c2e6465bb82ab: crates/bench/src/bin/exp_space_cost.rs
+
+crates/bench/src/bin/exp_space_cost.rs:

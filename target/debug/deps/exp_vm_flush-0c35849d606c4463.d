@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_vm_flush-0c35849d606c4463.d: crates/bench/src/bin/exp_vm_flush.rs
+
+/root/repo/target/debug/deps/exp_vm_flush-0c35849d606c4463: crates/bench/src/bin/exp_vm_flush.rs
+
+crates/bench/src/bin/exp_vm_flush.rs:

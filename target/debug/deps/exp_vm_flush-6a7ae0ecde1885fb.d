@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_vm_flush-6a7ae0ecde1885fb.d: crates/bench/src/bin/exp_vm_flush.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_vm_flush-6a7ae0ecde1885fb.rmeta: crates/bench/src/bin/exp_vm_flush.rs Cargo.toml
+
+crates/bench/src/bin/exp_vm_flush.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_vm_flush-9427c6b599e86bda.d: crates/bench/src/bin/exp_vm_flush.rs
+
+/root/repo/target/debug/deps/exp_vm_flush-9427c6b599e86bda: crates/bench/src/bin/exp_vm_flush.rs
+
+crates/bench/src/bin/exp_vm_flush.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_vm_flush-df16402a4e34ee9d.d: crates/bench/src/bin/exp_vm_flush.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_vm_flush-df16402a4e34ee9d.rmeta: crates/bench/src/bin/exp_vm_flush.rs Cargo.toml
+
+crates/bench/src/bin/exp_vm_flush.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

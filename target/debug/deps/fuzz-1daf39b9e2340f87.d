@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz-1daf39b9e2340f87.d: crates/kernel/tests/fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz-1daf39b9e2340f87.rmeta: crates/kernel/tests/fuzz.rs Cargo.toml
+
+crates/kernel/tests/fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

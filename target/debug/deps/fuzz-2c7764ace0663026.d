@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz-2c7764ace0663026.d: crates/kernel/tests/fuzz.rs
+
+/root/repo/target/debug/deps/fuzz-2c7764ace0663026: crates/kernel/tests/fuzz.rs
+
+crates/kernel/tests/fuzz.rs:

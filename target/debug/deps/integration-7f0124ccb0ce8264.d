@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-7f0124ccb0ce8264.d: crates/cluster/tests/integration.rs
+
+/root/repo/target/debug/deps/integration-7f0124ccb0ce8264: crates/cluster/tests/integration.rs
+
+crates/cluster/tests/integration.rs:

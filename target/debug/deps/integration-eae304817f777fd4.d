@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-eae304817f777fd4.d: crates/cluster/tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-eae304817f777fd4.rmeta: crates/cluster/tests/integration.rs Cargo.toml
+
+crates/cluster/tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

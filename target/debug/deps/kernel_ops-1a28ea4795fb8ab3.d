@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_ops-1a28ea4795fb8ab3.d: crates/bench/benches/kernel_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_ops-1a28ea4795fb8ab3.rmeta: crates/bench/benches/kernel_ops.rs Cargo.toml
+
+crates/bench/benches/kernel_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

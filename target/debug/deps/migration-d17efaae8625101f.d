@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/migration-d17efaae8625101f.d: crates/bench/benches/migration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmigration-d17efaae8625101f.rmeta: crates/bench/benches/migration.rs Cargo.toml
+
+crates/bench/benches/migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

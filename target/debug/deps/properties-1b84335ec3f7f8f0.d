@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1b84335ec3f7f8f0.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1b84335ec3f7f8f0: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol-48387646c06cd5a2.d: crates/kernel/tests/protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol-48387646c06cd5a2.rmeta: crates/kernel/tests/protocol.rs Cargo.toml
+
+crates/kernel/tests/protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol-91584fa86fccf04e.d: crates/kernel/tests/protocol.rs
+
+/root/repo/target/debug/deps/protocol-91584fa86fccf04e: crates/kernel/tests/protocol.rs
+
+crates/kernel/tests/protocol.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/services-0d3dfa88632bd8c4.d: crates/services/tests/services.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservices-0d3dfa88632bd8c4.rmeta: crates/services/tests/services.rs Cargo.toml
+
+crates/services/tests/services.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/services-1bea617c58054730.d: crates/services/tests/services.rs
+
+/root/repo/target/debug/deps/services-1bea617c58054730: crates/services/tests/services.rs
+
+crates/services/tests/services.rs:

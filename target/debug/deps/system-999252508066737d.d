@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system-999252508066737d.d: tests/system.rs
+
+/root/repo/target/debug/deps/system-999252508066737d: tests/system.rs
+
+tests/system.rs:

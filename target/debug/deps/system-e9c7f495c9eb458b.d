@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/system-e9c7f495c9eb458b.d: tests/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsystem-e9c7f495c9eb458b.rmeta: tests/system.rs Cargo.toml
+
+tests/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

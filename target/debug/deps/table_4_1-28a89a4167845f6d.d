@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_4_1-28a89a4167845f6d.d: crates/bench/src/bin/table_4_1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_4_1-28a89a4167845f6d.rmeta: crates/bench/src/bin/table_4_1.rs Cargo.toml
+
+crates/bench/src/bin/table_4_1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_4_1-542391e1fa2f4963.d: crates/bench/src/bin/table_4_1.rs
+
+/root/repo/target/debug/deps/table_4_1-542391e1fa2f4963: crates/bench/src/bin/table_4_1.rs
+
+crates/bench/src/bin/table_4_1.rs:

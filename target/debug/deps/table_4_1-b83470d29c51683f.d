@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_4_1-b83470d29c51683f.d: crates/bench/src/bin/table_4_1.rs
+
+/root/repo/target/debug/deps/table_4_1-b83470d29c51683f: crates/bench/src/bin/table_4_1.rs
+
+crates/bench/src/bin/table_4_1.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/v_system-357c156caeb90975.d: src/lib.rs
+
+/root/repo/target/debug/deps/libv_system-357c156caeb90975.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libv_system-357c156caeb90975.rmeta: src/lib.rs
+
+src/lib.rs:

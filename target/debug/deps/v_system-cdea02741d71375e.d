@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/v_system-cdea02741d71375e.d: src/lib.rs
+
+/root/repo/target/debug/deps/v_system-cdea02741d71375e: src/lib.rs
+
+src/lib.rs:

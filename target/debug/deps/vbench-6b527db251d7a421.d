@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vbench-6b527db251d7a421.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvbench-6b527db251d7a421.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vbench-8495a1b4b37047c1.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvbench-8495a1b4b37047c1.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

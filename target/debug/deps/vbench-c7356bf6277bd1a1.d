@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vbench-c7356bf6277bd1a1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/vbench-c7356bf6277bd1a1: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

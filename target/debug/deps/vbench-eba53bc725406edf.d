@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vbench-eba53bc725406edf.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libvbench-eba53bc725406edf.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libvbench-eba53bc725406edf.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vcluster-77ffe52be5b460fe.d: crates/cluster/src/lib.rs crates/cluster/src/runtime.rs crates/cluster/src/script.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvcluster-77ffe52be5b460fe.rmeta: crates/cluster/src/lib.rs crates/cluster/src/runtime.rs crates/cluster/src/script.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/runtime.rs:
+crates/cluster/src/script.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

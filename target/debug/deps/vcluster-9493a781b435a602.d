@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vcluster-9493a781b435a602.d: crates/cluster/src/lib.rs crates/cluster/src/runtime.rs crates/cluster/src/script.rs
+
+/root/repo/target/debug/deps/vcluster-9493a781b435a602: crates/cluster/src/lib.rs crates/cluster/src/runtime.rs crates/cluster/src/script.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/runtime.rs:
+crates/cluster/src/script.rs:

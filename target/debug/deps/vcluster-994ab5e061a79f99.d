@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vcluster-994ab5e061a79f99.d: crates/cluster/src/lib.rs crates/cluster/src/runtime.rs crates/cluster/src/script.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvcluster-994ab5e061a79f99.rmeta: crates/cluster/src/lib.rs crates/cluster/src/runtime.rs crates/cluster/src/script.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/runtime.rs:
+crates/cluster/src/script.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

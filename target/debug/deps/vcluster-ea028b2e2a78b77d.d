@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vcluster-ea028b2e2a78b77d.d: crates/cluster/src/lib.rs crates/cluster/src/runtime.rs crates/cluster/src/script.rs
+
+/root/repo/target/debug/deps/libvcluster-ea028b2e2a78b77d.rlib: crates/cluster/src/lib.rs crates/cluster/src/runtime.rs crates/cluster/src/script.rs
+
+/root/repo/target/debug/deps/libvcluster-ea028b2e2a78b77d.rmeta: crates/cluster/src/lib.rs crates/cluster/src/runtime.rs crates/cluster/src/script.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/runtime.rs:
+crates/cluster/src/script.rs:

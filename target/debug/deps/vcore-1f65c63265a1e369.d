@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vcore-1f65c63265a1e369.d: crates/core/src/lib.rs crates/core/src/migration.rs crates/core/src/remote_exec.rs crates/core/src/report.rs crates/core/src/residual.rs
+
+/root/repo/target/debug/deps/vcore-1f65c63265a1e369: crates/core/src/lib.rs crates/core/src/migration.rs crates/core/src/remote_exec.rs crates/core/src/report.rs crates/core/src/residual.rs
+
+crates/core/src/lib.rs:
+crates/core/src/migration.rs:
+crates/core/src/remote_exec.rs:
+crates/core/src/report.rs:
+crates/core/src/residual.rs:

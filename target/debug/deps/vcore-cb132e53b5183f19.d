@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vcore-cb132e53b5183f19.d: crates/core/src/lib.rs crates/core/src/migration.rs crates/core/src/remote_exec.rs crates/core/src/report.rs crates/core/src/residual.rs
+
+/root/repo/target/debug/deps/libvcore-cb132e53b5183f19.rlib: crates/core/src/lib.rs crates/core/src/migration.rs crates/core/src/remote_exec.rs crates/core/src/report.rs crates/core/src/residual.rs
+
+/root/repo/target/debug/deps/libvcore-cb132e53b5183f19.rmeta: crates/core/src/lib.rs crates/core/src/migration.rs crates/core/src/remote_exec.rs crates/core/src/report.rs crates/core/src/residual.rs
+
+crates/core/src/lib.rs:
+crates/core/src/migration.rs:
+crates/core/src/remote_exec.rs:
+crates/core/src/report.rs:
+crates/core/src/residual.rs:

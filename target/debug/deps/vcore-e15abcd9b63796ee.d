@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vcore-e15abcd9b63796ee.d: crates/core/src/lib.rs crates/core/src/migration.rs crates/core/src/remote_exec.rs crates/core/src/report.rs crates/core/src/residual.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvcore-e15abcd9b63796ee.rmeta: crates/core/src/lib.rs crates/core/src/migration.rs crates/core/src/remote_exec.rs crates/core/src/report.rs crates/core/src/residual.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/migration.rs:
+crates/core/src/remote_exec.rs:
+crates/core/src/report.rs:
+crates/core/src/residual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

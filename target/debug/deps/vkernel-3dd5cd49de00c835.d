@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vkernel-3dd5cd49de00c835.d: crates/kernel/src/lib.rs crates/kernel/src/binding.rs crates/kernel/src/ids.rs crates/kernel/src/kernel.rs crates/kernel/src/logical_host.rs crates/kernel/src/packet.rs crates/kernel/src/process.rs crates/kernel/src/testkit.rs crates/kernel/src/transfer.rs
+
+/root/repo/target/debug/deps/vkernel-3dd5cd49de00c835: crates/kernel/src/lib.rs crates/kernel/src/binding.rs crates/kernel/src/ids.rs crates/kernel/src/kernel.rs crates/kernel/src/logical_host.rs crates/kernel/src/packet.rs crates/kernel/src/process.rs crates/kernel/src/testkit.rs crates/kernel/src/transfer.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/binding.rs:
+crates/kernel/src/ids.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/logical_host.rs:
+crates/kernel/src/packet.rs:
+crates/kernel/src/process.rs:
+crates/kernel/src/testkit.rs:
+crates/kernel/src/transfer.rs:

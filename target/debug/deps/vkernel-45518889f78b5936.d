@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/vkernel-45518889f78b5936.d: crates/kernel/src/lib.rs crates/kernel/src/binding.rs crates/kernel/src/ids.rs crates/kernel/src/kernel.rs crates/kernel/src/logical_host.rs crates/kernel/src/packet.rs crates/kernel/src/process.rs crates/kernel/src/testkit.rs crates/kernel/src/transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvkernel-45518889f78b5936.rmeta: crates/kernel/src/lib.rs crates/kernel/src/binding.rs crates/kernel/src/ids.rs crates/kernel/src/kernel.rs crates/kernel/src/logical_host.rs crates/kernel/src/packet.rs crates/kernel/src/process.rs crates/kernel/src/testkit.rs crates/kernel/src/transfer.rs Cargo.toml
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/binding.rs:
+crates/kernel/src/ids.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/logical_host.rs:
+crates/kernel/src/packet.rs:
+crates/kernel/src/process.rs:
+crates/kernel/src/testkit.rs:
+crates/kernel/src/transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

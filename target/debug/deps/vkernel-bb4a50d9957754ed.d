@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/vkernel-bb4a50d9957754ed.d: crates/kernel/src/lib.rs crates/kernel/src/binding.rs crates/kernel/src/ids.rs crates/kernel/src/kernel.rs crates/kernel/src/logical_host.rs crates/kernel/src/packet.rs crates/kernel/src/process.rs crates/kernel/src/testkit.rs crates/kernel/src/transfer.rs
+
+/root/repo/target/debug/deps/libvkernel-bb4a50d9957754ed.rlib: crates/kernel/src/lib.rs crates/kernel/src/binding.rs crates/kernel/src/ids.rs crates/kernel/src/kernel.rs crates/kernel/src/logical_host.rs crates/kernel/src/packet.rs crates/kernel/src/process.rs crates/kernel/src/testkit.rs crates/kernel/src/transfer.rs
+
+/root/repo/target/debug/deps/libvkernel-bb4a50d9957754ed.rmeta: crates/kernel/src/lib.rs crates/kernel/src/binding.rs crates/kernel/src/ids.rs crates/kernel/src/kernel.rs crates/kernel/src/logical_host.rs crates/kernel/src/packet.rs crates/kernel/src/process.rs crates/kernel/src/testkit.rs crates/kernel/src/transfer.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/binding.rs:
+crates/kernel/src/ids.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/logical_host.rs:
+crates/kernel/src/packet.rs:
+crates/kernel/src/process.rs:
+crates/kernel/src/testkit.rs:
+crates/kernel/src/transfer.rs:

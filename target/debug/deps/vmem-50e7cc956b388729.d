@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vmem-50e7cc956b388729.d: crates/mem/src/lib.rs crates/mem/src/bitset.rs crates/mem/src/space.rs crates/mem/src/wws.rs
+
+/root/repo/target/debug/deps/vmem-50e7cc956b388729: crates/mem/src/lib.rs crates/mem/src/bitset.rs crates/mem/src/space.rs crates/mem/src/wws.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bitset.rs:
+crates/mem/src/space.rs:
+crates/mem/src/wws.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vmem-93e42547afe7ee19.d: crates/mem/src/lib.rs crates/mem/src/bitset.rs crates/mem/src/space.rs crates/mem/src/wws.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvmem-93e42547afe7ee19.rmeta: crates/mem/src/lib.rs crates/mem/src/bitset.rs crates/mem/src/space.rs crates/mem/src/wws.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/bitset.rs:
+crates/mem/src/space.rs:
+crates/mem/src/wws.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

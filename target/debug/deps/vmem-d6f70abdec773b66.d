@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vmem-d6f70abdec773b66.d: crates/mem/src/lib.rs crates/mem/src/bitset.rs crates/mem/src/space.rs crates/mem/src/wws.rs
+
+/root/repo/target/debug/deps/libvmem-d6f70abdec773b66.rlib: crates/mem/src/lib.rs crates/mem/src/bitset.rs crates/mem/src/space.rs crates/mem/src/wws.rs
+
+/root/repo/target/debug/deps/libvmem-d6f70abdec773b66.rmeta: crates/mem/src/lib.rs crates/mem/src/bitset.rs crates/mem/src/space.rs crates/mem/src/wws.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bitset.rs:
+crates/mem/src/space.rs:
+crates/mem/src/wws.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vnet-6b74bc09636fca1f.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/ethernet.rs crates/net/src/frame.rs crates/net/src/loss.rs
+
+/root/repo/target/debug/deps/vnet-6b74bc09636fca1f: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/ethernet.rs crates/net/src/frame.rs crates/net/src/loss.rs
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/ethernet.rs:
+crates/net/src/frame.rs:
+crates/net/src/loss.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vnet-7569b163e7eccc10.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/ethernet.rs crates/net/src/frame.rs crates/net/src/loss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvnet-7569b163e7eccc10.rmeta: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/ethernet.rs crates/net/src/frame.rs crates/net/src/loss.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/ethernet.rs:
+crates/net/src/frame.rs:
+crates/net/src/loss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

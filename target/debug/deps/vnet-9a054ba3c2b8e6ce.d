@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vnet-9a054ba3c2b8e6ce.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/ethernet.rs crates/net/src/frame.rs crates/net/src/loss.rs
+
+/root/repo/target/debug/deps/libvnet-9a054ba3c2b8e6ce.rlib: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/ethernet.rs crates/net/src/frame.rs crates/net/src/loss.rs
+
+/root/repo/target/debug/deps/libvnet-9a054ba3c2b8e6ce.rmeta: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/ethernet.rs crates/net/src/frame.rs crates/net/src/loss.rs
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/ethernet.rs:
+crates/net/src/frame.rs:
+crates/net/src/loss.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/vservices-588a71213040989c.d: crates/services/src/lib.rs crates/services/src/display.rs crates/services/src/env.rs crates/services/src/file_server.rs crates/services/src/msg.rs crates/services/src/program_manager.rs crates/services/src/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvservices-588a71213040989c.rmeta: crates/services/src/lib.rs crates/services/src/display.rs crates/services/src/env.rs crates/services/src/file_server.rs crates/services/src/msg.rs crates/services/src/program_manager.rs crates/services/src/service.rs Cargo.toml
+
+crates/services/src/lib.rs:
+crates/services/src/display.rs:
+crates/services/src/env.rs:
+crates/services/src/file_server.rs:
+crates/services/src/msg.rs:
+crates/services/src/program_manager.rs:
+crates/services/src/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vservices-732a6ebe7cdd5018.d: crates/services/src/lib.rs crates/services/src/display.rs crates/services/src/env.rs crates/services/src/file_server.rs crates/services/src/msg.rs crates/services/src/program_manager.rs crates/services/src/service.rs
+
+/root/repo/target/debug/deps/libvservices-732a6ebe7cdd5018.rlib: crates/services/src/lib.rs crates/services/src/display.rs crates/services/src/env.rs crates/services/src/file_server.rs crates/services/src/msg.rs crates/services/src/program_manager.rs crates/services/src/service.rs
+
+/root/repo/target/debug/deps/libvservices-732a6ebe7cdd5018.rmeta: crates/services/src/lib.rs crates/services/src/display.rs crates/services/src/env.rs crates/services/src/file_server.rs crates/services/src/msg.rs crates/services/src/program_manager.rs crates/services/src/service.rs
+
+crates/services/src/lib.rs:
+crates/services/src/display.rs:
+crates/services/src/env.rs:
+crates/services/src/file_server.rs:
+crates/services/src/msg.rs:
+crates/services/src/program_manager.rs:
+crates/services/src/service.rs:

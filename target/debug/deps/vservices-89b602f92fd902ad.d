@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/vservices-89b602f92fd902ad.d: crates/services/src/lib.rs crates/services/src/display.rs crates/services/src/env.rs crates/services/src/file_server.rs crates/services/src/msg.rs crates/services/src/program_manager.rs crates/services/src/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvservices-89b602f92fd902ad.rmeta: crates/services/src/lib.rs crates/services/src/display.rs crates/services/src/env.rs crates/services/src/file_server.rs crates/services/src/msg.rs crates/services/src/program_manager.rs crates/services/src/service.rs Cargo.toml
+
+crates/services/src/lib.rs:
+crates/services/src/display.rs:
+crates/services/src/env.rs:
+crates/services/src/file_server.rs:
+crates/services/src/msg.rs:
+crates/services/src/program_manager.rs:
+crates/services/src/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vservices-8a69850257eca1e8.d: crates/services/src/lib.rs crates/services/src/display.rs crates/services/src/env.rs crates/services/src/file_server.rs crates/services/src/msg.rs crates/services/src/program_manager.rs crates/services/src/service.rs
+
+/root/repo/target/debug/deps/vservices-8a69850257eca1e8: crates/services/src/lib.rs crates/services/src/display.rs crates/services/src/env.rs crates/services/src/file_server.rs crates/services/src/msg.rs crates/services/src/program_manager.rs crates/services/src/service.rs
+
+crates/services/src/lib.rs:
+crates/services/src/display.rs:
+crates/services/src/env.rs:
+crates/services/src/file_server.rs:
+crates/services/src/msg.rs:
+crates/services/src/program_manager.rs:
+crates/services/src/service.rs:

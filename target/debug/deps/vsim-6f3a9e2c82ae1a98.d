@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/vsim-6f3a9e2c82ae1a98.d: crates/sim/src/lib.rs crates/sim/src/calib.rs crates/sim/src/engine.rs crates/sim/src/json.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libvsim-6f3a9e2c82ae1a98.rlib: crates/sim/src/lib.rs crates/sim/src/calib.rs crates/sim/src/engine.rs crates/sim/src/json.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libvsim-6f3a9e2c82ae1a98.rmeta: crates/sim/src/lib.rs crates/sim/src/calib.rs crates/sim/src/engine.rs crates/sim/src/json.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/calib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/json.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

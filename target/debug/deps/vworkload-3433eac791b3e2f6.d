@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vworkload-3433eac791b3e2f6.d: crates/workload/src/lib.rs crates/workload/src/profiles.rs crates/workload/src/program.rs crates/workload/src/user.rs
+
+/root/repo/target/debug/deps/libvworkload-3433eac791b3e2f6.rlib: crates/workload/src/lib.rs crates/workload/src/profiles.rs crates/workload/src/program.rs crates/workload/src/user.rs
+
+/root/repo/target/debug/deps/libvworkload-3433eac791b3e2f6.rmeta: crates/workload/src/lib.rs crates/workload/src/profiles.rs crates/workload/src/program.rs crates/workload/src/user.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/profiles.rs:
+crates/workload/src/program.rs:
+crates/workload/src/user.rs:

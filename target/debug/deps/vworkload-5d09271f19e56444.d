@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/vworkload-5d09271f19e56444.d: crates/workload/src/lib.rs crates/workload/src/profiles.rs crates/workload/src/program.rs crates/workload/src/user.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvworkload-5d09271f19e56444.rmeta: crates/workload/src/lib.rs crates/workload/src/profiles.rs crates/workload/src/program.rs crates/workload/src/user.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/profiles.rs:
+crates/workload/src/program.rs:
+crates/workload/src/user.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

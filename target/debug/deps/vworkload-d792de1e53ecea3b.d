@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vworkload-d792de1e53ecea3b.d: crates/workload/src/lib.rs crates/workload/src/profiles.rs crates/workload/src/program.rs crates/workload/src/user.rs
+
+/root/repo/target/debug/deps/vworkload-d792de1e53ecea3b: crates/workload/src/lib.rs crates/workload/src/profiles.rs crates/workload/src/program.rs crates/workload/src/user.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/profiles.rs:
+crates/workload/src/program.rs:
+crates/workload/src/user.rs:

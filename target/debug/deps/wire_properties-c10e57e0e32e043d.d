@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire_properties-c10e57e0e32e043d.d: crates/net/tests/wire_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire_properties-c10e57e0e32e043d.rmeta: crates/net/tests/wire_properties.rs Cargo.toml
+
+crates/net/tests/wire_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_properties-ed2f565d14d100f1.d: crates/net/tests/wire_properties.rs
+
+/root/repo/target/debug/deps/wire_properties-ed2f565d14d100f1: crates/net/tests/wire_properties.rs
+
+crates/net/tests/wire_properties.rs:

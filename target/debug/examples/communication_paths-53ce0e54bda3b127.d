@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/communication_paths-53ce0e54bda3b127.d: examples/communication_paths.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcommunication_paths-53ce0e54bda3b127.rmeta: examples/communication_paths.rs Cargo.toml
+
+examples/communication_paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

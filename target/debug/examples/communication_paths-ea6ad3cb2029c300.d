@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/communication_paths-ea6ad3cb2029c300.d: examples/communication_paths.rs
+
+/root/repo/target/debug/examples/communication_paths-ea6ad3cb2029c300: examples/communication_paths.rs
+
+examples/communication_paths.rs:

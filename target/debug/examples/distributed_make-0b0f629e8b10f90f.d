@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_make-0b0f629e8b10f90f.d: examples/distributed_make.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_make-0b0f629e8b10f90f.rmeta: examples/distributed_make.rs Cargo.toml
+
+examples/distributed_make.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_make-1c3a3c9a81a7cb15.d: examples/distributed_make.rs
+
+/root/repo/target/debug/examples/distributed_make-1c3a3c9a81a7cb15: examples/distributed_make.rs
+
+examples/distributed_make.rs:

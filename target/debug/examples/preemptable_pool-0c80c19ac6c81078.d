@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/preemptable_pool-0c80c19ac6c81078.d: examples/preemptable_pool.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpreemptable_pool-0c80c19ac6c81078.rmeta: examples/preemptable_pool.rs Cargo.toml
+
+examples/preemptable_pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

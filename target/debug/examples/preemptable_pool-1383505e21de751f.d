@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/preemptable_pool-1383505e21de751f.d: examples/preemptable_pool.rs
+
+/root/repo/target/debug/examples/preemptable_pool-1383505e21de751f: examples/preemptable_pool.rs
+
+examples/preemptable_pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9dc22439cbd0338c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9dc22439cbd0338c: examples/quickstart.rs
+
+examples/quickstart.rs:

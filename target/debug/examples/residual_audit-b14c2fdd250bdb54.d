@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/residual_audit-b14c2fdd250bdb54.d: examples/residual_audit.rs
+
+/root/repo/target/debug/examples/residual_audit-b14c2fdd250bdb54: examples/residual_audit.rs
+
+examples/residual_audit.rs:

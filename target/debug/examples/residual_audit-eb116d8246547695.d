@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/residual_audit-eb116d8246547695.d: examples/residual_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresidual_audit-eb116d8246547695.rmeta: examples/residual_audit.rs Cargo.toml
+
+examples/residual_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/suspend_resume-064a2addd144d849.d: examples/suspend_resume.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsuspend_resume-064a2addd144d849.rmeta: examples/suspend_resume.rs Cargo.toml
+
+examples/suspend_resume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/suspend_resume-29e46e0540861066.d: examples/suspend_resume.rs
+
+/root/repo/target/debug/examples/suspend_resume-29e46e0540861066: examples/suspend_resume.rs
+
+examples/suspend_resume.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_forwarding-d6fd741aa3102f33.d: crates/bench/src/bin/abl_forwarding.rs
+
+/root/repo/target/release/deps/abl_forwarding-d6fd741aa3102f33: crates/bench/src/bin/abl_forwarding.rs
+
+crates/bench/src/bin/abl_forwarding.rs:

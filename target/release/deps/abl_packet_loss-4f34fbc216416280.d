@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_packet_loss-4f34fbc216416280.d: crates/bench/src/bin/abl_packet_loss.rs
+
+/root/repo/target/release/deps/abl_packet_loss-4f34fbc216416280: crates/bench/src/bin/abl_packet_loss.rs
+
+crates/bench/src/bin/abl_packet_loss.rs:

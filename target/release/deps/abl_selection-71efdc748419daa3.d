@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_selection-71efdc748419daa3.d: crates/bench/src/bin/abl_selection.rs
+
+/root/repo/target/release/deps/abl_selection-71efdc748419daa3: crates/bench/src/bin/abl_selection.rs
+
+crates/bench/src/bin/abl_selection.rs:

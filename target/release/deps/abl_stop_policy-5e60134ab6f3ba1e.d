@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/abl_stop_policy-5e60134ab6f3ba1e.d: crates/bench/src/bin/abl_stop_policy.rs
+
+/root/repo/target/release/deps/abl_stop_policy-5e60134ab6f3ba1e: crates/bench/src/bin/abl_stop_policy.rs
+
+crates/bench/src/bin/abl_stop_policy.rs:

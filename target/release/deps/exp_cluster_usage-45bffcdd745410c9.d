@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_cluster_usage-45bffcdd745410c9.d: crates/bench/src/bin/exp_cluster_usage.rs
+
+/root/repo/target/release/deps/exp_cluster_usage-45bffcdd745410c9: crates/bench/src/bin/exp_cluster_usage.rs
+
+crates/bench/src/bin/exp_cluster_usage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_copy_costs-ab6ae70297b52e66.d: crates/bench/src/bin/exp_copy_costs.rs
+
+/root/repo/target/release/deps/exp_copy_costs-ab6ae70297b52e66: crates/bench/src/bin/exp_copy_costs.rs
+
+crates/bench/src/bin/exp_copy_costs.rs:

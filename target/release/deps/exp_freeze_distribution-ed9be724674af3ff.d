@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_freeze_distribution-ed9be724674af3ff.d: crates/bench/src/bin/exp_freeze_distribution.rs
+
+/root/repo/target/release/deps/exp_freeze_distribution-ed9be724674af3ff: crates/bench/src/bin/exp_freeze_distribution.rs
+
+crates/bench/src/bin/exp_freeze_distribution.rs:

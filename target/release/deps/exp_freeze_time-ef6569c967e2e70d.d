@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_freeze_time-ef6569c967e2e70d.d: crates/bench/src/bin/exp_freeze_time.rs
+
+/root/repo/target/release/deps/exp_freeze_time-ef6569c967e2e70d: crates/bench/src/bin/exp_freeze_time.rs
+
+crates/bench/src/bin/exp_freeze_time.rs:

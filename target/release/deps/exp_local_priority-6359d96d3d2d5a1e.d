@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_local_priority-6359d96d3d2d5a1e.d: crates/bench/src/bin/exp_local_priority.rs
+
+/root/repo/target/release/deps/exp_local_priority-6359d96d3d2d5a1e: crates/bench/src/bin/exp_local_priority.rs
+
+crates/bench/src/bin/exp_local_priority.rs:

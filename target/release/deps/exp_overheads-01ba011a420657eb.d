@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_overheads-01ba011a420657eb.d: crates/bench/src/bin/exp_overheads.rs
+
+/root/repo/target/release/deps/exp_overheads-01ba011a420657eb: crates/bench/src/bin/exp_overheads.rs
+
+crates/bench/src/bin/exp_overheads.rs:

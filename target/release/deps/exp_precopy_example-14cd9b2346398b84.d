@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_precopy_example-14cd9b2346398b84.d: crates/bench/src/bin/exp_precopy_example.rs
+
+/root/repo/target/release/deps/exp_precopy_example-14cd9b2346398b84: crates/bench/src/bin/exp_precopy_example.rs
+
+crates/bench/src/bin/exp_precopy_example.rs:

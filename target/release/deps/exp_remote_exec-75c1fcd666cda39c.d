@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_remote_exec-75c1fcd666cda39c.d: crates/bench/src/bin/exp_remote_exec.rs
+
+/root/repo/target/release/deps/exp_remote_exec-75c1fcd666cda39c: crates/bench/src/bin/exp_remote_exec.rs
+
+crates/bench/src/bin/exp_remote_exec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_space_cost-41157ef130ea3a6e.d: crates/bench/src/bin/exp_space_cost.rs
+
+/root/repo/target/release/deps/exp_space_cost-41157ef130ea3a6e: crates/bench/src/bin/exp_space_cost.rs
+
+crates/bench/src/bin/exp_space_cost.rs:

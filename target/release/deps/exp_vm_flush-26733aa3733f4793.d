@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_vm_flush-26733aa3733f4793.d: crates/bench/src/bin/exp_vm_flush.rs
+
+/root/repo/target/release/deps/exp_vm_flush-26733aa3733f4793: crates/bench/src/bin/exp_vm_flush.rs
+
+crates/bench/src/bin/exp_vm_flush.rs:

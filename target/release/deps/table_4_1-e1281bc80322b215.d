@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_4_1-e1281bc80322b215.d: crates/bench/src/bin/table_4_1.rs
+
+/root/repo/target/release/deps/table_4_1-e1281bc80322b215: crates/bench/src/bin/table_4_1.rs
+
+crates/bench/src/bin/table_4_1.rs:

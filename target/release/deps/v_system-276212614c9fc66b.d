@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/v_system-276212614c9fc66b.d: src/lib.rs
+
+/root/repo/target/release/deps/libv_system-276212614c9fc66b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libv_system-276212614c9fc66b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vbench-00e816629193cd3c.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libvbench-00e816629193cd3c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libvbench-00e816629193cd3c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vcluster-2796c0a093cfd2e9.d: crates/cluster/src/lib.rs crates/cluster/src/runtime.rs crates/cluster/src/script.rs
+
+/root/repo/target/release/deps/libvcluster-2796c0a093cfd2e9.rlib: crates/cluster/src/lib.rs crates/cluster/src/runtime.rs crates/cluster/src/script.rs
+
+/root/repo/target/release/deps/libvcluster-2796c0a093cfd2e9.rmeta: crates/cluster/src/lib.rs crates/cluster/src/runtime.rs crates/cluster/src/script.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/runtime.rs:
+crates/cluster/src/script.rs:

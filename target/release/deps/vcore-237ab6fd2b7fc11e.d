@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vcore-237ab6fd2b7fc11e.d: crates/core/src/lib.rs crates/core/src/migration.rs crates/core/src/remote_exec.rs crates/core/src/report.rs crates/core/src/residual.rs
+
+/root/repo/target/release/deps/libvcore-237ab6fd2b7fc11e.rlib: crates/core/src/lib.rs crates/core/src/migration.rs crates/core/src/remote_exec.rs crates/core/src/report.rs crates/core/src/residual.rs
+
+/root/repo/target/release/deps/libvcore-237ab6fd2b7fc11e.rmeta: crates/core/src/lib.rs crates/core/src/migration.rs crates/core/src/remote_exec.rs crates/core/src/report.rs crates/core/src/residual.rs
+
+crates/core/src/lib.rs:
+crates/core/src/migration.rs:
+crates/core/src/remote_exec.rs:
+crates/core/src/report.rs:
+crates/core/src/residual.rs:

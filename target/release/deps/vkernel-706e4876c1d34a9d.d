@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/vkernel-706e4876c1d34a9d.d: crates/kernel/src/lib.rs crates/kernel/src/binding.rs crates/kernel/src/ids.rs crates/kernel/src/kernel.rs crates/kernel/src/logical_host.rs crates/kernel/src/packet.rs crates/kernel/src/process.rs crates/kernel/src/testkit.rs crates/kernel/src/transfer.rs
+
+/root/repo/target/release/deps/libvkernel-706e4876c1d34a9d.rlib: crates/kernel/src/lib.rs crates/kernel/src/binding.rs crates/kernel/src/ids.rs crates/kernel/src/kernel.rs crates/kernel/src/logical_host.rs crates/kernel/src/packet.rs crates/kernel/src/process.rs crates/kernel/src/testkit.rs crates/kernel/src/transfer.rs
+
+/root/repo/target/release/deps/libvkernel-706e4876c1d34a9d.rmeta: crates/kernel/src/lib.rs crates/kernel/src/binding.rs crates/kernel/src/ids.rs crates/kernel/src/kernel.rs crates/kernel/src/logical_host.rs crates/kernel/src/packet.rs crates/kernel/src/process.rs crates/kernel/src/testkit.rs crates/kernel/src/transfer.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/binding.rs:
+crates/kernel/src/ids.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/logical_host.rs:
+crates/kernel/src/packet.rs:
+crates/kernel/src/process.rs:
+crates/kernel/src/testkit.rs:
+crates/kernel/src/transfer.rs:

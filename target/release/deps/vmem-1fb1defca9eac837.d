@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vmem-1fb1defca9eac837.d: crates/mem/src/lib.rs crates/mem/src/bitset.rs crates/mem/src/space.rs crates/mem/src/wws.rs
+
+/root/repo/target/release/deps/libvmem-1fb1defca9eac837.rlib: crates/mem/src/lib.rs crates/mem/src/bitset.rs crates/mem/src/space.rs crates/mem/src/wws.rs
+
+/root/repo/target/release/deps/libvmem-1fb1defca9eac837.rmeta: crates/mem/src/lib.rs crates/mem/src/bitset.rs crates/mem/src/space.rs crates/mem/src/wws.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/bitset.rs:
+crates/mem/src/space.rs:
+crates/mem/src/wws.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vnet-d136ee936c5854e5.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/ethernet.rs crates/net/src/frame.rs crates/net/src/loss.rs
+
+/root/repo/target/release/deps/libvnet-d136ee936c5854e5.rlib: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/ethernet.rs crates/net/src/frame.rs crates/net/src/loss.rs
+
+/root/repo/target/release/deps/libvnet-d136ee936c5854e5.rmeta: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/ethernet.rs crates/net/src/frame.rs crates/net/src/loss.rs
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/ethernet.rs:
+crates/net/src/frame.rs:
+crates/net/src/loss.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/vservices-6738dfce34b63835.d: crates/services/src/lib.rs crates/services/src/display.rs crates/services/src/env.rs crates/services/src/file_server.rs crates/services/src/msg.rs crates/services/src/program_manager.rs crates/services/src/service.rs
+
+/root/repo/target/release/deps/libvservices-6738dfce34b63835.rlib: crates/services/src/lib.rs crates/services/src/display.rs crates/services/src/env.rs crates/services/src/file_server.rs crates/services/src/msg.rs crates/services/src/program_manager.rs crates/services/src/service.rs
+
+/root/repo/target/release/deps/libvservices-6738dfce34b63835.rmeta: crates/services/src/lib.rs crates/services/src/display.rs crates/services/src/env.rs crates/services/src/file_server.rs crates/services/src/msg.rs crates/services/src/program_manager.rs crates/services/src/service.rs
+
+crates/services/src/lib.rs:
+crates/services/src/display.rs:
+crates/services/src/env.rs:
+crates/services/src/file_server.rs:
+crates/services/src/msg.rs:
+crates/services/src/program_manager.rs:
+crates/services/src/service.rs:

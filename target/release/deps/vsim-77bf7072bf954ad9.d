@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/vsim-77bf7072bf954ad9.d: crates/sim/src/lib.rs crates/sim/src/calib.rs crates/sim/src/engine.rs crates/sim/src/json.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libvsim-77bf7072bf954ad9.rlib: crates/sim/src/lib.rs crates/sim/src/calib.rs crates/sim/src/engine.rs crates/sim/src/json.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libvsim-77bf7072bf954ad9.rmeta: crates/sim/src/lib.rs crates/sim/src/calib.rs crates/sim/src/engine.rs crates/sim/src/json.rs crates/sim/src/metrics.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/calib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/json.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/vworkload-a036ee5058e3a4b1.d: crates/workload/src/lib.rs crates/workload/src/profiles.rs crates/workload/src/program.rs crates/workload/src/user.rs
+
+/root/repo/target/release/deps/libvworkload-a036ee5058e3a4b1.rlib: crates/workload/src/lib.rs crates/workload/src/profiles.rs crates/workload/src/program.rs crates/workload/src/user.rs
+
+/root/repo/target/release/deps/libvworkload-a036ee5058e3a4b1.rmeta: crates/workload/src/lib.rs crates/workload/src/profiles.rs crates/workload/src/program.rs crates/workload/src/user.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/profiles.rs:
+crates/workload/src/program.rs:
+crates/workload/src/user.rs:

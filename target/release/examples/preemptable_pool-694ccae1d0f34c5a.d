@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/preemptable_pool-694ccae1d0f34c5a.d: examples/preemptable_pool.rs
+
+/root/repo/target/release/examples/preemptable_pool-694ccae1d0f34c5a: examples/preemptable_pool.rs
+
+examples/preemptable_pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-09db28f54a211c8c.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-09db28f54a211c8c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,17 +1,23 @@
 //! Property-based tests on the core data structures and invariants,
 //! spanning crates (run from the workspace root package).
+//!
+//! Each property is exercised over many deterministic, seeded random
+//! cases (no external property-testing framework: inputs come from
+//! [`DetRng`], so failures reproduce exactly).
 
-use proptest::prelude::*;
 use v_system::prelude::*;
 use vkernel::split_units;
 use vmem::{AddressSpace, BitSet, SpaceId, SpaceLayout, WwsParams, WwsSampler};
-use vsim::{DetRng, Engine, SimDuration, SimTime};
+use vsim::{DetRng, Engine};
 
-proptest! {
-    /// The event engine delivers in time order with FIFO tie-break,
-    /// regardless of insertion order.
-    #[test]
-    fn engine_delivers_in_order(delays in proptest::collection::vec(0u64..10_000, 1..200)) {
+/// The event engine delivers in time order with FIFO tie-break,
+/// regardless of insertion order.
+#[test]
+fn engine_delivers_in_order() {
+    let mut rng = DetRng::seed(0xE1);
+    for _case in 0..50 {
+        let n = rng.index(200) + 1;
+        let delays: Vec<u64> = (0..n).map(|_| rng.range_u64(0, 10_000)).collect();
         let mut e: Engine<usize> = Engine::new();
         for (i, &d) in delays.iter().enumerate() {
             e.schedule_after(SimDuration::from_micros(d), i);
@@ -19,21 +25,24 @@ proptest! {
         let mut last = SimTime::ZERO;
         let mut seen = vec![false; delays.len()];
         while let Some((t, i)) = e.pop() {
-            prop_assert!(t >= last, "time went backwards");
-            prop_assert_eq!(t.as_micros(), delays[i]);
-            prop_assert!(!seen[i], "duplicate delivery");
+            assert!(t >= last, "time went backwards");
+            assert_eq!(t.as_micros(), delays[i]);
+            assert!(!seen[i], "duplicate delivery");
             seen[i] = true;
             last = t;
         }
-        prop_assert!(seen.iter().all(|&s| s), "lost event");
+        assert!(seen.iter().all(|&s| s), "lost event");
     }
+}
 
-    /// Cancellation removes exactly the cancelled events.
-    #[test]
-    fn engine_cancellation_is_exact(
-        delays in proptest::collection::vec(0u64..1_000, 1..100),
-        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Cancellation removes exactly the cancelled events.
+#[test]
+fn engine_cancellation_is_exact() {
+    let mut rng = DetRng::seed(0xE2);
+    for _case in 0..50 {
+        let n = rng.index(100) + 1;
+        let delays: Vec<u64> = (0..n).map(|_| rng.range_u64(0, 1_000)).collect();
+        let cancel_mask: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
         let mut e: Engine<usize> = Engine::new();
         let ids: Vec<_> = delays
             .iter()
@@ -42,7 +51,7 @@ proptest! {
             .collect();
         let mut expected = Vec::new();
         for (i, id) in ids.iter().enumerate() {
-            if *cancel_mask.get(i).unwrap_or(&false) {
+            if cancel_mask[i] {
                 e.cancel(*id);
             } else {
                 expected.push(i);
@@ -54,17 +63,22 @@ proptest! {
         }
         got.sort_unstable();
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    /// BitSet agrees with a reference HashSet model under arbitrary
-    /// set/clear sequences.
-    #[test]
-    fn bitset_matches_model(ops in proptest::collection::vec((0usize..256, any::<bool>()), 1..300)) {
+/// BitSet agrees with a reference HashSet model under arbitrary
+/// set/clear sequences.
+#[test]
+fn bitset_matches_model() {
+    let mut rng = DetRng::seed(0xB1);
+    for _case in 0..50 {
+        let n_ops = rng.index(300) + 1;
         let mut b = BitSet::new(256);
         let mut model = std::collections::HashSet::new();
-        for (i, set) in ops {
-            if set {
+        for _ in 0..n_ops {
+            let i = rng.index(256);
+            if rng.chance(0.5) {
                 b.set(i);
                 model.insert(i);
             } else {
@@ -72,58 +86,64 @@ proptest! {
                 model.remove(&i);
             }
         }
-        prop_assert_eq!(b.count(), model.len());
+        assert_eq!(b.count(), model.len());
         let mut got: Vec<usize> = b.iter().collect();
         let mut want: Vec<usize> = model.into_iter().collect();
         got.sort_unstable();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    /// split_units partitions the page list exactly: every page appears
-    /// once, in order, and no unit exceeds the unit size.
-    #[test]
-    fn split_units_partitions(
-        n_pages in 0u32..2000,
-        unit_kb in 2u64..128,
-    ) {
+/// split_units partitions the page list exactly: every page appears
+/// once, in order, and no unit exceeds the unit size.
+#[test]
+fn split_units_partitions() {
+    let mut rng = DetRng::seed(0x51);
+    for _case in 0..60 {
+        let n_pages = rng.range_u64(0, 2000) as u32;
+        let unit_kb = rng.range_u64(2, 128);
         let pages: Vec<u32> = (0..n_pages).collect();
         let units = split_units(&pages, unit_kb * 1024);
         let flat: Vec<u32> = units.iter().flat_map(|u| u.pages.iter().copied()).collect();
-        prop_assert_eq!(flat, pages);
+        assert_eq!(flat, pages);
         for u in &units {
-            prop_assert!(u.bytes <= unit_kb * 1024);
-            prop_assert_eq!(u.bytes, u.pages.len() as u64 * 2048);
+            assert!(u.bytes <= unit_kb * 1024);
+            assert_eq!(u.bytes, u.pages.len() as u64 * 2048);
         }
     }
+}
 
-    /// The WWS fit never panics on positive monotone-ish inputs and its
-    /// predictions are non-negative and monotone in the window length.
-    #[test]
-    fn wws_fit_is_sane(
-        y1 in 0.1f64..100.0,
-        dy2 in 0.0f64..100.0,
-        dy3 in 0.0f64..100.0,
-    ) {
+/// The WWS fit never panics on positive monotone-ish inputs and its
+/// predictions are non-negative and monotone in the window length.
+#[test]
+fn wws_fit_is_sane() {
+    let mut rng = DetRng::seed(0x77);
+    for _case in 0..100 {
+        let y1 = rng.range_f64(0.1, 100.0);
+        let dy2 = rng.range_f64(0.0, 100.0);
+        let dy3 = rng.range_f64(0.0, 100.0);
         let points = [(0.2, y1), (1.0, y1 + dy2), (3.0, y1 + dy2 + dy3)];
         let fit = WwsParams::fit_quantized(&points, 2.0);
         let mut prev = 0.0;
         for t in [0.1, 0.2, 0.5, 1.0, 2.0, 3.0, 10.0] {
             let v = fit.expected_dirty_kb_quantized(t, 2.0);
-            prop_assert!(v >= prev - 1e-9, "non-monotone at {t}: {v} < {prev}");
+            assert!(v >= prev - 1e-9, "non-monotone at {t}: {v} < {prev}");
             prev = v;
         }
     }
+}
 
-    /// The sampler never dirties more pages than are writable and never
-    /// touches read-only segments.
-    #[test]
-    fn sampler_respects_protection(
-        hot in 0.0f64..500.0,
-        w in 0.0f64..2000.0,
-        r in 0.0f64..200.0,
-        seed in any::<u64>(),
-    ) {
+/// The sampler never dirties more pages than are writable and never
+/// touches read-only segments.
+#[test]
+fn sampler_respects_protection() {
+    let mut rng = DetRng::seed(0x5A);
+    for _case in 0..40 {
+        let hot = rng.range_f64(0.0, 500.0);
+        let w = rng.range_f64(0.0, 2000.0);
+        let r = rng.range_f64(0.0, 200.0);
+        let seed = rng.range_u64(0, u64::MAX - 1);
         let layout = SpaceLayout {
             code_bytes: 64 * 1024,
             init_data_bytes: 16 * 1024,
@@ -131,41 +151,44 @@ proptest! {
             stack_bytes: 8 * 1024,
         };
         let mut space = AddressSpace::new(SpaceId(0), layout);
-        let mut rng = DetRng::seed(seed);
+        let mut case_rng = DetRng::seed(seed);
         let params = WwsParams {
             hot_kb: hot,
             hot_write_kb_per_sec: w,
             cold_kb_per_sec: r,
         };
-        let mut s = WwsSampler::new(params, &space, &mut rng);
+        let mut s = WwsSampler::new(params, &space, &mut case_rng);
         // write_page panics on read-only pages, so surviving is the test.
-        s.advance(SimDuration::from_secs(5), &mut space, &mut rng);
-        prop_assert!(space.dirty_pages() <= space.writable_page_count());
-    }
-
-    /// Duration formatting/parsing invariants used by reports.
-    #[test]
-    fn duration_arithmetic_consistent(a in 0u64..1 << 40, b in 0u64..1 << 40) {
-        let (da, db) = (SimDuration::from_micros(a), SimDuration::from_micros(b));
-        prop_assert_eq!((da + db).as_micros(), a + b);
-        let t = SimTime::ZERO + da;
-        prop_assert_eq!(t.since(SimTime::ZERO), da);
-        prop_assert_eq!((t + db) - t, db);
+        s.advance(SimDuration::from_secs(5), &mut space, &mut case_rng);
+        assert!(space.dirty_pages() <= space.writable_page_count());
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Duration formatting/parsing invariants used by reports.
+#[test]
+fn duration_arithmetic_consistent() {
+    let mut rng = DetRng::seed(0xD1);
+    for _case in 0..200 {
+        let a = rng.range_u64(0, 1 << 40);
+        let b = rng.range_u64(0, 1 << 40);
+        let (da, db) = (SimDuration::from_micros(a), SimDuration::from_micros(b));
+        assert_eq!((da + db).as_micros(), a + b);
+        let t = SimTime::ZERO + da;
+        assert_eq!(t.since(SimTime::ZERO), da);
+        assert_eq!((t + db) - t, db);
+    }
+}
 
-    /// Whole-cluster invariant: for any (small) mix of programs started
-    /// via @*, every execution either succeeds and eventually finishes,
-    /// or fails cleanly — and every logical host is on at most one
-    /// workstation at the end.
-    #[test]
-    fn cluster_executions_settle(
-        n_jobs in 1usize..4,
-        seed in 0u64..1000,
-    ) {
+/// Whole-cluster invariant: for any (small) mix of programs started
+/// via @*, every execution either succeeds and eventually finishes,
+/// or fails cleanly — and every logical host is on at most one
+/// workstation at the end.
+#[test]
+fn cluster_executions_settle() {
+    let mut rng = DetRng::seed(0xC1);
+    for _case in 0..12 {
+        let n_jobs = rng.index(3) + 1;
+        let seed = rng.range_u64(0, 1000);
         let mut c = Cluster::new(ClusterConfig {
             workstations: 4,
             seed,
@@ -183,9 +206,9 @@ proptest! {
             );
         }
         c.run_for(SimDuration::from_secs(120));
-        prop_assert_eq!(c.exec_reports.len(), n_jobs);
+        assert_eq!(c.exec_reports.len(), n_jobs);
         let ok = c.exec_reports.iter().filter(|r| r.success).count();
-        prop_assert_eq!(c.stats.programs_finished as usize, ok);
+        assert_eq!(c.stats.programs_finished as usize, ok);
         // No logical host is resident twice.
         for r in &c.exec_reports {
             if let Some(lh) = r.lh {
@@ -194,27 +217,26 @@ proptest! {
                     .iter()
                     .filter(|w| w.kernel.is_resident(lh))
                     .count();
-                prop_assert!(residents <= 1, "{lh} resident {residents} times");
+                assert!(residents <= 1, "{lh} resident {residents} times");
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+/// Dominance: for any dirty behaviour, pre-copy's freeze time is no
+/// worse than freeze-and-copy's (and strictly better for any program
+/// with a reasonable working set).
+#[test]
+fn precopy_never_freezes_longer_than_naive() {
+    use vcore::{MigrationConfig, StopPolicy, Strategy};
+    use vmem::{SpaceLayout, WwsParams};
 
-    /// Dominance: for any dirty behaviour, pre-copy's freeze time is no
-    /// worse than freeze-and-copy's (and strictly better for any program
-    /// with a reasonable working set).
-    #[test]
-    fn precopy_never_freezes_longer_than_naive(
-        hot_kb in 1.0f64..120.0,
-        write_rate in 1.0f64..600.0,
-        cold in 0.0f64..30.0,
-        seed in 0u64..500,
-    ) {
-        use vcore::{MigrationConfig, StopPolicy, Strategy};
-        use vmem::{SpaceLayout, WwsParams};
+    let mut rng = DetRng::seed(0xF1);
+    for _case in 0..8 {
+        let hot_kb = rng.range_f64(1.0, 120.0);
+        let write_rate = rng.range_f64(1.0, 600.0);
+        let cold = rng.range_f64(0.0, 30.0);
+        let seed = rng.range_u64(0, 500);
 
         let freeze_of = |strategy: Strategy| {
             let mut c = Cluster::new(ClusterConfig {
@@ -254,7 +276,7 @@ proptest! {
 
         let pre = freeze_of(Strategy::PreCopy(StopPolicy::default()));
         let naive = freeze_of(Strategy::FreezeAndCopy);
-        prop_assert!(
+        assert!(
             pre <= naive,
             "pre-copy froze {pre} vs naive {naive} (hot={hot_kb:.0}KB w={write_rate:.0}KB/s r={cold:.0}KB/s)"
         );
