@@ -10,11 +10,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod runtime;
 mod script;
 
+pub use audit::{AuditReport, AuditViolation};
 pub use runtime::{
     Cluster, ClusterConfig, ClusterStats, Command, Event, ProgramRuntime, SvcKind, Workstation,
     PAGING_LH,
 };
 pub use script::{ExecStep, MigrateStep, ScenarioBuilder};
+pub use vsim::{FaultEvent, FaultKind, FaultPlan, FaultTrigger, MigrationPhase};

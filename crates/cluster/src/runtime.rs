@@ -11,7 +11,7 @@
 //! receiving side; bulk-data packets are *not* (their CPU cost is already
 //! inside the calibrated per-unit pacing).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use vcore::{
     ExecEvent, ExecOutputs, ExecTarget, MigEvent, MigOutputs, MigrationConfig, MigrationReport,
@@ -30,12 +30,14 @@ use vservices::{
 use vsim::calib::{CONTEXT_SWITCH, CPU_QUANTUM, SMALL_PACKET_CPU};
 use vsim::metrics::GaugeSnapshot;
 use vsim::{
-    CounterId, DetRng, Engine, Metrics, MetricsReport, SimDuration, SimTime, Subsystem, Trace,
-    TraceEvent, TraceLevel,
+    CounterId, DetRng, Engine, FaultKind, FaultPlan, FaultTrigger, Metrics, MetricsReport,
+    MigrationPhase, SimDuration, SimTime, Subsystem, Trace, TraceEvent, TraceLevel,
 };
 use vworkload::{
     OwnerState, ProgAction, ProgEvent, ProgramProfile, UserModel, UserModelParams, WorkloadProgram,
 };
+
+use crate::audit::{AuditReport, AuditViolation};
 
 /// Multicast group carrying the program-manager process group.
 const PM_MCAST: McastGroup = McastGroup(1);
@@ -152,6 +154,21 @@ pub enum Event {
     },
     /// A scripted command.
     Command(Command),
+    /// A scheduled fault-plan event fires.
+    ApplyFault {
+        /// What the fault does.
+        kind: FaultKind,
+    },
+    /// A timed partition heals (both directions).
+    HealPartition {
+        /// First station group.
+        a: Vec<HostAddr>,
+        /// Second station group.
+        b: Vec<HostAddr>,
+    },
+    /// A periodic invariant-audit checkpoint (see
+    /// [`ClusterConfig::audit_every`]).
+    AuditTick,
 }
 
 /// A running program: kernel state lives in the kernel; this is the
@@ -197,7 +214,7 @@ pub struct Workstation {
     /// The owner model (servers have none).
     pub user: Option<UserModel>,
     /// Programs whose behaviour currently runs here.
-    pub programs: HashMap<LogicalHostId, ProgramRuntime>,
+    pub programs: BTreeMap<LogicalHostId, ProgramRuntime>,
     /// CPU scheduler: the running program, and the ready queue.
     cpu_current: Option<LogicalHostId>,
     cpu_ready: VecDeque<LogicalHostId>,
@@ -246,6 +263,11 @@ pub struct ClusterConfig {
     pub evict_on_owner_return: bool,
     /// Trace verbosity.
     pub trace: TraceLevel,
+    /// Deterministic fault schedule executed by the runtime.
+    pub faults: FaultPlan,
+    /// Run the invariant auditor at this interval (`None` = only when a
+    /// caller invokes [`Cluster::audit`] explicitly).
+    pub audit_every: Option<SimDuration>,
 }
 
 impl Default for ClusterConfig {
@@ -260,6 +282,8 @@ impl Default for ClusterConfig {
             users: None,
             evict_on_owner_return: false,
             trace: TraceLevel::Warn,
+            faults: FaultPlan::none(),
+            audit_every: None,
         }
     }
 }
@@ -273,6 +297,12 @@ pub struct ClusterStats {
     pub owner_evictions: u64,
     /// Programs that ran to completion.
     pub programs_finished: u64,
+    /// Frames discarded because their checksum failed at the receiver.
+    pub corrupt_frames_dropped: u64,
+    /// Fault-plan events executed.
+    pub faults_injected: u64,
+    /// Invariant violations found by the auditor.
+    pub audit_violations: u64,
 }
 
 /// The whole simulated cluster.
@@ -291,6 +321,9 @@ pub struct Cluster {
     pub migration_reports: Vec<MigrationReport>,
     /// Cluster counters.
     pub stats: ClusterStats,
+    /// Invariant-audit reports collected so far (periodic checkpoints and
+    /// explicit [`Cluster::audit`] calls).
+    pub audit_reports: Vec<AuditReport>,
     /// Cluster-level metrics (scheduler quanta, routing failures).
     metrics: Metrics,
     ctr_quanta_local: CounterId,
@@ -298,8 +331,13 @@ pub struct Cluster {
     ctr_unroutable: CounterId,
     ctr_evictions: CounterId,
     ctr_finished: CounterId,
+    ctr_corrupt_dropped: CounterId,
+    ctr_faults: CounterId,
+    ctr_audit_violations: CounterId,
     rng: DetRng,
     cfg: ClusterConfig,
+    /// Phase-triggered faults still waiting for their migration step.
+    phase_faults: Vec<(Option<u32>, MigrationPhase, FaultKind)>,
     /// Behaviours awaiting their ProgramStarted event, FIFO per image.
     pending_behaviors: HashMap<String, VecDeque<WorkloadProgram>>,
     /// Owner-reclaim measurements: (owner returned at, all guests gone at).
@@ -396,7 +434,7 @@ impl Cluster {
                 exec: RemoteExecutor::new(shell_pid, host, pm_pid),
                 shell: shell_pid,
                 user,
-                programs: HashMap::new(),
+                programs: BTreeMap::new(),
                 cpu_current: None,
                 cpu_ready: VecDeque::new(),
                 cpu_local: SimDuration::ZERO,
@@ -428,6 +466,9 @@ impl Cluster {
         let ctr_unroutable = metrics.counter(Subsystem::Cluster, "unroutable_deliveries");
         let ctr_evictions = metrics.counter(Subsystem::Cluster, "owner_evictions");
         let ctr_finished = metrics.counter(Subsystem::Cluster, "programs_finished");
+        let ctr_corrupt_dropped = metrics.counter(Subsystem::Cluster, "corrupt_frames_dropped");
+        let ctr_faults = metrics.counter(Subsystem::Cluster, "faults_injected");
+        let ctr_audit_violations = metrics.counter(Subsystem::Cluster, "audit_violations");
         let mut cluster = Cluster {
             engine: Engine::new(),
             net,
@@ -436,14 +477,19 @@ impl Cluster {
             exec_reports: Vec::new(),
             migration_reports: Vec::new(),
             stats: ClusterStats::default(),
+            audit_reports: Vec::new(),
             metrics,
             ctr_quanta_local,
             ctr_quanta_guest,
             ctr_unroutable,
             ctr_evictions,
             ctr_finished,
+            ctr_corrupt_dropped,
+            ctr_faults,
+            ctr_audit_violations,
             rng,
             cfg,
+            phase_faults: Vec::new(),
             pending_behaviors: HashMap::new(),
             reclaim_times: Vec::new(),
             reclaim_pending: HashMap::new(),
@@ -457,6 +503,23 @@ impl Cluster {
             *w.migrator.trace_mut() = Trace::new(level);
         }
         cluster.seed_user_transitions();
+        // Schedule the fault plan: timed faults go straight on the queue;
+        // phase-triggered ones wait for their migration step.
+        for ev in cluster.cfg.faults.clone().events {
+            match ev.trigger {
+                FaultTrigger::At(t) => {
+                    cluster
+                        .engine
+                        .schedule_at(t, Event::ApplyFault { kind: ev.kind });
+                }
+                FaultTrigger::OnMigrationPhase { lh, phase } => {
+                    cluster.phase_faults.push((lh, phase, ev.kind));
+                }
+            }
+        }
+        if let Some(every) = cluster.cfg.audit_every {
+            cluster.engine.schedule_after(every, Event::AuditTick);
+        }
         cluster
     }
 
@@ -723,6 +786,22 @@ impl Cluster {
                     return;
                 }
                 let now = self.engine.now();
+                // Hardware check sequence: a corrupted frame never reaches
+                // the kernel; the sender recovers by retransmission.
+                if !frame.checksum_valid() {
+                    self.stats.corrupt_frames_dropped += 1;
+                    self.metrics.inc(self.ctr_corrupt_dropped);
+                    self.trace.warn(
+                        now,
+                        Subsystem::Net,
+                        TraceEvent::CorruptFrame {
+                            from: frame.src.0,
+                            to: host.0,
+                            bytes: frame.payload_bytes,
+                        },
+                    );
+                    return;
+                }
                 let outs = self.stations[i].kernel.handle_frame(now, frame);
                 self.apply_kernel_outputs(i, outs);
             }
@@ -758,7 +837,116 @@ impl Cluster {
             Event::SleepDone { lh } => self.on_sleep_done(lh),
             Event::UserTransition { host, held } => self.on_user_transition(host, held),
             Event::Command(cmd) => self.on_command(cmd),
+            Event::ApplyFault { kind } => self.apply_fault(kind),
+            Event::HealPartition { a, b } => self.net.heal(&a, &b),
+            Event::AuditTick => {
+                self.audit(false);
+                // Re-arm only while other work remains, so periodic audits
+                // stop at quiescence instead of keeping the queue alive.
+                if self.engine.pending() > 0 {
+                    if let Some(every) = self.cfg.audit_every {
+                        self.engine.schedule_after(every, Event::AuditTick);
+                    }
+                }
+            }
         }
+    }
+
+    // --- Fault injection. ---
+
+    /// Executes one fault-plan event against the live cluster.
+    fn apply_fault(&mut self, kind: FaultKind) {
+        let now = self.engine.now();
+        self.stats.faults_injected += 1;
+        self.metrics.inc(self.ctr_faults);
+        self.trace.warn(
+            now,
+            Subsystem::Cluster,
+            TraceEvent::FaultInjected { kind: kind.label() },
+        );
+        match kind {
+            FaultKind::Crash { ws, reboot_after } => {
+                let ws = ws as usize;
+                if ws >= self.stations.len() || self.stations[ws].down {
+                    return;
+                }
+                self.on_command(Command::Crash { ws });
+                if let Some(d) = reboot_after {
+                    self.engine
+                        .schedule_after(d, Event::Command(Command::Reboot { ws }));
+                }
+            }
+            FaultKind::Partition {
+                a,
+                b,
+                symmetric,
+                heal_after,
+            } => {
+                let hosts = |group: &[u16]| -> Vec<HostAddr> {
+                    group
+                        .iter()
+                        .filter(|&&w| (w as usize) < self.stations.len())
+                        .map(|&w| self.stations[w as usize].host)
+                        .collect()
+                };
+                let (ha, hb) = (hosts(&a), hosts(&b));
+                self.net.partition(&ha, &hb, symmetric);
+                if let Some(d) = heal_after {
+                    self.engine
+                        .schedule_after(d, Event::HealPartition { a: ha, b: hb });
+                }
+            }
+            FaultKind::LatencySpike {
+                from,
+                to,
+                extra,
+                duration,
+            } => {
+                if (from as usize) < self.stations.len() && (to as usize) < self.stations.len() {
+                    let f = self.stations[from as usize].host;
+                    let t = self.stations[to as usize].host;
+                    self.net.set_link_latency(f, t, extra, now + duration);
+                }
+            }
+            FaultKind::Corrupt {
+                probability,
+                duration,
+            } => {
+                self.net.set_corruption(probability, now + duration);
+            }
+            FaultKind::ServiceRestart { ws } => {
+                let ws = ws as usize;
+                if ws >= self.stations.len() || self.stations[ws].down {
+                    return;
+                }
+                // The manager process dies and restarts: the kernel aborts
+                // the transactions it was serving (clients re-deliver by
+                // retransmission) and the manager re-arms its reclaim
+                // watchdogs from what survives in the kernel's tables.
+                let outs = {
+                    let w = &mut self.stations[ws];
+                    let pm_pid = w.pm.pid();
+                    w.kernel.abort_server_transactions(pm_pid);
+                    w.pm.restart(&w.kernel)
+                };
+                self.apply_svc_outputs(ws, SvcKind::Pm, outs);
+            }
+        }
+    }
+
+    /// Records an audit violation in the trace, stats, and metrics.
+    pub(crate) fn note_violation(&mut self, v: &AuditViolation) {
+        let now = self.engine.now();
+        self.stats.audit_violations += 1;
+        self.metrics.inc(self.ctr_audit_violations);
+        self.trace.warn(
+            now,
+            Subsystem::Cluster,
+            TraceEvent::AuditViolation {
+                kind: v.kind(),
+                lh: v.lh().map_or(0, |l| l.0),
+            },
+        );
     }
 
     fn schedule_deliveries(&mut self, deliveries: Vec<Delivery<Packet<ServiceMsg>>>) {
@@ -1130,6 +1318,21 @@ impl Cluster {
             MigEvent::UnfrozeInPlace { lh } => {
                 self.resume_scheduling(i, lh);
             }
+            MigEvent::Phase { lh, phase } => {
+                // Fire any fault pinned to this protocol step (one-shot,
+                // first matching migration wins).
+                let mut fired = Vec::new();
+                self.phase_faults.retain(|(want_lh, want_phase, kind)| {
+                    let hit = *want_phase == phase && want_lh.is_none_or(|l| l == lh.0);
+                    if hit {
+                        fired.push(kind.clone());
+                    }
+                    !hit
+                });
+                for kind in fired {
+                    self.apply_fault(kind);
+                }
+            }
             MigEvent::Destroyed { lh } => {
                 let fouts = {
                     let w = &mut self.stations[i];
@@ -1246,12 +1449,13 @@ impl Cluster {
         if let Some(i) = self.behavior_station(lh) {
             // A frozen program's sleep completion waits for the unfreeze
             // (execution is suspended); model: re-queue the event shortly.
+            // Likewise while the hosting station is powered off.
             let frozen = self.stations[i]
                 .kernel
                 .logical_host(lh)
                 .map(|l| l.is_frozen())
                 .unwrap_or(false);
-            if frozen {
+            if frozen || self.stations[i].down {
                 self.engine
                     .schedule_after(SimDuration::from_millis(10), Event::SleepDone { lh });
                 return;
@@ -1488,6 +1692,30 @@ impl Cluster {
                 // A reboot loses volatile state — most importantly any
                 // Demos/MP forwarding addresses (§5).
                 self.stations[ws].kernel.clear_forwarding();
+                // Every timer callback pending at crash time was consumed
+                // while the station was down; re-arm the kernel's
+                // retransmission/retention timers, fail its in-flight bulk
+                // transfers, and re-arm the program manager's watchdogs.
+                let now = self.engine.now();
+                let kouts = self.stations[ws].kernel.reboot_recover(now);
+                self.apply_kernel_outputs(ws, kouts);
+                let souts = self.stations[ws].pm.reboot_recover();
+                self.apply_svc_outputs(ws, SvcKind::Pm, souts);
+                // The CPU scheduler's quantum events died with the power:
+                // rebuild the ready queue from programs that still owe CPU.
+                self.stations[ws].cpu_current = None;
+                self.stations[ws].cpu_ready.clear();
+                let mut runnable: Vec<LogicalHostId> = Vec::new();
+                for (&lh, prt) in self.stations[ws].programs.iter_mut() {
+                    prt.scheduled = false;
+                    if prt.remaining_cpu > SimDuration::ZERO {
+                        runnable.push(lh);
+                    }
+                }
+                runnable.sort_by_key(|l| l.0);
+                for lh in runnable {
+                    self.cpu_make_ready(ws, lh);
+                }
             }
             Command::SetOwnerActive { ws, active } => {
                 self.stations[ws].pm.set_owner_active(active);

@@ -30,7 +30,8 @@ use vnet::HostAddr;
 use vservices::{ServiceMsg, SvcError};
 use vsim::calib::PAGE_BYTES;
 use vsim::{
-    CounterId, HistogramId, Metrics, SimDuration, SimTime, Subsystem, Trace, TraceEvent, TraceLevel,
+    CounterId, HistogramId, Metrics, MigrationPhase, SimDuration, SimTime, Subsystem, Trace,
+    TraceEvent, TraceLevel,
 };
 
 use crate::report::{IterStat, MigFailure, MigrationReport, Milestones};
@@ -165,6 +166,14 @@ pub enum MigEvent {
         /// The unfrozen logical host.
         lh: LogicalHostId,
     },
+    /// The migration crossed a named protocol step (fault-injection
+    /// triggers hang off these).
+    Phase {
+        /// The migrating logical host.
+        lh: LogicalHostId,
+        /// The step just crossed.
+        phase: MigrationPhase,
+    },
 }
 
 /// Outputs of one engine step.
@@ -223,6 +232,9 @@ struct Job {
     state: JobState,
     started_at: SimTime,
     target: Option<(ProcessId, HostAddr)>,
+    /// Hosts that already failed this migration; excluded from
+    /// reselection.
+    excluded: Vec<HostAddr>,
     temp: LogicalHostId,
     pending_xfers: HashSet<XferId>,
     iteration: u32,
@@ -259,6 +271,7 @@ pub struct Migrator {
     ctr_started: CounterId,
     ctr_succeeded: CounterId,
     ctr_failed: CounterId,
+    ctr_retried: CounterId,
     hist_freeze_ms: HistogramId,
     hist_round_ms: HistogramId,
     hist_residual_kb: HistogramId,
@@ -274,6 +287,7 @@ impl Migrator {
         let ctr_started = metrics.counter(Subsystem::Migration, "started");
         let ctr_succeeded = metrics.counter(Subsystem::Migration, "succeeded");
         let ctr_failed = metrics.counter(Subsystem::Migration, "failed");
+        let ctr_retried = metrics.counter(Subsystem::Migration, "retried");
         let hist_freeze_ms = metrics.histogram(Subsystem::Migration, "freeze_window_ms", "ms");
         let hist_round_ms = metrics.histogram(Subsystem::Migration, "precopy_round_ms", "ms");
         let hist_residual_kb = metrics.histogram(Subsystem::Migration, "residual_kb", "KB");
@@ -291,6 +305,7 @@ impl Migrator {
             ctr_started,
             ctr_succeeded,
             ctr_failed,
+            ctr_retried,
             hist_freeze_ms,
             hist_round_ms,
             hist_residual_kb,
@@ -325,6 +340,15 @@ impl Migrator {
         self.jobs.contains_key(&lh)
     }
 
+    /// Active migrations as (logical host, current temporary id), sorted —
+    /// the cluster auditor uses this to tell legal transients (a
+    /// duplicate copy mid-install, a resident temp) from leaks.
+    pub fn active_jobs(&self) -> Vec<(LogicalHostId, LogicalHostId)> {
+        let mut v: Vec<_> = self.jobs.iter().map(|(&lh, j)| (lh, j.temp)).collect();
+        v.sort_by_key(|&(lh, _)| lh.0);
+        v
+    }
+
     /// Begins migrating `lh` away from this workstation.
     ///
     /// # Panics
@@ -354,6 +378,7 @@ impl Migrator {
             state: JobState::Selecting,
             started_at: now,
             target: None,
+            excluded: Vec::new(),
             temp,
             pending_xfers: HashSet::new(),
             iteration: 0,
@@ -385,9 +410,11 @@ impl Migrator {
     ) -> MigOutputs {
         job.state = JobState::Selecting;
         job.attempts += 1;
+        let mut exclude_hosts = vec![self.host];
+        exclude_hosts.extend(job.excluded.iter().copied());
         let query = ServiceMsg::QueryHost {
             host_name: None,
-            exclude_host: Some(self.host),
+            exclude_hosts,
         };
         let (seq, kouts) = k.send_with_seq(
             now,
@@ -415,6 +442,11 @@ impl Migrator {
             return MigOutputs::default();
         };
         let mut out = MigOutputs::default();
+        if k.logical_host(job.lh).is_none() {
+            // The program exited (and its logical host was destroyed)
+            // while a protocol step was in flight.
+            return self.abandon_destroyed(now, job, k, out);
+        }
         match job.state {
             JobState::Selecting => match result {
                 Ok(ReplyIn {
@@ -459,6 +491,14 @@ impl Migrator {
                 Ok(ReplyIn { body, .. }) if body.is_ok() => {
                     job.milestones.mark(now, "state-installed");
                     job.state = JobState::Unfreezing;
+                    // Commit point: the target holds an installed copy.
+                    // The phase event precedes the UnfreezeMigrated
+                    // transmit in the output stream, so a fault here can
+                    // kill the source before step 5 leaves it.
+                    out.events.push(MigEvent::Phase {
+                        lh: job.lh,
+                        phase: MigrationPhase::AfterCommit,
+                    });
                     let (pm, _) = job.target.expect("target chosen");
                     let unfreeze = ServiceMsg::UnfreezeMigrated { lh: job.lh };
                     let (s, kouts) = k.send_with_seq(now, self.pid, pm.into(), unfreeze, 0);
@@ -478,7 +518,12 @@ impl Migrator {
                     out = self.abort_frozen(now, job, k, out, MigFailure::InstallFailed);
                 }
             },
-            s => unreachable!("send completion in state {s:?}"),
+            s => {
+                // A stale or duplicate completion (possible around
+                // crash-restarts); keep the job as it is.
+                let _ = s;
+                self.jobs.insert(lh, job);
+            }
         }
         out
     }
@@ -498,6 +543,11 @@ impl Migrator {
             return MigOutputs::default();
         };
         let mut out = MigOutputs::default();
+        if k.logical_host(job.lh).is_none() {
+            // The program exited (and its logical host was destroyed)
+            // while the copy was in flight.
+            return self.abandon_destroyed(now, job, k, out);
+        }
         match result {
             Ok(bytes) => {
                 job.iter_bytes += bytes;
@@ -537,16 +587,21 @@ impl Migrator {
                             now.since(job.freeze_started.expect("frozen before final copy"));
                         out = self.install_state(now, job, k, out);
                     }
-                    s => unreachable!("copy completion in state {s:?}"),
+                    s => {
+                        // Stale completion for an abandoned round.
+                        let _ = s;
+                        self.jobs.insert(lh, job);
+                    }
                 }
             }
             Err(_) => {
                 // The target (or paging server) died mid-copy. If frozen,
-                // unfreeze in place to avoid timeouts (§3.1.3).
+                // unfreeze in place to avoid timeouts (§3.1.3); an
+                // unfrozen copy failure can retry against another host.
                 out = if job.freeze_started.is_some() {
                     self.abort_frozen(now, job, k, out, MigFailure::CopyFailed)
                 } else {
-                    self.fail(now, job, k, out, MigFailure::CopyFailed)
+                    self.retry_or_fail(now, job, k, out, MigFailure::CopyFailed)
                 };
             }
         }
@@ -562,6 +617,9 @@ impl Migrator {
         k: &mut Kernel<ServiceMsg>,
         out: MigOutputs,
     ) -> MigOutputs {
+        if k.logical_host(job.lh).is_none() {
+            return self.abandon_destroyed(now, job, k, out);
+        }
         match job.cfg.strategy.clone() {
             Strategy::PreCopy(_) => {
                 // Round 1: the complete address spaces, dirty bits cleared
@@ -627,6 +685,9 @@ impl Migrator {
         kind: RoundKind,
         mut out: MigOutputs,
     ) -> MigOutputs {
+        if k.logical_host(job.lh).is_none() {
+            return self.abandon_destroyed(now, job, k, out);
+        }
         job.iter_started = now;
         job.iter_bytes = 0;
         let (dest_lh, dest_space) = match &job.cfg.strategy {
@@ -684,8 +745,15 @@ impl Migrator {
         now: SimTime,
         mut job: Job,
         k: &mut Kernel<ServiceMsg>,
-        out: MigOutputs,
+        mut out: MigOutputs,
     ) -> MigOutputs {
+        if k.logical_host(job.lh).is_none() {
+            return self.abandon_destroyed(now, job, k, out);
+        }
+        out.events.push(MigEvent::Phase {
+            lh: job.lh,
+            phase: MigrationPhase::AfterPrecopyRound(job.iteration),
+        });
         let stop = match &job.cfg.strategy {
             Strategy::PreCopy(p) => p.clone(),
             Strategy::VmFlush { stop, .. } => stop.clone(),
@@ -712,6 +780,9 @@ impl Migrator {
         k: &mut Kernel<ServiceMsg>,
         mut out: MigOutputs,
     ) -> MigOutputs {
+        if k.logical_host(job.lh).is_none() {
+            return self.abandon_destroyed(now, job, k, out);
+        }
         k.freeze(job.lh);
         job.freeze_started = Some(now);
         job.milestones.mark(now, "frozen");
@@ -724,6 +795,10 @@ impl Migrator {
         job.state = JobState::FrozenFinalCopy;
         job.iter_started = now;
         job.iter_bytes = 0;
+        out.events.push(MigEvent::Phase {
+            lh: job.lh,
+            phase: MigrationPhase::WhileFrozen,
+        });
 
         let (dest_lh, dest_space) = match &job.cfg.strategy {
             Strategy::VmFlush {
@@ -783,6 +858,9 @@ impl Migrator {
         k: &mut Kernel<ServiceMsg>,
         mut out: MigOutputs,
     ) -> MigOutputs {
+        if k.logical_host(job.lh).is_none() {
+            return self.abandon_destroyed(now, job, k, out);
+        }
         job.milestones.mark(now, "final-copy-done");
         job.state = JobState::InstallingState;
         let record = k.extract_migration_record(job.lh);
@@ -916,6 +994,22 @@ impl Migrator {
         }
     }
 
+    /// The program exited (its logical host was destroyed) while the
+    /// migration was still working on it. Abandon the job; any half-built
+    /// temporary at the target is reclaimed by that station's watchdog.
+    fn abandon_destroyed(
+        &mut self,
+        now: SimTime,
+        mut job: Job,
+        k: &mut Kernel<ServiceMsg>,
+        out: MigOutputs,
+    ) -> MigOutputs {
+        for x in job.pending_xfers.drain() {
+            self.by_xfer.remove(&x);
+        }
+        self.fail(now, job, k, out, MigFailure::Destroyed)
+    }
+
     fn retry_or_fail(
         &mut self,
         now: SimTime,
@@ -925,6 +1019,36 @@ impl Migrator {
         failure: MigFailure,
     ) -> MigOutputs {
         if job.attempts <= job.cfg.retry_limit {
+            // The failed target is excluded from reselection, and the
+            // attempt starts over against a fresh temporary id — the old
+            // temp (if it was ever built) is reclaimed by the target's
+            // own watchdog.
+            if let Some((_, host)) = job.target.take() {
+                if !job.excluded.contains(&host) {
+                    job.excluded.push(host);
+                }
+            }
+            for x in job.pending_xfers.drain() {
+                self.by_xfer.remove(&x);
+            }
+            job.temp = LogicalHostId(self.temp_base + self.next_temp);
+            self.next_temp += 1;
+            job.iteration = 0;
+            job.iter_bytes = 0;
+            job.last_round_bytes = 0;
+            job.iterations.clear();
+            job.residual_bytes = 0;
+            job.freeze_started = None;
+            self.metrics.inc(self.ctr_retried);
+            self.trace.emit(
+                TraceLevel::Warn,
+                now,
+                Subsystem::Migration,
+                TraceEvent::MigrationRetry {
+                    lh: job.lh.0,
+                    attempt: job.attempts + 1,
+                },
+            );
             let o = self.select_host(now, &mut job, k);
             self.jobs.insert(job.lh, job);
             let mut out = out;

@@ -130,7 +130,7 @@ impl RemoteExecutor {
             ExecTarget::Named(name) => {
                 let q = ServiceMsg::QueryHost {
                     host_name: Some(name),
-                    exclude_host: None,
+                    exclude_hosts: Vec::new(),
                 };
                 let (seq, kouts) =
                     k.send_with_seq(now, self.pid, GroupId::PROGRAM_MANAGERS.into(), q, 0);
@@ -142,7 +142,7 @@ impl RemoteExecutor {
                 // the requesting workstation does not answer its own query.
                 let q = ServiceMsg::QueryHost {
                     host_name: None,
-                    exclude_host: Some(self.host),
+                    exclude_hosts: vec![self.host],
                 };
                 let (seq, kouts) =
                     k.send_with_seq(now, self.pid, GroupId::PROGRAM_MANAGERS.into(), q, 0);

@@ -105,6 +105,13 @@ impl BindingCache {
     pub fn stats(&self) -> &BindingStats {
         &self.stats
     }
+
+    /// All cached mappings, sorted by logical host (for auditing).
+    pub fn entries(&self) -> Vec<(LogicalHostId, HostAddr)> {
+        let mut v: Vec<_> = self.map.iter().map(|(&lh, &h)| (lh, h)).collect();
+        v.sort_by_key(|&(lh, _)| lh.0);
+        v
+    }
 }
 
 #[cfg(test)]

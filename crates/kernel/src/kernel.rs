@@ -26,7 +26,9 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use vmem::SpaceId;
 use vnet::{Frame, HostAddr, McastGroup};
 use vsim::calib::{self, PAGE_BYTES};
-use vsim::{CounterId, Metrics, SimDuration, SimTime, Subsystem, Trace, TraceEvent, TraceLevel};
+use vsim::{
+    CounterId, DetRng, Metrics, SimDuration, SimTime, Subsystem, Trace, TraceEvent, TraceLevel,
+};
 
 use crate::binding::BindingCache;
 use crate::ids::{
@@ -134,8 +136,15 @@ pub enum KernelOutput<X> {
 /// Tunables; defaults come from the paper-calibrated constants.
 #[derive(Debug, Clone)]
 pub struct KernelConfig {
-    /// Interval between retransmissions.
+    /// Base interval between retransmissions (the first retry fires after
+    /// exactly this long).
     pub retransmit_interval: SimDuration,
+    /// Multiplier applied to the interval after every further retry
+    /// (capped exponential backoff). `1.0` restores the fixed-interval
+    /// behaviour.
+    pub retransmit_backoff: f64,
+    /// Upper bound on the backed-off retransmission interval.
+    pub retransmit_max_interval: SimDuration,
     /// Retransmissions before invalidating the binding cache entry and
     /// falling back to broadcast.
     pub retransmits_before_rebind: u32,
@@ -164,6 +173,8 @@ impl Default for KernelConfig {
     fn default() -> Self {
         KernelConfig {
             retransmit_interval: calib::RETRANSMIT_INTERVAL,
+            retransmit_backoff: calib::RETRANSMIT_BACKOFF,
+            retransmit_max_interval: calib::RETRANSMIT_MAX_INTERVAL,
             retransmits_before_rebind: calib::RETRANSMITS_BEFORE_REBIND,
             max_retransmits: calib::MAX_RETRANSMITS,
             hard_retransmit_cap: 200,
@@ -232,6 +243,10 @@ pub struct KernelStats {
     pub forwarded_requests: u64,
     /// CopyFrom pulls served for other kernels.
     pub pulls_served: u64,
+    /// Outstanding Sends abandoned at the hard retransmission cap while
+    /// reply-pending packets were still arriving — the server accepted the
+    /// request but never replied (orphaned transaction).
+    pub orphaned_transactions: u64,
 }
 
 impl KernelStats {
@@ -360,6 +375,7 @@ pub struct Kernel<X> {
     ctr_reply_pendings: CounterId,
     ctr_binding_hits: CounterId,
     ctr_binding_misses: CounterId,
+    ctr_orphaned: CounterId,
 }
 
 impl<X: Clone + std::fmt::Debug> Kernel<X> {
@@ -374,6 +390,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
         let ctr_reply_pendings = metrics.counter(Subsystem::Kernel, "reply_pendings_sent");
         let ctr_binding_hits = metrics.counter(Subsystem::Kernel, "binding_cache_hits");
         let ctr_binding_misses = metrics.counter(Subsystem::Kernel, "binding_cache_misses");
+        let ctr_orphaned = metrics.counter(Subsystem::Kernel, "orphaned_transactions");
         Kernel {
             host,
             cfg,
@@ -402,6 +419,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
             ctr_reply_pendings,
             ctr_binding_hits,
             ctr_binding_misses,
+            ctr_orphaned,
         }
     }
 
@@ -837,7 +855,10 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
     pub fn extract_migration_record(&self, lh: LogicalHostId) -> MigrationRecord<X> {
         let l = self.lhs.get(&lh).expect("extract: not resident");
         let desc = l.descriptor();
-        let outstanding = self
+        // Sort everything pulled out of hash maps so the record — and the
+        // timer/packet order it produces at install time — is a pure
+        // function of kernel state, not of hashing.
+        let mut outstanding: Vec<OutstandingDesc<X>> = self
             .outstanding
             .iter()
             .filter(|((from, _), _)| from.lh == lh)
@@ -851,7 +872,8 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                 is_group: o.is_group,
             })
             .collect();
-        let in_progress = self
+        outstanding.sort_by_key(|o| (o.from.lh.0, o.from.index, o.seq.0));
+        let mut in_progress: Vec<(ProcessId, SendSeq, ProcessId)> = self
             .in_progress
             .iter()
             .flat_map(|(&(req, seq), entries)| {
@@ -861,12 +883,14 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                     .map(move |e| (req, seq, e.target))
             })
             .collect();
-        let retained = self
+        in_progress.sort_by_key(|&(req, seq, t)| (req.lh.0, req.index, seq.0, t.lh.0, t.index));
+        let mut retained: Vec<(ProcessId, SendSeq, ProcessId, X, u64)> = self
             .reply_cache
             .iter()
             .filter(|(_, r)| r.from.lh == lh)
             .map(|(&(req, seq), r)| (req, seq, r.from, r.body.clone(), r.data_bytes))
             .collect();
+        retained.sort_by_key(|&(req, seq, ..)| (req.lh.0, req.index, seq.0));
         MigrationRecord {
             desc,
             outstanding,
@@ -1008,6 +1032,110 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
     /// hosts' benefit).
     pub fn forwarding_entries(&self) -> usize {
         self.forwarding.len()
+    }
+
+    /// Outstanding client Sends — requester, sequence number, and the
+    /// destination logical host where one is known (`None` for global
+    /// groups) — sorted. Input to the cluster-wide transaction-drain
+    /// audit.
+    pub fn outstanding_sends(&self) -> Vec<(ProcessId, SendSeq, Option<LogicalHostId>)> {
+        let mut v: Vec<_> = self
+            .outstanding
+            .iter()
+            .map(|(&(from, seq), o)| (from, seq, o.to.routing_lh()))
+            .collect();
+        v.sort_by_key(|&(from, seq, _)| (from.lh.0, from.index, seq.0));
+        v
+    }
+
+    /// Number of bulk transfers this kernel is currently a party to:
+    /// outgoing copies, local fills awaiting completion, and pulls being
+    /// served for other kernels.
+    pub fn active_transfers(&self) -> usize {
+        self.xfers.len() + self.local_xfers.len() + self.pulls.len()
+    }
+
+    /// Re-arms timing state after the workstation reboots.
+    ///
+    /// A crash loses every pending timer callback: without this,
+    /// outstanding Sends would never retransmit again and bulk transfers
+    /// would hang forever. Re-arms a retransmission timer per outstanding
+    /// Send and a retention timer per retained reply, and fails bulk
+    /// transfers that were in flight (their pacing state is gone;
+    /// initiators recover by retrying at a higher level).
+    pub fn reboot_recover(&mut self, now: SimTime) -> Vec<KernelOutput<X>> {
+        self.now = now;
+        let mut out = Vec::new();
+
+        let mut sends: Vec<(ProcessId, SendSeq)> = self.outstanding.keys().copied().collect();
+        sends.sort_by_key(|(p, s)| (p.lh.0, p.index, s.0));
+        for (pid, seq) in sends {
+            out.push(KernelOutput::SetTimer {
+                key: TimerKey::Retransmit(pid, seq),
+                after: self.cfg.retransmit_interval,
+            });
+        }
+
+        let mut retained: Vec<(ProcessId, SendSeq)> = self.reply_cache.keys().copied().collect();
+        retained.sort_by_key(|(p, s)| (p.lh.0, p.index, s.0));
+        for (pid, seq) in retained {
+            out.push(KernelOutput::SetTimer {
+                key: TimerKey::ReplyRetention(pid, seq),
+                after: self.cfg.reply_retention,
+            });
+        }
+
+        let mut pushes: Vec<XferId> = self.xfers.keys().copied().collect();
+        pushes.sort();
+        for id in pushes {
+            let x = self.xfers.remove(&id).expect("listed");
+            // Pull-serving transfers are simply dropped: the puller's own
+            // watchdog notices the stall and re-requests.
+            if x.pull_tag.is_none() {
+                out.push(KernelOutput::CopyDone {
+                    xfer: id,
+                    initiator: x.initiator,
+                    result: Err(SendError::Timeout),
+                });
+            }
+        }
+        let mut locals: Vec<XferId> = self.local_xfers.keys().copied().collect();
+        locals.sort();
+        for id in locals {
+            let (initiator, _) = self.local_xfers.remove(&id).expect("listed");
+            out.push(KernelOutput::CopyDone {
+                xfer: id,
+                initiator,
+                result: Err(SendError::Timeout),
+            });
+        }
+        let mut pulls: Vec<XferId> = self.pulls.keys().copied().collect();
+        pulls.sort();
+        for id in pulls {
+            let p = self.pulls.remove(&id).expect("listed");
+            out.push(KernelOutput::CopyDone {
+                xfer: id,
+                initiator: p.initiator,
+                result: Err(SendError::Timeout),
+            });
+        }
+        out
+    }
+
+    /// Drops in-progress request state targeting `server` (a service
+    /// process that crash-restarted and will never reply to requests it
+    /// had accepted). The requesters' retransmissions then re-deliver
+    /// those requests to the restarted server instead of drawing
+    /// reply-pending packets forever. Returns how many were dropped.
+    pub fn abort_server_transactions(&mut self, server: ProcessId) -> usize {
+        let mut dropped = 0;
+        self.in_progress.retain(|_, entries| {
+            let before = entries.len();
+            entries.retain(|e| e.target != server);
+            dropped += before - entries.len();
+            !entries.is_empty()
+        });
+        dropped
     }
 
     // --- Event handlers. ---
@@ -1698,6 +1826,27 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
         });
     }
 
+    /// Delay before the next retransmission of `(pid, seq)` after `tries`
+    /// retries have already gone out: capped exponential backoff on the
+    /// base interval with ±10% jitter. The jitter is a pure function of
+    /// (host, sender, transaction, try), so synchronized senders
+    /// de-correlate identically on every replay of a seed.
+    fn retransmit_delay(&self, pid: ProcessId, seq: SendSeq, tries: u32) -> SimDuration {
+        let base = self.cfg.retransmit_interval;
+        if tries == 0 || self.cfg.retransmit_backoff <= 1.0 {
+            return base;
+        }
+        let backed = base.mul_f64(self.cfg.retransmit_backoff.powi(tries as i32));
+        let capped = backed.min(self.cfg.retransmit_max_interval).max(base);
+        let key = (self.host.0 as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(((pid.lh.0 as u64) << 32) | pid.index as u64)
+            .wrapping_add(seq.0.rotate_left(17))
+            .wrapping_add(tries as u64);
+        let u = DetRng::seed(key).unit();
+        capped.mul_f64(0.9 + 0.2 * u)
+    }
+
     fn on_retransmit_timer(
         &mut self,
         pid: ProcessId,
@@ -1711,13 +1860,28 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
         o.since_rebind += 1;
         let tries = o.total_retransmits;
 
-        let give_up = if o.pending_seen {
-            o.total_retransmits > self.cfg.hard_retransmit_cap
+        let (give_up, orphaned) = if o.pending_seen {
+            let g = o.total_retransmits > self.cfg.hard_retransmit_cap;
+            (g, g)
         } else {
-            o.total_retransmits > self.cfg.max_retransmits
+            (o.total_retransmits > self.cfg.max_retransmits, false)
         };
         if give_up {
+            let lh = o.to.routing_lh().map_or(pid.lh.0, |l| l.0);
             self.outstanding.remove(&(pid, seq));
+            if orphaned {
+                // The server kept signalling reply-pending but never
+                // replied: the transaction is orphaned, likely because the
+                // serving logical host vanished mid-request.
+                self.stats.orphaned_transactions += 1;
+                self.metrics.inc(self.ctr_orphaned);
+                self.trace.emit(
+                    TraceLevel::Warn,
+                    self.now,
+                    Subsystem::Kernel,
+                    TraceEvent::OrphanedTransaction { lh, tries },
+                );
+            }
             self.fail_local_send(pid, seq, SendError::Timeout, out);
             return;
         }
@@ -1767,7 +1931,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
         }
         out.push(KernelOutput::SetTimer {
             key: TimerKey::Retransmit(pid, seq),
-            after: self.cfg.retransmit_interval,
+            after: self.retransmit_delay(pid, seq, tries),
         });
     }
 

@@ -49,6 +49,10 @@ pub struct WireStats {
     pub drops_loss: u64,
     /// Per-receiver drops because the receiver was down.
     pub drops_down: u64,
+    /// Per-receiver drops because the link was partitioned.
+    pub drops_partition: u64,
+    /// Per-receiver deliveries whose checksum was corrupted in transit.
+    pub corrupted: u64,
     /// Frames discarded because the *sender* was down.
     pub sender_down: u64,
     /// Total payload bytes offered.
@@ -97,6 +101,13 @@ pub struct Ethernet<P> {
     busy_until: SimTime,
     loss: LossState,
     rng: DetRng,
+    /// Directed sender → receiver pairs currently blocked by a partition.
+    blocked: BTreeSet<(HostAddr, HostAddr)>,
+    /// Directed links with extra latency: `(extra, expires_at)`.
+    link_extra: HashMap<(HostAddr, HostAddr), (SimDuration, SimTime)>,
+    /// Per-delivery corruption probability while `now < corrupt_until`.
+    corrupt_prob: f64,
+    corrupt_until: SimTime,
     stats: WireStats,
     metrics: Metrics,
     trace: Trace,
@@ -104,6 +115,8 @@ pub struct Ethernet<P> {
     ctr_delivered: CounterId,
     ctr_drop_loss: CounterId,
     ctr_drop_down: CounterId,
+    ctr_drop_partition: CounterId,
+    ctr_corrupted: CounterId,
     ctr_sender_down: CounterId,
     ctr_payload_bytes: CounterId,
     ctr_busy_us: CounterId,
@@ -119,6 +132,8 @@ impl<P: Clone> Ethernet<P> {
         let ctr_delivered = metrics.counter(Subsystem::Net, "frames_delivered");
         let ctr_drop_loss = metrics.counter(Subsystem::Net, "frames_dropped_loss");
         let ctr_drop_down = metrics.counter(Subsystem::Net, "frames_dropped_down");
+        let ctr_drop_partition = metrics.counter(Subsystem::Net, "frames_dropped_partition");
+        let ctr_corrupted = metrics.counter(Subsystem::Net, "frames_corrupted");
         let ctr_sender_down = metrics.counter(Subsystem::Net, "frames_sender_down");
         let ctr_payload_bytes = metrics.counter(Subsystem::Net, "payload_bytes");
         let ctr_busy_us = metrics.counter(Subsystem::Net, "wire_busy_us");
@@ -129,6 +144,10 @@ impl<P: Clone> Ethernet<P> {
             busy_until: SimTime::ZERO,
             loss: LossState::new(loss),
             rng,
+            blocked: BTreeSet::new(),
+            link_extra: HashMap::new(),
+            corrupt_prob: 0.0,
+            corrupt_until: SimTime::ZERO,
             stats: WireStats::default(),
             metrics,
             trace: Trace::quiet(),
@@ -136,6 +155,8 @@ impl<P: Clone> Ethernet<P> {
             ctr_delivered,
             ctr_drop_loss,
             ctr_drop_down,
+            ctr_drop_partition,
+            ctr_corrupted,
             ctr_sender_down,
             ctr_payload_bytes,
             ctr_busy_us,
@@ -203,13 +224,67 @@ impl<P: Clone> Ethernet<P> {
             .unwrap_or_default()
     }
 
+    /// Blocks frames from every station in `a` to every station in `b`
+    /// (and the reverse direction when `symmetric`), modelling a network
+    /// partition. Asymmetric partitions — a can talk to b but not hear it —
+    /// are expressed by calling with `symmetric: false`.
+    pub fn partition(&mut self, a: &[HostAddr], b: &[HostAddr], symmetric: bool) {
+        for &x in a {
+            for &y in b {
+                if x != y {
+                    self.blocked.insert((x, y));
+                    if symmetric {
+                        self.blocked.insert((y, x));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes partition state between the two station groups, in both
+    /// directions (healing is always symmetric).
+    pub fn heal(&mut self, a: &[HostAddr], b: &[HostAddr]) {
+        for &x in a {
+            for &y in b {
+                self.blocked.remove(&(x, y));
+                self.blocked.remove(&(y, x));
+            }
+        }
+    }
+
+    /// True when frames from `from` to `to` are currently blocked.
+    pub fn is_blocked(&self, from: HostAddr, to: HostAddr) -> bool {
+        self.blocked.contains(&(from, to))
+    }
+
+    /// Adds `extra` delivery latency on the directed link `from → to` until
+    /// the instant `until` (a per-link latency spike).
+    pub fn set_link_latency(
+        &mut self,
+        from: HostAddr,
+        to: HostAddr,
+        extra: SimDuration,
+        until: SimTime,
+    ) {
+        self.link_extra.insert((from, to), (extra, until));
+    }
+
+    /// Corrupts each delivery with probability `p` until the instant
+    /// `until`; corrupted frames fail [`Frame::checksum_valid`] at the
+    /// receiver.
+    pub fn set_corruption(&mut self, p: f64, until: SimTime) {
+        self.corrupt_prob = p;
+        self.corrupt_until = until;
+    }
+
     /// Offers a frame to the channel at time `now`, returning the resulting
     /// deliveries (possibly none).
     ///
     /// The channel serializes frames: if it is busy, transmission starts
-    /// when it frees. All receivers hear the frame at the same instant;
-    /// loss is decided independently per receiver. The sender never
-    /// receives its own frame.
+    /// when it frees. All receivers hear the frame at the same instant
+    /// (plus any per-link latency spike); loss, partition blocking, and
+    /// corruption are decided independently per receiver in [`Ethernet::deliver`].
+    /// The sender never receives its own frame.
     pub fn transmit(&mut self, now: SimTime, frame: Frame<P>) -> Vec<Delivery<P>> {
         if !self.station(frame.src).up {
             self.stats.sender_down += 1;
@@ -251,40 +326,83 @@ impl<P: Clone> Ethernet<P> {
 
         let mut out = Vec::with_capacity(receivers.len());
         for to in receivers {
-            if !self.station(to).up {
-                self.stats.drops_down += 1;
-                self.metrics.inc(self.ctr_drop_down);
-                continue;
+            if let Some(d) = self.deliver(now, arrival, &frame, to) {
+                out.push(d);
             }
-            if self.loss.drops(&mut self.rng) {
-                self.stats.drops_loss += 1;
-                self.metrics.inc(self.ctr_drop_loss);
-                self.trace.emit(
-                    TraceLevel::Detail,
-                    now,
-                    Subsystem::Net,
-                    TraceEvent::FrameDropped {
-                        from: frame.src.0,
-                        to: to.0,
-                        bytes: frame.payload_bytes,
-                    },
-                );
-                continue;
-            }
-            self.stats.deliveries += 1;
-            self.metrics.inc(self.ctr_delivered);
-            {
-                let st = self.station_mut(to);
-                st.frames_rx += 1;
-                st.bytes_rx += frame.payload_bytes;
-            }
-            out.push(Delivery {
-                to,
-                at: arrival,
-                frame: frame.clone(),
-            });
         }
         out
+    }
+
+    /// Decides the fate of one frame at one receiver: down-station and
+    /// partition drops, an *independent per-receiver* loss-model draw (per
+    /// the `loss` module contract), a corruption draw while a corruption
+    /// window is open, and any per-link latency spike. Returns the delivery,
+    /// or `None` when the receiver never hears the frame.
+    fn deliver(
+        &mut self,
+        now: SimTime,
+        arrival: SimTime,
+        frame: &Frame<P>,
+        to: HostAddr,
+    ) -> Option<Delivery<P>> {
+        if !self.station(to).up {
+            self.stats.drops_down += 1;
+            self.metrics.inc(self.ctr_drop_down);
+            return None;
+        }
+        // Partition blocking is static configuration: checked before the
+        // loss draw and without consuming randomness.
+        if self.is_blocked(frame.src, to) {
+            self.stats.drops_partition += 1;
+            self.metrics.inc(self.ctr_drop_partition);
+            self.trace.emit(
+                TraceLevel::Detail,
+                now,
+                Subsystem::Net,
+                TraceEvent::FrameDropped {
+                    from: frame.src.0,
+                    to: to.0,
+                    bytes: frame.payload_bytes,
+                },
+            );
+            return None;
+        }
+        if self.loss.drops(&mut self.rng) {
+            self.stats.drops_loss += 1;
+            self.metrics.inc(self.ctr_drop_loss);
+            self.trace.emit(
+                TraceLevel::Detail,
+                now,
+                Subsystem::Net,
+                TraceEvent::FrameDropped {
+                    from: frame.src.0,
+                    to: to.0,
+                    bytes: frame.payload_bytes,
+                },
+            );
+            return None;
+        }
+        let mut frame = frame.clone();
+        if self.corrupt_prob > 0.0 && now < self.corrupt_until {
+            let salt = self.rng.range_u64(1, u64::MAX);
+            if self.rng.chance(self.corrupt_prob) {
+                frame.corrupt(salt);
+                self.stats.corrupted += 1;
+                self.metrics.inc(self.ctr_corrupted);
+            }
+        }
+        let at = match self.link_extra.get(&(frame.src, to)) {
+            Some(&(extra, until)) if now < until => arrival + extra,
+            _ => arrival,
+        };
+        self.stats.deliveries += 1;
+        self.metrics.inc(self.ctr_delivered);
+        {
+            let st = self.station_mut(to);
+            st.frames_rx += 1;
+            st.bytes_rx += frame.payload_bytes;
+        }
+        Some(Delivery { to, at, frame })
     }
 
     /// Wire counters.
@@ -463,6 +581,97 @@ mod tests {
         let out = n.transmit(SimTime::ZERO, Frame::broadcast(a, 32, 0));
         assert_eq!(out.len(), 1);
         assert_eq!(n.stats().drops_loss, 1);
+    }
+
+    #[test]
+    fn loss_is_evaluated_independently_per_receiver() {
+        // Regression for the `loss.rs` doc contract: every receiver of a
+        // broadcast gets its own loss draw, so `EveryNth(3)` across two
+        // 3-receiver broadcasts drops exactly receivers #3 and #6 — one
+        // drop per frame, at a *different* receiver position each time.
+        let mut n: Ethernet<u32> = Ethernet::new(LossModel::EveryNth(3), DetRng::seed(1));
+        let a = n.attach();
+        let b = n.attach();
+        let c = n.attach();
+        let d = n.attach();
+        let e = n.attach();
+        // Four receivers per broadcast → draws 1,2,3,4 then 5,6,7,8: the
+        // multiples of three land on a different receiver each frame.
+        let first = n.transmit(SimTime::ZERO, Frame::broadcast(a, 32, 0));
+        let to: Vec<HostAddr> = first.iter().map(|x| x.to).collect();
+        assert_eq!(to, vec![b, c, e], "3rd per-receiver draw (d) is the drop");
+        let second = n.transmit(SimTime::ZERO, Frame::broadcast(a, 32, 0));
+        let to: Vec<HostAddr> = second.iter().map(|x| x.to).collect();
+        assert_eq!(to, vec![b, d, e], "6th per-receiver draw (c) is the drop");
+        assert_eq!(n.stats().drops_loss, 2);
+        assert_eq!(n.stats().deliveries, 6);
+    }
+
+    #[test]
+    fn partition_blocks_directionally_and_heals() {
+        let mut n = net();
+        let a = n.attach();
+        let b = n.attach();
+        n.partition(&[a], &[b], false);
+        assert!(n.is_blocked(a, b));
+        assert!(!n.is_blocked(b, a), "asymmetric partition");
+        let out = n.transmit(SimTime::ZERO, Frame::unicast(a, b, 32, 0));
+        assert!(out.is_empty());
+        assert_eq!(n.stats().drops_partition, 1);
+        // The reverse direction still works.
+        let out = n.transmit(SimTime::ZERO, Frame::unicast(b, a, 32, 0));
+        assert_eq!(out.len(), 1);
+        n.heal(&[a], &[b]);
+        let out = n.transmit(SimTime::ZERO, Frame::unicast(a, b, 32, 0));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn symmetric_partition_blocks_both_ways() {
+        let mut n = net();
+        let a = n.attach();
+        let b = n.attach();
+        let c = n.attach();
+        n.partition(&[a], &[b, c], true);
+        assert!(n.is_blocked(a, c) && n.is_blocked(c, a));
+        // A broadcast from `a` reaches nobody; b → c is unaffected.
+        assert!(n
+            .transmit(SimTime::ZERO, Frame::broadcast(a, 32, 0))
+            .is_empty());
+        assert_eq!(
+            n.transmit(SimTime::ZERO, Frame::unicast(b, c, 32, 0)).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn latency_spike_applies_until_expiry() {
+        let mut n = net();
+        let a = n.attach();
+        let b = n.attach();
+        let extra = SimDuration::from_millis(30);
+        n.set_link_latency(a, b, extra, SimTime::from_micros(1_000));
+        let out = n.transmit(SimTime::ZERO, Frame::unicast(a, b, 1024, 0));
+        assert_eq!(out[0].at, SimTime::from_micros(899 + 30_000));
+        // After the window closes the link is back to normal.
+        let t = SimTime::from_micros(5_000);
+        let out = n.transmit(t, Frame::unicast(a, b, 1024, 0));
+        assert_eq!(out[0].at, t + SimDuration::from_micros(899));
+    }
+
+    #[test]
+    fn corruption_window_mangles_checksums() {
+        let mut n = net();
+        let a = n.attach();
+        let b = n.attach();
+        n.set_corruption(1.0, SimTime::from_micros(100));
+        let out = n.transmit(SimTime::ZERO, Frame::unicast(a, b, 32, 0));
+        assert_eq!(out.len(), 1, "corrupt frames are still delivered");
+        assert!(!out[0].frame.checksum_valid());
+        assert_eq!(n.stats().corrupted, 1);
+        // Outside the window frames arrive intact.
+        let out = n.transmit(SimTime::from_micros(200), Frame::unicast(a, b, 32, 0));
+        assert!(out[0].frame.checksum_valid());
     }
 
     #[test]

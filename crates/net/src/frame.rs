@@ -3,6 +3,12 @@
 //! A frame is generic over its payload type: the kernel layer defines the V
 //! interkernel packet format and this crate only needs the byte count to
 //! model serialization delay.
+//!
+//! Every frame carries a checksum over its header fields, standing in for
+//! the Ethernet CRC over the whole frame. The wire model can flip it to
+//! simulate payload corruption; receivers call [`Frame::checksum_valid`]
+//! and discard frames that fail, which surfaces a distinct drop path from
+//! outright loss.
 
 use crate::addr::{HostAddr, NetDest};
 
@@ -16,8 +22,27 @@ pub struct Frame<P> {
     /// Payload size in bytes (drives serialization delay); the header
     /// overhead is added by the wire model.
     pub payload_bytes: u64,
+    /// Frame check sequence; set by the constructors, mangled by the wire
+    /// when corruption is injected.
+    pub checksum: u64,
     /// The payload itself, opaque to this layer.
     pub payload: P,
+}
+
+/// Mixes the header fields into a 64-bit check value (SplitMix64 finalizer).
+fn header_checksum(src: HostAddr, dest: NetDest, payload_bytes: u64) -> u64 {
+    let dest_bits: u64 = match dest {
+        NetDest::Unicast(h) => (1 << 32) | h.0 as u64,
+        NetDest::Broadcast => 2 << 32,
+        NetDest::Multicast(g) => (3 << 32) | g.0 as u64,
+    };
+    let mut z = (src.0 as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(dest_bits.rotate_left(17))
+        .wrapping_add(payload_bytes.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl<P> Frame<P> {
@@ -27,6 +52,7 @@ impl<P> Frame<P> {
             src,
             dest: NetDest::Unicast(to),
             payload_bytes,
+            checksum: header_checksum(src, NetDest::Unicast(to), payload_bytes),
             payload,
         }
     }
@@ -37,6 +63,7 @@ impl<P> Frame<P> {
             src,
             dest: NetDest::Broadcast,
             payload_bytes,
+            checksum: header_checksum(src, NetDest::Broadcast, payload_bytes),
             payload,
         }
     }
@@ -52,8 +79,22 @@ impl<P> Frame<P> {
             src,
             dest: NetDest::Multicast(group),
             payload_bytes,
+            checksum: header_checksum(src, NetDest::Multicast(group), payload_bytes),
             payload,
         }
+    }
+
+    /// True when the check sequence matches the header fields — i.e. the
+    /// frame was not corrupted in transit.
+    pub fn checksum_valid(&self) -> bool {
+        self.checksum == header_checksum(self.src, self.dest, self.payload_bytes)
+    }
+
+    /// Mangles the check sequence as wire corruption would; `salt` varies
+    /// the damage. The frame is guaranteed to fail [`Frame::checksum_valid`]
+    /// afterwards.
+    pub fn corrupt(&mut self, salt: u64) {
+        self.checksum ^= salt | 1;
     }
 }
 
@@ -74,5 +115,25 @@ mod tests {
 
         let m = Frame::multicast(HostAddr(1), McastGroup(4), 32, "pm?");
         assert_eq!(m.dest, NetDest::Multicast(McastGroup(4)));
+    }
+
+    #[test]
+    fn checksum_validates_and_corruption_breaks_it() {
+        let mut f = Frame::unicast(HostAddr(1), HostAddr(2), 32, "req");
+        assert!(f.checksum_valid());
+        f.corrupt(0);
+        assert!(!f.checksum_valid(), "salt 0 must still flip a bit");
+        let mut g = Frame::broadcast(HostAddr(3), 64, "query");
+        g.corrupt(0xdead_beef);
+        assert!(!g.checksum_valid());
+    }
+
+    #[test]
+    fn checksums_differ_across_headers() {
+        let a = Frame::unicast(HostAddr(1), HostAddr(2), 32, ());
+        let b = Frame::unicast(HostAddr(2), HostAddr(1), 32, ());
+        let c = Frame::unicast(HostAddr(1), HostAddr(2), 33, ());
+        assert_ne!(a.checksum, b.checksum);
+        assert_ne!(a.checksum, c.checksum);
     }
 }

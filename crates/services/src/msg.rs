@@ -78,9 +78,11 @@ pub enum ServiceMsg {
     QueryHost {
         /// Specific host wanted, or `None` for any idle host.
         host_name: Option<String>,
-        /// A host that must not answer — a migrating workstation excludes
-        /// itself when looking for somewhere to push a program.
-        exclude_host: Option<HostAddr>,
+        /// Hosts that must not answer — a migrating workstation excludes
+        /// itself when looking for somewhere to push a program, and a
+        /// retrying migration additionally excludes targets that already
+        /// failed it.
+        exclude_hosts: Vec<HostAddr>,
     },
     /// A candidate host's answer.
     HostCandidate {

@@ -10,7 +10,7 @@
 //! The client side of migration — the five-step orchestration — lives in
 //! `vcore::migration` and drives this server side over IPC.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use vkernel::{
     Kernel, LogicalHostId, Priority, ProcessId, ProcessState, ReplyIn, SendError, SendSeq,
@@ -32,6 +32,11 @@ const SYSTEM_RESERVED_BYTES: u64 = 256 * 1024;
 /// the paper leaves this case open — without a reclaim the memory leaks
 /// forever).
 pub const MIGRATION_INIT_TIMEOUT: vsim::SimDuration = vsim::SimDuration::from_secs(60);
+
+/// Start of the logical-host-id range the migration engines allocate
+/// temporary (pre-copy target) ids from; resident ids at or above this
+/// floor with no program behind them are half-built migrations.
+pub const TEMP_LH_FLOOR: u32 = 1_000_000;
 
 /// Policy for answering `@*` queries.
 #[derive(Debug, Clone)]
@@ -140,6 +145,10 @@ enum Pending {
     /// Watchdog on an accepted migration: reclaim the temporary logical
     /// host if the source never completed.
     MigExpire { temp: LogicalHostId },
+    /// Watchdog on an installed migration: reclaim the (renamed, frozen)
+    /// copy if the source crashed after commit and the UnfreezeMigrated
+    /// step never arrived.
+    UnfreezeExpire { lh: LogicalHostId },
 }
 
 /// The program manager of one workstation.
@@ -150,12 +159,23 @@ pub struct ProgramManager {
     file_server: ProcessId,
     policy: AcceptPolicy,
     owner_active: bool,
-    programs: HashMap<LogicalHostId, ProgramInfo>,
+    programs: BTreeMap<LogicalHostId, ProgramInfo>,
     waiters: HashMap<LogicalHostId, Vec<(ProcessId, SendSeq)>>,
     pending_fetch: HashMap<LogicalHostId, FetchPlan>,
     fetches_in_flight: HashMap<vkernel::XferId, LogicalHostId>,
     pending: HashMap<u64, Pending>,
     by_seq: HashMap<SendSeq, u64>,
+    /// Logical hosts installed by migration and still awaiting their
+    /// UnfreezeMigrated step (distinguishes "frozen because the source
+    /// died post-commit" from a deliberate SuspendProgram).
+    awaiting_unfreeze: std::collections::BTreeSet<LogicalHostId>,
+    /// Programs deliberately frozen via SuspendProgram — the cluster
+    /// auditor must not count them as migration zombies.
+    suspended: std::collections::BTreeSet<LogicalHostId>,
+    /// Arm reclaim watchdogs on accepted/installed migrations. Disabling
+    /// this deliberately leaks half-built logical hosts — used to prove
+    /// the cluster auditor detects the leak.
+    migration_watchdog: bool,
     next_token: u64,
     next_lh: u32,
     lh_base: u32,
@@ -182,12 +202,15 @@ impl ProgramManager {
             file_server,
             policy,
             owner_active: false,
-            programs: HashMap::new(),
+            programs: BTreeMap::new(),
             waiters: HashMap::new(),
             pending_fetch: HashMap::new(),
             fetches_in_flight: HashMap::new(),
             pending: HashMap::new(),
             by_seq: HashMap::new(),
+            awaiting_unfreeze: std::collections::BTreeSet::new(),
+            suspended: std::collections::BTreeSet::new(),
+            migration_watchdog: true,
             next_token: 0,
             next_lh: 0,
             lh_base,
@@ -211,7 +234,7 @@ impl ProgramManager {
     }
 
     /// Known programs.
-    pub fn programs(&self) -> &HashMap<LogicalHostId, ProgramInfo> {
+    pub fn programs(&self) -> &BTreeMap<LogicalHostId, ProgramInfo> {
         &self.programs
     }
 
@@ -229,6 +252,79 @@ impl ProgramManager {
     /// True if the owner is at the console.
     pub fn owner_active(&self) -> bool {
         self.owner_active
+    }
+
+    /// Enables or disables the migration reclaim watchdogs. Only disable
+    /// to demonstrate the resulting leak (the cluster auditor flags it).
+    pub fn set_migration_watchdog(&mut self, on: bool) {
+        self.migration_watchdog = on;
+    }
+
+    /// True if `lh` was deliberately frozen with SuspendProgram and not
+    /// yet resumed.
+    pub fn is_suspended(&self, lh: LogicalHostId) -> bool {
+        self.suspended.contains(&lh)
+    }
+
+    /// Migrated-in logical hosts still frozen because their
+    /// UnfreezeMigrated step has not arrived, sorted.
+    pub fn awaiting_unfreeze(&self) -> Vec<LogicalHostId> {
+        self.awaiting_unfreeze.iter().copied().collect()
+    }
+
+    /// Restarts the manager process after a service crash: every pending
+    /// conversation is forgotten (requesters recover by retransmission,
+    /// which re-delivers their requests once the kernel's server-side
+    /// transaction state is aborted too), while the program ledger, the
+    /// id allocator and the statistics survive — they model state the
+    /// manager can rebuild from the kernel's tables.
+    ///
+    /// Returns timer requests re-arming a reclaim watchdog for any
+    /// temporary logical hosts a half-done migration left behind.
+    pub fn restart(&mut self, k: &Kernel<ServiceMsg>) -> SvcOutputs {
+        self.pending.clear();
+        self.by_seq.clear();
+        self.waiters.clear();
+        self.pending_fetch.clear();
+        self.fetches_in_flight.clear();
+        let mut out = SvcOutputs::new();
+        if !self.migration_watchdog {
+            return out;
+        }
+        for lh in k.resident_lhs() {
+            if self.awaiting_unfreeze.contains(&lh) {
+                let t = self.token(Pending::UnfreezeExpire { lh });
+                out = out.timer(t, MIGRATION_INIT_TIMEOUT);
+            } else if lh.0 >= TEMP_LH_FLOOR && !self.programs.contains_key(&lh) {
+                // A temp id from the migration engines' range with no
+                // program behind it: the in-flight migration whose
+                // watchdog we just dropped.
+                let t = self.token(Pending::MigExpire { temp: lh });
+                out = out.timer(t, MIGRATION_INIT_TIMEOUT);
+            }
+        }
+        out
+    }
+
+    /// Re-arms the manager's timers after the whole workstation reboots
+    /// (a crash loses pending timer callbacks, not the state awaiting
+    /// them). Send-driven conversations need nothing: the kernel re-arms
+    /// the underlying retransmissions.
+    pub fn reboot_recover(&mut self) -> SvcOutputs {
+        let mut out = SvcOutputs::new();
+        let mut tokens: Vec<u64> = self.pending.keys().copied().collect();
+        tokens.sort_unstable();
+        for t in tokens {
+            let after = match &self.pending[&t] {
+                Pending::MigExpire { .. } | Pending::UnfreezeExpire { .. } => {
+                    MIGRATION_INIT_TIMEOUT
+                }
+                Pending::AwaitStat { .. } | Pending::AwaitLoad { .. } => continue,
+                _ => PM_QUERY_PROCESSING,
+            };
+            out = out.timer(SvcToken(t), after);
+        }
+        out
     }
 
     /// Allocates a fresh logical-host id from this manager's range.
@@ -279,9 +375,9 @@ impl ProgramManager {
         match msg.body {
             ServiceMsg::QueryHost {
                 host_name,
-                exclude_host,
+                exclude_hosts,
             } => {
-                let respond = exclude_host != Some(self.host)
+                let respond = !exclude_hosts.contains(&self.host)
                     && match &host_name {
                         Some(n) => *n == self.host_name,
                         // "@*" means "some *other* lightly loaded machine"
@@ -367,6 +463,7 @@ impl ProgramManager {
             ServiceMsg::SuspendProgram { lh } => {
                 let reply = if self.programs.contains_key(&lh) && k.is_resident(lh) {
                     k.freeze(lh);
+                    self.suspended.insert(lh);
                     ServiceMsg::Ok
                 } else {
                     ServiceMsg::Err(SvcError::BadRequest)
@@ -377,6 +474,7 @@ impl ProgramManager {
                 if self.programs.contains_key(&lh)
                     && k.logical_host(lh).map(|l| l.is_frozen()).unwrap_or(false)
                 {
+                    self.suspended.remove(&lh);
                     out = out.kernel(k.unfreeze_in_place(now, lh));
                     out = out.kernel(k.reply(now, self.pid, requester, seq, ServiceMsg::Ok, 0));
                     out = out.event(SvcEvent::ProgramResumed { lh });
@@ -439,8 +537,10 @@ impl ProgramManager {
                     for (sid, layout) in spaces {
                         l.create_space_with_id(sid, layout);
                     }
-                    let t = self.token(Pending::MigExpire { temp });
-                    out = out.timer(t, MIGRATION_INIT_TIMEOUT);
+                    if self.migration_watchdog {
+                        let t = self.token(Pending::MigExpire { temp });
+                        out = out.timer(t, MIGRATION_INIT_TIMEOUT);
+                    }
                     let accepted = ServiceMsg::MigrationAccepted { host: self.host };
                     out = out.kernel(k.reply(now, self.pid, requester, seq, accepted, 0));
                 }
@@ -477,6 +577,7 @@ impl ProgramManager {
             }
             ServiceMsg::UnfreezeMigrated { lh } => {
                 if k.is_resident(lh) {
+                    self.awaiting_unfreeze.remove(&lh);
                     out = out.kernel(k.unfreeze_migrated(now, lh));
                     // Demand-fetch the flushed pages back from the paging
                     // store (§3.2), in the background while the program
@@ -637,8 +738,10 @@ impl ProgramManager {
                 }
             },
             other => {
-                // Sends are only issued for the create path.
-                unreachable!("unexpected pending state for a send: {other:?}");
+                // Sends are only issued for the create path; anything else
+                // is a stale correlation left over from a crash-restart.
+                // Put the state back and ignore the completion.
+                self.pending.insert(token, other);
             }
         }
         out
@@ -720,11 +823,20 @@ impl ProgramManager {
                 if let Some(plan) = fetch {
                     self.pending_fetch.insert(lh, plan);
                 }
+                // The copy now sits frozen under its original id; if the
+                // source dies before sending UnfreezeMigrated, this
+                // watchdog reclaims the zombie.
+                self.awaiting_unfreeze.insert(lh);
+                if self.migration_watchdog {
+                    let t = self.token(Pending::UnfreezeExpire { lh });
+                    out = out.timer(t, MIGRATION_INIT_TIMEOUT);
+                }
                 out = out.kernel(k.reply(now, self.pid, requester, seq, ServiceMsg::Ok, 0));
             }
             Pending::Destroy { requester, seq, lh } => {
                 self.stats.programs_destroyed += 1;
                 self.programs.remove(&lh);
+                self.suspended.remove(&lh);
                 out = out.kernel(k.delete_logical_host(now, lh));
                 out = out.event(SvcEvent::ProgramDestroyed { lh });
                 out = out.kernel(k.reply(now, self.pid, requester, seq, ServiceMsg::Ok, 0));
@@ -741,7 +853,26 @@ impl ProgramManager {
                     out = out.kernel(k.delete_logical_host(now, temp));
                 }
             }
-            other => unreachable!("unexpected pending state for a timer: {other:?}"),
+            Pending::UnfreezeExpire { lh } => {
+                // Reclaim only if the copy is still frozen *and* never
+                // saw its UnfreezeMigrated — a later SuspendProgram also
+                // freezes, but clears `awaiting_unfreeze` first.
+                let zombie = self.awaiting_unfreeze.contains(&lh)
+                    && k.logical_host(lh).map(|l| l.is_frozen()).unwrap_or(false);
+                if zombie {
+                    self.awaiting_unfreeze.remove(&lh);
+                    self.stats.migrations_expired += 1;
+                    self.programs.remove(&lh);
+                    out = out.kernel(k.delete_logical_host(now, lh));
+                    out = out.event(SvcEvent::ProgramDestroyed { lh });
+                }
+            }
+            other => {
+                // A timer for send-driven state: impossible in normal
+                // operation, but a crash-restart can leave stale timers
+                // behind. Put the state back and ignore the tick.
+                self.pending.insert(token.0, other);
+            }
         }
         out
     }
@@ -784,6 +915,7 @@ impl ProgramManager {
                 0,
             ));
         }
+        self.suspended.remove(&lh);
         (self.programs.remove(&lh), out)
     }
 

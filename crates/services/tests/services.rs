@@ -244,7 +244,7 @@ fn query_host_respects_policy() {
         s.pm.pid(),
         ServiceMsg::QueryHost {
             host_name: Some("elsewhere".into()),
-            exclude_host: None,
+            exclude_hosts: Vec::new(),
         },
     );
     assert_eq!(s.pm.stats().queries_answered, 0);
@@ -255,7 +255,7 @@ fn query_host_respects_policy() {
         s.pm.pid(),
         ServiceMsg::QueryHost {
             host_name: Some("stand".into()),
-            exclude_host: None,
+            exclude_hosts: Vec::new(),
         },
     );
     assert_eq!(s.pm.stats().queries_answered, 1);
@@ -266,7 +266,7 @@ fn query_host_respects_policy() {
         s.pm.pid(),
         ServiceMsg::QueryHost {
             host_name: None,
-            exclude_host: None,
+            exclude_hosts: Vec::new(),
         },
     );
     assert_eq!(s.pm.stats().queries_answered, 1);

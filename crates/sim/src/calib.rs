@@ -76,6 +76,16 @@ pub const MAX_RETRANSMITS: u32 = 10;
 /// reset whenever the sender re-sends (§3.1.3).
 pub const REPLY_RETENTION: SimDuration = SimDuration::from_secs(4);
 
+/// Multiplier applied to the retransmission interval after every
+/// unacknowledged retry (capped exponential backoff). The first timer still
+/// fires after exactly [`RETRANSMIT_INTERVAL`], so zero-loss timings are
+/// unchanged; under sustained loss the interval doubles until it hits
+/// [`RETRANSMIT_MAX_INTERVAL`].
+pub const RETRANSMIT_BACKOFF: f64 = 2.0;
+
+/// Upper bound on the backed-off retransmission interval.
+pub const RETRANSMIT_MAX_INTERVAL: SimDuration = SimDuration::from_secs(2);
+
 // --- Memory (SUN workstation, §4.1). ---
 
 /// Hardware page size of the SUN-2 memory management unit.

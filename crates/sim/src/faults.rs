@@ -1,0 +1,278 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a list of scheduled, seed-reproducible fault events:
+//! station crashes with optional reboot, asymmetric network partitions with
+//! heal, per-link latency spikes, payload corruption windows, and service
+//! crash-restarts. Events fire either at an absolute simulated time or when a
+//! migration reaches a named protocol step ("after pre-copy round 2", "while
+//! frozen", "after commit"), so failure timing can be pinned to exactly the
+//! windows the paper's recovery arguments (§3.1.3, §3.3, §5) depend on.
+//!
+//! The plan itself is pure data; the cluster runtime executes it. Because a
+//! plan is fixed up front and every stochastic choice inside the simulation
+//! draws from a [`DetRng`], a run with a given seed and plan replays exactly.
+
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// A named step of the migration protocol that a fault can be pinned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationPhase {
+    /// The given pre-copy round (1-based) has just completed.
+    AfterPrecopyRound(u32),
+    /// The logical host has just been frozen for the final copy.
+    WhileFrozen,
+    /// The state record was installed at the target (commit point) but the
+    /// unfreeze request has not yet been sent.
+    AfterCommit,
+}
+
+impl core::fmt::Display for MigrationPhase {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MigrationPhase::AfterPrecopyRound(n) => write!(f, "after-precopy-round-{n}"),
+            MigrationPhase::WhileFrozen => write!(f, "while-frozen"),
+            MigrationPhase::AfterCommit => write!(f, "after-commit"),
+        }
+    }
+}
+
+/// When a fault fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// At an absolute simulated instant.
+    At(SimTime),
+    /// When a migration reaches `phase`. Fires once, for the first matching
+    /// migration.
+    OnMigrationPhase {
+        /// Restrict to this logical host id (`None` = any migration).
+        lh: Option<u32>,
+        /// The protocol step to fire at.
+        phase: MigrationPhase,
+    },
+}
+
+/// What the fault does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Power station `ws` off; optionally power it back on after a delay.
+    Crash {
+        /// Station index (cluster numbering: 0 is the file server).
+        ws: u16,
+        /// Reboot delay, or `None` to leave the station down.
+        reboot_after: Option<SimDuration>,
+    },
+    /// Block frames from group `a` to group `b` (and the reverse direction
+    /// when `symmetric`); optionally heal after a delay.
+    Partition {
+        /// First station group.
+        a: Vec<u16>,
+        /// Second station group.
+        b: Vec<u16>,
+        /// Also block b → a traffic.
+        symmetric: bool,
+        /// Heal delay, or `None` to leave the partition in place.
+        heal_after: Option<SimDuration>,
+    },
+    /// Add `extra` latency to frames on the directed link `from → to` for
+    /// `duration`.
+    LatencySpike {
+        /// Sending station.
+        from: u16,
+        /// Receiving station.
+        to: u16,
+        /// Extra per-frame delivery latency.
+        extra: SimDuration,
+        /// How long the spike lasts.
+        duration: SimDuration,
+    },
+    /// Corrupt each delivered frame's payload with `probability` for
+    /// `duration`; corrupt frames fail the receiver's checksum and are
+    /// dropped.
+    Corrupt {
+        /// Per-delivery corruption probability.
+        probability: f64,
+        /// How long the corruption window lasts.
+        duration: SimDuration,
+    },
+    /// Crash-restart station `ws`'s program manager: in-flight transaction
+    /// state is lost; the program ledger (recoverable from kernel state) and
+    /// the migration watchdog survive.
+    ServiceRestart {
+        /// Station index.
+        ws: u16,
+    },
+}
+
+impl FaultKind {
+    /// A short static label for traces and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Crash { .. } => "crash",
+            FaultKind::Partition { .. } => "partition",
+            FaultKind::LatencySpike { .. } => "latency-spike",
+            FaultKind::Corrupt { .. } => "corrupt",
+            FaultKind::ServiceRestart { .. } => "service-restart",
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When it fires.
+    pub trigger: FaultTrigger,
+    /// What it does.
+    pub kind: FaultKind,
+}
+
+/// A seed-reproducible schedule of fault events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The fault events, in no particular order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds an event, builder-style.
+    pub fn with(mut self, trigger: FaultTrigger, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { trigger, kind });
+        self
+    }
+
+    /// Generates a random-but-reproducible plan of 2–5 events over
+    /// `stations` stations (index 0, the file server, is never crashed or
+    /// restarted) within `horizon`. Every crash reboots and every partition
+    /// heals, so a correct cluster must converge to a coherent state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stations < 3` (fault targets need at least two
+    /// workstations) or `horizon` is shorter than 2 s.
+    pub fn random(rng: &mut DetRng, stations: u16, horizon: SimDuration) -> Self {
+        assert!(stations >= 3, "need at least two workstations");
+        assert!(
+            horizon >= SimDuration::from_secs(2),
+            "horizon too short for a fault plan"
+        );
+        let n = rng.range_u64(2, 6);
+        let mut events = Vec::new();
+        for _ in 0..n {
+            let trigger = if rng.chance(0.6) {
+                FaultTrigger::At(SimTime::from_micros(
+                    rng.range_u64(1_000_000, horizon.as_micros().max(1_000_001)),
+                ))
+            } else {
+                let phase = match rng.index(3) {
+                    0 => MigrationPhase::AfterPrecopyRound(rng.range_u64(1, 3) as u32),
+                    1 => MigrationPhase::WhileFrozen,
+                    _ => MigrationPhase::AfterCommit,
+                };
+                FaultTrigger::OnMigrationPhase { lh: None, phase }
+            };
+            let kind = match rng.index(5) {
+                0 => FaultKind::Crash {
+                    ws: rng.range_u64(1, stations as u64) as u16,
+                    reboot_after: Some(SimDuration::from_millis(rng.range_u64(3_000, 20_000))),
+                },
+                1 => {
+                    let a = rng.range_u64(1, stations as u64) as u16;
+                    let mut b = rng.range_u64(1, stations as u64) as u16;
+                    if b == a {
+                        b = 1 + (a % (stations - 1));
+                    }
+                    FaultKind::Partition {
+                        a: vec![a],
+                        b: vec![b],
+                        symmetric: rng.chance(0.5),
+                        heal_after: Some(SimDuration::from_millis(rng.range_u64(3_000, 15_000))),
+                    }
+                }
+                2 => {
+                    let from = rng.range_u64(0, stations as u64) as u16;
+                    let mut to = rng.range_u64(0, stations as u64) as u16;
+                    if to == from {
+                        to = (from + 1) % stations;
+                    }
+                    FaultKind::LatencySpike {
+                        from,
+                        to,
+                        extra: SimDuration::from_millis(rng.range_u64(5, 200)),
+                        duration: SimDuration::from_millis(rng.range_u64(2_000, 10_000)),
+                    }
+                }
+                3 => FaultKind::Corrupt {
+                    probability: rng.range_f64(0.05, 0.3),
+                    duration: SimDuration::from_millis(rng.range_u64(2_000, 8_000)),
+                },
+                _ => FaultKind::ServiceRestart {
+                    ws: rng.range_u64(1, stations as u64) as u16,
+                },
+            };
+            events.push(FaultEvent { trigger, kind });
+        }
+        FaultPlan { events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_reproducible() {
+        let a = FaultPlan::random(&mut DetRng::seed(9), 5, SimDuration::from_secs(60));
+        let b = FaultPlan::random(&mut DetRng::seed(9), 5, SimDuration::from_secs(60));
+        assert_eq!(a, b);
+        assert!(a.events.len() >= 2 && a.events.len() <= 5);
+    }
+
+    #[test]
+    fn random_plans_never_target_the_file_server() {
+        for seed in 0..50 {
+            let p = FaultPlan::random(&mut DetRng::seed(seed), 4, SimDuration::from_secs(30));
+            for e in &p.events {
+                match &e.kind {
+                    FaultKind::Crash { ws, reboot_after } => {
+                        assert!(*ws >= 1);
+                        assert!(reboot_after.is_some(), "random crashes must reboot");
+                    }
+                    FaultKind::Partition {
+                        a, b, heal_after, ..
+                    } => {
+                        assert!(a.iter().all(|&w| w >= 1));
+                        assert!(b.iter().all(|&w| w >= 1));
+                        assert_ne!(a, b);
+                        assert!(heal_after.is_some(), "random partitions must heal");
+                    }
+                    FaultKind::ServiceRestart { ws } => assert!(*ws >= 1),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn builder_collects_events() {
+        let p = FaultPlan::none().with(
+            FaultTrigger::At(SimTime::from_micros(5)),
+            FaultKind::Corrupt {
+                probability: 0.1,
+                duration: SimDuration::from_secs(1),
+            },
+        );
+        assert_eq!(p.events.len(), 1);
+        assert!(!p.is_empty());
+        assert_eq!(p.events[0].kind.label(), "corrupt");
+    }
+}

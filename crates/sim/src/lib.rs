@@ -17,6 +17,7 @@
 
 pub mod calib;
 mod engine;
+mod faults;
 pub mod json;
 pub mod metrics;
 mod rng;
@@ -25,6 +26,7 @@ mod time;
 mod trace;
 
 pub use engine::{run_to_completion, run_until, Dispatch, Engine, EventId};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultTrigger, MigrationPhase};
 pub use json::{Json, ToJson};
 pub use metrics::{CounterId, GaugeId, HistogramId, Metrics, MetricsReport, ScopeMetrics};
 pub use rng::DetRng;

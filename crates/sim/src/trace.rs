@@ -192,6 +192,41 @@ pub enum TraceEvent {
         /// Program image name.
         image: String,
     },
+    /// A delivered frame failed its checksum and was discarded.
+    CorruptFrame {
+        /// Sender physical-host address.
+        from: u16,
+        /// Receiver physical-host address.
+        to: u16,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// A scripted fault fired.
+    FaultInjected {
+        /// Static fault-kind label (see `FaultKind::label`).
+        kind: &'static str,
+    },
+    /// The hard retransmission cap expired a reply-pending transaction.
+    OrphanedTransaction {
+        /// Numeric logical-host id of the destination.
+        lh: u32,
+        /// Retransmissions attempted before giving up.
+        tries: u32,
+    },
+    /// The cluster auditor found an invariant violation.
+    AuditViolation {
+        /// Static violation-kind label.
+        kind: &'static str,
+        /// Numeric logical-host id involved (0 when not applicable).
+        lh: u32,
+    },
+    /// A migration retried host selection after its target failed.
+    MigrationRetry {
+        /// Numeric logical-host id being migrated.
+        lh: u32,
+        /// Selection attempt number (2 = first retry).
+        attempt: u32,
+    },
     /// Free-form milestone; the static text keeps emission allocation-free.
     Note {
         /// What happened.
@@ -262,6 +297,19 @@ impl fmt::Display for TraceEvent {
                 }
                 TraceEvent::BehaviorMissing { image } => {
                     write!(f, "no pending behaviour for image {image}")
+                }
+                TraceEvent::CorruptFrame { from, to, bytes } => {
+                    write!(f, "corrupt {bytes}B frame host{from} -> host{to} discarded")
+                }
+                TraceEvent::FaultInjected { kind } => write!(f, "fault injected: {kind}"),
+                TraceEvent::OrphanedTransaction { lh, tries } => {
+                    write!(f, "orphaned transaction to lh{lh} after {tries} tries")
+                }
+                TraceEvent::AuditViolation { kind, lh } => {
+                    write!(f, "AUDIT VIOLATION {kind} (lh{lh})")
+                }
+                TraceEvent::MigrationRetry { lh, attempt } => {
+                    write!(f, "lh{lh} migration retry, attempt {attempt}")
                 }
                 TraceEvent::Note { text } => f.write_str(text),
             }

@@ -396,7 +396,7 @@ impl WorkloadProgram {
                     to: GroupId::PROGRAM_MANAGERS.into(),
                     body: ServiceMsg::QueryHost {
                         host_name: None,
-                        exclude_host: None,
+                        exclude_hosts: Vec::new(),
                     },
                     data_bytes: 0,
                     register_child: None,

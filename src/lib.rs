@@ -48,12 +48,15 @@ pub use vworkload;
 
 /// The names most scenarios need.
 pub mod prelude {
-    pub use vcluster::{Cluster, ClusterConfig, Command, ScenarioBuilder};
+    pub use vcluster::{
+        AuditReport, AuditViolation, Cluster, ClusterConfig, Command, ScenarioBuilder,
+    };
     pub use vcore::{ExecTarget, MigrationConfig, MigrationReport, StopPolicy, Strategy};
     pub use vkernel::{LogicalHostId, Priority, ProcessId};
     pub use vnet::{HostAddr, LossModel};
     pub use vsim::{
-        Metrics, MetricsReport, SimDuration, SimTime, Subsystem, Trace, TraceEvent, TraceLevel,
+        DetRng, FaultKind, FaultPlan, FaultTrigger, Metrics, MetricsReport, MigrationPhase,
+        SimDuration, SimTime, Subsystem, Trace, TraceEvent, TraceLevel,
     };
     pub use vworkload::{profiles, Phase, ProgramProfile, UserModelParams};
 }

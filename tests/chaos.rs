@@ -1,0 +1,308 @@
+//! Chaos soak: deterministic fault injection + cluster invariant audits.
+//!
+//! Every test here drives the cluster through scheduled failures — station
+//! crashes, partitions, corruption windows, service restarts — and then
+//! asks the invariant auditor whether the recovery machinery (watchdogs,
+//! retransmission backoff, migration retry, broadcast rebinding) actually
+//! restored a coherent cluster. One test deliberately disables the reclaim
+//! watchdog to prove the auditor is not vacuous.
+
+use v_system::prelude::*;
+
+/// Builds a chaos cluster: 4 workstations, migration retries enabled,
+/// realistic packet loss, and the given fault plan.
+fn chaos_cluster(seed: u64, faults: FaultPlan) -> Cluster {
+    Cluster::new(ClusterConfig {
+        workstations: 4,
+        seed,
+        faults,
+        migration: MigrationConfig {
+            retry_limit: 3,
+            ..MigrationConfig::default()
+        },
+        ..ClusterConfig::default()
+    })
+}
+
+/// Starts a mixed workload (remote execs plus staggered migrations) so
+/// fault windows land on live protocol activity.
+fn seed_workload(c: &mut Cluster) {
+    for ws in 1..=3 {
+        c.exec(
+            ws,
+            profiles::simulation_profile(SimDuration::from_secs(8)),
+            ExecTarget::AnyIdle,
+            Priority::GUEST,
+        );
+    }
+    for (i, at) in [(1usize, 6u64), (2, 9), (3, 12), (4, 15)] {
+        c.at(
+            SimTime::from_micros(at * 1_000_000),
+            Command::Migrate {
+                ws: i,
+                lh: None,
+                destroy_if_stuck: false,
+            },
+        );
+    }
+}
+
+/// Runs past the fault horizon, then drains the queue completely (crashed
+/// stations reboot, partitions heal, backed-off retransmissions give up).
+fn run_to_quiescence(c: &mut Cluster, seed: u64) {
+    c.run_for(SimDuration::from_secs(45));
+    for _ in 0..40 {
+        if c.engine.pending() == 0 {
+            break;
+        }
+        c.run_for(SimDuration::from_secs(30));
+    }
+    assert_eq!(c.engine.pending(), 0, "seed {seed} failed to quiesce");
+}
+
+/// The tentpole soak: 32 random-but-reproducible fault plans, each run to
+/// quiescence and audited — zero invariant violations tolerated.
+#[test]
+fn soak_32_seeds_zero_violations() {
+    for seed in 0..32u64 {
+        let mut rng = DetRng::seed(0xC0FFEE ^ seed);
+        let plan = FaultPlan::random(&mut rng, 5, SimDuration::from_secs(30));
+        let mut c = chaos_cluster(seed, plan);
+        seed_workload(&mut c);
+        run_to_quiescence(&mut c, seed);
+        let report = c.audit(true);
+        assert!(
+            report.is_clean(),
+            "seed {seed}: {report}\nplan: {:?}",
+            c.config().faults
+        );
+        assert!(
+            c.stats.faults_injected > 0,
+            "seed {seed}: plan injected nothing"
+        );
+    }
+}
+
+/// The same seed and plan must replay exactly: identical merged traces and
+/// identical event counts.
+#[test]
+fn chaos_runs_are_deterministic() {
+    let run = || {
+        let mut rng = DetRng::seed(0xC0FFEE ^ 3);
+        let plan = FaultPlan::random(&mut rng, 5, SimDuration::from_secs(30));
+        let mut c = chaos_cluster(3, plan);
+        seed_workload(&mut c);
+        run_to_quiescence(&mut c, 3);
+        c.merge_component_traces();
+        (
+            c.engine.events_delivered(),
+            c.stats.faults_injected,
+            c.trace.records().to_vec(),
+        )
+    };
+    let (events_a, faults_a, trace_a) = run();
+    let (events_b, faults_b, trace_b) = run();
+    assert_eq!(events_a, events_b, "event counts diverged");
+    assert_eq!(faults_a, faults_b, "fault execution diverged");
+    assert_eq!(trace_a, trace_b, "traces diverged");
+}
+
+/// Disabling the reclaim watchdog must produce an audit violation for the
+/// same scenario a healthy cluster survives — the auditor is not vacuous.
+#[test]
+fn auditor_catches_disabled_watchdog_leak() {
+    let plan = || {
+        FaultPlan::none().with(
+            FaultTrigger::OnMigrationPhase {
+                lh: None,
+                phase: MigrationPhase::WhileFrozen,
+            },
+            FaultKind::Crash {
+                ws: 1,
+                reboot_after: None,
+            },
+        )
+    };
+    let run = |watchdog: bool| {
+        let mut c = Cluster::new(ClusterConfig {
+            workstations: 3,
+            seed: 7,
+            loss: LossModel::None,
+            faults: plan(),
+            ..ClusterConfig::default()
+        });
+        if !watchdog {
+            for w in &mut c.stations {
+                w.pm.set_migration_watchdog(false);
+            }
+        }
+        c.exec(
+            1,
+            profiles::simulation_profile(SimDuration::from_secs(600)),
+            ExecTarget::Local,
+            Priority::GUEST,
+        );
+        c.run_for(SimDuration::from_secs(5));
+        let lh = c.exec_reports[0].lh.expect("program created");
+        c.migrateprog(1, lh, false);
+        // The source crashes at the freeze point and never reboots; the
+        // target is left holding a half-built temporary logical host.
+        c.run_for(SimDuration::from_secs(180));
+        c.audit(true)
+    };
+    let broken = run(false);
+    assert!(
+        broken
+            .violations
+            .iter()
+            .any(|v| matches!(v, AuditViolation::OrphanTempLh { .. })),
+        "expected an orphan-temp-lh violation, got: {broken}"
+    );
+    let healthy = run(true);
+    assert!(
+        healthy.is_clean(),
+        "watchdog-enabled run must reclaim the temporary: {healthy}"
+    );
+}
+
+/// A symmetric partition between source and target after pre-copy round 1:
+/// the target's watchdog reclaims the half-built temporary, and the retry
+/// excludes the failed target and lands the program on the remaining host.
+#[test]
+fn partition_mid_precopy_reclaims_and_retries_elsewhere() {
+    let plan = FaultPlan::none().with(
+        FaultTrigger::OnMigrationPhase {
+            lh: None,
+            phase: MigrationPhase::AfterPrecopyRound(1),
+        },
+        FaultKind::Partition {
+            a: vec![1],
+            b: vec![2],
+            symmetric: true,
+            heal_after: Some(SimDuration::from_secs(120)),
+        },
+    );
+    let mut c = Cluster::new(ClusterConfig {
+        workstations: 3,
+        seed: 5,
+        loss: LossModel::None,
+        faults: plan,
+        migration: MigrationConfig {
+            retry_limit: 2,
+            ..MigrationConfig::default()
+        },
+        ..ClusterConfig::default()
+    });
+    c.exec(
+        1,
+        profiles::simulation_profile(SimDuration::from_secs(600)),
+        ExecTarget::Local,
+        Priority::GUEST,
+    );
+    c.run_for(SimDuration::from_secs(5));
+    let lh = c.exec_reports[0].lh.expect("program created");
+    c.migrateprog(1, lh, false);
+    c.run_for(SimDuration::from_secs(240));
+    // ws2 (the deterministic first responder) was cut off mid-pre-copy;
+    // its reclaim watchdog expired the temporary logical host.
+    assert!(
+        c.stations[2].pm.stats().migrations_expired >= 1,
+        "first target should have reclaimed the half-built temporary"
+    );
+    // The retry excluded ws2 and chose the remaining workstation.
+    assert_eq!(c.locate(lh), Some(c.stations[3].host));
+    assert_eq!(c.behavior_station(lh), Some(3));
+    assert!(c.migration_reports.iter().any(|r| r.success));
+    let report = c.audit(false);
+    assert!(report.is_clean(), "{report}");
+}
+
+/// The old host crashes at the commit point (state installed, unfreeze
+/// unsent), reboots with no forwarding state, and a third party holding a
+/// stale binding still reaches the program by broadcast re-query (§3.3).
+#[test]
+fn crash_after_commit_rebinds_by_broadcast_not_forwarding() {
+    let plan = FaultPlan::none().with(
+        FaultTrigger::OnMigrationPhase {
+            lh: None,
+            phase: MigrationPhase::AfterCommit,
+        },
+        FaultKind::Crash {
+            ws: 1,
+            reboot_after: Some(SimDuration::from_secs(5)),
+        },
+    );
+    let mut c = Cluster::new(ClusterConfig {
+        workstations: 3,
+        seed: 13,
+        loss: LossModel::None,
+        faults: plan,
+        ..ClusterConfig::default()
+    });
+    c.exec(
+        1,
+        profiles::simulation_profile(SimDuration::from_secs(600)),
+        ExecTarget::Local,
+        Priority::GUEST,
+    );
+    c.run_for(SimDuration::from_secs(5));
+    let lh = c.exec_reports[0].lh.expect("program created");
+    c.migrateprog(1, lh, false);
+    c.run_for(SimDuration::from_secs(60));
+    // The crash killed the step-5 unfreeze send; after the reboot the
+    // re-armed retransmission completed the migration at ws2.
+    assert_eq!(c.locate(lh), Some(c.stations[2].host));
+    assert!(c.migration_reports.iter().any(|r| r.success));
+    // The rebooted old host holds no forwarding state (§3.3: no residual
+    // dependencies on the old host).
+    assert_eq!(c.stations[1].kernel.forwarding_entries(), 0);
+
+    // Plant a stale binding at ws3 and operate on the program through it:
+    // delivery must recover via broadcast re-query, not forwarding.
+    let old_host = c.stations[1].host;
+    c.stations[3].kernel.learn_binding(lh, old_host);
+    let broadcasts_before = c.stations[3].kernel.stats().broadcast_requests;
+    c.suspendprog(3, lh);
+    c.run_for(SimDuration::from_secs(30));
+    assert!(
+        c.stations[2]
+            .kernel
+            .logical_host(lh)
+            .map(|l| l.is_frozen())
+            .unwrap_or(false),
+        "suspend must reach the program's new host"
+    );
+    assert!(
+        c.stations[3].kernel.stats().broadcast_requests > broadcasts_before,
+        "stale binding must be corrected by broadcast re-query"
+    );
+    assert!(c.stations[1].kernel.stats().not_here >= 1);
+    for w in &c.stations {
+        assert_eq!(w.kernel.stats().forwarded_requests, 0);
+    }
+    let report = c.audit(false);
+    assert!(report.is_clean(), "{report}");
+}
+
+/// Periodic checkpoint audits run inside the event loop and stay clean on
+/// a fault-free run.
+#[test]
+fn periodic_checkpoint_audits_are_clean() {
+    let mut c = Cluster::new(ClusterConfig {
+        workstations: 3,
+        seed: 17,
+        loss: LossModel::None,
+        audit_every: Some(SimDuration::from_secs(5)),
+        ..ClusterConfig::default()
+    });
+    c.exec(
+        1,
+        profiles::simulation_profile(SimDuration::from_secs(20)),
+        ExecTarget::AnyIdle,
+        Priority::GUEST,
+    );
+    c.run_for(SimDuration::from_secs(60));
+    assert!(c.audit_reports.len() >= 4, "checkpoints ran");
+    assert!(c.audit_reports.iter().all(|r| r.is_clean()));
+    assert_eq!(c.stats.audit_violations, 0);
+}
