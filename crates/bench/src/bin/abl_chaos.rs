@@ -9,11 +9,11 @@
 //! every seed with zero violations; the cost of survival shows up as
 //! retransmissions, migration retries, and dropped frames.
 
-use vbench::{emit, Table};
+use vbench::{emit_full, SpanSummary, Table};
 use vcluster::{Cluster, ClusterConfig, Command};
 use vcore::{ExecTarget, MigrationConfig};
 use vkernel::Priority;
-use vsim::{DetRng, FaultPlan, SimDuration, SimTime};
+use vsim::{DetRng, FaultPlan, SimDuration, SimTime, TraceLevel};
 use vworkload::profiles;
 
 struct Row {
@@ -42,8 +42,12 @@ vsim::impl_to_json!(Row {
 const SEEDS: u64 = 32;
 
 fn main() {
+    // Info keeps the migration phase spans; faults leave some spans open
+    // (lost transactions), which is visible data here, not an error.
+    let level = vbench::trace_level(TraceLevel::Info);
     let mut rows = Vec::new();
     let mut metrics = vsim::MetricsReport::new();
+    let mut summary = SpanSummary::new();
     let mut t = Table::new(
         "A5: chaos soak — seeded fault plans vs cluster invariants",
         &[
@@ -65,6 +69,7 @@ fn main() {
         let mut c = Cluster::new(ClusterConfig {
             workstations: 4,
             seed,
+            trace: level,
             faults: plan,
             migration: MigrationConfig {
                 retry_limit: 3,
@@ -113,6 +118,11 @@ fn main() {
             clean += 1;
         }
         metrics.absorb(c.metrics_report().prefixed(&format!("seed{seed}")));
+        let tree = c.span_tree();
+        summary.absorb_tree(&tree);
+        if seed + 1 == SEEDS {
+            vbench::export_trace("abl_chaos", &tree);
+        }
         t.row(&[
             seed.to_string(),
             format!("{}/{}", c.stats.faults_injected, fault_events),
@@ -143,5 +153,8 @@ fn main() {
          partitions heal into plain retransmission catch-up. The damage is\n\
          visible only in the recovery counters."
     );
-    emit("abl_chaos", &rows, &metrics);
+    summary
+        .table("Span durations across all chaos seeds")
+        .print();
+    emit_full("abl_chaos", &rows, &metrics, Some(&summary));
 }

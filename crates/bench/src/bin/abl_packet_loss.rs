@@ -10,7 +10,7 @@ use vcluster::{Cluster, ClusterConfig};
 use vcore::ExecTarget;
 use vkernel::Priority;
 use vnet::LossModel;
-use vsim::SimDuration;
+use vsim::{SimDuration, TraceLevel};
 use vworkload::profiles;
 
 struct Row {
@@ -53,6 +53,7 @@ fn main() {
             } else {
                 LossModel::Bernoulli(loss)
             },
+            trace: vbench::trace_level(TraceLevel::Warn),
             ..ClusterConfig::default()
         };
         let mut c = Cluster::new(cfg);

@@ -16,7 +16,7 @@ use vcluster::{Cluster, ClusterConfig};
 use vcore::ExecTarget;
 use vkernel::Priority;
 use vnet::LossModel;
-use vsim::{DetRng, SimDuration};
+use vsim::{DetRng, SimDuration, TraceLevel};
 use vworkload::profiles;
 
 struct Results {
@@ -37,6 +37,7 @@ fn main() {
         workstations: 8,
         seed: 2024,
         loss: LossModel::None,
+        trace: vbench::trace_level(TraceLevel::Warn),
         ..ClusterConfig::default()
     });
     let mut rng = DetRng::seed(5);

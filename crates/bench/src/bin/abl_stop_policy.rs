@@ -12,7 +12,7 @@ use vcluster::{Cluster, ClusterConfig};
 use vcore::{ExecTarget, MigrationConfig, MigrationReport, StopPolicy, Strategy};
 use vkernel::Priority;
 use vnet::LossModel;
-use vsim::SimDuration;
+use vsim::{SimDuration, TraceLevel};
 use vworkload::profiles;
 
 struct Row {
@@ -37,6 +37,7 @@ fn migrate(policy: StopPolicy, name: &str, seed: u64) -> (MigrationReport, vsim:
         workstations: 3,
         seed,
         loss: LossModel::None,
+        trace: vbench::trace_level(TraceLevel::Warn),
         migration: MigrationConfig {
             strategy: Strategy::PreCopy(policy),
             ..MigrationConfig::default()

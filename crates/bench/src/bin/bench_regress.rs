@@ -1,0 +1,82 @@
+//! The bench regression gate (see [`vbench::regress`]).
+//!
+//! Reads `results/BASELINE.json` (or the path given as the first
+//! argument), re-reads each tracked experiment's emitted artifact from
+//! the artifact directory, and exits non-zero when any tracked metric
+//! drifted past the tolerance. Run the experiment binaries first so the
+//! artifacts are fresh.
+
+use vbench::regress::run_gate;
+use vbench::Table;
+use vsim::Json;
+
+fn main() {
+    let baseline_path = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| "results/BASELINE.json".to_string());
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_regress: cannot read {baseline_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let baseline = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("bench_regress: {baseline_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let checks = run_gate(&baseline, |name| {
+        let path = vbench::artifact_dir().join(format!("{name}.json"));
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("bench_regress: {e}");
+        std::process::exit(2);
+    });
+
+    let mut t = Table::new(
+        format!("Bench regression gate vs {baseline_path}"),
+        &[
+            "experiment",
+            "metric",
+            "baseline",
+            "measured",
+            "drift",
+            "ok",
+        ],
+    );
+    let mut failed = 0usize;
+    for c in &checks {
+        if !c.pass {
+            failed += 1;
+        }
+        t.row(&[
+            c.experiment.clone(),
+            c.key(),
+            format!("{:.3}", c.baseline),
+            c.measured
+                .map(|m| format!("{m:.3}"))
+                .unwrap_or_else(|| "missing".into()),
+            c.drift()
+                .map(|d| format!("{:+.1}%", d * 100.0))
+                .unwrap_or_else(|| "-".into()),
+            if c.pass { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t.print();
+    if failed > 0 {
+        eprintln!(
+            "\nbench_regress: {failed}/{} tracked metrics drifted",
+            checks.len()
+        );
+        std::process::exit(1);
+    }
+    println!("\nAll {} tracked metrics within tolerance.", checks.len());
+}

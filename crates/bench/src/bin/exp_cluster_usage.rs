@@ -14,7 +14,7 @@ use vcluster::{Cluster, ClusterConfig, Command};
 use vcore::ExecTarget;
 use vkernel::Priority;
 use vnet::LossModel;
-use vsim::{DetRng, SimDuration, SimTime};
+use vsim::{DetRng, SimDuration, SimTime, TraceLevel};
 use vworkload::{profiles, UserModelParams};
 
 struct Results {
@@ -43,6 +43,7 @@ fn main() {
         seed: 1985,
         loss: LossModel::Bernoulli(1e-4),
         users: Some(UserModelParams::peak_hours()),
+        trace: vbench::trace_level(TraceLevel::Warn),
         ..ClusterConfig::default()
     };
     let mut c = Cluster::new(cfg);

@@ -10,7 +10,7 @@ use vcluster::{Cluster, ClusterConfig};
 use vcore::ExecTarget;
 use vkernel::Priority;
 use vnet::LossModel;
-use vsim::{Histogram, Samples, SimDuration};
+use vsim::{Histogram, Samples, SimDuration, TraceLevel};
 use vworkload::profiles;
 
 struct Results {
@@ -46,6 +46,7 @@ fn main() {
             workstations: 3,
             seed: 9000 + i,
             loss: LossModel::Bernoulli(1e-3),
+            trace: vbench::trace_level(TraceLevel::Warn),
             ..ClusterConfig::default()
         };
         let mut c = Cluster::new(cfg);

@@ -13,11 +13,11 @@
 //! tuned so ~0.1 MB is modified per 6 s (≈17 KB/s), and run the pre-copy
 //! engine against it.
 
-use vbench::{emit, launch, quiet_cluster, Table};
+use vbench::{emit_full, export_trace, launch, quiet_cluster, SpanSummary, Table};
 use vcore::{ExecTarget, MigrationConfig, StopPolicy, Strategy};
 use vkernel::Priority;
 use vmem::{SpaceLayout, WwsParams};
-use vsim::SimDuration;
+use vsim::{SimDuration, TraceLevel};
 use vworkload::ProgramProfile;
 
 struct Results {
@@ -35,6 +35,7 @@ vsim::impl_to_json!(Results {
 
 fn main() {
     let mut cfg = quiet_cluster(3, 42).config().clone();
+    cfg.trace = vbench::trace_level(TraceLevel::Info);
     cfg.migration = MigrationConfig {
         strategy: Strategy::PreCopy(StopPolicy {
             max_iterations: 3,
@@ -101,7 +102,13 @@ fn main() {
         r.kernel_state_cost.as_secs_f64() * 1e3
     );
 
-    emit(
+    let tree = c.span_tree();
+    let mut summary = SpanSummary::new();
+    summary.absorb_tree(&tree);
+    summary.table("Phase spans of the worked example").print();
+    export_trace("exp_precopy_example", &tree);
+
+    emit_full(
         "exp_precopy_example",
         &Results {
             rounds,
@@ -110,5 +117,6 @@ fn main() {
             paper_rounds_secs: paper,
         },
         &c.metrics_report(),
+        Some(&summary),
     );
 }

@@ -16,7 +16,7 @@ use vcluster::{Cluster, ClusterConfig, PAGING_LH};
 use vcore::{ExecTarget, MigrationConfig, MigrationReport, StopPolicy, Strategy};
 use vkernel::Priority;
 use vnet::LossModel;
-use vsim::SimDuration;
+use vsim::{SimDuration, TraceLevel};
 use vworkload::profiles;
 
 struct Row {
@@ -41,6 +41,7 @@ fn migrate(strategy: Strategy, seed: u64) -> (MigrationReport, u64, vsim::Metric
         workstations: 3,
         seed,
         loss: LossModel::None,
+        trace: vbench::trace_level(TraceLevel::Warn),
         migration: MigrationConfig {
             strategy,
             ..MigrationConfig::default()

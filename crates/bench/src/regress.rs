@@ -1,0 +1,305 @@
+//! Bench regression gate.
+//!
+//! The simulation is deterministic, so an experiment re-run from the same
+//! seed reproduces its numbers exactly; any drift comes from a code
+//! change. `results/BASELINE.json` pins the tracked metrics:
+//!
+//! ```json
+//! {
+//!   "tolerance": 0.10,
+//!   "experiments": [
+//!     {
+//!       "experiment": "exp_freeze_time",
+//!       "tracked": [
+//!         { "row": "parser", "column": "freeze_ms", "value": 42.0 }
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Each tracked entry names a column of the experiment's emitted `table`.
+//! When the table is an array of row objects, `row` selects the row whose
+//! *first* field equals it (the row key — e.g. the program name); when
+//! the table is a single object, `row` is omitted and `column` is looked
+//! up directly. The `bench_regress` binary re-reads the artifacts and
+//! fails when any value drifts past the tolerance.
+
+use vsim::Json;
+
+/// The outcome of checking one tracked metric.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Experiment name (artifact stem).
+    pub experiment: String,
+    /// Row key within the experiment table, if the table is an array.
+    pub row: Option<String>,
+    /// Column (field) name.
+    pub column: String,
+    /// The pinned baseline value.
+    pub baseline: f64,
+    /// The re-measured value (`None` when missing from the artifact).
+    pub measured: Option<f64>,
+    /// Whether the check passed.
+    pub pass: bool,
+}
+
+impl Check {
+    /// `row.column` or just `column` for object tables.
+    pub fn key(&self) -> String {
+        match &self.row {
+            Some(r) => format!("{r}.{}", self.column),
+            None => self.column.clone(),
+        }
+    }
+
+    /// Relative drift from the baseline, when measured.
+    pub fn drift(&self) -> Option<f64> {
+        let m = self.measured?;
+        if self.baseline == 0.0 {
+            None
+        } else {
+            Some((m - self.baseline) / self.baseline)
+        }
+    }
+}
+
+/// True when `measured` is within `tolerance` (relative) of `baseline`.
+/// A zero baseline degenerates to an absolute comparison against the
+/// tolerance itself.
+pub fn within_tolerance(baseline: f64, measured: f64, tolerance: f64) -> bool {
+    if baseline == 0.0 {
+        measured.abs() <= tolerance
+    } else {
+        ((measured - baseline) / baseline).abs() <= tolerance
+    }
+}
+
+/// The key of a table row: the value of its first field, stringified.
+fn row_key(row: &Json) -> Option<String> {
+    let Json::Obj(pairs) = row else { return None };
+    let (_, v) = pairs.first()?;
+    match v {
+        Json::Str(s) => Some(s.clone()),
+        other => other.as_f64().map(|x| {
+            if x.fract() == 0.0 {
+                format!("{x:.0}")
+            } else {
+                format!("{x}")
+            }
+        }),
+    }
+}
+
+/// Looks up a tracked value in an emitted experiment `table`.
+fn lookup(table: &Json, row: Option<&str>, column: &str) -> Option<f64> {
+    match row {
+        None => table.get(column)?.as_f64(),
+        Some(key) => table
+            .as_arr()?
+            .iter()
+            .find(|r| row_key(r).as_deref() == Some(key))?
+            .get(column)?
+            .as_f64(),
+    }
+}
+
+/// Checks every tracked metric of one baseline experiment entry against
+/// the experiment's emitted artifact.
+pub fn check_experiment(entry: &Json, artifact: &Json, tolerance: f64) -> Vec<Check> {
+    let experiment = entry
+        .get("experiment")
+        .and_then(|e| e.as_str())
+        .unwrap_or("?")
+        .to_string();
+    let table = artifact.get("table");
+    let mut out = Vec::new();
+    for tracked in entry.get("tracked").and_then(|t| t.as_arr()).unwrap_or(&[]) {
+        let row = tracked
+            .get("row")
+            .and_then(|r| r.as_str())
+            .map(str::to_string);
+        let column = tracked
+            .get("column")
+            .and_then(|c| c.as_str())
+            .unwrap_or("?")
+            .to_string();
+        let baseline = tracked
+            .get("value")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(f64::NAN);
+        let measured = table.and_then(|t| lookup(t, row.as_deref(), &column));
+        let pass = match measured {
+            Some(m) => baseline.is_finite() && within_tolerance(baseline, m, tolerance),
+            None => false,
+        };
+        out.push(Check {
+            experiment: experiment.clone(),
+            row,
+            column,
+            baseline,
+            measured,
+            pass,
+        });
+    }
+    out
+}
+
+/// Runs the whole gate: for every experiment in `baseline`, loads its
+/// artifact via `load` (name → parsed artifact JSON) and checks the
+/// tracked metrics. The baseline's top-level `tolerance` (default 0.10)
+/// applies to every check.
+///
+/// # Errors
+///
+/// Returns an error when the baseline document is malformed; a missing
+/// or unreadable artifact is reported as failing checks, not an error,
+/// so one broken experiment doesn't mask the rest of the report.
+pub fn run_gate(
+    baseline: &Json,
+    mut load: impl FnMut(&str) -> Result<Json, String>,
+) -> Result<Vec<Check>, String> {
+    let tolerance = baseline
+        .get("tolerance")
+        .and_then(|t| t.as_f64())
+        .unwrap_or(0.10);
+    let experiments = baseline
+        .get("experiments")
+        .and_then(|e| e.as_arr())
+        .ok_or("baseline: missing \"experiments\" array")?;
+    let mut checks = Vec::new();
+    for entry in experiments {
+        let name = entry
+            .get("experiment")
+            .and_then(|e| e.as_str())
+            .ok_or("baseline: experiment entry without \"experiment\" name")?;
+        match load(name) {
+            Ok(artifact) => checks.extend(check_experiment(entry, &artifact, tolerance)),
+            Err(e) => {
+                eprintln!("bench_regress: {name}: {e}");
+                // Every tracked metric of the missing artifact fails.
+                let empty = Json::obj::<&str>([]);
+                checks.extend(check_experiment(entry, &empty, tolerance).into_iter().map(
+                    |mut c| {
+                        c.pass = false;
+                        c
+                    },
+                ));
+            }
+        }
+    }
+    Ok(checks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> Json {
+        Json::parse(
+            r#"{
+                "tolerance": 0.10,
+                "experiments": [
+                    {
+                        "experiment": "exp_freeze_time",
+                        "tracked": [
+                            { "row": "parser", "column": "freeze_ms", "value": 40.0 }
+                        ]
+                    },
+                    {
+                        "experiment": "exp_remote_exec",
+                        "tracked": [
+                            { "column": "selection_ms_measured", "value": 23.0 }
+                        ]
+                    }
+                ]
+            }"#,
+        )
+        .expect("baseline parses")
+    }
+
+    fn artifact(freeze_ms: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{
+                "experiment": "exp_freeze_time",
+                "table": [
+                    {{ "program": "parser", "freeze_ms": {freeze_ms} }},
+                    {{ "program": "make", "freeze_ms": 210.0 }}
+                ]
+            }}"#
+        ))
+        .expect("artifact parses")
+    }
+
+    fn remote_exec_artifact() -> Json {
+        Json::parse(
+            r#"{
+                "experiment": "exp_remote_exec",
+                "table": { "selection_ms_measured": 24.1 }
+            }"#,
+        )
+        .expect("artifact parses")
+    }
+
+    #[test]
+    fn tolerance_window() {
+        assert!(within_tolerance(100.0, 109.9, 0.10));
+        assert!(within_tolerance(100.0, 90.1, 0.10));
+        assert!(!within_tolerance(100.0, 111.0, 0.10));
+        assert!(within_tolerance(0.0, 0.05, 0.10));
+        assert!(!within_tolerance(0.0, 0.2, 0.10));
+    }
+
+    #[test]
+    fn matching_run_passes() {
+        let checks = run_gate(&baseline(), |name| {
+            Ok(match name {
+                "exp_freeze_time" => artifact(41.5),
+                _ => remote_exec_artifact(),
+            })
+        })
+        .expect("gate runs");
+        assert_eq!(checks.len(), 2);
+        assert!(checks.iter().all(|c| c.pass), "{checks:?}");
+    }
+
+    #[test]
+    fn doubled_freeze_time_fails_the_gate() {
+        // The injected regression: freeze time 2x the pinned baseline.
+        let checks = run_gate(&baseline(), |name| {
+            Ok(match name {
+                "exp_freeze_time" => artifact(80.0),
+                _ => remote_exec_artifact(),
+            })
+        })
+        .expect("gate runs");
+        let freeze = checks
+            .iter()
+            .find(|c| c.column == "freeze_ms")
+            .expect("tracked");
+        assert!(!freeze.pass, "2x regression must fail");
+        assert!((freeze.drift().expect("measured") - 1.0).abs() < 1e-9);
+        // The unrelated experiment still passes.
+        assert!(checks.iter().any(|c| c.pass));
+    }
+
+    #[test]
+    fn missing_artifact_fails_its_checks() {
+        let checks = run_gate(&baseline(), |name| match name {
+            "exp_freeze_time" => Err("no such file".into()),
+            _ => Ok(remote_exec_artifact()),
+        })
+        .expect("gate runs");
+        let freeze = checks.iter().find(|c| c.column == "freeze_ms").expect("t");
+        assert!(!freeze.pass);
+        assert!(freeze.measured.is_none());
+    }
+
+    #[test]
+    fn row_lookup_uses_first_field_as_key() {
+        let a = artifact(40.0);
+        let table = a.get("table").expect("table");
+        assert_eq!(lookup(table, Some("make"), "freeze_ms"), Some(210.0));
+        assert_eq!(lookup(table, Some("nonesuch"), "freeze_ms"), None);
+    }
+}

@@ -31,7 +31,8 @@ use vsim::calib::{CONTEXT_SWITCH, CPU_QUANTUM, SMALL_PACKET_CPU};
 use vsim::metrics::GaugeSnapshot;
 use vsim::{
     CounterId, DetRng, Engine, FaultKind, FaultPlan, FaultTrigger, Metrics, MetricsReport,
-    MigrationPhase, SimDuration, SimTime, Subsystem, Trace, TraceEvent, TraceLevel,
+    MigrationPhase, SimDuration, SimTime, SpanContext, SpanIdGen, SpanTree, Subsystem, Trace,
+    TraceEvent, TraceLevel,
 };
 use vworkload::{
     OwnerState, ProgAction, ProgEvent, ProgramProfile, UserModel, UserModelParams, WorkloadProgram,
@@ -334,6 +335,8 @@ pub struct Cluster {
     ctr_corrupt_dropped: CounterId,
     ctr_faults: CounterId,
     ctr_audit_violations: CounterId,
+    /// Span ids for cluster-level scheduling spans.
+    spans: SpanIdGen,
     rng: DetRng,
     cfg: ClusterConfig,
     /// Phase-triggered faults still waiting for their migration step.
@@ -487,6 +490,7 @@ impl Cluster {
             ctr_corrupt_dropped,
             ctr_faults,
             ctr_audit_violations,
+            spans: SpanIdGen::new(1),
             rng,
             cfg,
             phase_faults: Vec::new(),
@@ -769,6 +773,15 @@ impl Cluster {
         }
         self.trace.drain_from(self.net.trace_mut());
         self.trace.sort_by_time();
+    }
+
+    /// Merges every component trace and builds the causal span tree for the
+    /// whole run. Call after the simulation has quiesced; spans still open at
+    /// that point (e.g. transactions lost to a destroyed host) show up via
+    /// [`SpanTree::unclosed`].
+    pub fn span_tree(&mut self) -> SpanTree {
+        self.merge_component_traces();
+        SpanTree::build(&self.trace)
     }
 
     // --- Event dispatch. ---
@@ -1546,6 +1559,21 @@ impl Cluster {
         if let Some(prt) = self.stations[i].programs.get_mut(&lh) {
             prt.scheduled = false;
             if !frozen {
+                // Record the slice as a retroactive "quantum" span: the run
+                // started a slice ago, so the open record is back-dated.
+                // `sort_by_time` puts it in order before anything reads it.
+                let now = self.engine.now();
+                let sid = self.spans.next();
+                sid.open(
+                    &mut self.trace,
+                    TraceLevel::Detail,
+                    SimTime::from_micros(now.as_micros().saturating_sub(slice.as_micros())),
+                    Subsystem::Cluster,
+                    SpanContext::NONE,
+                    "quantum",
+                    host.0,
+                );
+                sid.close(&mut self.trace, TraceLevel::Detail, now, Subsystem::Cluster);
                 // Charge the slice: the behaviour dirties pages.
                 let w = &mut self.stations[i];
                 let prt = w.programs.get_mut(&lh).expect("checked");

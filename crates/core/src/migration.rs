@@ -30,8 +30,8 @@ use vnet::HostAddr;
 use vservices::{ServiceMsg, SvcError};
 use vsim::calib::PAGE_BYTES;
 use vsim::{
-    CounterId, HistogramId, Metrics, MigrationPhase, SimDuration, SimTime, Subsystem, Trace,
-    TraceEvent, TraceLevel,
+    CounterId, HistogramId, Metrics, MigrationPhase, SimDuration, SimTime, SpanId, SpanIdGen,
+    Subsystem, Trace, TraceEvent, TraceLevel,
 };
 
 use crate::report::{IterStat, MigFailure, MigrationReport, Milestones};
@@ -251,6 +251,15 @@ struct Job {
     fetch_bytes: u64,
     attempts: u32,
     milestones: Milestones,
+    /// The migration's root span, open from start to the terminal event.
+    root_span: SpanId,
+    /// The current top-level phase span (selection, initialization,
+    /// precopy_round, freeze). Phases tile the root exactly: each closes
+    /// at the instant the next opens.
+    phase_span: Option<SpanId>,
+    /// The current sub-phase of the freeze window (residual_copy, commit,
+    /// rebind), tiling the freeze span the same way.
+    freeze_child: Option<SpanId>,
 }
 
 /// The migration engine of one workstation.
@@ -268,6 +277,7 @@ pub struct Migrator {
     next_temp: u32,
     metrics: Metrics,
     trace: Trace,
+    spans: SpanIdGen,
     ctr_started: CounterId,
     ctr_succeeded: CounterId,
     ctr_failed: CounterId,
@@ -302,6 +312,7 @@ impl Migrator {
             next_temp: 0,
             metrics,
             trace: Trace::quiet(),
+            spans: SpanIdGen::new(0x200 + host.0 as u64),
             ctr_started,
             ctr_succeeded,
             ctr_failed,
@@ -349,6 +360,66 @@ impl Migrator {
         v
     }
 
+    // --- Phase spans. The invariant throughout: top-level phase spans
+    // tile the root migration span (each closes exactly when the next
+    // opens), and freeze sub-phases tile the freeze span, so
+    // `SpanTree::breakdown` of either sums to its parent's duration.
+
+    /// Opens a top-level phase span (direct child of the migration root).
+    fn open_phase(&mut self, now: SimTime, job: &mut Job, name: &'static str) {
+        let sid = self.spans.next();
+        sid.open(
+            &mut self.trace,
+            TraceLevel::Info,
+            now,
+            Subsystem::Migration,
+            job.root_span.ctx(),
+            name,
+            self.host.0,
+        );
+        job.phase_span = Some(sid);
+    }
+
+    /// Closes the current phase span (and any open freeze sub-phase).
+    fn close_phase(&mut self, now: SimTime, job: &mut Job) {
+        if let Some(s) = job.freeze_child.take() {
+            s.close(&mut self.trace, TraceLevel::Info, now, Subsystem::Migration);
+        }
+        if let Some(s) = job.phase_span.take() {
+            s.close(&mut self.trace, TraceLevel::Info, now, Subsystem::Migration);
+        }
+    }
+
+    /// Opens a sub-phase of the freeze window, closing the previous one.
+    fn open_freeze_child(&mut self, now: SimTime, job: &mut Job, name: &'static str) {
+        if let Some(s) = job.freeze_child.take() {
+            s.close(&mut self.trace, TraceLevel::Info, now, Subsystem::Migration);
+        }
+        let parent = job
+            .phase_span
+            .expect("freeze sub-phase outside a freeze span")
+            .ctx();
+        let sid = self.spans.next();
+        sid.open(
+            &mut self.trace,
+            TraceLevel::Info,
+            now,
+            Subsystem::Migration,
+            parent,
+            name,
+            self.host.0,
+        );
+        job.freeze_child = Some(sid);
+    }
+
+    /// Closes everything still open for the job, root included — the one
+    /// terminal path all outcomes (success, failure, abandonment) share.
+    fn close_root(&mut self, now: SimTime, job: &mut Job) {
+        self.close_phase(now, job);
+        job.root_span
+            .close(&mut self.trace, TraceLevel::Info, now, Subsystem::Migration);
+    }
+
     /// Begins migrating `lh` away from this workstation.
     ///
     /// # Panics
@@ -369,6 +440,16 @@ impl Migrator {
         assert!(!self.jobs.contains_key(&lh), "already migrating {lh}");
         let temp = LogicalHostId(self.temp_base + self.next_temp);
         self.next_temp += 1;
+        let root = self.spans.next();
+        root.open(
+            &mut self.trace,
+            TraceLevel::Info,
+            now,
+            Subsystem::Migration,
+            vsim::SpanContext::NONE,
+            "migration",
+            self.host.0,
+        );
         let mut job = Job {
             lh,
             meta,
@@ -394,6 +475,9 @@ impl Migrator {
             fetch_bytes: 0,
             attempts: 0,
             milestones: Milestones::default(),
+            root_span: root,
+            phase_span: None,
+            freeze_child: None,
         };
         job.milestones.mark(now, "started");
         self.metrics.inc(self.ctr_started);
@@ -410,12 +494,14 @@ impl Migrator {
     ) -> MigOutputs {
         job.state = JobState::Selecting;
         job.attempts += 1;
+        self.open_phase(now, job, "selection");
         let mut exclude_hosts = vec![self.host];
         exclude_hosts.extend(job.excluded.iter().copied());
         let query = ServiceMsg::QueryHost {
             host_name: None,
             exclude_hosts,
         };
+        k.set_span_parent(job.phase_span.expect("just opened").ctx());
         let (seq, kouts) = k.send_with_seq(
             now,
             self.pid,
@@ -456,6 +542,8 @@ impl Migrator {
                     job.target = Some((pm, host));
                     job.milestones.mark(now, "host-selected");
                     job.state = JobState::Initializing;
+                    self.close_phase(now, &mut job);
+                    self.open_phase(now, &mut job, "initialization");
                     let spaces: Vec<(SpaceId, _)> = k
                         .logical_host(lh)
                         .expect("job lh resident")
@@ -465,6 +553,7 @@ impl Migrator {
                         temp: job.temp,
                         spaces,
                     };
+                    k.set_span_parent(job.phase_span.expect("just opened").ctx());
                     let (s, kouts) = k.send_with_seq(now, self.pid, pm.into(), init, 0);
                     self.by_seq.insert(s, lh);
                     out = out.kernel(kouts);
@@ -481,6 +570,7 @@ impl Migrator {
                 }) => {
                     k.learn_binding(job.temp, host);
                     job.milestones.mark(now, "target-initialized");
+                    self.close_phase(now, &mut job);
                     out = self.begin_copying(now, job, k, out);
                 }
                 _ => {
@@ -491,6 +581,7 @@ impl Migrator {
                 Ok(ReplyIn { body, .. }) if body.is_ok() => {
                     job.milestones.mark(now, "state-installed");
                     job.state = JobState::Unfreezing;
+                    self.open_freeze_child(now, &mut job, "rebind");
                     // Commit point: the target holds an installed copy.
                     // The phase event precedes the UnfreezeMigrated
                     // transmit in the output stream, so a fault here can
@@ -501,6 +592,7 @@ impl Migrator {
                     });
                     let (pm, _) = job.target.expect("target chosen");
                     let unfreeze = ServiceMsg::UnfreezeMigrated { lh: job.lh };
+                    k.set_span_parent(job.freeze_child.expect("just opened").ctx());
                     let (s, kouts) = k.send_with_seq(now, self.pid, pm.into(), unfreeze, 0);
                     self.by_seq.insert(s, lh);
                     out = out.kernel(kouts);
@@ -632,6 +724,8 @@ impl Migrator {
                 k.freeze(job.lh);
                 job.freeze_started = Some(now);
                 job.milestones.mark(now, "frozen");
+                self.open_phase(now, &mut job, "freeze");
+                self.open_freeze_child(now, &mut job, "residual_copy");
                 self.trace.emit(
                     TraceLevel::Detail,
                     now,
@@ -688,6 +782,7 @@ impl Migrator {
         if k.logical_host(job.lh).is_none() {
             return self.abandon_destroyed(now, job, k, out);
         }
+        self.open_phase(now, &mut job, "precopy_round");
         job.iter_started = now;
         job.iter_bytes = 0;
         let (dest_lh, dest_space) = match &job.cfg.strategy {
@@ -733,7 +828,9 @@ impl Migrator {
         }
         if !any {
             // Nothing to copy this round (e.g. a program that never wrote
-            // anything): freeze immediately.
+            // anything): freeze immediately. The zero-width round span
+            // still closes so the phase tiling stays exact.
+            self.close_phase(now, &mut job);
             return self.freeze_and_final(now, job, k, out);
         }
         self.jobs.insert(job.lh, job);
@@ -750,6 +847,7 @@ impl Migrator {
         if k.logical_host(job.lh).is_none() {
             return self.abandon_destroyed(now, job, k, out);
         }
+        self.close_phase(now, &mut job);
         out.events.push(MigEvent::Phase {
             lh: job.lh,
             phase: MigrationPhase::AfterPrecopyRound(job.iteration),
@@ -786,6 +884,8 @@ impl Migrator {
         k.freeze(job.lh);
         job.freeze_started = Some(now);
         job.milestones.mark(now, "frozen");
+        self.open_phase(now, &mut job, "freeze");
+        self.open_freeze_child(now, &mut job, "residual_copy");
         self.trace.emit(
             TraceLevel::Detail,
             now,
@@ -863,6 +963,7 @@ impl Migrator {
         }
         job.milestones.mark(now, "final-copy-done");
         job.state = JobState::InstallingState;
+        self.open_freeze_child(now, &mut job, "commit");
         let record = k.extract_migration_record(job.lh);
         job.kernel_state_cost = record.copy_cost();
         // VM-flush: the target must fetch back everything we flushed —
@@ -897,6 +998,7 @@ impl Migrator {
             priority: job.meta.priority,
             fetch,
         };
+        k.set_span_parent(job.freeze_child.expect("commit open").ctx());
         let (s, kouts) = k.send_with_seq(now, self.pid, pm.into(), install, 0);
         self.by_seq.insert(s, job.lh);
         out = out.kernel(kouts);
@@ -914,6 +1016,7 @@ impl Migrator {
         mut out: MigOutputs,
     ) -> MigOutputs {
         job.milestones.mark(now, "unfrozen-on-target");
+        self.close_root(now, &mut job);
         let freeze_time = now.since(job.freeze_started.expect("was frozen"));
         let (_, to_host) = job.target.expect("target chosen");
         self.metrics.inc(self.ctr_succeeded);
@@ -973,11 +1076,12 @@ impl Migrator {
     fn no_host(
         &mut self,
         now: SimTime,
-        job: Job,
+        mut job: Job,
         k: &mut Kernel<ServiceMsg>,
         mut out: MigOutputs,
     ) -> MigOutputs {
         if job.destroy_if_stuck {
+            self.close_root(now, &mut job);
             // `migrateprog -n`: destroy rather than keep occupying the
             // workstation.
             out = out.kernel(k.delete_logical_host(now, job.lh));
@@ -1039,6 +1143,7 @@ impl Migrator {
             job.iterations.clear();
             job.residual_bytes = 0;
             job.freeze_started = None;
+            self.close_phase(now, &mut job);
             self.metrics.inc(self.ctr_retried);
             self.trace.emit(
                 TraceLevel::Warn,
@@ -1082,11 +1187,12 @@ impl Migrator {
     fn fail(
         &mut self,
         now: SimTime,
-        job: Job,
+        mut job: Job,
         k: &mut Kernel<ServiceMsg>,
         mut out: MigOutputs,
         failure: MigFailure,
     ) -> MigOutputs {
+        self.close_root(now, &mut job);
         if let Some(r) = job.reply_to {
             out = out.kernel(k.reply(
                 now,

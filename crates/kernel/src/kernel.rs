@@ -27,7 +27,8 @@ use vmem::SpaceId;
 use vnet::{Frame, HostAddr, McastGroup};
 use vsim::calib::{self, PAGE_BYTES};
 use vsim::{
-    CounterId, DetRng, Metrics, SimDuration, SimTime, Subsystem, Trace, TraceEvent, TraceLevel,
+    CounterId, DetRng, Metrics, SimDuration, SimTime, SpanContext, SpanId, SpanIdGen, Subsystem,
+    Trace, TraceEvent, TraceLevel,
 };
 
 use crate::binding::BindingCache;
@@ -275,6 +276,9 @@ struct Outstanding<X> {
 struct InProgress {
     local_requester: bool,
     target: ProcessId,
+    /// The "serve" span opened when the request was delivered; closed when
+    /// the reply is issued (or the transaction is aborted).
+    serve_span: Option<SpanId>,
 }
 
 #[derive(Debug)]
@@ -317,6 +321,9 @@ pub struct OutstandingDesc<X> {
     pub pending_seen: bool,
     /// Whether this was a group send.
     pub is_group: bool,
+    /// The client-side "ipc" span of the transaction, so the target kernel
+    /// can keep tracking (and eventually close) it after migration.
+    pub span: SpanContext,
 }
 
 /// Everything the kernel knows about a logical host, for migration: the
@@ -327,8 +334,10 @@ pub struct MigrationRecord<X> {
     pub desc: LhDescriptor,
     /// Outstanding Sends issued by the logical host's processes.
     pub outstanding: Vec<OutstandingDesc<X>>,
-    /// Requests being served by its processes: (requester, seq, target).
-    pub in_progress: Vec<(ProcessId, SendSeq, ProcessId)>,
+    /// Requests being served by its processes: (requester, seq, target,
+    /// serve span). The span context carries the serving kernel's open
+    /// "serve" span so the new kernel closes it when the reply goes out.
+    pub in_progress: Vec<(ProcessId, SendSeq, ProcessId, SpanContext)>,
     /// Replies its processes issued and still retain: (requester, seq,
     /// replier, body, data bytes).
     pub retained: Vec<(ProcessId, SendSeq, ProcessId, X, u64)>,
@@ -367,6 +376,16 @@ pub struct Kernel<X> {
     /// `now` parameter (retransmit timers, deferrals) can stamp trace
     /// records.
     now: SimTime,
+    /// Deterministic allocator for this kernel's spans (actor = physical
+    /// host, offset so it never collides with cluster-level actors).
+    spans: SpanIdGen,
+    /// Parent context for the *next* Send issued here; set by instrumented
+    /// callers (e.g. the migration driver) and consumed by exactly one
+    /// send so unrelated traffic is never mis-parented.
+    span_parent: SpanContext,
+    /// Client "ipc" spans still open, by transaction. Closed on SendDone
+    /// (success or failure); migrated with their logical host.
+    open_sends: HashMap<(ProcessId, SendSeq), SpanId>,
     ctr_sends: CounterId,
     ctr_replies: CounterId,
     ctr_deliveries: CounterId,
@@ -411,6 +430,9 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
             metrics,
             trace: Trace::quiet(),
             now: SimTime::ZERO,
+            spans: SpanIdGen::new(0x100 + host.0 as u64),
+            span_parent: SpanContext::NONE,
+            open_sends: HashMap::new(),
             ctr_sends,
             ctr_replies,
             ctr_deliveries,
@@ -458,6 +480,37 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
     /// The binding cache (for inspection).
     pub fn binding_cache(&self) -> &BindingCache {
         &self.cache
+    }
+
+    /// Parents the *next* Send issued on this kernel under `ctx`: its
+    /// client "ipc" span (and therefore the remote "serve" span) becomes a
+    /// child of the caller's span. Consumed by exactly one send.
+    pub fn set_span_parent(&mut self, ctx: SpanContext) {
+        self.span_parent = ctx;
+    }
+
+    /// The client span of an outstanding Send, for stamping packets.
+    fn send_span_ctx(&self, pid: ProcessId, seq: SendSeq) -> SpanContext {
+        self.open_sends
+            .get(&(pid, seq))
+            .map(|s| s.ctx())
+            .unwrap_or(SpanContext::NONE)
+    }
+
+    /// Opens a "serve" span for a request delivered to a local process,
+    /// parented on the client's propagated context.
+    fn open_serve_span(&mut self, parent: SpanContext) -> SpanId {
+        let sid = self.spans.next();
+        sid.open(
+            &mut self.trace,
+            TraceLevel::Detail,
+            self.now,
+            Subsystem::Kernel,
+            parent,
+            "serve",
+            self.host.0,
+        );
+        sid
     }
 
     /// Learns a logical-host binding out of band (e.g. from a service
@@ -587,8 +640,30 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
             p.state = ProcessState::AwaitingReply { seq };
             seq
         };
+        let parent = std::mem::replace(&mut self.span_parent, SpanContext::NONE);
+        let sid = self.spans.next();
+        sid.open(
+            &mut self.trace,
+            TraceLevel::Detail,
+            now,
+            Subsystem::Kernel,
+            parent,
+            "ipc",
+            self.host.0,
+        );
+        self.open_sends.insert((from, seq), sid);
         let mut out = Vec::new();
-        self.route_send(now, seq, from, to, body, data_bytes, false, &mut out);
+        self.route_send(
+            now,
+            seq,
+            from,
+            to,
+            body,
+            data_bytes,
+            false,
+            sid.ctx(),
+            &mut out,
+        );
         (seq, out)
     }
 
@@ -622,6 +697,9 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
         let entry = entries.remove(pos);
         if entries.is_empty() {
             self.in_progress.remove(&key);
+        }
+        if let Some(s) = entry.serve_span {
+            s.close(&mut self.trace, TraceLevel::Detail, now, Subsystem::Kernel);
         }
 
         // Retain the reply for retransmitted requests (§3.1.3).
@@ -819,6 +897,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                 d.body,
                 d.data_bytes,
                 false,
+                d.span,
                 &mut out,
             );
         }
@@ -870,20 +949,21 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                 data_bytes: o.data_bytes,
                 pending_seen: o.pending_seen,
                 is_group: o.is_group,
+                span: self.send_span_ctx(from, seq),
             })
             .collect();
         outstanding.sort_by_key(|o| (o.from.lh.0, o.from.index, o.seq.0));
-        let mut in_progress: Vec<(ProcessId, SendSeq, ProcessId)> = self
+        let mut in_progress: Vec<(ProcessId, SendSeq, ProcessId, SpanContext)> = self
             .in_progress
             .iter()
             .flat_map(|(&(req, seq), entries)| {
-                entries
-                    .iter()
-                    .filter(|e| e.target.lh == lh)
-                    .map(move |e| (req, seq, e.target))
+                entries.iter().filter(|e| e.target.lh == lh).map(move |e| {
+                    let span = e.serve_span.map(|s| s.ctx()).unwrap_or(SpanContext::NONE);
+                    (req, seq, e.target, span)
+                })
             })
             .collect();
-        in_progress.sort_by_key(|&(req, seq, t)| (req.lh.0, req.index, seq.0, t.lh.0, t.index));
+        in_progress.sort_by_key(|&(req, seq, t, _)| (req.lh.0, req.index, seq.0, t.lh.0, t.index));
         let mut retained: Vec<(ProcessId, SendSeq, ProcessId, X, u64)> = self
             .reply_cache
             .iter()
@@ -936,18 +1016,24 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                     is_group: o.is_group,
                 },
             );
+            // The client span re-homes here: this kernel closes it when
+            // the migrated transaction finally completes.
+            if let Some(sid) = o.span.span_id() {
+                self.open_sends.insert((o.from, o.seq), sid);
+            }
             out.push(KernelOutput::SetTimer {
                 key: TimerKey::Retransmit(o.from, o.seq),
                 after: self.cfg.retransmit_interval,
             });
         }
-        for &(req, seq, target) in &record.in_progress {
+        for &(req, seq, target, span) in &record.in_progress {
             self.in_progress
                 .entry((req, seq))
                 .or_default()
                 .push(InProgress {
                     local_requester: req.lh == record.desc.id,
                     target,
+                    serve_span: span.span_id(),
                 });
         }
         for (req, seq, from, body, data_bytes) in &record.retained {
@@ -980,8 +1066,13 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
         let deferred = l.take_deferred();
         drop(l);
 
-        // Drop IPC state belonging to the departed logical host.
+        // Drop IPC state belonging to the departed logical host. Open
+        // spans are dropped without a close record: after a migration the
+        // re-homed copy of the transaction closes them on the new kernel,
+        // and on outright destruction they are left unclosed (a query, not
+        // a violation — the transaction really never completed here).
         self.outstanding.retain(|(from, _), _| from.lh != lh);
+        self.open_sends.retain(|(from, _), _| from.lh != lh);
         self.in_progress.retain(|_, entries| {
             entries.retain(|e| e.target.lh != lh);
             !entries.is_empty()
@@ -999,6 +1090,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                     d.body,
                     d.data_bytes,
                     false,
+                    d.span,
                     &mut out,
                 );
             }
@@ -1129,12 +1221,30 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
     /// reply-pending packets forever. Returns how many were dropped.
     pub fn abort_server_transactions(&mut self, server: ProcessId) -> usize {
         let mut dropped = 0;
+        let mut aborted_spans: Vec<SpanId> = Vec::new();
         self.in_progress.retain(|_, entries| {
             let before = entries.len();
-            entries.retain(|e| e.target != server);
+            entries.retain(|e| {
+                if e.target == server {
+                    aborted_spans.extend(e.serve_span);
+                    false
+                } else {
+                    true
+                }
+            });
             dropped += before - entries.len();
             !entries.is_empty()
         });
+        // Sorted so the trace is independent of hash-map iteration order.
+        aborted_spans.sort();
+        for s in aborted_spans {
+            s.close(
+                &mut self.trace,
+                TraceLevel::Detail,
+                self.now,
+                Subsystem::Kernel,
+            );
+        }
         dropped
     }
 
@@ -1163,6 +1273,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                 body,
                 data_bytes,
                 retransmission,
+                span,
             } => self.on_request(
                 now,
                 src,
@@ -1172,6 +1283,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                 body,
                 data_bytes,
                 retransmission,
+                span,
                 &mut out,
             ),
             Packet::Reply {
@@ -1402,6 +1514,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
         body: X,
         data_bytes: u64,
         retransmission: bool,
+        span: SpanContext,
         out: &mut Vec<KernelOutput<X>>,
     ) {
         match to.routing_lh() {
@@ -1416,6 +1529,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                     data_bytes,
                     true,
                     retransmission,
+                    span,
                     out,
                 );
             }
@@ -1441,6 +1555,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                     body,
                     data_bytes,
                     retransmission,
+                    span,
                 };
                 self.transmit_routed(lh, pkt, out);
                 out.push(KernelOutput::SetTimer {
@@ -1475,12 +1590,14 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                 for m in members {
                     self.stats.deliveries += 1;
                     self.metrics.inc(self.ctr_deliveries);
+                    let serve = self.open_serve_span(span);
                     self.in_progress
                         .entry((from, seq))
                         .or_default()
                         .push(InProgress {
                             local_requester: true,
                             target: m,
+                            serve_span: Some(serve),
                         });
                     out.push(KernelOutput::Deliver(MsgIn {
                         to: m,
@@ -1501,11 +1618,12 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                     body,
                     data_bytes,
                     retransmission,
+                    span,
                 };
                 let bytes = pkt.wire_bytes();
-                out.push(KernelOutput::Transmit(Frame::multicast(
-                    self.host, mcast, bytes, pkt,
-                )));
+                out.push(KernelOutput::Transmit(
+                    Frame::multicast(self.host, mcast, bytes, pkt).with_span(span),
+                ));
                 out.push(KernelOutput::SetTimer {
                     key: TimerKey::Retransmit(from, seq),
                     after: self.cfg.retransmit_interval,
@@ -1527,6 +1645,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
         data_bytes: u64,
         local_sender: bool,
         retransmission: bool,
+        span: SpanContext,
         out: &mut Vec<KernelOutput<X>>,
     ) {
         self.stats.freeze_checks += 1;
@@ -1578,6 +1697,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                     body,
                     data_bytes,
                     local_sender,
+                    span,
                 });
             }
             // "A reply-pending packet is sent to the sender on each
@@ -1613,12 +1733,14 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
 
         self.stats.deliveries += 1;
         self.metrics.inc(self.ctr_deliveries);
+        let serve = self.open_serve_span(span);
         self.in_progress
             .entry((from, seq))
             .or_default()
             .push(InProgress {
                 local_requester: local_sender,
                 target,
+                serve_span: Some(serve),
             });
         out.push(KernelOutput::Deliver(MsgIn {
             to: target,
@@ -1640,6 +1762,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
         body: X,
         data_bytes: u64,
         retransmission: bool,
+        span: SpanContext,
         out: &mut Vec<KernelOutput<X>>,
     ) {
         match to.routing_lh() {
@@ -1680,6 +1803,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                     data_bytes,
                     false,
                     retransmission,
+                    span,
                     out,
                 );
             }
@@ -1695,11 +1819,12 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                         body,
                         data_bytes,
                         retransmission,
+                        span,
                     };
                     let bytes = pkt.wire_bytes();
-                    out.push(KernelOutput::Transmit(Frame::unicast(
-                        self.host, fw, bytes, pkt,
-                    )));
+                    out.push(KernelOutput::Transmit(
+                        Frame::unicast(self.host, fw, bytes, pkt).with_span(span),
+                    ));
                     let update = Packet::NewBinding { lh, host: fw };
                     let ub = update.wire_bytes();
                     out.push(KernelOutput::Transmit(Frame::unicast(
@@ -1727,12 +1852,14 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                 for m in members {
                     self.stats.deliveries += 1;
                     self.metrics.inc(self.ctr_deliveries);
+                    let serve = self.open_serve_span(span);
                     self.in_progress
                         .entry((from, seq))
                         .or_default()
                         .push(InProgress {
                             local_requester: false,
                             target: m,
+                            serve_span: Some(serve),
                         });
                     out.push(KernelOutput::Deliver(MsgIn {
                         to: m,
@@ -1793,6 +1920,14 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                 p.state = ProcessState::Ready;
             }
         }
+        if let Some(sid) = self.open_sends.remove(&(pid, seq)) {
+            sid.close(
+                &mut self.trace,
+                TraceLevel::Detail,
+                self.now,
+                Subsystem::Kernel,
+            );
+        }
         out.push(KernelOutput::SendDone {
             pid,
             seq,
@@ -1818,6 +1953,14 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                     p.state = ProcessState::Ready;
                 }
             }
+        }
+        if let Some(sid) = self.open_sends.remove(&(pid, seq)) {
+            sid.close(
+                &mut self.trace,
+                TraceLevel::Detail,
+                self.now,
+                Subsystem::Kernel,
+            );
         }
         out.push(KernelOutput::SendDone {
             pid,
@@ -1908,6 +2051,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                 tries,
             },
         );
+        let span = self.send_span_ctx(pid, seq);
         let pkt = Packet::Request {
             seq,
             from: pid,
@@ -1915,6 +2059,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
             body,
             data_bytes,
             retransmission: true,
+            span,
         };
         if is_group {
             let Destination::Group(gid) = to else {
@@ -1922,9 +2067,9 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
             };
             let mcast = *self.group_routes.get(&gid).expect("unrouted group");
             let bytes = pkt.wire_bytes();
-            out.push(KernelOutput::Transmit(Frame::multicast(
-                self.host, mcast, bytes, pkt,
-            )));
+            out.push(KernelOutput::Transmit(
+                Frame::multicast(self.host, mcast, bytes, pkt).with_span(span),
+            ));
         } else {
             let lh = to.routing_lh().expect("non-group send routes by lh");
             self.transmit_routed(lh, pkt, out);
@@ -2082,19 +2227,23 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
         out: &mut Vec<KernelOutput<X>>,
     ) {
         let bytes = pkt.wire_bytes();
+        let span = match &pkt {
+            Packet::Request { span, .. } => *span,
+            _ => SpanContext::NONE,
+        };
         match self.cache.lookup(lh) {
             Some(h) => {
                 self.metrics.inc(self.ctr_binding_hits);
-                out.push(KernelOutput::Transmit(Frame::unicast(
-                    self.host, h, bytes, pkt,
-                )))
+                out.push(KernelOutput::Transmit(
+                    Frame::unicast(self.host, h, bytes, pkt).with_span(span),
+                ))
             }
             None => {
                 self.metrics.inc(self.ctr_binding_misses);
                 self.stats.broadcast_requests += 1;
-                out.push(KernelOutput::Transmit(Frame::broadcast(
-                    self.host, bytes, pkt,
-                )));
+                out.push(KernelOutput::Transmit(
+                    Frame::broadcast(self.host, bytes, pkt).with_span(span),
+                ));
             }
         }
     }

@@ -33,6 +33,9 @@ pub struct DeferredRequest<X> {
     /// True if the sender is local to the same workstation (its Send is
     /// restarted internally rather than by retransmission).
     pub local_sender: bool,
+    /// The client's causal span, preserved across the freeze so the
+    /// eventual delivery still parents its serve span correctly.
+    pub span: vsim::SpanContext,
 }
 
 /// Descriptor of one process, as transferred in the kernel-state copy.
@@ -378,6 +381,7 @@ mod tests {
             body: 42,
             data_bytes: 0,
             local_sender: false,
+            span: vsim::SpanContext::NONE,
         });
         assert_eq!(h.deferred_count(), 1);
         let drained = h.take_deferred();

@@ -12,6 +12,7 @@
 //! property that makes V's IPC network-transparent.
 
 use vnet::HostAddr;
+use vsim::SpanContext;
 
 use crate::ids::{Destination, LogicalHostId, ProcessId};
 use vmem::SpaceId;
@@ -49,6 +50,11 @@ pub enum Packet<X> {
         /// True when this is a retransmission (receivers answer frozen
         /// targets with reply-pending on each retransmission).
         retransmission: bool,
+        /// The client-side causal span of this transaction; the serving
+        /// kernel parents its handling span on it so one remote
+        /// Send/Receive/Reply round trip is one span tree across stations.
+        /// Observability metadata — adds no simulated wire bytes.
+        span: SpanContext,
     },
     /// The reply completing a Send.
     Reply {
@@ -186,8 +192,9 @@ mod tests {
             body: 0,
             data_bytes: 0,
             retransmission: false,
+            span: SpanContext::NONE,
         };
-        assert_eq!(req.wire_bytes(), 64);
+        assert_eq!(req.wire_bytes(), 64, "span adds no wire bytes");
 
         let reply: Packet<u32> = Packet::Reply {
             seq: SendSeq(1),
@@ -237,6 +244,7 @@ mod tests {
             body: 0,
             data_bytes: 0,
             retransmission: false,
+            span: SpanContext::NONE,
         };
         assert_eq!(req.source_lh(), Some(LogicalHostId(5)));
 

@@ -768,6 +768,7 @@ fn retained_replies_expire() {
         body: 1,
         data_bytes: 0,
         retransmission: true,
+        span: vsim::SpanContext::NONE,
     };
     let frame = vnet::Frame::unicast(HostAddr(0), HostAddr(1), 64, forged);
     rig.drive(1, |k, t| k.handle_frame(t, frame));

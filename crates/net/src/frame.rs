@@ -10,6 +10,8 @@
 //! and discard frames that fail, which surfaces a distinct drop path from
 //! outright loss.
 
+use vsim::SpanContext;
+
 use crate::addr::{HostAddr, NetDest};
 
 /// A frame queued for, or delivered from, the Ethernet segment.
@@ -25,6 +27,10 @@ pub struct Frame<P> {
     /// Frame check sequence; set by the constructors, mangled by the wire
     /// when corruption is injected.
     pub checksum: u64,
+    /// Causal span this transmission belongs to (`NONE` when untraced);
+    /// out-of-band observability metadata, so it is not checksummed and
+    /// costs no simulated bytes.
+    pub span: SpanContext,
     /// The payload itself, opaque to this layer.
     pub payload: P,
 }
@@ -53,6 +59,7 @@ impl<P> Frame<P> {
             dest: NetDest::Unicast(to),
             payload_bytes,
             checksum: header_checksum(src, NetDest::Unicast(to), payload_bytes),
+            span: SpanContext::NONE,
             payload,
         }
     }
@@ -64,6 +71,7 @@ impl<P> Frame<P> {
             dest: NetDest::Broadcast,
             payload_bytes,
             checksum: header_checksum(src, NetDest::Broadcast, payload_bytes),
+            span: SpanContext::NONE,
             payload,
         }
     }
@@ -80,8 +88,15 @@ impl<P> Frame<P> {
             dest: NetDest::Multicast(group),
             payload_bytes,
             checksum: header_checksum(src, NetDest::Multicast(group), payload_bytes),
+            span: SpanContext::NONE,
             payload,
         }
+    }
+
+    /// Stamps the frame with the causal span it belongs to.
+    pub fn with_span(mut self, span: SpanContext) -> Self {
+        self.span = span;
+        self
     }
 
     /// True when the check sequence matches the header fields — i.e. the
@@ -115,6 +130,15 @@ mod tests {
 
         let m = Frame::multicast(HostAddr(1), McastGroup(4), 32, "pm?");
         assert_eq!(m.dest, NetDest::Multicast(McastGroup(4)));
+        assert!(m.span.is_none());
+    }
+
+    #[test]
+    fn span_stamp_does_not_disturb_the_checksum() {
+        let mut gen = vsim::SpanIdGen::new(9);
+        let f = Frame::unicast(HostAddr(1), HostAddr(2), 32, "req").with_span(gen.next().ctx());
+        assert!(f.span.is_some());
+        assert!(f.checksum_valid(), "span is out-of-band metadata");
     }
 
     #[test]

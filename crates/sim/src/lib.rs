@@ -4,8 +4,9 @@
 //! simulated clock and event queue ([`Engine`]), seeded randomness
 //! ([`DetRng`]), measurement collection ([`OnlineStats`], [`Samples`],
 //! [`Histogram`]), a structured observability layer (typed [`Trace`]
-//! events and the [`metrics`] registry), a dependency-free [`json`]
-//! serializer for machine-readable experiment artifacts, and the
+//! events, causal [`span`]s reconstructed into a [`SpanTree`], and the
+//! [`metrics`] registry), a dependency-free [`json`] serializer/parser
+//! for machine-readable experiment artifacts, and the
 //! calibration constants derived from the paper's §4.1 measurements
 //! ([`calib`]).
 //!
@@ -21,6 +22,7 @@ mod faults;
 pub mod json;
 pub mod metrics;
 mod rng;
+pub mod span;
 mod stats;
 mod time;
 mod trace;
@@ -30,6 +32,7 @@ pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultTrigger, MigrationPhase}
 pub use json::{Json, ToJson};
 pub use metrics::{CounterId, GaugeId, HistogramId, Metrics, MetricsReport, ScopeMetrics};
 pub use rng::DetRng;
+pub use span::{SpanContext, SpanId, SpanIdGen, SpanNode, SpanTree, SpanViolation};
 pub use stats::{Histogram, OnlineStats, Samples};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Subsystem, Trace, TraceEvent, TraceLevel, TraceRecord};

@@ -227,6 +227,22 @@ pub enum TraceEvent {
         /// Selection attempt number (2 = first retry).
         attempt: u32,
     },
+    /// A causal span opened (see [`crate::span`]).
+    SpanOpen {
+        /// Raw span id (non-zero; see [`crate::SpanId`]).
+        id: u64,
+        /// Raw parent span id (0 = root).
+        parent: u64,
+        /// Static span name ("migration", "ipc", "quantum", ...).
+        name: &'static str,
+        /// Physical-host address of the opening component.
+        host: u16,
+    },
+    /// A causal span closed.
+    SpanClose {
+        /// Raw span id.
+        id: u64,
+    },
     /// Free-form milestone; the static text keeps emission allocation-free.
     Note {
         /// What happened.
@@ -311,6 +327,19 @@ impl fmt::Display for TraceEvent {
                 TraceEvent::MigrationRetry { lh, attempt } => {
                     write!(f, "lh{lh} migration retry, attempt {attempt}")
                 }
+                TraceEvent::SpanOpen {
+                    id,
+                    parent,
+                    name,
+                    host,
+                } => {
+                    if *parent == 0 {
+                        write!(f, "span open {name} #{id:x} @ host{host}")
+                    } else {
+                        write!(f, "span open {name} #{id:x} (in #{parent:x}) @ host{host}")
+                    }
+                }
+                TraceEvent::SpanClose { id } => write!(f, "span close #{id:x}"),
                 TraceEvent::Note { text } => f.write_str(text),
             }
     }
@@ -321,6 +350,11 @@ impl fmt::Display for TraceEvent {
 pub struct TraceRecord {
     /// When it happened.
     pub at: SimTime,
+    /// Monotonic per-trace sequence number: the tie-break that keeps
+    /// same-instant records in a deterministic order across
+    /// [`Trace::sort_by_time`] (re-assigned when traces are folded with
+    /// [`Trace::drain_from`]).
+    pub seq: u64,
     /// Severity.
     pub level: TraceLevel,
     /// Originating layer.
@@ -358,6 +392,7 @@ impl fmt::Display for TraceRecord {
 pub struct Trace {
     min_level: TraceLevel,
     records: Vec<TraceRecord>,
+    next_seq: u64,
 }
 
 impl Trace {
@@ -366,6 +401,7 @@ impl Trace {
         Trace {
             min_level,
             records: Vec::new(),
+            next_seq: 0,
         }
     }
 
@@ -392,8 +428,11 @@ impl Trace {
         event: TraceEvent,
     ) {
         if self.enabled(level) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
             self.records.push(TraceRecord {
                 at,
+                seq,
                 level,
                 subsystem,
                 event,
@@ -441,14 +480,23 @@ impl Trace {
 
     /// Moves all records out of `other` into this trace (used by the
     /// cluster runtime to fold per-component traces into one timeline).
+    ///
+    /// Incoming records are re-stamped with fresh sequence numbers from
+    /// this trace's counter (preserving their relative order), so a fixed
+    /// fold order yields one deterministic tie-break sequence.
     pub fn drain_from(&mut self, other: &mut Trace) {
-        self.records.append(&mut other.records);
+        for mut r in other.records.drain(..) {
+            r.seq = self.next_seq;
+            self.next_seq += 1;
+            self.records.push(r);
+        }
     }
 
-    /// Sorts records by time (stable, so same-instant records keep
-    /// emission order). Call after folding several traces together.
+    /// Sorts records by time, tie-breaking on the monotonic sequence
+    /// number so same-instant records land in a deterministic order. Call
+    /// after folding several traces together.
     pub fn sort_by_time(&mut self) {
-        self.records.sort_by_key(|r| r.at);
+        self.records.sort_by_key(|r| (r.at, r.seq));
     }
 
     /// Drops all retained records.
@@ -584,6 +632,40 @@ mod tests {
         assert!(b.records().is_empty());
         assert_eq!(a.records()[0].at, SimTime::from_micros(5));
         assert_eq!(a.records()[1].at, SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn sort_tie_breaks_on_sequence_number() {
+        // Two traces full of same-instant records: after folding in a
+        // fixed order, sorting must be a deterministic total order that
+        // preserves each source's emission order.
+        let mut merged = Trace::default();
+        let mut a = Trace::default();
+        let mut b = Trace::default();
+        let t = SimTime::from_micros(42);
+        for lh in 0..3 {
+            a.info(t, Subsystem::Kernel, TraceEvent::Freeze { lh });
+            b.info(t, Subsystem::Migration, TraceEvent::Unfreeze { lh });
+        }
+        merged.drain_from(&mut a);
+        merged.drain_from(&mut b);
+        merged.sort_by_time();
+        let seqs: Vec<u64> = merged.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5]);
+        // Kernel records (drained first) keep their order and precede the
+        // migration records even though every timestamp is equal.
+        assert!(matches!(
+            merged.records()[0].event,
+            TraceEvent::Freeze { lh: 0 }
+        ));
+        assert!(matches!(
+            merged.records()[2].event,
+            TraceEvent::Freeze { lh: 2 }
+        ));
+        assert!(matches!(
+            merged.records()[3].event,
+            TraceEvent::Unfreeze { lh: 0 }
+        ));
     }
 
     #[test]

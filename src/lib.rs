@@ -56,7 +56,8 @@ pub mod prelude {
     pub use vnet::{HostAddr, LossModel};
     pub use vsim::{
         DetRng, FaultKind, FaultPlan, FaultTrigger, Metrics, MetricsReport, MigrationPhase,
-        SimDuration, SimTime, Subsystem, Trace, TraceEvent, TraceLevel,
+        SimDuration, SimTime, SpanContext, SpanId, SpanIdGen, SpanNode, SpanTree, SpanViolation,
+        Subsystem, Trace, TraceEvent, TraceLevel,
     };
     pub use vworkload::{profiles, Phase, ProgramProfile, UserModelParams};
 }

@@ -16,6 +16,9 @@ fn chaos_cluster(seed: u64, faults: FaultPlan) -> Cluster {
         workstations: 4,
         seed,
         faults,
+        // Info keeps the migration phase spans so the soak can hold the
+        // span tree to its well-formedness rules under faults too.
+        trace: TraceLevel::Info,
         migration: MigrationConfig {
             retry_limit: 3,
             ..MigrationConfig::default()
@@ -80,6 +83,13 @@ fn soak_32_seeds_zero_violations() {
             c.stats.faults_injected > 0,
             "seed {seed}: plan injected nothing"
         );
+        // Spans must stay structurally sound under faults: no close
+        // without an open, no duplicate opens, no orphaned parent ids.
+        // (Crashed hosts may leave spans *unclosed* — that is data, not a
+        // violation.)
+        let tree = c.span_tree();
+        let violations = tree.validate();
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
     }
 }
 
