@@ -7,9 +7,6 @@
 //! owns the single event loop; everything else stays a sans-IO state
 //! machine.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod audit;
 mod runtime;
 mod script;

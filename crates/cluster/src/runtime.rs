@@ -11,7 +11,7 @@
 //! receiving side; bulk-data packets are *not* (their CPU cost is already
 //! inside the calibrated per-unit pacing).
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use vcore::{
     ExecEvent, ExecOutputs, ExecTarget, MigEvent, MigOutputs, MigrationConfig, MigrationReport,
@@ -342,10 +342,10 @@ pub struct Cluster {
     /// Phase-triggered faults still waiting for their migration step.
     phase_faults: Vec<(Option<u32>, MigrationPhase, FaultKind)>,
     /// Behaviours awaiting their ProgramStarted event, FIFO per image.
-    pending_behaviors: HashMap<String, VecDeque<WorkloadProgram>>,
+    pending_behaviors: BTreeMap<String, VecDeque<WorkloadProgram>>,
     /// Owner-reclaim measurements: (owner returned at, all guests gone at).
     pub reclaim_times: Vec<SimDuration>,
-    reclaim_pending: HashMap<HostAddr, SimTime>,
+    reclaim_pending: BTreeMap<HostAddr, SimTime>,
 }
 
 impl Cluster {
@@ -494,9 +494,9 @@ impl Cluster {
             rng,
             cfg,
             phase_faults: Vec::new(),
-            pending_behaviors: HashMap::new(),
+            pending_behaviors: BTreeMap::new(),
             reclaim_times: Vec::new(),
-            reclaim_pending: HashMap::new(),
+            reclaim_pending: BTreeMap::new(),
         };
         // Components are born with quiet traces; give them the cluster's
         // verbosity so their records survive until merged.

@@ -20,7 +20,7 @@
 //!   them back (two transfers per dirty page, but the source evacuates
 //!   without shipping clean pages).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use vkernel::{
     Kernel, KernelOutput, LogicalHostId, Priority, ProcessId, ReplyIn, SendError, SendSeq, XferId,
@@ -236,7 +236,7 @@ struct Job {
     /// reselection.
     excluded: Vec<HostAddr>,
     temp: LogicalHostId,
-    pending_xfers: HashSet<XferId>,
+    pending_xfers: BTreeSet<XferId>,
     iteration: u32,
     iter_started: SimTime,
     iter_bytes: u64,
@@ -270,9 +270,9 @@ struct Job {
 pub struct Migrator {
     pid: ProcessId,
     host: HostAddr,
-    jobs: HashMap<LogicalHostId, Job>,
-    by_seq: HashMap<SendSeq, LogicalHostId>,
-    by_xfer: HashMap<XferId, LogicalHostId>,
+    jobs: BTreeMap<LogicalHostId, Job>,
+    by_seq: BTreeMap<SendSeq, LogicalHostId>,
+    by_xfer: BTreeMap<XferId, LogicalHostId>,
     temp_base: u32,
     next_temp: u32,
     metrics: Metrics,
@@ -305,9 +305,9 @@ impl Migrator {
         Migrator {
             pid,
             host,
-            jobs: HashMap::new(),
-            by_seq: HashMap::new(),
-            by_xfer: HashMap::new(),
+            jobs: BTreeMap::new(),
+            by_seq: BTreeMap::new(),
+            by_xfer: BTreeMap::new(),
             temp_base,
             next_temp: 0,
             metrics,
@@ -461,7 +461,7 @@ impl Migrator {
             target: None,
             excluded: Vec::new(),
             temp,
-            pending_xfers: HashSet::new(),
+            pending_xfers: BTreeSet::new(),
             iteration: 0,
             iter_started: now,
             iter_bytes: 0,
@@ -1108,7 +1108,7 @@ impl Migrator {
         k: &mut Kernel<ServiceMsg>,
         out: MigOutputs,
     ) -> MigOutputs {
-        for x in job.pending_xfers.drain() {
+        for x in std::mem::take(&mut job.pending_xfers) {
             self.by_xfer.remove(&x);
         }
         self.fail(now, job, k, out, MigFailure::Destroyed)
@@ -1132,7 +1132,7 @@ impl Migrator {
                     job.excluded.push(host);
                 }
             }
-            for x in job.pending_xfers.drain() {
+            for x in std::mem::take(&mut job.pending_xfers) {
                 self.by_xfer.remove(&x);
             }
             job.temp = LogicalHostId(self.temp_base + self.next_temp);

@@ -9,7 +9,7 @@
 //! finally starts the embryonic initial process — recording the timing
 //! breakdown the paper reports in §4.1.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vkernel::{GroupId, Kernel, KernelOutput, ProcessId, ReplyIn, SendError, SendSeq};
 use vservices::{ProgramSpec, ServiceMsg};
@@ -65,8 +65,8 @@ pub struct RemoteExecutor {
     pid: ProcessId,
     host: vnet::HostAddr,
     local_pm: ProcessId,
-    jobs: HashMap<u64, Job>,
-    by_seq: HashMap<SendSeq, u64>,
+    jobs: BTreeMap<u64, Job>,
+    by_seq: BTreeMap<SendSeq, u64>,
     next_job: u64,
 }
 
@@ -78,8 +78,8 @@ impl RemoteExecutor {
             pid,
             host,
             local_pm,
-            jobs: HashMap::new(),
-            by_seq: HashMap::new(),
+            jobs: BTreeMap::new(),
+            by_seq: BTreeMap::new(),
             next_job: 0,
         }
     }

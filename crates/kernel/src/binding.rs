@@ -8,7 +8,7 @@
 //! makes migration leave **no residual state** on the old host — unlike
 //! Demos/MP forwarding addresses (§5).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vnet::HostAddr;
 
@@ -45,7 +45,7 @@ pub struct BindingStats {
 /// ```
 #[derive(Debug, Default)]
 pub struct BindingCache {
-    map: HashMap<LogicalHostId, HostAddr>,
+    map: BTreeMap<LogicalHostId, HostAddr>,
     stats: BindingStats,
 }
 

@@ -21,7 +21,7 @@
 //! * extraction and installation of a logical host's kernel state for
 //!   migration, including in-flight IPC transactions.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use vmem::SpaceId;
 use vnet::{Frame, HostAddr, McastGroup};
@@ -358,16 +358,16 @@ pub struct Kernel<X> {
     cfg: KernelConfig,
     lhs: BTreeMap<LogicalHostId, LogicalHost<X>>,
     cache: BindingCache,
-    well_known: HashMap<u32, ProcessId>,
-    group_routes: HashMap<GroupId, McastGroup>,
-    group_members: HashMap<GroupId, BTreeSet<ProcessId>>,
-    outstanding: HashMap<(ProcessId, SendSeq), Outstanding<X>>,
-    in_progress: HashMap<(ProcessId, SendSeq), Vec<InProgress>>,
-    reply_cache: HashMap<(ProcessId, SendSeq), Retained<X>>,
-    xfers: HashMap<XferId, OutXfer>,
-    local_xfers: HashMap<XferId, (ProcessId, u64)>,
-    pulls: HashMap<XferId, PullState>,
-    forwarding: HashMap<LogicalHostId, HostAddr>,
+    well_known: BTreeMap<u32, ProcessId>,
+    group_routes: BTreeMap<GroupId, McastGroup>,
+    group_members: BTreeMap<GroupId, BTreeSet<ProcessId>>,
+    outstanding: BTreeMap<(ProcessId, SendSeq), Outstanding<X>>,
+    in_progress: BTreeMap<(ProcessId, SendSeq), Vec<InProgress>>,
+    reply_cache: BTreeMap<(ProcessId, SendSeq), Retained<X>>,
+    xfers: BTreeMap<XferId, OutXfer>,
+    local_xfers: BTreeMap<XferId, (ProcessId, u64)>,
+    pulls: BTreeMap<XferId, PullState>,
+    forwarding: BTreeMap<LogicalHostId, HostAddr>,
     next_xfer: u64,
     stats: KernelStats,
     metrics: Metrics,
@@ -385,7 +385,7 @@ pub struct Kernel<X> {
     span_parent: SpanContext,
     /// Client "ipc" spans still open, by transaction. Closed on SendDone
     /// (success or failure); migrated with their logical host.
-    open_sends: HashMap<(ProcessId, SendSeq), SpanId>,
+    open_sends: BTreeMap<(ProcessId, SendSeq), SpanId>,
     ctr_sends: CounterId,
     ctr_replies: CounterId,
     ctr_deliveries: CounterId,
@@ -415,16 +415,16 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
             cfg,
             lhs: BTreeMap::new(),
             cache: BindingCache::new(),
-            well_known: HashMap::new(),
-            group_routes: HashMap::new(),
-            group_members: HashMap::new(),
-            outstanding: HashMap::new(),
-            in_progress: HashMap::new(),
-            reply_cache: HashMap::new(),
-            xfers: HashMap::new(),
-            local_xfers: HashMap::new(),
-            pulls: HashMap::new(),
-            forwarding: HashMap::new(),
+            well_known: BTreeMap::new(),
+            group_routes: BTreeMap::new(),
+            group_members: BTreeMap::new(),
+            outstanding: BTreeMap::new(),
+            in_progress: BTreeMap::new(),
+            reply_cache: BTreeMap::new(),
+            xfers: BTreeMap::new(),
+            local_xfers: BTreeMap::new(),
+            pulls: BTreeMap::new(),
+            forwarding: BTreeMap::new(),
             next_xfer: 0,
             stats: KernelStats::default(),
             metrics,
@@ -432,7 +432,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
             now: SimTime::ZERO,
             spans: SpanIdGen::new(0x100 + host.0 as u64),
             span_parent: SpanContext::NONE,
-            open_sends: HashMap::new(),
+            open_sends: BTreeMap::new(),
             ctr_sends,
             ctr_replies,
             ctr_deliveries,

@@ -11,9 +11,6 @@
 //! The kernel is a sans-IO state machine ([`Kernel`]); a production event
 //! loop lives in `vcluster` and a small test rig in [`testkit`].
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod binding;
 mod ids;
 mod kernel;

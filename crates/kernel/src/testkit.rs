@@ -5,7 +5,7 @@
 //! server processes. Used by this crate's protocol tests and by downstream
 //! crates' unit tests; the production event loop lives in `vcluster`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vnet::{Delivery, Ethernet, Frame, HostAddr, LossModel};
 use vsim::{DetRng, Engine, SimDuration, SimTime};
@@ -69,7 +69,7 @@ pub struct Rig<X> {
     kernels: Vec<Kernel<X>>,
     /// Observed application events, with their times.
     pub log: Vec<(SimTime, AppEvent<X>)>,
-    responders: HashMap<ProcessId, Responder<X>>,
+    responders: BTreeMap<ProcessId, Responder<X>>,
 }
 
 impl<X: Clone + std::fmt::Debug> Rig<X> {
@@ -91,7 +91,7 @@ impl<X: Clone + std::fmt::Debug> Rig<X> {
             net,
             kernels,
             log: Vec::new(),
-            responders: HashMap::new(),
+            responders: BTreeMap::new(),
         }
     }
 

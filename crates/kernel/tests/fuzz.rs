@@ -92,7 +92,7 @@ fn every_send_completes_exactly_once_under_loss() {
             );
         }
         // 3. Each transaction reached the application at most once.
-        let mut seen = std::collections::HashMap::new();
+        let mut seen = std::collections::BTreeMap::new();
         for (_, e) in &rig.log {
             if let AppEvent::Delivered(m) = e {
                 *seen.entry((m.from, m.seq)).or_insert(0) += 1;

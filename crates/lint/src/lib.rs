@@ -1,0 +1,59 @@
+//! `vlint` — the workspace determinism & layering auditor.
+//!
+//! The headline claims of this reproduction (sub-second freeze times,
+//! identical-trace replay, the 32-seed chaos soak) all rest on the
+//! simulation being bit-for-bit deterministic. Nondeterminism bugs do not
+//! announce themselves at compile time: unordered `HashMap` iteration once
+//! picked different migration guests per run and only surfaced as diverging
+//! traces at runtime. `vlint` catches that class of bug *before* the code
+//! runs, with a hand-rolled line/token scanner in the spirit of
+//! [`vsim::json`] — no `syn`, no external crates, nothing but `std`.
+//!
+//! Four rule families, configured by `lint.toml` at the workspace root:
+//!
+//! * **determinism** (`det-hash`, `det-time`, `det-thread`, `det-rand`) —
+//!   deny hash-ordered collections, wall-clock time, OS threads, and
+//!   ambient randomness in library code. Simulation state must iterate in
+//!   a deterministic order and draw time/randomness only from
+//!   `vsim::SimTime` / `vsim::rng`.
+//! * **layering** (`layering-dep`, `layering-use`) — parse each crate's
+//!   `Cargo.toml` and `use` statements and enforce the intended dependency
+//!   DAG (`vsim` depends on nothing, `vkernel` never on `vcluster`,
+//!   bench-only code never imported by library crates, …).
+//! * **panic budget** (`panic-budget`, `panic-budget-stale`) — count
+//!   `unwrap()` / `expect(` / `panic!` in non-test library paths against a
+//!   checked-in per-file allowlist, so the count can only shrink.
+//! * **lossy casts** (`lossy-cast`, `lossy-cast-stale`) — flag narrowing
+//!   `as` casts in the crates doing `SimTime`/byte-count arithmetic, where
+//!   a silent truncation corrupts simulated time.
+//!
+//! The binary (`cargo run -p vlint`) exits non-zero on any violation and
+//! `--json` writes a `results/vlint.json` artifact for CI.
+//!
+//! [`vsim::json`]: ../vsim/json/index.html
+
+pub mod config;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use std::path::Path;
+
+pub use config::Config;
+pub use report::{Report, Violation};
+
+/// Runs the full lint pass over the workspace rooted at `root`.
+///
+/// `root` must contain a `lint.toml` and a `Cargo.toml`; member crates are
+/// discovered under `root/crates/*/Cargo.toml` plus the root package
+/// itself (if the root manifest has a `[package]` section).
+///
+/// # Errors
+///
+/// Returns a human-readable message when `lint.toml` is missing or
+/// malformed, or when the crate tree cannot be read.
+pub fn run(root: &Path) -> Result<Report, String> {
+    let cfg = Config::load(root)?;
+    let crates = rules::discover_crates(root)?;
+    rules::check_workspace(root, &cfg, &crates)
+}

@@ -1,0 +1,466 @@
+//! The four rule families: determinism, layering, panic budget, lossy
+//! casts.
+//!
+//! Rules operate on cleaned lines from [`crate::scan`] (comments and
+//! literal contents blanked, test scopes marked) plus a line-level parse
+//! of each crate's `Cargo.toml`. Scope is configured by `lint.toml`:
+//!
+//! * determinism + panic budget run over `library_crates` `src/` trees
+//!   (test scopes excluded — tests may hash and unwrap freely);
+//! * the lossy-cast rule runs over `cast_crates` (the ones doing
+//!   `SimTime`/byte arithmetic);
+//! * layering runs over every crate in the `[layering]` DAG.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::report::{Report, Violation};
+use crate::scan::{self, word_positions, CleanLine};
+
+/// A discovered workspace member.
+#[derive(Debug, Clone)]
+pub struct CrateInfo {
+    /// Package name from `[package] name`.
+    pub name: String,
+    /// Workspace-relative directory ("" for the root package).
+    pub rel_dir: String,
+    /// Absolute path to the crate directory.
+    pub dir: PathBuf,
+    /// `[dependencies]` entries as `(name, Cargo.toml line)`.
+    pub deps: Vec<(String, usize)>,
+}
+
+impl CrateInfo {
+    fn manifest_rel(&self) -> String {
+        if self.rel_dir.is_empty() {
+            "Cargo.toml".to_string()
+        } else {
+            format!("{}/Cargo.toml", self.rel_dir)
+        }
+    }
+}
+
+/// Discovers the root package (if any) plus every `crates/*` member.
+///
+/// # Errors
+///
+/// Returns a message when the root manifest is missing or a member
+/// manifest cannot be read.
+pub fn discover_crates(root: &Path) -> Result<Vec<CrateInfo>, String> {
+    let mut out = Vec::new();
+    let root_manifest = root.join("Cargo.toml");
+    let text = std::fs::read_to_string(&root_manifest)
+        .map_err(|e| format!("cannot read {}: {e}", root_manifest.display()))?;
+    if let Some(info) = parse_manifest(&text, "", root) {
+        out.push(info);
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+            .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.join("Cargo.toml").is_file())
+            .collect();
+        entries.sort();
+        for dir in entries {
+            let manifest = dir.join("Cargo.toml");
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| format!("cannot read {}: {e}", manifest.display()))?;
+            let base = dir.file_name().map(|s| s.to_string_lossy().to_string());
+            let rel = format!("crates/{}", base.unwrap_or_default());
+            if let Some(info) = parse_manifest(&text, &rel, &dir) {
+                out.push(info);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Extracts `[package] name` and `[dependencies]` keys from a manifest.
+///
+/// Returns `None` for virtual manifests (no `[package]` section). This is
+/// a line-level parse: good enough for the workspace's own manifests,
+/// which the fmt job keeps in conventional shape.
+fn parse_manifest(text: &str, rel_dir: &str, dir: &Path) -> Option<CrateInfo> {
+    let mut name = None;
+    let mut deps = Vec::new();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            section = rest.trim_end_matches(']').trim().to_string();
+            // `[dependencies.foo]` table headers declare a dep too.
+            if let Some(dep) = section.strip_prefix("dependencies.") {
+                deps.push((dep.trim_matches('"').to_string(), idx + 1));
+            }
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let key = line[..eq].trim().trim_matches('"');
+        match section.as_str() {
+            "package" if key == "name" => {
+                let v = line[eq + 1..].trim().trim_matches('"');
+                name = Some(v.to_string());
+            }
+            "dependencies" => {
+                // `vsim.workspace = true` and `vsim = { … }` both name the
+                // dep before the first `.` or `=`.
+                let dep = key.split('.').next().unwrap_or(key).trim();
+                if !dep.is_empty() {
+                    deps.push((dep.to_string(), idx + 1));
+                }
+            }
+            _ => {}
+        }
+    }
+    Some(CrateInfo {
+        name: name?,
+        rel_dir: rel_dir.to_string(),
+        dir: dir.to_path_buf(),
+        deps,
+    })
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Identifier form of a package name (`v-system` → `v_system`).
+fn ident(name: &str) -> String {
+    name.replace('-', "_")
+}
+
+/// True when `line` references crate `krate` as a path root (`krate::…`)
+/// or plainly re-exports it (`pub use krate;`).
+fn references_crate(line: &str, krate: &str) -> bool {
+    let trimmed = line.trim_start();
+    let is_use = trimmed.starts_with("use ") || trimmed.starts_with("pub use ");
+    for p in word_positions(line, krate) {
+        let rest = line[p + krate.len()..].trim_start();
+        if rest.starts_with("::") || (is_use && rest.starts_with(';')) {
+            return true;
+        }
+    }
+    false
+}
+
+struct SiteCounter {
+    /// `(line, token)` occurrences in non-test code.
+    sites: Vec<(usize, &'static str)>,
+}
+
+/// Runs every rule family over the discovered crates.
+///
+/// # Errors
+///
+/// Returns a message when a source file cannot be read, or when a crate
+/// on disk has no `[layering]` entry (the DAG must stay exhaustive).
+pub fn check_workspace(root: &Path, cfg: &Config, crates: &[CrateInfo]) -> Result<Report, String> {
+    let mut report = Report::default();
+    // All DAG names, in identifier form, for the use-statement scan.
+    let known: Vec<(String, String)> = cfg.layering.keys().map(|k| (k.clone(), ident(k))).collect();
+    let mut panic_seen: BTreeMap<String, usize> = BTreeMap::new();
+    let mut cast_seen: BTreeMap<String, usize> = BTreeMap::new();
+
+    for krate in crates {
+        report.crates_audited += 1;
+        let Some(allowed) = cfg.layering.get(&krate.name) else {
+            return Err(format!(
+                "lint.toml: crate `{}` ({}) has no [layering] entry — add one to keep the DAG exhaustive",
+                krate.name,
+                krate.manifest_rel(),
+            ));
+        };
+
+        // ---- layering-dep: Cargo.toml dependencies vs. the intended DAG.
+        for (dep, line) in &krate.deps {
+            if !allowed.iter().any(|a| a == dep) {
+                report.violations.push(Violation {
+                    rule: "layering-dep",
+                    file: krate.manifest_rel(),
+                    line: *line,
+                    message: format!(
+                        "crate `{}` must not depend on `{dep}` (allowed: [{}])",
+                        krate.name,
+                        allowed.join(", "),
+                    ),
+                    hint: "keep the dependency DAG intentional: move shared code down a layer \
+                           or update [layering] in lint.toml if the architecture truly changed",
+                });
+            }
+        }
+
+        let is_library = cfg.library_crates.contains(&krate.name);
+        let is_cast_crate = cfg.cast_crates.contains(&krate.name);
+        let self_ident = ident(&krate.name);
+
+        for file in rust_files(&krate.dir.join("src")) {
+            report.files_scanned += 1;
+            let rel = rel_path(root, &file);
+            let src = std::fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            let lines = scan::clean(&src);
+
+            // ---- layering-use: path references to crates outside the DAG.
+            for line in &lines {
+                for (dep_name, dep_ident) in &known {
+                    if *dep_ident == self_ident {
+                        continue;
+                    }
+                    if references_crate(&line.text, dep_ident)
+                        && !allowed.iter().any(|a| a == dep_name)
+                    {
+                        report.violations.push(Violation {
+                            rule: "layering-use",
+                            file: rel.clone(),
+                            line: line.number,
+                            message: format!(
+                                "crate `{}` references `{dep_ident}::…` but may only use [{}]",
+                                krate.name,
+                                allowed.join(", "),
+                            ),
+                            hint: "this import crosses the layering DAG; route the dependency \
+                                   through a lower layer or fix the design",
+                        });
+                    }
+                }
+            }
+
+            if is_library && !cfg.determinism_allow.contains(&rel) {
+                check_determinism(&lines, &rel, &mut report);
+            }
+            if is_library {
+                let n = count_panic_sites(&lines, &rel, cfg, &mut report);
+                panic_seen.insert(rel.clone(), n);
+            }
+            if is_cast_crate {
+                let n = count_cast_sites(&lines, &rel, cfg, &mut report);
+                cast_seen.insert(rel.clone(), n);
+            }
+        }
+    }
+
+    // ---- stale allowances: the budgets may only shrink, so an allowance
+    // above the actual count (or naming a vanished file) is itself an
+    // error — it would let regressions creep back in unnoticed.
+    stale_allowances(
+        &cfg.panic_allow,
+        &panic_seen,
+        "panic-budget-stale",
+        &mut report,
+    );
+    stale_allowances(&cfg.cast_allow, &cast_seen, "lossy-cast-stale", &mut report);
+
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// The `det-*` family: hash ordering, wall-clock time, threads, ambient
+/// randomness.
+fn check_determinism(lines: &[CleanLine], rel: &str, report: &mut Report) {
+    for line in lines {
+        if line.in_test {
+            continue;
+        }
+        let t = &line.text;
+        for word in ["HashMap", "HashSet", "RandomState"] {
+            if scan::has_word(t, word) {
+                report.violations.push(Violation {
+                    rule: "det-hash",
+                    file: rel.to_string(),
+                    line: line.number,
+                    message: format!(
+                        "`{word}` in library code — hash iteration order is nondeterministic",
+                    ),
+                    hint: "use BTreeMap/BTreeSet: unordered iteration breaks identical-trace \
+                           replay (a HashMap once picked different migration guests per run)",
+                });
+            }
+        }
+        for word in ["Instant", "SystemTime"] {
+            if scan::has_word(t, word) {
+                report.violations.push(Violation {
+                    rule: "det-time",
+                    file: rel.to_string(),
+                    line: line.number,
+                    message: format!(
+                        "`{word}` in library code — wall-clock time is nondeterministic"
+                    ),
+                    hint: "simulation code must read time from vsim::SimTime via the event \
+                           engine, never from the host clock",
+                });
+            }
+        }
+        if t.contains("thread::spawn") || t.contains("std::thread") {
+            report.violations.push(Violation {
+                rule: "det-thread",
+                file: rel.to_string(),
+                line: line.number,
+                message: "OS thread use in library code — scheduling order is nondeterministic"
+                    .to_string(),
+                hint: "the simulation is single-threaded by design; express concurrency as \
+                       events on the vsim engine",
+            });
+        }
+        let has_rand_path =
+            word_positions(t, "rand").any(|p| t[p + "rand".len()..].trim_start().starts_with("::"));
+        if has_rand_path || scan::has_word(t, "thread_rng") || scan::has_word(t, "getrandom") {
+            report.violations.push(Violation {
+                rule: "det-rand",
+                file: rel.to_string(),
+                line: line.number,
+                message: "ambient randomness in library code".to_string(),
+                hint: "draw randomness only from the seeded vsim::rng generators so runs \
+                       replay bit-for-bit",
+            });
+        }
+    }
+}
+
+/// Counts `unwrap()`/`expect(`/`panic!` sites and reports overruns.
+fn count_panic_sites(lines: &[CleanLine], rel: &str, cfg: &Config, report: &mut Report) -> usize {
+    let mut counter = SiteCounter { sites: Vec::new() };
+    for line in lines {
+        if line.in_test {
+            continue;
+        }
+        let t = &line.text;
+        for _ in 0..t.matches(".unwrap()").count() {
+            counter.sites.push((line.number, ".unwrap()"));
+        }
+        for _ in 0..t.matches(".expect(").count() {
+            counter.sites.push((line.number, ".expect(…)"));
+        }
+        for p in word_positions(t, "panic") {
+            if t[p + "panic".len()..].starts_with('!') {
+                counter.sites.push((line.number, "panic!"));
+            }
+        }
+    }
+    let allowed = cfg.panic_allow.get(rel).copied().unwrap_or(0);
+    let total = counter.sites.len();
+    for (line, token) in counter.sites.iter().skip(allowed) {
+        report.violations.push(Violation {
+            rule: "panic-budget",
+            file: rel.to_string(),
+            line: *line,
+            message: format!(
+                "`{token}` — {total} panic site(s) in non-test code exceed the file's allowance of {allowed}",
+            ),
+            hint: "return Result/Option or handle the case; the checked-in [panics] budget in \
+                   lint.toml may only shrink",
+        });
+    }
+    total
+}
+
+/// Counts narrowing `as` casts (`as u8/u16/u32/i8/i16/i32`) and reports
+/// overruns against the `[casts]` allowances.
+fn count_cast_sites(lines: &[CleanLine], rel: &str, cfg: &Config, report: &mut Report) -> usize {
+    const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+    let mut counter = SiteCounter { sites: Vec::new() };
+    for line in lines {
+        if line.in_test {
+            continue;
+        }
+        let t = &line.text;
+        for p in word_positions(t, "as") {
+            let rest = t[p + 2..].trim_start();
+            for target in NARROW {
+                if let Some(after) = rest.strip_prefix(target) {
+                    let end_ok = !after
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+                    if end_ok {
+                        counter.sites.push((line.number, "as-cast"));
+                    }
+                }
+            }
+        }
+    }
+    let allowed = cfg.cast_allow.get(rel).copied().unwrap_or(0);
+    let total = counter.sites.len();
+    for (line, _) in counter.sites.iter().skip(allowed) {
+        report.violations.push(Violation {
+            rule: "lossy-cast",
+            file: rel.to_string(),
+            line: *line,
+            message: format!(
+                "narrowing `as` cast — {total} site(s) exceed the file's allowance of {allowed}",
+            ),
+            hint: "use u64 arithmetic or TryFrom: silently truncating SimTime or byte counts \
+                   corrupts simulated time; if provably safe, bump [casts] in lint.toml with \
+                   a comment",
+        });
+    }
+    total
+}
+
+/// Flags allowances that exceed reality (or name files that no longer
+/// exist): the budget is a ratchet and may only move down.
+fn stale_allowances(
+    allow: &BTreeMap<String, usize>,
+    seen: &BTreeMap<String, usize>,
+    rule: &'static str,
+    report: &mut Report,
+) {
+    for (file, &allowance) in allow {
+        match seen.get(file) {
+            Some(&actual) if actual < allowance => {
+                report.violations.push(Violation {
+                    rule,
+                    file: file.clone(),
+                    line: 0,
+                    message: format!(
+                        "allowance {allowance} exceeds the actual count {actual} — ratchet it down",
+                    ),
+                    hint: "tighten the entry in lint.toml to match reality so the budget \
+                           cannot silently regrow",
+                });
+            }
+            None => {
+                report.violations.push(Violation {
+                    rule,
+                    file: file.clone(),
+                    line: 0,
+                    message: "allowlisted file was not scanned (moved, deleted, or not a \
+                              library source file)"
+                        .to_string(),
+                    hint: "remove or update the stale entry in lint.toml",
+                });
+            }
+            Some(_) => {}
+        }
+    }
+}

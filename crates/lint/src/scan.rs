@@ -1,0 +1,317 @@
+//! Source cleaning: a hand-rolled lexical pass over Rust files.
+//!
+//! The rules in [`crate::rules`] are token-level, so before matching they
+//! need a view of the source with everything that is *not* code blanked
+//! out: line and (nested) block comments, string/char literal contents,
+//! and raw strings. Doc comments are comments too, which is what lets the
+//! rules mention `HashMap` in their own documentation without tripping
+//! themselves.
+//!
+//! The cleaner also marks lines inside `#[cfg(test)]` items (and `#[test]`
+//! functions) so the determinism and panic-budget rules can skip test
+//! code: tests may unwrap and hash to their heart's content.
+
+/// One cleaned source line.
+#[derive(Debug, Clone)]
+pub struct CleanLine {
+    /// 1-based line number in the original file.
+    pub number: usize,
+    /// Line text with comment and literal contents blanked to spaces.
+    pub text: String,
+    /// Whether the line sits inside a `#[cfg(test)]` item or `#[test]` fn.
+    pub in_test: bool,
+}
+
+/// Cleans a whole file: strips comments/literals, marks test scopes.
+pub fn clean(src: &str) -> Vec<CleanLine> {
+    let stripped = strip_comments_and_literals(src);
+    let mut lines: Vec<CleanLine> = stripped
+        .lines()
+        .enumerate()
+        .map(|(i, text)| CleanLine {
+            number: i + 1,
+            text: text.to_string(),
+            in_test: false,
+        })
+        .collect();
+    mark_test_scopes(&mut lines);
+    lines
+}
+
+/// Blanks comments and literal contents, preserving line structure.
+///
+/// Handles nested `/* */`, `//` (incl. doc comments), `"…"` with escapes,
+/// raw strings `r"…"` / `r#"…"#` (any hash depth), byte strings, and char
+/// literals vs lifetimes (`'a'` vs `'a`).
+pub fn strip_comments_and_literals(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    // Pushes a blanked char, preserving newlines so line numbers survive.
+    fn blank(out: &mut String, c: char) {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    }
+    while i < n {
+        let c = b[i];
+        match c {
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                while i < n && b[i] != '\n' {
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let mut depth = 1usize;
+                blank(&mut out, b[i]);
+                blank(&mut out, b[i + 1]);
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        blank(&mut out, b[i]);
+                        blank(&mut out, b[i + 1]);
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        blank(&mut out, b[i]);
+                        blank(&mut out, b[i + 1]);
+                        i += 2;
+                    } else {
+                        blank(&mut out, b[i]);
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                out.push('"');
+                i += 1;
+                while i < n {
+                    if b[i] == '\\' && i + 1 < n {
+                        blank(&mut out, b[i]);
+                        blank(&mut out, b[i + 1]);
+                        i += 2;
+                    } else if b[i] == '"' {
+                        out.push('"');
+                        i += 1;
+                        break;
+                    } else {
+                        blank(&mut out, b[i]);
+                        i += 1;
+                    }
+                }
+            }
+            'r' if i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '#') => {
+                // Possible raw string r"…" / r#"…"#; otherwise plain ident.
+                let mut j = i + 1;
+                let mut hashes = 0usize;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == '"' {
+                    for &c in &b[i..=j] {
+                        blank(&mut out, c);
+                    }
+                    i = j + 1;
+                    while i < n {
+                        if b[i] == '"' {
+                            let mut k = i + 1;
+                            let mut h = 0usize;
+                            while k < n && h < hashes && b[k] == '#' {
+                                h += 1;
+                                k += 1;
+                            }
+                            if h == hashes {
+                                for &c in &b[i..k] {
+                                    blank(&mut out, c);
+                                }
+                                i = k;
+                                break;
+                            }
+                        }
+                        blank(&mut out, b[i]);
+                        i += 1;
+                    }
+                } else {
+                    out.push('r');
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal vs lifetime: '\…' or 'x' is a literal.
+                if i + 1 < n && b[i + 1] == '\\' {
+                    out.push('\'');
+                    i += 1;
+                    while i < n && b[i] != '\'' {
+                        blank(&mut out, b[i]);
+                        i += 1;
+                    }
+                    if i < n {
+                        out.push('\'');
+                        i += 1;
+                    }
+                } else if i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'' {
+                    out.push('\'');
+                    out.push(' ');
+                    out.push('\'');
+                    i += 3;
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Marks lines belonging to `#[cfg(test)]` items and `#[test]` functions.
+///
+/// Brace-counts from the attribute to the end of the item it decorates;
+/// `mod tests;` (no body) ends at the semicolon.
+fn mark_test_scopes(lines: &mut [CleanLine]) {
+    let mut i = 0;
+    while i < lines.len() {
+        let t = lines[i].text.trim_start();
+        let is_test_attr = t.starts_with("#[cfg(test)]") || t.starts_with("#[test]");
+        if !is_test_attr {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut j = i;
+        while j < lines.len() {
+            lines[j].in_test = true;
+            for c in lines[j].text.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            if !opened && lines[j].text.contains(';') {
+                break; // `#[cfg(test)] mod tests;` form
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+/// True when `line` contains `word` as a standalone token (not a substring
+/// of a longer identifier).
+pub fn has_word(line: &str, word: &str) -> bool {
+    word_positions(line, word).next().is_some()
+}
+
+/// Counts standalone occurrences of `word` in `line`.
+pub fn count_word(line: &str, word: &str) -> usize {
+    word_positions(line, word).count()
+}
+
+/// Byte offsets of standalone occurrences of `word` in `line`.
+pub fn word_positions<'a>(line: &'a str, word: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let mut start = 0usize;
+    std::iter::from_fn(move || {
+        while start <= line.len() {
+            let pos = line[start..].find(word)?;
+            let p = start + pos;
+            let end = p + word.len();
+            start = end.max(p + 1);
+            let before_ok = p == 0
+                || line[..p]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| !c.is_alphanumeric() && c != '_');
+            let after_ok = end >= line.len()
+                || line[end..]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| !c.is_alphanumeric() && c != '_');
+            if before_ok && after_ok {
+                return Some(p);
+            }
+        }
+        None
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_doc_comments() {
+        let out = strip_comments_and_literals("let x = 1; // HashMap here\n/// HashMap doc\n");
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn strips_nested_block_comments() {
+        let out = strip_comments_and_literals("a /* x /* HashMap */ y */ b");
+        assert!(!out.contains("HashMap"));
+        assert!(out.starts_with('a'));
+        assert!(out.trim_end().ends_with('b'));
+    }
+
+    #[test]
+    fn strips_string_contents_and_escapes() {
+        let out = strip_comments_and_literals(r#"trace("HashMap \" panic! {}", x);"#);
+        assert!(!out.contains("HashMap"));
+        assert!(!out.contains("panic!"));
+        assert!(out.contains("trace("));
+        assert!(out.contains(", x);"));
+    }
+
+    #[test]
+    fn strips_raw_strings() {
+        let out = strip_comments_and_literals("let s = r#\"an \"inner\" HashMap\"#; s.len()");
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("s.len()"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let out = strip_comments_and_literals("fn f<'a>(x: &'a str) { let c = 'h'; }");
+        assert!(out.contains("<'a>"));
+        assert!(out.contains("&'a str"));
+        assert!(!out.contains('h'));
+    }
+
+    #[test]
+    fn marks_cfg_test_modules() {
+        let lines = clean("fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n");
+        let flags: Vec<bool> = lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn marks_test_fns() {
+        let lines = clean("#[test]\nfn t() {\n    x();\n}\nfn d() {}\n");
+        let flags: Vec<bool> = lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn word_matching_respects_boundaries() {
+        assert!(has_word("use std::collections::HashMap;", "HashMap"));
+        assert!(!has_word("MyHashMapLike", "HashMap"));
+        assert!(!has_word("HashMapExt", "HashMap"));
+        assert_eq!(count_word("HashMap, HashMap", "HashMap"), 2);
+        assert!(has_word("a.unwrap()", "unwrap"));
+        assert!(!has_word("a.unwrap_or(x)", "unwrap"));
+    }
+}

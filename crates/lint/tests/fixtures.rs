@@ -1,0 +1,168 @@
+//! Fixture-based tests: each `tests/fixtures/*` tree is a miniature
+//! workspace with a known defect (or none), and the expected rule ids
+//! must — and only they may — fire.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Runs the lint library over a fixture and returns the sorted rule ids.
+fn rules_for(name: &str) -> Vec<String> {
+    let report = vlint::run(&fixture(name)).expect("fixture lints");
+    let mut rules: Vec<String> = report
+        .violations
+        .iter()
+        .map(|v| v.rule.to_string())
+        .collect();
+    rules.sort();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn hash_violation_fires_det_hash_only() {
+    assert_eq!(rules_for("hash_violation"), ["det-hash"]);
+    let report = vlint::run(&fixture("hash_violation")).unwrap();
+    // The use statement and the field type; not the comment, string, or
+    // the #[cfg(test)] module.
+    assert_eq!(report.violations.len(), 2);
+    assert!(report.violations.iter().all(|v| v.line == 2 || v.line == 5));
+}
+
+#[test]
+fn layering_violation_fires_dep_and_use() {
+    assert_eq!(
+        rules_for("layering_violation"),
+        ["layering-dep", "layering-use"]
+    );
+    let report = vlint::run(&fixture("layering_violation")).unwrap();
+    let dep = report
+        .violations
+        .iter()
+        .find(|v| v.rule == "layering-dep")
+        .unwrap();
+    assert_eq!(dep.file, "crates/beta/Cargo.toml");
+    let uses: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "layering-use")
+        .collect();
+    // `use gamma::Thing;` plus the two `gamma::` paths in the body.
+    assert!(!uses.is_empty());
+    assert!(uses.iter().all(|v| v.file == "crates/beta/src/lib.rs"));
+}
+
+#[test]
+fn lossy_cast_fires_on_narrowing_only() {
+    assert_eq!(rules_for("lossy_cast"), ["lossy-cast"]);
+    let report = vlint::run(&fixture("lossy_cast")).unwrap();
+    assert_eq!(report.violations.len(), 1, "widening u64::from is clean");
+    assert_eq!(report.violations[0].line, 3);
+}
+
+#[test]
+fn nondet_runtime_fires_time_thread_rand() {
+    assert_eq!(
+        rules_for("nondet_runtime"),
+        ["det-rand", "det-thread", "det-time"]
+    );
+}
+
+#[test]
+fn panic_budget_reports_overrun_and_stale_entries() {
+    assert_eq!(
+        rules_for("panic_budget"),
+        ["panic-budget", "panic-budget-stale"]
+    );
+    let report = vlint::run(&fixture("panic_budget")).unwrap();
+    let over: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "panic-budget")
+        .collect();
+    // 3 sites, allowance 1 → exactly 2 reported; the test-module unwrap
+    // is free.
+    assert_eq!(over.len(), 2);
+    let stale: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "panic-budget-stale")
+        .collect();
+    assert_eq!(stale.len(), 1);
+    assert_eq!(stale[0].file, "crates/eps/src/gone.rs");
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let report = vlint::run(&fixture("clean")).expect("clean fixture lints");
+    assert!(
+        report.is_clean(),
+        "expected clean, got:\n{}",
+        report.render_text()
+    );
+}
+
+// ---- binary behaviour: exit codes and the JSON artifact --------------
+
+fn run_bin(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_vlint"))
+        .args(args)
+        .output()
+        .expect("spawn vlint")
+}
+
+#[test]
+fn bin_exits_nonzero_on_each_bad_fixture() {
+    for name in [
+        "hash_violation",
+        "layering_violation",
+        "lossy_cast",
+        "nondet_runtime",
+        "panic_budget",
+    ] {
+        let out = run_bin(&["--root", fixture(name).to_str().unwrap()]);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "fixture {name} should fail:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn bin_exits_zero_on_clean_fixture() {
+    let out = run_bin(&["--root", fixture("clean").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn bin_exits_two_on_missing_config() {
+    let dir = std::env::temp_dir().join("vlint-no-config");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = run_bin(&["--root", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn bin_writes_json_artifact() {
+    let path = std::env::temp_dir().join("vlint-fixture-artifact.json");
+    let _ = std::fs::remove_file(&path);
+    let out = run_bin(&[
+        "--root",
+        fixture("hash_violation").to_str().unwrap(),
+        "--json-path",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "still fails while writing JSON");
+    let json = std::fs::read_to_string(&path).expect("artifact written");
+    assert!(json.contains("\"tool\": \"vlint\""));
+    assert!(json.contains("\"clean\": false"));
+    assert!(json.contains("\"det-hash\": 2"));
+    assert!(json.contains("\"rule\": \"det-hash\""));
+}

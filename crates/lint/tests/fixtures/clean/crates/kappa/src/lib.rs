@@ -1,0 +1,22 @@
+//! Clean fixture: ordered collections, no panics, no narrowing casts.
+use std::collections::BTreeMap;
+
+/// Mentions of HashMap, Instant::now(), and x.unwrap() in comments or
+/// "strings: HashMap panic! as u32" must not trip any rule.
+pub fn sum(values: &BTreeMap<String, u64>) -> u64 {
+    values.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_do_anything() {
+        let t = std::time::Instant::now();
+        let mut m = HashMap::new();
+        m.insert("k", t);
+        assert_eq!(m.len() as u32, 1);
+        Some(()).unwrap();
+    }
+}

@@ -1,0 +1,20 @@
+//! Known-bad fixture: hash-ordered collections in library code.
+use std::collections::HashMap;
+
+pub struct Registry {
+    by_name: HashMap<String, u32>,
+}
+
+// A mention in a comment (HashSet) and in a string must NOT trip the rule:
+pub const NOTE: &str = "HashSet here is fine";
+
+#[cfg(test)]
+mod tests {
+    // Test code may hash freely.
+    use std::collections::HashSet;
+
+    #[test]
+    fn hashing_in_tests_is_fine() {
+        let _ = HashSet::<u32>::new();
+    }
+}

@@ -1,0 +1,6 @@
+//! Known-bad fixture: `beta` reaches into `gamma` against the DAG.
+use gamma::Thing;
+
+pub fn touch() -> Thing {
+    gamma::Thing::default()
+}

@@ -1,0 +1,3 @@
+//! Lower-layer fixture crate.
+#[derive(Default)]
+pub struct Thing;

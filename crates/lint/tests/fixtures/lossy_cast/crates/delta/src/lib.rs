@@ -1,0 +1,8 @@
+//! Known-bad fixture: a narrowing cast on simulated-time arithmetic.
+pub fn truncate_time(micros: u64) -> u32 {
+    micros as u32
+}
+
+pub fn widen_is_fine(x: u16) -> u64 {
+    u64::from(x) // no `as`, no finding
+}

@@ -1,0 +1,8 @@
+//! Known-bad fixture: wall-clock time, OS threads, ambient randomness.
+use std::time::Instant;
+
+pub fn naughty() {
+    let _t0 = Instant::now();
+    let _h = std::thread::spawn(|| 1 + 1);
+    let _r = rand::random::<u64>();
+}

@@ -1,0 +1,24 @@
+//! Known-bad fixture: three panic sites against an allowance of one.
+pub fn first(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn second(x: Option<u32>) -> u32 {
+    x.expect("second")
+}
+
+pub fn third(x: Option<u32>) -> u32 {
+    match x {
+        Some(v) => v,
+        None => panic!("third"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_free() {
+        assert_eq!(super::first(Some(3)), 3);
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,60 @@
+//! Self-check: the live workspace passes its own auditor clean.
+//!
+//! This is the same gate CI runs (`cargo run -p vlint`); keeping it as a
+//! test means a plain `cargo test --workspace` also refuses hash-ordered
+//! state, layering breaks, and budget overruns.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint/ → crates/ → workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn live_workspace_is_clean() {
+    let root = workspace_root();
+    assert!(root.join("lint.toml").is_file(), "lint.toml at {root:?}");
+    let report = vlint::run(&root).expect("lint pass runs");
+    assert!(
+        report.is_clean(),
+        "workspace must lint clean, got:\n{}",
+        report.render_text()
+    );
+    // The pass actually covered the tree (all nine library/bench crates,
+    // vlint itself, and the root facade).
+    assert!(
+        report.crates_audited >= 11,
+        "{} crates",
+        report.crates_audited
+    );
+    assert!(report.files_scanned >= 60, "{} files", report.files_scanned);
+}
+
+#[test]
+fn workspace_json_artifact_is_parseable_by_vsim() {
+    // vlint's JSON must stay consumable by the repo's own parser — but
+    // vlint cannot depend on vsim (layering!), so this lives in a test.
+    let report = vlint::run(&workspace_root()).expect("lint pass runs");
+    let json = report.to_json();
+    assert!(json.contains("\"clean\": true"));
+    // Minimal structural sanity without a parser dependency: balanced
+    // braces and the expected top-level keys.
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "balanced braces"
+    );
+    for key in [
+        "\"tool\"",
+        "\"crates_audited\"",
+        "\"files_scanned\"",
+        "\"violations\"",
+    ] {
+        assert!(json.contains(key), "missing {key}");
+    }
+}

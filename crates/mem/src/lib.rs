@@ -8,9 +8,6 @@
 //! model fitted to the paper's measurements ([`WwsParams`],
 //! [`WwsSampler`]).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod bitset;
 mod space;
 mod wws;

@@ -70,13 +70,18 @@ mod tests {
     }
 
     #[test]
-    fn addr_ordering_and_hash() {
-        use std::collections::HashSet;
-        let mut s = HashSet::new();
+    fn addr_ordering_and_dedup() {
+        use std::collections::BTreeSet;
+        let mut s = BTreeSet::new();
         s.insert(HostAddr(1));
         s.insert(HostAddr(1));
         s.insert(HostAddr(2));
         assert_eq!(s.len(), 2);
         assert!(HostAddr(1) < HostAddr(2));
+        // Ordered iteration is what the determinism rules rely on.
+        assert_eq!(
+            s.iter().copied().collect::<Vec<_>>(),
+            [HostAddr(1), HostAddr(2)]
+        );
     }
 }

@@ -15,7 +15,7 @@
 //! * **Host failure**: a down station neither sends nor receives, for the
 //!   old-host-reboot and target-failure experiments.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use vsim::calib::{frame_wire_time, WIRE_LATENCY};
 use vsim::{
@@ -97,14 +97,14 @@ struct Station {
 /// ```
 pub struct Ethernet<P> {
     stations: Vec<Station>,
-    groups: HashMap<McastGroup, BTreeSet<HostAddr>>,
+    groups: BTreeMap<McastGroup, BTreeSet<HostAddr>>,
     busy_until: SimTime,
     loss: LossState,
     rng: DetRng,
     /// Directed sender → receiver pairs currently blocked by a partition.
     blocked: BTreeSet<(HostAddr, HostAddr)>,
     /// Directed links with extra latency: `(extra, expires_at)`.
-    link_extra: HashMap<(HostAddr, HostAddr), (SimDuration, SimTime)>,
+    link_extra: BTreeMap<(HostAddr, HostAddr), (SimDuration, SimTime)>,
     /// Per-delivery corruption probability while `now < corrupt_until`.
     corrupt_prob: f64,
     corrupt_until: SimTime,
@@ -140,12 +140,12 @@ impl<P: Clone> Ethernet<P> {
         let hist_frame_bytes = metrics.histogram(Subsystem::Net, "frame_payload_bytes", "bytes");
         Ethernet {
             stations: Vec::new(),
-            groups: HashMap::new(),
+            groups: BTreeMap::new(),
             busy_until: SimTime::ZERO,
             loss: LossState::new(loss),
             rng,
             blocked: BTreeSet::new(),
-            link_extra: HashMap::new(),
+            link_extra: BTreeMap::new(),
             corrupt_prob: 0.0,
             corrupt_until: SimTime::ZERO,
             stats: WireStats::default(),
@@ -283,7 +283,7 @@ impl<P: Clone> Ethernet<P> {
     /// The channel serializes frames: if it is busy, transmission starts
     /// when it frees. All receivers hear the frame at the same instant
     /// (plus any per-link latency spike); loss, partition blocking, and
-    /// corruption are decided independently per receiver in [`Ethernet::deliver`].
+    /// corruption are decided independently per receiver (`Ethernet::deliver`).
     /// The sender never receives its own frame.
     pub fn transmit(&mut self, now: SimTime, frame: Frame<P>) -> Vec<Delivery<P>> {
         if !self.station(frame.src).up {

@@ -6,9 +6,6 @@
 //! multicast (used for binding-cache queries and the program-manager
 //! group), and station up/down state for crash experiments.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod addr;
 mod ethernet;
 mod frame;

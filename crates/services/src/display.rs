@@ -6,7 +6,7 @@
 //! remotely executed programs stay network-transparent: their output
 //! still appears on the user's screen.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vkernel::{Kernel, ProcessId};
 use vsim::{SimDuration, SimTime};
@@ -36,11 +36,11 @@ struct PendingWrite {
 /// A workstation's display server.
 pub struct DisplayServer {
     pid: ProcessId,
-    pending: HashMap<u64, PendingWrite>,
+    pending: BTreeMap<u64, PendingWrite>,
     next_token: u64,
     stats: DisplayStats,
     /// Characters received per client process (for tests and demos).
-    per_client: HashMap<ProcessId, u64>,
+    per_client: BTreeMap<ProcessId, u64>,
 }
 
 impl DisplayServer {
@@ -48,10 +48,10 @@ impl DisplayServer {
     pub fn new(pid: ProcessId) -> Self {
         DisplayServer {
             pid,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             next_token: 0,
             stats: DisplayStats::default(),
-            per_client: HashMap::new(),
+            per_client: BTreeMap::new(),
         }
     }
 

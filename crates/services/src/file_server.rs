@@ -8,7 +8,7 @@
 //! dependency hazard of §3.3 (a migrated program still reaching back to
 //! its old host's local files).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vkernel::{Kernel, LogicalHostId, ProcessId, SendError, SendSeq, XferId};
 use vmem::{SpaceId, SpaceLayout};
@@ -80,12 +80,12 @@ enum Pending {
 /// A file server process.
 pub struct FileServer {
     pid: ProcessId,
-    images: HashMap<String, SpaceLayout>,
-    files: HashMap<String, u64>,
-    open: HashMap<FileHandle, OpenFile>,
+    images: BTreeMap<String, SpaceLayout>,
+    files: BTreeMap<String, u64>,
+    open: BTreeMap<FileHandle, OpenFile>,
     next_handle: u64,
-    pending: HashMap<u64, Pending>,
-    by_xfer: HashMap<XferId, u64>,
+    pending: BTreeMap<u64, Pending>,
+    by_xfer: BTreeMap<XferId, u64>,
     next_token: u64,
     stats: FsStats,
 }
@@ -95,12 +95,12 @@ impl FileServer {
     pub fn new(pid: ProcessId) -> Self {
         FileServer {
             pid,
-            images: HashMap::new(),
-            files: HashMap::new(),
-            open: HashMap::new(),
+            images: BTreeMap::new(),
+            files: BTreeMap::new(),
+            open: BTreeMap::new(),
             next_handle: 1,
-            pending: HashMap::new(),
-            by_xfer: HashMap::new(),
+            pending: BTreeMap::new(),
+            by_xfer: BTreeMap::new(),
             next_token: 0,
             stats: FsStats::default(),
         }

@@ -10,7 +10,7 @@
 //! The client side of migration — the five-step orchestration — lives in
 //! `vcore::migration` and drives this server side over IPC.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use vkernel::{
     Kernel, LogicalHostId, Priority, ProcessId, ProcessState, ReplyIn, SendError, SendSeq,
@@ -160,11 +160,11 @@ pub struct ProgramManager {
     policy: AcceptPolicy,
     owner_active: bool,
     programs: BTreeMap<LogicalHostId, ProgramInfo>,
-    waiters: HashMap<LogicalHostId, Vec<(ProcessId, SendSeq)>>,
-    pending_fetch: HashMap<LogicalHostId, FetchPlan>,
-    fetches_in_flight: HashMap<vkernel::XferId, LogicalHostId>,
-    pending: HashMap<u64, Pending>,
-    by_seq: HashMap<SendSeq, u64>,
+    waiters: BTreeMap<LogicalHostId, Vec<(ProcessId, SendSeq)>>,
+    pending_fetch: BTreeMap<LogicalHostId, FetchPlan>,
+    fetches_in_flight: BTreeMap<vkernel::XferId, LogicalHostId>,
+    pending: BTreeMap<u64, Pending>,
+    by_seq: BTreeMap<SendSeq, u64>,
     /// Logical hosts installed by migration and still awaiting their
     /// UnfreezeMigrated step (distinguishes "frozen because the source
     /// died post-commit" from a deliberate SuspendProgram).
@@ -203,11 +203,11 @@ impl ProgramManager {
             policy,
             owner_active: false,
             programs: BTreeMap::new(),
-            waiters: HashMap::new(),
-            pending_fetch: HashMap::new(),
-            fetches_in_flight: HashMap::new(),
-            pending: HashMap::new(),
-            by_seq: HashMap::new(),
+            waiters: BTreeMap::new(),
+            pending_fetch: BTreeMap::new(),
+            fetches_in_flight: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            by_seq: BTreeMap::new(),
             awaiting_unfreeze: std::collections::BTreeSet::new(),
             suspended: std::collections::BTreeSet::new(),
             migration_watchdog: true,

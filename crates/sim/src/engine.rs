@@ -10,8 +10,8 @@
 //! so a run is a pure function of the initial state and the RNG seed.
 
 use std::cmp::Ordering;
+use std::collections::BTreeSet;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 use crate::metrics::{CounterId, Metrics};
 use crate::time::{SimDuration, SimTime};
@@ -70,7 +70,7 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 pub struct Engine<E> {
     queue: BinaryHeap<Scheduled<E>>,
-    cancelled: HashSet<EventId>,
+    cancelled: BTreeSet<EventId>,
     now: SimTime,
     next_seq: u64,
     popped: u64,
@@ -95,7 +95,7 @@ impl<E> Engine<E> {
         let ctr_cancelled = metrics.counter(Subsystem::Engine, "events_cancelled");
         Engine {
             queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             now: SimTime::ZERO,
             next_seq: 0,
             popped: 0,

@@ -2,7 +2,7 @@
 //!
 //! The paper's headline numbers are latency *decompositions* — freeze time
 //! split into residual copy, commit, and rebind (§4.2); remote-execution
-//! overhead split per message exchange (§5) — but [`Trace`](crate::Trace)
+//! overhead split per message exchange (§5) — but [`Trace`]
 //! is a flat event stream. This module layers Dapper-style causal spans on
 //! top of it: a span is a named interval opened and closed by two trace
 //! records ([`TraceEvent::SpanOpen`] / [`TraceEvent::SpanClose`]) linked to

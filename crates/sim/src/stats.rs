@@ -171,7 +171,7 @@ impl Samples {
             return None;
         }
         let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        sorted.sort_by(f64::total_cmp);
         // Nearest-rank: the ceil(p/100 * n)-th smallest sample (1-indexed).
         let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
         Some(sorted[rank.clamp(1, sorted.len()) - 1])
@@ -184,18 +184,12 @@ impl Samples {
 
     /// Minimum sample.
     pub fn min(&self) -> Option<f64> {
-        self.values
-            .iter()
-            .copied()
-            .min_by(|a, b| a.partial_cmp(b).expect("NaN sample"))
+        self.values.iter().copied().min_by(|a, b| a.total_cmp(b))
     }
 
     /// Maximum sample.
     pub fn max(&self) -> Option<f64> {
-        self.values
-            .iter()
-            .copied()
-            .max_by(|a, b| a.partial_cmp(b).expect("NaN sample"))
+        self.values.iter().copied().max_by(|a, b| a.total_cmp(b))
     }
 
     /// Read-only view of the raw samples, in insertion order.

@@ -7,9 +7,6 @@
 //! and display phases. [`UserModel`] reproduces the owner activity the
 //! paper reports (>80% idle at peak).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod profiles;
 mod program;
 mod user;

@@ -35,8 +35,6 @@
 //! assert!(cluster.exec_reports[0].success);
 //! ```
 
-#![forbid(unsafe_code)]
-
 pub use vcluster;
 pub use vcore;
 pub use vkernel;
