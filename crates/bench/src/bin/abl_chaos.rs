@@ -39,9 +39,10 @@ vsim::impl_to_json!(Row {
     quiesced_at_secs
 });
 
-const SEEDS: u64 = 32;
-
 fn main() {
+    // How many independent fault plans to soak (one cluster run each).
+    let seeds = vbench::config_u64("fault_plans", 32);
+    let seed_base = vbench::config_u64("seed", 0xC0FFEE);
     // Info keeps the migration phase spans; faults leave some spans open
     // (lost transactions), which is visible data here, not an error.
     let level = vbench::trace_level(TraceLevel::Info);
@@ -62,8 +63,8 @@ fn main() {
         ],
     );
     let mut clean = 0u64;
-    for seed in 0..SEEDS {
-        let mut rng = DetRng::seed(0xC0FFEE ^ seed);
+    for seed in 0..seeds {
+        let mut rng = DetRng::seed(seed_base ^ seed);
         let plan = FaultPlan::random(&mut rng, 5, SimDuration::from_secs(30));
         let fault_events = plan.events.len();
         let mut c = Cluster::new(ClusterConfig {
@@ -120,7 +121,7 @@ fn main() {
         metrics.absorb(c.metrics_report().prefixed(&format!("seed{seed}")));
         let tree = c.span_tree();
         summary.absorb_tree(&tree);
-        if seed + 1 == SEEDS {
+        if seed + 1 == seeds {
             vbench::export_trace("abl_chaos", &tree);
         }
         t.row(&[
@@ -147,7 +148,7 @@ fn main() {
     }
     t.print();
     println!(
-        "\nShape check: {clean}/{SEEDS} seeds finish with a clean audit —\n\
+        "\nShape check: {clean}/{seeds} seeds finish with a clean audit —\n\
          crashes reboot into broadcast re-query (no forwarding state),\n\
          half-built migrations are reclaimed by the target watchdogs, and\n\
          partitions heal into plain retransmission catch-up. The damage is\n\

@@ -125,6 +125,7 @@ fn scenario(forwarding: bool) -> (Row, vsim::MetricsReport) {
 }
 
 fn main() {
+    vbench::args(); // start the wall clock; the scenario pair is fixed
     let (v, v_metrics) = scenario(false);
     let (demos, demos_metrics) = scenario(true);
     let mut metrics = v_metrics.prefixed("v");

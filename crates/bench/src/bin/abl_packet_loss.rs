@@ -47,7 +47,7 @@ fn main() {
     for &loss in &[0.0, 1e-4, 1e-3, 1e-2, 5e-2] {
         let cfg = ClusterConfig {
             workstations: 3,
-            seed: 77,
+            seed: vbench::config_u64("seed", 77),
             loss: if loss == 0.0 {
                 LossModel::None
             } else {

@@ -35,12 +35,12 @@ vsim::impl_to_json!(Results {
 fn main() {
     let mut c = Cluster::new(ClusterConfig {
         workstations: 8,
-        seed: 2024,
+        seed: vbench::config_u64("seed", 2024),
         loss: LossModel::None,
         trace: vbench::trace_level(TraceLevel::Warn),
         ..ClusterConfig::default()
     });
-    let mut rng = DetRng::seed(5);
+    let mut rng = DetRng::seed(vbench::config_u64("rng_seed", 5));
 
     let mut picked_best = 0usize;
     let mut excess = Vec::new();

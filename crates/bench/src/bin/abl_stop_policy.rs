@@ -69,6 +69,7 @@ fn migrate(policy: StopPolicy, name: &str, seed: u64) -> (MigrationReport, vsim:
 }
 
 fn main() {
+    let seed = vbench::config_u64("seed", 7);
     let mut rows = Vec::new();
     let mut metrics = vsim::MetricsReport::new();
     for name in ["parser", "tex"] {
@@ -88,7 +89,7 @@ fn main() {
             .collect();
         policies.push(("adaptive (paper)".into(), StopPolicy::default()));
         for (label, p) in policies {
-            let (r, m) = migrate(p, name, 7 + label.len() as u64);
+            let (r, m) = migrate(p, name, seed + label.len() as u64);
             metrics.absorb(m.prefixed(&format!("{name}/{label}")));
             t.row(&[
                 label.clone(),

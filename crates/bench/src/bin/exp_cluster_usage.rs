@@ -37,10 +37,11 @@ vsim::impl_to_json!(Results {
 });
 
 fn main() {
-    let workstations = 24; // Plus the file server = the paper's ~25.
+    // Plus the file server = the paper's ~25.
+    let workstations = vbench::config_usize("workstations", 24);
     let cfg = ClusterConfig {
         workstations,
-        seed: 1985,
+        seed: vbench::config_u64("seed", 1985),
         loss: LossModel::Bernoulli(1e-4),
         users: Some(UserModelParams::peak_hours()),
         trace: vbench::trace_level(TraceLevel::Warn),
@@ -49,8 +50,8 @@ fn main() {
     let mut c = Cluster::new(cfg);
 
     // Random compile jobs via @* throughout the run.
-    let mut rng = DetRng::seed(4242);
-    let hours = 3.0;
+    let mut rng = DetRng::seed(vbench::config_u64("rng_seed", 4242));
+    let hours = vbench::config_f64("hours", 3.0);
     let total = SimDuration::from_secs_f64(hours * 3600.0);
     let mut t = SimTime::ZERO;
     let mut issued = 0u64;

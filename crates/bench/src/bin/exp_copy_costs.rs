@@ -30,10 +30,11 @@ vsim::impl_to_json!(Results {
 });
 
 fn main() {
-    // --- Kernel-state copy cost vs object count. ---
-    // The migration record's copy cost is charged by the target program
-    // manager; here we construct logical hosts of increasing complexity
-    // and report the record's cost (14 + 9 * objects ms).
+    vbench::args(); // start the wall clock; this experiment has no knobs
+                    // --- Kernel-state copy cost vs object count. ---
+                    // The migration record's copy cost is charged by the target program
+                    // manager; here we construct logical hosts of increasing complexity
+                    // and report the record's cost (14 + 9 * objects ms).
     let mut t = Table::new(
         "E3a: kernel/PM state copy cost (14 ms + 9 ms per process & space)",
         &["processes", "spaces", "objects", "paper ms", "model ms"],

@@ -39,12 +39,13 @@ fn main() {
         SimDuration::from_millis(200),
         SimDuration::from_millis(300),
     ]);
-    let runs = 40;
+    let base = vbench::config_u64("seed", 9000);
+    let runs = vbench::config_u64("runs", 40);
     let mut metrics = vsim::MetricsReport::new();
     for i in 0..runs {
         let cfg = ClusterConfig {
             workstations: 3,
-            seed: 9000 + i,
+            seed: base + i,
             loss: LossModel::Bernoulli(1e-3),
             trace: vbench::trace_level(TraceLevel::Warn),
             ..ClusterConfig::default()

@@ -106,6 +106,7 @@ fn ms(d: SimDuration) -> f64 {
 fn main() {
     // Phase spans are recorded at Info; `--trace-level detail` adds the
     // per-transaction ipc/serve spans underneath them.
+    let base = vbench::config_u64("seed", 2000);
     let level = vbench::trace_level(TraceLevel::Info);
     let mut t = Table::new(
         "E4: migration freeze time per program (pre-copy vs freeze-and-copy)",
@@ -134,11 +135,15 @@ fn main() {
         let (pre, pre_metrics, tree) = migrate_once(
             Strategy::PreCopy(StopPolicy::default()),
             row.name,
-            2000 + i as u64,
+            base + i as u64,
             level,
         );
-        let (naive, naive_metrics, naive_tree) =
-            migrate_once(Strategy::FreezeAndCopy, row.name, 3000 + i as u64, level);
+        let (naive, naive_metrics, naive_tree) = migrate_once(
+            Strategy::FreezeAndCopy,
+            row.name,
+            base + 1000 + i as u64,
+            level,
+        );
         metrics.absorb(pre_metrics.prefixed(&format!("{}/precopy", row.name)));
         metrics.absorb(naive_metrics.prefixed(&format!("{}/naive", row.name)));
         let ph: MigrationPhases = migration_phases(&tree)

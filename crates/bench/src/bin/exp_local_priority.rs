@@ -71,10 +71,11 @@ fn main() {
         "E10: editor keystroke->echo response vs background guest jobs",
         &["guest jobs", "mean ms", "p95 ms", "keystrokes"],
     );
+    let seed = vbench::config_u64("seed", 50);
     let mut rows = Vec::new();
     let mut metrics = vsim::MetricsReport::new();
     for guests in 0..=2 {
-        let (r, m) = run_with_guests(guests, 50 + guests as u64);
+        let (r, m) = run_with_guests(guests, seed + guests as u64);
         metrics.absorb(m.prefixed(&format!("guests{guests}")));
         t.row(&[
             r.guest_jobs.to_string(),

@@ -30,7 +30,7 @@ vsim::impl_to_json!(Results {
 
 fn main() {
     // A busy little cluster: remote compile + migration + file traffic.
-    let mut c = quiet_cluster(3, 99);
+    let mut c = quiet_cluster(3, vbench::config_u64("seed", 99));
     let row = profiles::row("parser").expect("row");
     let profile = profiles::realistic_profile(row);
     let (lh, _) = launch(

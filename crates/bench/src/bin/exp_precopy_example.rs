@@ -34,7 +34,9 @@ vsim::impl_to_json!(Results {
 });
 
 fn main() {
-    let mut cfg = quiet_cluster(3, 42).config().clone();
+    let mut cfg = quiet_cluster(3, vbench::config_u64("seed", 42))
+        .config()
+        .clone();
     cfg.trace = vbench::trace_level(TraceLevel::Info);
     cfg.migration = MigrationConfig {
         strategy: Strategy::PreCopy(StopPolicy {

@@ -54,10 +54,12 @@ fn image_profile(kb: u64, secs: u64) -> ProgramProfile {
 
 fn main() {
     // --- Selection time: first response to "@ *" over many trials. ---
+    let base = vbench::config_u64("seed", 100);
+    let trials = vbench::config_u64("trials", 20);
     let mut selection = OnlineStats::new();
     let mut metrics = vsim::MetricsReport::new();
-    for seed in 0..20u64 {
-        let mut c = quiet_cluster(6, 100 + seed);
+    for seed in 0..trials {
+        let mut c = quiet_cluster(6, base + seed);
         c.exec(
             1,
             image_profile(100, 1),
@@ -68,7 +70,7 @@ fn main() {
         let r = &c.exec_reports[0];
         assert!(r.success, "{r:?}");
         selection.add(r.selection_time.as_secs_f64() * 1e3);
-        if seed == 19 {
+        if seed + 1 == trials {
             metrics.absorb(c.metrics_report().prefixed("selection"));
         }
     }

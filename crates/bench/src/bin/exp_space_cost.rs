@@ -35,6 +35,7 @@ fn count_loc(path: &str) -> usize {
 }
 
 fn main() {
+    vbench::args(); // start the wall clock; this experiment has no knobs
     let root = std::env::var("CARGO_MANIFEST_DIR")
         .map(|d| format!("{d}/../.."))
         .unwrap_or_else(|_| ".".into());

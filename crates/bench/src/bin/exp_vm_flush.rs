@@ -75,14 +75,15 @@ fn migrate(strategy: Strategy, seed: u64) -> (MigrationReport, u64, vsim::Metric
 }
 
 fn main() {
-    let (pre, pre_fetched, pre_metrics) = migrate(Strategy::PreCopy(StopPolicy::default()), 11);
+    let seed = vbench::config_u64("seed", 11);
+    let (pre, pre_fetched, pre_metrics) = migrate(Strategy::PreCopy(StopPolicy::default()), seed);
     let (vm, vm_fetched, vm_metrics) = migrate(
         Strategy::VmFlush {
             paging_lh: PAGING_LH,
             paging_space: vmem::SpaceId(0),
             stop: StopPolicy::default(),
         },
-        11,
+        seed,
     );
     let fetched_of = |s: &str| {
         if s == "vm-flush" {

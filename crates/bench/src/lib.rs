@@ -9,13 +9,16 @@ pub mod regress;
 pub mod spans;
 
 use std::fmt::Display;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Instant;
 
 use vcluster::{Cluster, ClusterConfig};
 use vcore::ExecTarget;
 use vkernel::{LogicalHostId, Priority};
 use vmem::SpaceId;
 use vnet::LossModel;
-use vsim::{Json, MetricsReport, Samples, SimDuration, ToJson, TraceLevel};
+use vsim::{Json, MetricsReport, Samples, SimDuration, Subsystem, ToJson, TraceLevel};
 use vworkload::ProgramProfile;
 
 pub use spans::{
@@ -100,6 +103,112 @@ pub fn pct(measured: f64, reference: f64) -> String {
     } else {
         format!("{:+.1}%", (measured - reference) / reference * 100.0)
     }
+}
+
+/// The uniform command-line contract every bench binary supports —
+/// `--config <path.json>` (cell parameters, e.g. a seed override) and
+/// `--out <path.json>` (artifact destination) — plus the wall-clock epoch
+/// behind the `run` section of every artifact. `vrun` drives the bins
+/// through exactly this interface; run by hand, both default off and the
+/// binary behaves as before (artifact to `results/<name>.json`).
+pub struct BenchArgs {
+    /// Parsed `--config` JSON object, when given.
+    pub config: Option<Json>,
+    /// `--out` artifact path override, when given.
+    pub out: Option<PathBuf>,
+    /// Wall-clock instant of the first [`args`] call (≈ process start;
+    /// every binary calls it first thing in `main`).
+    pub started: Instant,
+}
+
+static ARGS: OnceLock<BenchArgs> = OnceLock::new();
+
+/// Parses (once) and returns the shared bench arguments. Call it at the
+/// top of `main` so the wall-clock epoch covers the whole run; unknown
+/// arguments are ignored (e.g. `--trace-level`, handled by
+/// [`trace_level`]).
+///
+/// # Panics
+///
+/// Exits with code 2 when `--config` names a missing or malformed JSON
+/// file, or when `--config`/`--out` lacks its value — a misconfigured
+/// sweep cell must fail loudly, not run with default parameters.
+pub fn args() -> &'static BenchArgs {
+    ARGS.get_or_init(|| {
+        let started = Instant::now();
+        let mut config_path: Option<String> = None;
+        let mut out: Option<PathBuf> = None;
+        let mut argv = std::env::args().skip(1);
+        while let Some(a) = argv.next() {
+            if let Some(v) = a.strip_prefix("--config=") {
+                config_path = Some(v.to_string());
+            } else if a == "--config" {
+                match argv.next() {
+                    Some(v) => config_path = Some(v),
+                    None => bad_usage("--config needs a path"),
+                }
+            } else if let Some(v) = a.strip_prefix("--out=") {
+                out = Some(PathBuf::from(v));
+            } else if a == "--out" {
+                match argv.next() {
+                    Some(v) => out = Some(PathBuf::from(v)),
+                    None => bad_usage("--out needs a path"),
+                }
+            }
+        }
+        let config = config_path.map(|p| {
+            let text = std::fs::read_to_string(&p).unwrap_or_else(|e| {
+                bad_usage(&format!("cannot read --config {p}: {e}"));
+            });
+            Json::parse(&text).unwrap_or_else(|e| {
+                bad_usage(&format!("--config {p}: {e}"));
+            })
+        });
+        BenchArgs {
+            config,
+            out,
+            started,
+        }
+    })
+}
+
+fn bad_usage(msg: &str) -> ! {
+    eprintln!("vbench: {msg}");
+    std::process::exit(2)
+}
+
+/// A `u64` cell parameter from `--config` (e.g. `"seed"`), or `default`.
+pub fn config_u64(key: &str, default: u64) -> u64 {
+    match args().config.as_ref().and_then(|c| c.get(key)) {
+        Some(Json::UInt(u)) => *u,
+        Some(v) => v.as_f64().map_or(default, |x| x.max(0.0) as u64),
+        None => default,
+    }
+}
+
+/// A `usize` cell parameter from `--config`, or `default`.
+pub fn config_usize(key: &str, default: usize) -> usize {
+    usize::try_from(config_u64(key, default as u64)).unwrap_or(default)
+}
+
+/// An `f64` cell parameter from `--config`, or `default`.
+pub fn config_f64(key: &str, default: f64) -> f64 {
+    args()
+        .config
+        .as_ref()
+        .and_then(|c| c.get(key))
+        .and_then(Json::as_f64)
+        .unwrap_or(default)
+}
+
+/// A string cell parameter from `--config`, when present.
+pub fn config_str(key: &str) -> Option<String> {
+    args()
+        .config
+        .as_ref()
+        .and_then(|c| c.get(key))
+        .and_then(Json::as_str)
+        .map(str::to_string)
 }
 
 /// A lossless default cluster for timing experiments. Trace verbosity
@@ -194,22 +303,45 @@ pub fn emit(name: &str, rows: &impl ToJson, metrics: &MetricsReport) {
 
 /// Like [`emit`], plus an optional `spans` section carrying per-phase
 /// duration percentiles from a [`SpanSummary`].
+///
+/// Besides the deterministic `experiment` / `table` / `metrics` sections,
+/// every artifact carries a `run` section with `sim_events_total` (the
+/// engine's delivered-event counter summed across scopes), the wall-clock
+/// duration since [`args`] was first called, and the resulting simulated
+/// events per wall second. `run` is the only nondeterministic section:
+/// the doc generator and the regression gate read `table` alone.
 pub fn emit_full(
     name: &str,
     rows: &impl ToJson,
     metrics: &MetricsReport,
     spans: Option<&SpanSummary>,
 ) {
+    let events = metrics.counter_total(Subsystem::Engine, "events_delivered");
+    let wall = args().started.elapsed().as_secs_f64();
+    let rate = if wall > 0.0 {
+        events as f64 / wall
+    } else {
+        0.0
+    };
+    let run = Json::obj(vec![
+        ("sim_events_total", events.to_json()),
+        ("wall_secs", wall.to_json()),
+        ("events_per_sec", rate.to_json()),
+    ]);
     let mut fields = vec![
         ("experiment", name.to_json()),
         ("table", rows.to_json()),
         ("metrics", metrics.to_json()),
+        ("run", run),
     ];
     if let Some(s) = spans {
         fields.push(("spans", s.to_json()));
     }
     let artifact = Json::obj(fields);
-    let path = artifact_dir().join(format!("{name}.json"));
+    let path = match &args().out {
+        Some(p) => p.clone(),
+        None => artifact_dir().join(format!("{name}.json")),
+    };
     if let Some(parent) = path.parent() {
         let _ = std::fs::create_dir_all(parent);
     }

@@ -1,36 +1,17 @@
-//! `lint.toml` loading: a minimal TOML-subset parser.
+//! `lint.toml` loading, on top of the shared [`crate::toml`] reader.
 //!
-//! The auditor is dependency-free, so this module hand-rolls the small
-//! config reader it needs (the same spirit as `vsim::json`). The accepted
-//! subset is exactly what `lint.toml` uses:
-//!
-//! ```toml
-//! [section]
-//! bare_key = 3
-//! "quoted/key.rs" = 2
-//! list = ["a", "b"]   # arrays of strings, may span lines
-//! ```
-//!
-//! Comments (`#`), blank lines, integer / string / string-array values.
-//! Anything else is a hard error: the config gates CI, so silent
-//! misparsing is worse than failing loudly.
+//! The auditor is dependency-free, so the workspace hand-rolls its own
+//! small TOML-subset parser (the same spirit as `vsim::json`). That
+//! parser started here and now lives in [`crate::toml`], where `vrun`'s
+//! sweep specs share it; this module keeps the `lint.toml`-specific
+//! schema: which sections exist, which value types they take, and the
+//! validation that makes a bad config a loud CI failure instead of a
+//! silently skipped rule.
 
 use std::collections::BTreeMap;
 use std::path::Path;
 
-/// One parsed value from `lint.toml`.
-#[derive(Debug, Clone, PartialEq)]
-pub enum TomlValue {
-    /// An integer literal.
-    Int(i64),
-    /// A quoted string.
-    Str(String),
-    /// An array of quoted strings.
-    List(Vec<String>),
-}
-
-/// A parsed section: ordered key → value pairs.
-pub type Section = Vec<(String, TomlValue)>;
+use crate::toml::{TomlDoc, TomlValue};
 
 /// The full `lint.toml` configuration.
 #[derive(Debug, Clone, Default)]
@@ -52,6 +33,10 @@ pub struct Config {
     pub panic_allow: BTreeMap<String, usize>,
     /// Per-file narrowing-cast allowances for `cast_crates`.
     pub cast_allow: BTreeMap<String, usize>,
+    /// Bench binaries (file stems under `crates/bench/src/bin/`) exempt
+    /// from the `bench-emit` rule — gates and meta-tools that do not
+    /// produce experiment artifacts.
+    pub bench_emit_exempt: Vec<String>,
 }
 
 impl Config {
@@ -74,34 +59,60 @@ impl Config {
     ///
     /// Returns a message naming the offending line on malformed input.
     pub fn parse(text: &str) -> Result<Config, String> {
-        let sections = parse_sections(text)?;
+        let doc = TomlDoc::parse(text, "lint.toml")?;
         let mut cfg = Config::default();
-        for (name, entries) in &sections {
+        for table in &doc.tables {
+            let name = table.name();
+            if table.array {
+                return Err(format!(
+                    "lint.toml:{}: [[{name}]] array tables are not used here",
+                    table.line
+                ));
+            }
             match name.as_str() {
                 "workspace" => {
-                    for (k, v) in entries {
-                        match (k.as_str(), v) {
-                            ("library_crates", TomlValue::List(l)) => {
-                                cfg.library_crates = l.clone();
+                    for (k, v, line) in &table.entries {
+                        let list = string_list(v, line, "workspace", k)?;
+                        match k.as_str() {
+                            "library_crates" => cfg.library_crates = list,
+                            "cast_crates" => cfg.cast_crates = list,
+                            _ => {
+                                return Err(format!(
+                                    "lint.toml:{line}: unknown [workspace] key `{k}`"
+                                ))
                             }
-                            ("cast_crates", TomlValue::List(l)) => cfg.cast_crates = l.clone(),
-                            _ => return Err(format!("lint.toml: unknown [workspace] key `{k}`")),
                         }
                     }
                 }
                 "layering" => {
-                    for (k, v) in entries {
-                        let TomlValue::List(l) = v else {
-                            return Err(format!("lint.toml: [layering] `{k}` must be a list"));
-                        };
-                        cfg.layering.insert(k.clone(), l.clone());
+                    for (k, v, line) in &table.entries {
+                        cfg.layering
+                            .insert(k.clone(), string_list(v, line, "layering", k)?);
                     }
                 }
                 "determinism" => {
-                    for (k, v) in entries {
-                        match (k.as_str(), v) {
-                            ("allow", TomlValue::List(l)) => cfg.determinism_allow = l.clone(),
-                            _ => return Err(format!("lint.toml: unknown [determinism] key `{k}`")),
+                    for (k, v, line) in &table.entries {
+                        match k.as_str() {
+                            "allow" => {
+                                cfg.determinism_allow = string_list(v, line, "determinism", k)?;
+                            }
+                            _ => {
+                                return Err(format!(
+                                    "lint.toml:{line}: unknown [determinism] key `{k}`"
+                                ))
+                            }
+                        }
+                    }
+                }
+                "bench" => {
+                    for (k, v, line) in &table.entries {
+                        match k.as_str() {
+                            "emit_exempt" => {
+                                cfg.bench_emit_exempt = string_list(v, line, "bench", k)?;
+                            }
+                            _ => {
+                                return Err(format!("lint.toml:{line}: unknown [bench] key `{k}`"))
+                            }
                         }
                     }
                 }
@@ -111,160 +122,41 @@ impl Config {
                     } else {
                         &mut cfg.cast_allow
                     };
-                    for (k, v) in entries {
-                        let TomlValue::Int(n) = v else {
-                            return Err(format!("lint.toml: [{name}] `{k}` must be an integer"));
+                    for (k, v, line) in &table.entries {
+                        let Some(n) = v.as_int() else {
+                            return Err(format!(
+                                "lint.toml:{line}: [{name}] `{k}` must be an integer"
+                            ));
                         };
-                        if *n < 0 {
-                            return Err(format!("lint.toml: [{name}] `{k}` must be non-negative"));
+                        if n < 0 {
+                            return Err(format!(
+                                "lint.toml:{line}: [{name}] `{k}` must be non-negative"
+                            ));
                         }
-                        map.insert(k.clone(), usize::try_from(*n).unwrap_or(usize::MAX));
+                        map.insert(k.clone(), usize::try_from(n).unwrap_or(usize::MAX));
                     }
                 }
-                _ => return Err(format!("lint.toml: unknown section [{name}]")),
+                _ => {
+                    return Err(format!(
+                        "lint.toml:{}: unknown section [{name}]",
+                        table.line
+                    ))
+                }
             }
         }
         Ok(cfg)
     }
 }
 
-/// Splits a document into `(section, entries)` pairs.
-fn parse_sections(text: &str) -> Result<Vec<(String, Section)>, String> {
-    let mut out: Vec<(String, Section)> = Vec::new();
-    let mut lines = text.lines().enumerate().peekable();
-    while let Some((idx, raw)) = lines.next() {
-        let line = strip_comment(raw).trim().to_string();
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(section) = line.strip_prefix('[') {
-            let Some(section) = section.strip_suffix(']') else {
-                return Err(format!(
-                    "lint.toml:{}: unterminated section header",
-                    idx + 1
-                ));
-            };
-            out.push((section.trim().to_string(), Vec::new()));
-            continue;
-        }
-        let Some(eq) = find_top_level_eq(&line) else {
-            return Err(format!("lint.toml:{}: expected `key = value`", idx + 1));
-        };
-        let key = parse_key(line[..eq].trim())
-            .ok_or_else(|| format!("lint.toml:{}: bad key", idx + 1))?;
-        let mut value = line[eq + 1..].trim().to_string();
-        // Multi-line arrays: keep consuming until brackets balance.
-        while value.starts_with('[') && !brackets_balance(&value) {
-            let Some((_, cont)) = lines.next() else {
-                return Err(format!("lint.toml:{}: unterminated array", idx + 1));
-            };
-            value.push(' ');
-            value.push_str(strip_comment(cont).trim());
-        }
-        let value = parse_value(&value)
-            .ok_or_else(|| format!("lint.toml:{}: bad value `{value}`", idx + 1))?;
-        match out.last_mut() {
-            Some((_, entries)) => entries.push((key, value)),
-            None => return Err(format!("lint.toml:{}: key before any [section]", idx + 1)),
-        }
-    }
-    Ok(out)
-}
-
-/// Removes a `#` comment, respecting quoted strings.
-fn strip_comment(line: &str) -> &str {
-    let mut in_str = false;
-    for (i, c) in line.char_indices() {
-        match c {
-            '"' => in_str = !in_str,
-            '#' if !in_str => return &line[..i],
-            _ => {}
-        }
-    }
-    line
-}
-
-/// Finds the `=` separating key from value, skipping quoted keys.
-fn find_top_level_eq(line: &str) -> Option<usize> {
-    let mut in_str = false;
-    for (i, c) in line.char_indices() {
-        match c {
-            '"' => in_str = !in_str,
-            '=' if !in_str => return Some(i),
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Accepts `bare_key` or `"quoted key"`.
-fn parse_key(raw: &str) -> Option<String> {
-    if let Some(q) = raw.strip_prefix('"') {
-        return q.strip_suffix('"').map(str::to_string);
-    }
-    let ok = !raw.is_empty()
-        && raw
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
-    ok.then(|| raw.to_string())
-}
-
-fn brackets_balance(s: &str) -> bool {
-    let mut depth = 0i64;
-    let mut in_str = false;
-    for c in s.chars() {
-        match c {
-            '"' => in_str = !in_str,
-            '[' if !in_str => depth += 1,
-            ']' if !in_str => depth -= 1,
-            _ => {}
-        }
-    }
-    depth == 0
-}
-
-fn parse_value(raw: &str) -> Option<TomlValue> {
-    let raw = raw.trim();
-    if let Some(q) = raw.strip_prefix('"') {
-        return q.strip_suffix('"').map(|s| TomlValue::Str(s.to_string()));
-    }
-    if let Some(inner) = raw.strip_prefix('[') {
-        let inner = inner.strip_suffix(']')?;
-        let mut items = Vec::new();
-        for part in split_array_items(inner) {
-            let part = part.trim();
-            if part.is_empty() {
-                continue;
-            }
-            let s = part.strip_prefix('"')?.strip_suffix('"')?;
-            items.push(s.to_string());
-        }
-        return Some(TomlValue::List(items));
-    }
-    raw.parse::<i64>().ok().map(TomlValue::Int)
-}
-
-/// Splits array contents on commas outside quotes.
-fn split_array_items(s: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut cur = String::new();
-    let mut in_str = false;
-    for c in s.chars() {
-        match c {
-            '"' => {
-                in_str = !in_str;
-                cur.push(c);
-            }
-            ',' if !in_str => {
-                out.push(std::mem::take(&mut cur));
-            }
-            _ => cur.push(c),
-        }
-    }
-    if !cur.trim().is_empty() {
-        out.push(cur);
-    }
-    out
+/// Requires `v` to be an all-strings array.
+fn string_list(
+    v: &TomlValue,
+    line: &usize,
+    section: &str,
+    key: &str,
+) -> Result<Vec<String>, String> {
+    v.string_list()
+        .ok_or_else(|| format!("lint.toml:{line}: [{section}] `{key}` must be a list of strings"))
 }
 
 #[cfg(test)]
@@ -290,6 +182,9 @@ vnet = ["vsim"]
 [determinism]
 allow = ["crates/bench/src/lib.rs"]
 
+[bench]
+emit_exempt = ["bench_regress"]
+
 [panics]
 "crates/sim/src/engine.rs" = 2
 
@@ -303,6 +198,7 @@ allow = ["crates/bench/src/lib.rs"]
         assert_eq!(cfg.layering["vnet"], vec!["vsim"]);
         assert_eq!(cfg.layering["vsim"], Vec::<String>::new());
         assert_eq!(cfg.determinism_allow, vec!["crates/bench/src/lib.rs"]);
+        assert_eq!(cfg.bench_emit_exempt, vec!["bench_regress"]);
         assert_eq!(cfg.panic_allow["crates/sim/src/engine.rs"], 2);
         assert_eq!(cfg.cast_allow["crates/sim/src/metrics.rs"], 6);
     }
@@ -313,6 +209,27 @@ allow = ["crates/bench/src/lib.rs"]
     }
 
     #[test]
+    fn rejects_unknown_keys_with_line_numbers() {
+        for (src, line) in [
+            ("[workspace]\nnope = []\n", 2),
+            ("[determinism]\nnope = []\n", 2),
+            ("[bench]\nnope = []\n", 2),
+        ] {
+            let err = Config::parse(src).expect_err(src);
+            assert!(err.contains(&format!("lint.toml:{line}")), "{err}");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_value_types() {
+        assert!(Config::parse("[workspace]\nlibrary_crates = 3\n").is_err());
+        assert!(Config::parse("[layering]\nvsim = \"vnet\"\n").is_err());
+        assert!(Config::parse("[layering]\nvsim = [1]\n").is_err());
+        assert!(Config::parse("[panics]\n\"a.rs\" = \"two\"\n").is_err());
+        assert!(Config::parse("[bench]\nemit_exempt = [true]\n").is_err());
+    }
+
+    #[test]
     fn rejects_negative_allowance() {
         assert!(Config::parse("[panics]\n\"a.rs\" = -1\n").is_err());
     }
@@ -320,5 +237,10 @@ allow = ["crates/bench/src/lib.rs"]
     #[test]
     fn rejects_key_outside_section() {
         assert!(Config::parse("x = 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_array_of_tables() {
+        assert!(Config::parse("[[panics]]\n\"a.rs\" = 1\n").is_err());
     }
 }

@@ -26,6 +26,10 @@
 //! * **lossy casts** (`lossy-cast`, `lossy-cast-stale`) — flag narrowing
 //!   `as` casts in the crates doing `SimTime`/byte-count arithmetic, where
 //!   a silent truncation corrupts simulated time.
+//! * **bench emit** (`bench-emit`) — every experiment binary under
+//!   `crates/bench/src/bin/` must route its results through
+//!   `vbench::emit`, so each run leaves a machine-readable artifact the
+//!   `vrun` cache and doc generator can consume.
 //!
 //! The binary (`cargo run -p vlint`) exits non-zero on any violation and
 //! `--json` writes a `results/vlint.json` artifact for CI.
@@ -36,6 +40,7 @@ pub mod config;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod toml;
 
 use std::path::Path;
 

@@ -247,6 +247,11 @@ pub fn check_workspace(root: &Path, cfg: &Config, crates: &[CrateInfo]) -> Resul
                 }
             }
 
+            // ---- bench-emit: experiment binaries must leave an artifact.
+            if krate.name == "vbench" && rel.starts_with("crates/bench/src/bin/") {
+                check_bench_emit(&lines, &rel, cfg, &mut report);
+            }
+
             if is_library && !cfg.determinism_allow.contains(&rel) {
                 check_determinism(&lines, &rel, &mut report);
             }
@@ -283,6 +288,44 @@ fn rel_path(root: &Path, file: &Path) -> String {
         .unwrap_or(file)
         .to_string_lossy()
         .replace('\\', "/")
+}
+
+/// The `bench-emit` rule: every experiment binary must route results
+/// through `vbench::emit` / `emit_full`, so each run leaves the
+/// machine-readable artifact the `vrun` cache and the doc generator
+/// consume. Gates and meta-tools opt out via `[bench] emit_exempt`.
+fn check_bench_emit(lines: &[CleanLine], rel: &str, cfg: &Config, report: &mut Report) {
+    let stem = rel
+        .rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or(rel);
+    if cfg.bench_emit_exempt.iter().any(|e| e == stem) {
+        return;
+    }
+    let calls_emit = lines.iter().any(|line| {
+        if line.in_test {
+            return false;
+        }
+        ["emit", "emit_full"].iter().any(|name| {
+            word_positions(&line.text, name)
+                .any(|p| line.text[p + name.len()..].trim_start().starts_with('('))
+        })
+    });
+    if !calls_emit {
+        report.violations.push(Violation {
+            rule: "bench-emit",
+            file: rel.to_string(),
+            line: 1,
+            message: format!(
+                "experiment binary `{stem}` never calls vbench::emit/emit_full — it leaves no \
+                 machine-readable artifact",
+            ),
+            hint: "route the final results through vbench::emit so the vrun cache and doc \
+                   generator can consume them; a gate or meta-tool belongs in [bench] \
+                   emit_exempt in lint.toml",
+        });
+    }
 }
 
 /// The `det-*` family: hash ordering, wall-clock time, threads, ambient

@@ -98,6 +98,16 @@ fn panic_budget_reports_overrun_and_stale_entries() {
 }
 
 #[test]
+fn bench_without_emit_fires_bench_emit_only() {
+    assert_eq!(rules_for("bench_no_emit"), ["bench-emit"]);
+    let report = vlint::run(&fixture("bench_no_emit")).unwrap();
+    // Only the printing binary: good_exp calls emit, bench_regress is
+    // exempt via [bench] emit_exempt.
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.violations[0].file, "crates/bench/src/bin/bad_exp.rs");
+}
+
+#[test]
 fn clean_fixture_passes() {
     let report = vlint::run(&fixture("clean")).expect("clean fixture lints");
     assert!(
@@ -124,6 +134,7 @@ fn bin_exits_nonzero_on_each_bad_fixture() {
         "lossy_cast",
         "nondet_runtime",
         "panic_budget",
+        "bench_no_emit",
     ] {
         let out = run_bin(&["--root", fixture(name).to_str().unwrap()]);
         assert_eq!(

@@ -1,0 +1,7 @@
+//! An experiment that only prints — leaves no artifact.
+
+fn main() {
+    // The word emit appears here, and "emit(" in this string, but the
+    // binary never calls it.
+    println!("result: 42 emit( nothing");
+}

@@ -1,0 +1,5 @@
+//! A gate, not an experiment: exempt via [bench] emit_exempt.
+
+fn main() {
+    std::process::exit(0);
+}

@@ -1,0 +1,8 @@
+//! An experiment that routes its results through the harness.
+
+fn main() {
+    // emit in a comment must not count; "emit(" in a string neither.
+    let table = vec![1, 2, 3];
+    println!("rows: {}", table.len());
+    vbench::emit("good_exp");
+}

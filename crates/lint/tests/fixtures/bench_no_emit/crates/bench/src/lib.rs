@@ -1,0 +1,4 @@
+//! Fixture bench harness.
+
+/// Stand-in for the artifact writer.
+pub fn emit(_name: &str) {}

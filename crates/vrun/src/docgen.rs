@@ -1,0 +1,315 @@
+//! Doc regeneration: rewrites the marked table blocks of EXPERIMENTS.md
+//! from the consolidated `results/*.json` artifacts.
+//!
+//! A managed block looks like:
+//!
+//! ```markdown
+//! <!-- vrun:table exp_freeze_time prec=0 cols=program,iterations,freeze_ms -->
+//! | program | iterations | freeze_ms |
+//! |---|---|---|
+//! | make | 1 | 43 |
+//! <!-- vrun:end -->
+//! ```
+//!
+//! Everything between the two markers is replaced by a markdown table
+//! rendered from the named artifact's `table` section; all other text is
+//! left byte-for-byte untouched. Marker options: `prec=N` — decimal
+//! places for floats (trailing zeros trimmed; default 3); `cols=a,b,c` —
+//! column subset and order (default: every key, artifact order). The
+//! `table` section is deterministic (wall-clock data lives in the
+//! separate `run` section), so regeneration is byte-stable: CI can
+//! assert `vrun docs --check` cleanly.
+
+use std::path::Path;
+use vsim::Json;
+
+/// One rewritten (or drifted) block, for reporting.
+#[derive(Debug)]
+pub struct BlockReport {
+    /// Experiment name from the marker.
+    pub experiment: String,
+    /// 1-based line of the opening marker.
+    pub line: usize,
+    /// Whether regeneration changed the block's content.
+    pub changed: bool,
+}
+
+/// Regenerates every managed block of `text`, reading artifacts from
+/// `results_dir`. Returns the new document and a per-block report.
+pub fn regenerate(text: &str, results_dir: &Path) -> Result<(String, Vec<BlockReport>), String> {
+    let mut out = String::with_capacity(text.len());
+    let mut reports = Vec::new();
+    let mut lines = text.lines().enumerate().peekable();
+    let had_trailing_newline = text.ends_with('\n');
+
+    while let Some((i, line)) = lines.next() {
+        let Some(marker) = parse_marker(line) else {
+            out.push_str(line);
+            out.push('\n');
+            continue;
+        };
+        // Collect the old block content up to the end marker.
+        let mut old = String::new();
+        let mut closed = false;
+        for (_, inner) in lines.by_ref() {
+            if inner.trim() == "<!-- vrun:end -->" {
+                closed = true;
+                break;
+            }
+            old.push_str(inner);
+            old.push('\n');
+        }
+        if !closed {
+            return Err(format!(
+                "line {}: `vrun:table {}` has no `<!-- vrun:end -->`",
+                i + 1,
+                marker.experiment
+            ));
+        }
+        let artifact_path = results_dir.join(format!("{}.json", marker.experiment));
+        let artifact = std::fs::read_to_string(&artifact_path).map_err(|e| {
+            format!(
+                "line {}: cannot read {} (run the sweep first): {e}",
+                i + 1,
+                artifact_path.display()
+            )
+        })?;
+        let json = Json::parse(&artifact)
+            .map_err(|e| format!("line {}: {}: {e}", i + 1, artifact_path.display()))?;
+        let table = json.get("table").ok_or(format!(
+            "line {}: {} has no `table` section",
+            i + 1,
+            artifact_path.display()
+        ))?;
+        let new = render_table(table, &marker)
+            .map_err(|e| format!("line {}: {}: {e}", i + 1, artifact_path.display()))?;
+        reports.push(BlockReport {
+            experiment: marker.experiment.clone(),
+            line: i + 1,
+            changed: new != old,
+        });
+        out.push_str(line);
+        out.push('\n');
+        out.push_str(&new);
+        out.push_str("<!-- vrun:end -->\n");
+    }
+
+    if !had_trailing_newline {
+        out.pop();
+    }
+    Ok((out, reports))
+}
+
+/// Options parsed from one `<!-- vrun:table ... -->` marker.
+#[derive(Debug)]
+struct Marker {
+    experiment: String,
+    prec: usize,
+    cols: Option<Vec<String>>,
+}
+
+/// Parses a marker line; `None` if the line is not a table marker.
+fn parse_marker(line: &str) -> Option<Marker> {
+    let body = line
+        .trim()
+        .strip_prefix("<!-- vrun:table ")?
+        .strip_suffix("-->")?
+        .trim();
+    let (experiment, mut rest) = match body.split_once(char::is_whitespace) {
+        Some((e, r)) => (e.to_string(), r.trim()),
+        None => (body.to_string(), ""),
+    };
+    let mut marker = Marker {
+        experiment,
+        prec: 3,
+        cols: None,
+    };
+    if let Some(r) = rest.strip_prefix("prec=") {
+        let (num, tail) = match r.split_once(char::is_whitespace) {
+            Some((n, t)) => (n, t.trim()),
+            None => (r, ""),
+        };
+        marker.prec = num.parse().ok()?;
+        rest = tail;
+    }
+    if let Some(r) = rest.strip_prefix("cols=") {
+        // `cols=` consumes the rest of the marker, so column names may
+        // contain spaces; entries are comma-separated.
+        marker.cols = Some(r.split(',').map(|c| c.trim().to_string()).collect());
+    }
+    Some(marker)
+}
+
+/// Renders an artifact `table` section as a markdown table.
+fn render_table(table: &Json, marker: &Marker) -> Result<String, String> {
+    match table {
+        Json::Arr(rows) => {
+            let first = rows
+                .first()
+                .ok_or("`table` is an empty array".to_string())?;
+            let Json::Obj(pairs) = first else {
+                return Err("`table` rows are not objects".to_string());
+            };
+            let cols: Vec<String> = match &marker.cols {
+                Some(cols) => cols.clone(),
+                None => pairs.iter().map(|(k, _)| k.clone()).collect(),
+            };
+            let mut out = header(&cols);
+            for row in rows {
+                let cells: Vec<String> = cols
+                    .iter()
+                    .map(|c| row.get(c).map_or(String::new(), |v| fmt(v, marker.prec)))
+                    .collect();
+                out.push_str(&format!("| {} |\n", cells.join(" | ")));
+            }
+            Ok(out)
+        }
+        Json::Obj(pairs) => {
+            let cols: Vec<String> = match &marker.cols {
+                Some(cols) => cols.clone(),
+                None => pairs.iter().map(|(k, _)| k.clone()).collect(),
+            };
+            let mut out = header(&["quantity".to_string(), "value".to_string()]);
+            for c in &cols {
+                let v = table.get(c).map_or(String::new(), |v| fmt(v, marker.prec));
+                out.push_str(&format!("| {c} | {v} |\n"));
+            }
+            Ok(out)
+        }
+        _ => Err("`table` is neither an array nor an object".to_string()),
+    }
+}
+
+fn header(cols: &[String]) -> String {
+    let mut out = format!("| {} |\n", cols.join(" | "));
+    out.push_str(&format!("|{}\n", "---|".repeat(cols.len())));
+    out
+}
+
+/// Deterministic cell formatting: floats at `prec` decimals with
+/// trailing zeros trimmed, booleans as yes/no, arrays and objects
+/// inline.
+fn fmt(v: &Json, prec: usize) -> String {
+    match v {
+        Json::Null => String::new(),
+        Json::Bool(true) => "yes".to_string(),
+        Json::Bool(false) => "no".to_string(),
+        Json::Int(i) => i.to_string(),
+        Json::UInt(u) => u.to_string(),
+        Json::Num(x) => {
+            let s = format!("{x:.prec$}");
+            if s.contains('.') {
+                let s = s.trim_end_matches('0').trim_end_matches('.');
+                if s.is_empty() || s == "-" {
+                    "0".to_string()
+                } else {
+                    s.to_string()
+                }
+            } else {
+                s
+            }
+        }
+        Json::Str(s) => s.clone(),
+        Json::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(|i| fmt(i, prec)).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Json::Obj(pairs) => {
+            let inner: Vec<String> = pairs
+                .iter()
+                .map(|(k, v)| format!("{k}: {}", fmt(v, prec)))
+                .collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_results(tag: &str, artifacts: &[(&str, &str)]) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vrun-docgen-test-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, text) in artifacts {
+            std::fs::write(dir.join(format!("{name}.json")), text).unwrap();
+        }
+        dir
+    }
+
+    const ROWS: &str = r#"{"experiment": "e", "table": [
+        {"name": "a", "ms": 1.25, "ok": true},
+        {"name": "b", "ms": 10.0, "ok": false}
+    ]}"#;
+
+    #[test]
+    fn rewrites_a_row_table_block() {
+        let dir = temp_results("rows", &[("e", ROWS)]);
+        let doc = "before\n<!-- vrun:table e -->\nstale\n<!-- vrun:end -->\nafter\n";
+        let (out, reports) = regenerate(doc, &dir).unwrap();
+        assert_eq!(
+            out,
+            "before\n<!-- vrun:table e -->\n\
+             | name | ms | ok |\n|---|---|---|\n\
+             | a | 1.25 | yes |\n| b | 10 | no |\n\
+             <!-- vrun:end -->\nafter\n"
+        );
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].changed);
+        // Regenerating the regenerated doc is a fixed point.
+        let (again, reports) = regenerate(&out, &dir).unwrap();
+        assert_eq!(again, out);
+        assert!(!reports[0].changed);
+    }
+
+    #[test]
+    fn cols_and_prec_options_apply() {
+        let dir = temp_results("opts", &[("e", ROWS)]);
+        let doc = "<!-- vrun:table e prec=0 cols=ms,name -->\n<!-- vrun:end -->\n";
+        let (out, _) = regenerate(doc, &dir).unwrap();
+        assert_eq!(
+            out,
+            "<!-- vrun:table e prec=0 cols=ms,name -->\n\
+             | ms | name |\n|---|---|\n| 1 | a |\n| 10 | b |\n\
+             <!-- vrun:end -->\n"
+        );
+    }
+
+    #[test]
+    fn object_tables_render_as_quantity_value() {
+        let obj = r#"{"experiment": "o", "table": {"x_ms": 23.4567, "points": [[1, 2.0]]}}"#;
+        let dir = temp_results("obj", &[("o", obj)]);
+        let doc = "<!-- vrun:table o cols=x_ms -->\n<!-- vrun:end -->\n";
+        let (out, _) = regenerate(doc, &dir).unwrap();
+        assert_eq!(
+            out,
+            "<!-- vrun:table o cols=x_ms -->\n\
+             | quantity | value |\n|---|---|\n| x_ms | 23.457 |\n\
+             <!-- vrun:end -->\n"
+        );
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        let dir = temp_results("err", &[("e", ROWS)]);
+        let unclosed = "<!-- vrun:table e -->\nno end\n";
+        assert!(regenerate(unclosed, &dir)
+            .unwrap_err()
+            .contains("no `<!-- vrun:end -->`"));
+        let missing = "<!-- vrun:table ghost -->\n<!-- vrun:end -->\n";
+        let err = regenerate(missing, &dir).unwrap_err();
+        assert!(err.contains("ghost.json"), "{err}");
+        assert!(err.contains("run the sweep first"), "{err}");
+    }
+
+    #[test]
+    fn untouched_text_is_preserved_bytewise() {
+        let dir = temp_results("noop", &[]);
+        let doc = "# Title\n\nplain | pipes | here\nno markers at all\n";
+        let (out, reports) = regenerate(doc, &dir).unwrap();
+        assert_eq!(out, doc);
+        assert!(reports.is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! `vrun` CLI — run cached experiment sweeps and regenerate docs.
+//!
+//! ```text
+//! vrun run  <spec.toml> [--force] [--pool N] [--bin-dir DIR] [--results DIR] [--quiet]
+//! vrun plan <spec.toml> [--bin-dir DIR] [--results DIR]
+//! vrun docs [--check] [--doc PATH] [--results DIR]
+//! ```
+//!
+//! Exit codes: 0 success; 1 a cell failed / docs drifted (`--check`);
+//! 2 usage or spec error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vrun::spec::Sweep;
+use vrun::{docgen, hash, plan, say, RunOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match strs.split_first() {
+        Some((&"run", rest)) => cmd_run(rest),
+        Some((&"plan", rest)) => cmd_plan(rest),
+        Some((&"docs", rest)) => cmd_docs(rest),
+        _ => {
+            eprintln!(
+                "usage: vrun run <spec.toml> [--force] [--pool N] [--bin-dir DIR] [--results DIR] [--quiet]\n\
+                 \x20      vrun plan <spec.toml> [--bin-dir DIR] [--results DIR]\n\
+                 \x20      vrun docs [--check] [--doc PATH] [--results DIR]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Shared flag parsing; returns positional args.
+fn parse_flags(
+    rest: &[&str],
+    opts: &mut RunOptions,
+    force: &mut bool,
+    check: &mut bool,
+    doc: &mut PathBuf,
+    quiet: &mut bool,
+) -> Result<Vec<String>, String> {
+    let mut positional = Vec::new();
+    let mut it = rest.iter();
+    while let Some(&a) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .map(|s| (*s).to_string())
+                .ok_or(format!("{name} needs a value"))
+        };
+        match a {
+            "--force" => *force = true,
+            "--check" => *check = true,
+            "--quiet" => *quiet = true,
+            "--pool" => {
+                opts.pool = Some(
+                    value("--pool")?
+                        .parse()
+                        .map_err(|_| "--pool needs a number".to_string())?,
+                );
+            }
+            "--bin-dir" => opts.bin_dir = PathBuf::from(value("--bin-dir")?),
+            "--results" => opts.results_dir = PathBuf::from(value("--results")?),
+            "--doc" => *doc = PathBuf::from(value("--doc")?),
+            _ if a.starts_with("--") => return Err(format!("unknown flag {a}")),
+            _ => positional.push(a.to_string()),
+        }
+    }
+    Ok(positional)
+}
+
+fn usage_err(e: &str) -> ExitCode {
+    eprintln!("vrun: {e}");
+    ExitCode::from(2)
+}
+
+fn load_spec(positional: &[String]) -> Result<Sweep, String> {
+    match positional {
+        [path] => Sweep::load(std::path::Path::new(path)),
+        _ => Err("expected exactly one spec path".to_string()),
+    }
+}
+
+fn cmd_run(rest: &[&str]) -> ExitCode {
+    let mut opts = RunOptions {
+        verbose: true,
+        ..RunOptions::default()
+    };
+    let (mut force, mut check, mut quiet) = (false, false, false);
+    let mut doc = PathBuf::new();
+    let positional = match parse_flags(
+        rest, &mut opts, &mut force, &mut check, &mut doc, &mut quiet,
+    ) {
+        Ok(p) => p,
+        Err(e) => return usage_err(&e),
+    };
+    opts.force = force;
+    opts.verbose = !quiet;
+    let sweep = match load_spec(&positional) {
+        Ok(s) => s,
+        Err(e) => return usage_err(&e),
+    };
+    match vrun::run_sweep(&sweep, &opts) {
+        Ok(summary) => {
+            say(&format!("sweep `{}`: {}", sweep.name, summary.line()));
+            for (cell, outcome) in &summary.cells {
+                if let vrun::CellOutcome::Failed(e) = outcome {
+                    eprintln!("  {}[{}]: {e}", cell.bin, cell.label);
+                }
+            }
+            if summary.failed() == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => usage_err(&e),
+    }
+}
+
+fn cmd_plan(rest: &[&str]) -> ExitCode {
+    let mut opts = RunOptions::default();
+    let (mut force, mut check, mut quiet) = (false, false, false);
+    let mut doc = PathBuf::new();
+    let positional = match parse_flags(
+        rest, &mut opts, &mut force, &mut check, &mut doc, &mut quiet,
+    ) {
+        Ok(p) => p,
+        Err(e) => return usage_err(&e),
+    };
+    let sweep = match load_spec(&positional) {
+        Ok(s) => s,
+        Err(e) => return usage_err(&e),
+    };
+    let cache = vrun::cache::Cache::new(&opts.results_dir);
+    say(&format!(
+        "sweep `{}`: pool {}, default timeout {}s",
+        sweep.name, sweep.pool, sweep.timeout_secs
+    ));
+    for cell in plan::cells(&sweep) {
+        // Hash without the binary bytes when the binary is not built yet
+        // (plan is a preview; run re-hashes with the real bytes).
+        let bytes = std::fs::read(opts.bin_dir.join(&cell.bin)).unwrap_or_default();
+        let key = hash::cell_key(&cell.bin, &bytes, &cell.config);
+        let state = if bytes.is_empty() {
+            "unbuilt"
+        } else if cache.lookup(&cell.bin, key).is_some() {
+            "cached"
+        } else {
+            "due"
+        };
+        say(&format!(
+            "  {}[{}/{}] {} {:016x} {state}",
+            cell.bin,
+            cell.index + 1,
+            cell.of,
+            cell.label,
+            key
+        ));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_docs(rest: &[&str]) -> ExitCode {
+    let mut opts = RunOptions::default();
+    let (mut force, mut check, mut quiet) = (false, false, false);
+    let mut doc = PathBuf::from("EXPERIMENTS.md");
+    let positional = match parse_flags(
+        rest, &mut opts, &mut force, &mut check, &mut doc, &mut quiet,
+    ) {
+        Ok(p) => p,
+        Err(e) => return usage_err(&e),
+    };
+    if !positional.is_empty() {
+        return usage_err("docs takes no positional arguments");
+    }
+    let text = match std::fs::read_to_string(&doc) {
+        Ok(t) => t,
+        Err(e) => return usage_err(&format!("cannot read {}: {e}", doc.display())),
+    };
+    let (new, reports) = match docgen::regenerate(&text, &opts.results_dir) {
+        Ok(r) => r,
+        Err(e) => return usage_err(&e),
+    };
+    let drifted: Vec<_> = reports.iter().filter(|r| r.changed).collect();
+    if check {
+        if drifted.is_empty() {
+            say(&format!(
+                "{}: {} table(s) up to date",
+                doc.display(),
+                reports.len()
+            ));
+            return ExitCode::SUCCESS;
+        }
+        for r in &drifted {
+            eprintln!(
+                "{}:{}: table `{}` is stale (run `vrun docs`)",
+                doc.display(),
+                r.line,
+                r.experiment
+            );
+        }
+        return ExitCode::from(1);
+    }
+    if let Err(e) = std::fs::write(&doc, &new) {
+        return usage_err(&format!("cannot write {}: {e}", doc.display()));
+    }
+    say(&format!(
+        "{}: {} table(s) regenerated, {} changed",
+        doc.display(),
+        reports.len(),
+        drifted.len()
+    ));
+    ExitCode::SUCCESS
+}
