@@ -12,7 +12,7 @@ fn main() {
             e.schedule_after(SimDuration::from_micros(i % 977), i);
         }
         let mut acc = 0u64;
-        while let Some((_, v)) = e.pop() {
+        while let Some((_, v)) = e.step() {
             acc = acc.wrapping_add(v);
         }
         acc
@@ -27,7 +27,7 @@ fn main() {
             e.cancel(*id);
         }
         let mut n = 0;
-        while e.pop().is_some() {
+        while e.step().is_some() {
             n += 1;
         }
         n

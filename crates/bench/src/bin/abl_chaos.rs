@@ -97,7 +97,7 @@ fn main() {
             );
         }
         c.run_for(SimDuration::from_secs(45));
-        while c.engine.pending() > 0 {
+        while c.pending() > 0 {
             c.run_for(SimDuration::from_secs(30));
         }
         let report = c.audit(true);
@@ -114,7 +114,7 @@ fn main() {
         let mig_retries = c
             .metrics_report()
             .counter_total(vsim::Subsystem::Migration, "retried");
-        let quiesced = c.engine.now().as_secs_f64();
+        let quiesced = c.now().as_secs_f64();
         if report.is_clean() {
             clean += 1;
         }

@@ -1,0 +1,161 @@
+//! P1 — raw engine throughput: heap vs timing-wheel queue backends.
+//!
+//! Drives a bare [`vsim::Engine`] (no cluster above it) with a
+//! synthetic-but-deterministic event churn modelled on what the cluster
+//! runtime generates: per-host periodic timers that reschedule
+//! themselves, bursts of short-delay messages, a steady trickle of
+//! cancellations, and occasional far-future timers that exercise the
+//! wheel's overflow path. Each cell simulates enough virtual time for a
+//! fixed event budget, so the 10-host cell covers hours of simulated
+//! time and the 1 000-host cell covers tens of seconds, at identical
+//! total work.
+//!
+//! The artifact `table` holds only deterministic facts (event counts,
+//! simulated seconds) and is what the doc generator renders; wall-clock
+//! speed — simulated events per wall second and wall seconds per
+//! simulated hour, per cell — is printed to stdout, and the artifact's
+//! `run.events_per_sec` aggregate is what `bench_regress` gates.
+
+use std::time::Instant;
+
+use vbench::{emit, Table};
+use vsim::{DetRng, Engine, MetricsReport, QueueBackend, SimDuration, SimTime};
+
+/// Per-host timer period: 100 events per simulated second per host.
+const TICK_US: u64 = 10_000;
+/// Simulated events each cell targets (before cancellations).
+const EVENTS_PER_CELL: u64 = 2_000_000;
+
+struct Row {
+    cell: String,
+    hosts: usize,
+    backend: String,
+    events: u64,
+    sim_secs: f64,
+}
+vsim::impl_to_json!(Row {
+    cell,
+    hosts,
+    backend,
+    events,
+    sim_secs
+});
+
+/// One benchmark cell: `hosts` periodic sources on `backend`, run for
+/// `sim_us` of virtual time. Returns (delivered events, wall seconds,
+/// the engine's metrics scope for the artifact's `run` section).
+fn run_cell(
+    cell: &str,
+    hosts: usize,
+    backend: QueueBackend,
+    sim_us: u64,
+    seed: u64,
+) -> (u64, f64, vsim::ScopeMetrics) {
+    let mut e: Engine<u64> = Engine::with_backend(backend);
+    let mut rng = DetRng::seed(seed);
+    let mut cancellable = Vec::new();
+    for h in 0..hosts as u64 {
+        // Stagger the first ticks so hosts don't fire in lockstep.
+        e.schedule_at(SimTime::from_micros(rng.range_u64(0, TICK_US)), h);
+    }
+    let limit = SimTime::from_micros(sim_us);
+    let wall = Instant::now();
+    // High bit marks one-shot events (messages, timeouts): they deliver
+    // and die. Only bare host ticks respawn, keeping the live event
+    // population constant instead of growing by the burst factor each
+    // generation.
+    const ONE_SHOT: u64 = 1 << 63;
+    let delivered = e.run_until(limit, |e, _now, ev| {
+        if ev & ONE_SHOT != 0 {
+            return;
+        }
+        let host = ev;
+        // The host's next periodic tick, with ±10% jitter.
+        let next = TICK_US + rng.range_u64(0, TICK_US / 5) - TICK_US / 10;
+        e.schedule_after(SimDuration::from_micros(next), host);
+        match rng.index(100) {
+            // A short-delay message burst (IPC-like traffic).
+            0..=9 => {
+                e.schedule_after(
+                    SimDuration::from_micros(rng.range_u64(1, 5_000)),
+                    host | ONE_SHOT,
+                );
+            }
+            // A cancellable timeout, later revoked (retransmit-like).
+            10..=14 => {
+                let id = e.schedule_after(SimDuration::from_micros(50_000), host | ONE_SHOT);
+                cancellable.push(id);
+            }
+            // A far-future timer, well past the wheel's ~19 h era.
+            15 => {
+                e.schedule_after(SimDuration::from_secs(24 * 3600), host | ONE_SHOT);
+            }
+            _ => {}
+        }
+        if cancellable.len() >= 32 {
+            for id in cancellable.drain(..) {
+                e.cancel(id);
+            }
+        }
+    });
+    (
+        delivered,
+        wall.elapsed().as_secs_f64(),
+        e.metrics().snapshot(cell),
+    )
+}
+
+fn main() {
+    vbench::args();
+    let seed = vbench::config_u64("seed", 1985);
+    let budget = vbench::config_u64("events_per_cell", EVENTS_PER_CELL);
+    let host_counts = [10usize, 100, 1000];
+    let backends = [QueueBackend::Heap, QueueBackend::TimingWheel];
+
+    let mut rows = Vec::new();
+    let mut metrics = MetricsReport::new();
+    let mut t = Table::new(
+        "P1: engine throughput — deterministic per-cell event totals",
+        &["cell", "hosts", "backend", "events", "sim s"],
+    );
+    println!("cell            events    wall s   ev/wall-s   wall-s/sim-h");
+    for &hosts in &host_counts {
+        // Fixed event budget per cell: base tick rate is 100 ev/s/host,
+        // so `budget` base ticks take `budget / (100 * hosts)` sim secs.
+        let sim_us = budget * TICK_US / hosts as u64;
+        let mut per_backend = Vec::new();
+        for &backend in &backends {
+            let cell = format!("{hosts}x{}", backend.label());
+            let (events, wall, scope) =
+                run_cell(&cell, hosts, backend, sim_us, seed ^ hosts as u64);
+            metrics.push(scope);
+            let sim_secs = sim_us as f64 / 1e6;
+            println!(
+                "{cell:<12} {events:>10}  {wall:>8.3}  {:>10.0}  {:>12.3}",
+                events as f64 / wall,
+                wall * 3600.0 / sim_secs,
+            );
+            per_backend.push(events);
+            t.row(&[
+                cell.clone(),
+                hosts.to_string(),
+                backend.label().to_string(),
+                events.to_string(),
+                format!("{sim_secs:.1}"),
+            ]);
+            rows.push(Row {
+                cell,
+                hosts,
+                backend: backend.label().to_string(),
+                events,
+                sim_secs,
+            });
+        }
+        assert!(
+            per_backend.windows(2).all(|w| w[0] == w[1]),
+            "{hosts} hosts: backends disagreed on delivered-event count"
+        );
+    }
+    t.print();
+    emit("sim_throughput", &rows, &metrics);
+}

@@ -24,6 +24,21 @@
 //! the table is a single object, `row` is omitted and `column` is looked
 //! up directly. The `bench_regress` binary re-reads the artifacts and
 //! fails when any value drifts past the tolerance.
+//!
+//! An experiment entry may additionally pin wall-clock speed:
+//!
+//! ```json
+//! { "experiment": "sim_throughput",
+//!   "throughput": { "value": 5.0e6, "min_ratio": 0.3 } }
+//! ```
+//!
+//! This checks the artifact's nondeterministic `run.events_per_sec`
+//! against the pinned baseline with a *drop-only* band: the gate fails
+//! only when the measured rate falls below `value * min_ratio`
+//! (`min_ratio` defaults to 0.5). Speedups never fail, and the wide band
+//! absorbs machine noise without flaking, while a real order-of-magnitude
+//! slowdown — the kind an accidentally quadratic queue would cause —
+//! still trips the gate.
 
 use vsim::Json;
 
@@ -142,7 +157,40 @@ pub fn check_experiment(entry: &Json, artifact: &Json, tolerance: f64) -> Vec<Ch
             pass,
         });
     }
+    if let Some(band) = entry.get("throughput") {
+        out.push(check_throughput(&experiment, band, artifact));
+    }
     out
+}
+
+/// Checks an experiment's drop-only throughput band against the
+/// artifact's `run.events_per_sec`. Improvements always pass; the check
+/// fails only below `value * min_ratio` (default `min_ratio` 0.5).
+fn check_throughput(experiment: &str, band: &Json, artifact: &Json) -> Check {
+    let baseline = band
+        .get("value")
+        .and_then(|v| v.as_f64())
+        .unwrap_or(f64::NAN);
+    let min_ratio = band
+        .get("min_ratio")
+        .and_then(|r| r.as_f64())
+        .unwrap_or(0.5);
+    let measured = artifact
+        .get("run")
+        .and_then(|r| r.get("events_per_sec"))
+        .and_then(Json::as_f64);
+    let pass = match measured {
+        Some(m) => baseline.is_finite() && baseline > 0.0 && m >= baseline * min_ratio,
+        None => false,
+    };
+    Check {
+        experiment: experiment.to_string(),
+        row: None,
+        column: "run.events_per_sec".to_string(),
+        baseline,
+        measured,
+        pass,
+    }
 }
 
 /// Runs the whole gate: for every experiment in `baseline`, loads its
@@ -293,6 +341,52 @@ mod tests {
         let freeze = checks.iter().find(|c| c.column == "freeze_ms").expect("t");
         assert!(!freeze.pass);
         assert!(freeze.measured.is_none());
+    }
+
+    fn throughput_baseline() -> Json {
+        Json::parse(
+            r#"{
+                "experiments": [
+                    {
+                        "experiment": "sim_throughput",
+                        "throughput": { "value": 1000000.0, "min_ratio": 0.3 }
+                    }
+                ]
+            }"#,
+        )
+        .expect("baseline parses")
+    }
+
+    fn throughput_artifact(events_per_sec: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{
+                "experiment": "sim_throughput",
+                "table": [],
+                "run": {{ "events_per_sec": {events_per_sec} }}
+            }}"#
+        ))
+        .expect("artifact parses")
+    }
+
+    #[test]
+    fn throughput_band_is_drop_only() {
+        // Noise-level slowdown and any speedup pass; a collapse fails.
+        for (eps, expect) in [(900_000.0, true), (10_000_000.0, true), (200_000.0, false)] {
+            let checks = run_gate(&throughput_baseline(), |_| Ok(throughput_artifact(eps)))
+                .expect("gate runs");
+            assert_eq!(checks.len(), 1);
+            assert_eq!(checks[0].pass, expect, "eps {eps}: {checks:?}");
+            assert_eq!(checks[0].column, "run.events_per_sec");
+        }
+    }
+
+    #[test]
+    fn throughput_check_requires_a_run_section() {
+        let artifact = Json::parse(r#"{ "experiment": "sim_throughput", "table": [] }"#)
+            .expect("artifact parses");
+        let checks = run_gate(&throughput_baseline(), |_| Ok(artifact.clone())).expect("gate runs");
+        assert!(!checks[0].pass);
+        assert!(checks[0].measured.is_none());
     }
 
     #[test]

@@ -30,9 +30,9 @@ use vservices::{
 use vsim::calib::{CONTEXT_SWITCH, CPU_QUANTUM, SMALL_PACKET_CPU};
 use vsim::metrics::GaugeSnapshot;
 use vsim::{
-    CounterId, DetRng, Engine, FaultKind, FaultPlan, FaultTrigger, Metrics, MetricsReport,
-    MigrationPhase, SimDuration, SimTime, SpanContext, SpanIdGen, SpanTree, Subsystem, Trace,
-    TraceEvent, TraceLevel,
+    CounterId, DetRng, FaultKind, FaultPlan, FaultTrigger, Metrics, MetricsReport, MigrationPhase,
+    QueueBackend, SimContext, SimDuration, SimTime, SpanContext, SpanIdGen, SpanTree, Subsystem,
+    Trace, TraceEvent, TraceLevel, TraceSinkSpec,
 };
 use vworkload::{
     OwnerState, ProgAction, ProgEvent, ProgramProfile, UserModel, UserModelParams, WorkloadProgram,
@@ -264,6 +264,12 @@ pub struct ClusterConfig {
     pub evict_on_owner_return: bool,
     /// Trace verbosity.
     pub trace: TraceLevel,
+    /// Where trace records are retained (unbounded, fixed ring, or off);
+    /// applies to the cluster trace and every component trace.
+    pub trace_sink: TraceSinkSpec,
+    /// Pending-event queue backend (heap or timing wheel). Both deliver
+    /// bit-identical runs; the wheel is faster at high occupancy.
+    pub queue: QueueBackend,
     /// Deterministic fault schedule executed by the runtime.
     pub faults: FaultPlan,
     /// Run the invariant auditor at this interval (`None` = only when a
@@ -283,6 +289,8 @@ impl Default for ClusterConfig {
             users: None,
             evict_on_owner_return: false,
             trace: TraceLevel::Warn,
+            trace_sink: TraceSinkSpec::Unbounded,
+            queue: QueueBackend::Heap,
             faults: FaultPlan::none(),
             audit_every: None,
         }
@@ -308,14 +316,13 @@ pub struct ClusterStats {
 
 /// The whole simulated cluster.
 pub struct Cluster {
-    /// Event queue.
-    pub engine: Engine<Event>,
+    /// The simulation context: event queue, clock, and trace log behind
+    /// one surface (see [`SimContext`]).
+    pub ctx: SimContext<Event>,
     /// The wire.
     pub net: Ethernet<Packet<ServiceMsg>>,
     /// Machines; index 0 is the file-server machine.
     pub stations: Vec<Workstation>,
-    /// Trace log.
-    pub trace: Trace,
     /// Completed remote-execution reports.
     pub exec_reports: Vec<vcore::ExecReport>,
     /// Completed migration reports.
@@ -473,10 +480,9 @@ impl Cluster {
         let ctr_faults = metrics.counter(Subsystem::Cluster, "faults_injected");
         let ctr_audit_violations = metrics.counter(Subsystem::Cluster, "audit_violations");
         let mut cluster = Cluster {
-            engine: Engine::new(),
+            ctx: SimContext::new(cfg.queue, Trace::with_sink(cfg.trace, cfg.trace_sink)),
             net,
             stations,
-            trace: Trace::new(cfg.trace),
             exec_reports: Vec::new(),
             migration_reports: Vec::new(),
             stats: ClusterStats::default(),
@@ -499,12 +505,14 @@ impl Cluster {
             reclaim_pending: BTreeMap::new(),
         };
         // Components are born with quiet traces; give them the cluster's
-        // verbosity so their records survive until merged.
+        // verbosity (and sink choice) so their records survive until
+        // merged — or cost nothing when tracing is off.
         let level = cluster.cfg.trace;
-        *cluster.net.trace_mut() = Trace::new(level);
+        let sink = cluster.cfg.trace_sink;
+        *cluster.net.trace_mut() = Trace::with_sink(level, sink);
         for w in &mut cluster.stations {
-            *w.kernel.trace_mut() = Trace::new(level);
-            *w.migrator.trace_mut() = Trace::new(level);
+            *w.kernel.trace_mut() = Trace::with_sink(level, sink);
+            *w.migrator.trace_mut() = Trace::with_sink(level, sink);
         }
         cluster.seed_user_transitions();
         // Schedule the fault plan: timed faults go straight on the queue;
@@ -513,7 +521,7 @@ impl Cluster {
             match ev.trigger {
                 FaultTrigger::At(t) => {
                     cluster
-                        .engine
+                        .ctx
                         .schedule_at(t, Event::ApplyFault { kind: ev.kind });
                 }
                 FaultTrigger::OnMigrationPhase { lh, phase } => {
@@ -522,7 +530,7 @@ impl Cluster {
             }
         }
         if let Some(every) = cluster.cfg.audit_every {
-            cluster.engine.schedule_after(every, Event::AuditTick);
+            cluster.ctx.schedule_after(every, Event::AuditTick);
         }
         cluster
     }
@@ -534,7 +542,7 @@ impl Cluster {
                 let active = u.is_active();
                 let held = u.holding_time(&mut self.rng);
                 self.stations[i].pm.set_owner_active(active);
-                self.engine
+                self.ctx
                     .schedule_after(held, Event::UserTransition { host, held });
             }
         }
@@ -584,7 +592,7 @@ impl Cluster {
 
     /// Schedules a scripted command.
     pub fn at(&mut self, t: SimTime, cmd: Command) {
-        self.engine.schedule_at(t, Event::Command(cmd));
+        self.ctx.schedule_at(t, Event::Command(cmd));
     }
 
     /// Immediately starts executing `profile` from workstation `ws`'s
@@ -614,7 +622,7 @@ impl Cluster {
         priority: Priority,
         env: ExecEnv,
     ) {
-        let now = self.engine.now();
+        let now = self.ctx.now();
         self.add_image(&profile);
         let spec = ProgramSpec {
             image: profile.name.clone(),
@@ -662,7 +670,7 @@ impl Cluster {
     /// Starts `migrateprog` for `lh` on workstation `ws` via the real IPC
     /// path (shell → PM → migration engine).
     pub fn migrateprog(&mut self, ws: usize, lh: LogicalHostId, destroy_if_stuck: bool) {
-        let now = self.engine.now();
+        let now = self.ctx.now();
         let shell = self.stations[ws].shell;
         let body = ServiceMsg::MigrateProgram {
             lh,
@@ -690,7 +698,7 @@ impl Cluster {
     }
 
     fn pm_op(&mut self, ws: usize, lh: LogicalHostId, body: ServiceMsg) {
-        let now = self.engine.now();
+        let now = self.ctx.now();
         let shell = self.stations[ws].shell;
         let dest = Destination::Group(GroupId::program_manager_of(lh));
         let outs = self.stations[ws].kernel.send(now, shell, dest, body, 0);
@@ -699,7 +707,7 @@ impl Cluster {
 
     /// Runs until the queue drains or `limit` passes.
     pub fn run_until(&mut self, limit: SimTime) {
-        while let Some((_, ev)) = self.engine.pop_due(limit) {
+        while let Some((_, ev)) = self.ctx.step_due(limit) {
             self.dispatch(ev);
         }
     }
@@ -707,27 +715,47 @@ impl Cluster {
     /// Runs for `d` more simulated time, leaving the clock at exactly
     /// `now + d` (events beyond the window stay queued).
     pub fn run_for(&mut self, d: SimDuration) {
-        let limit = self.engine.now() + d;
+        let limit = self.ctx.now() + d;
         self.run_until(limit);
         // Everything at or before `limit` has been delivered; move the
         // clock to the window edge so callers measure fixed windows.
-        if self.engine.now() < limit {
-            self.engine.advance_to(limit);
+        if self.ctx.now() < limit {
+            self.ctx.advance_to(limit);
         }
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.engine.now()
+        self.ctx.now()
+    }
+
+    /// Events still pending on the queue (0 = the cluster has quiesced).
+    pub fn pending(&self) -> usize {
+        self.ctx.pending()
+    }
+
+    /// Events delivered by the engine so far.
+    pub fn events_delivered(&self) -> u64 {
+        self.ctx.events_delivered()
+    }
+
+    /// The cluster trace.
+    pub fn trace(&self) -> &Trace {
+        self.ctx.trace()
+    }
+
+    /// Mutable access to the cluster trace.
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        self.ctx.trace_mut()
     }
 
     /// Snapshots every metrics registry in the cluster into one report:
     /// the event engine, the wire, the cluster scheduler, and each
     /// station's kernel + migration engine under the station's name.
     pub fn metrics_report(&self) -> MetricsReport {
-        let elapsed = self.engine.now().since(SimTime::ZERO);
+        let elapsed = self.ctx.now().since(SimTime::ZERO);
         let mut report = MetricsReport::new();
-        report.push(self.engine.metrics().snapshot("engine"));
+        report.push(self.ctx.metrics().snapshot("engine"));
         report.push(self.net.metrics().snapshot("net"));
         report.push(self.metrics.snapshot("cluster"));
         for w in &self.stations {
@@ -768,11 +796,11 @@ impl Cluster {
     /// time-sorted with the cluster's own records.
     pub fn merge_component_traces(&mut self) {
         for w in &mut self.stations {
-            self.trace.drain_from(w.kernel.trace_mut());
-            self.trace.drain_from(w.migrator.trace_mut());
+            self.ctx.trace_mut().drain_from(w.kernel.trace_mut());
+            self.ctx.trace_mut().drain_from(w.migrator.trace_mut());
         }
-        self.trace.drain_from(self.net.trace_mut());
-        self.trace.sort_by_time();
+        self.ctx.trace_mut().drain_from(self.net.trace_mut());
+        self.ctx.trace_mut().sort_by_time();
     }
 
     /// Merges every component trace and builds the causal span tree for the
@@ -781,7 +809,7 @@ impl Cluster {
     /// [`SpanTree::unclosed`].
     pub fn span_tree(&mut self) -> SpanTree {
         self.merge_component_traces();
-        SpanTree::build(&self.trace)
+        SpanTree::build(self.ctx.trace())
     }
 
     // --- Event dispatch. ---
@@ -789,7 +817,7 @@ impl Cluster {
     fn dispatch(&mut self, ev: Event) {
         match ev {
             Event::Transmit { frame } => {
-                let now = self.engine.now();
+                let now = self.ctx.now();
                 let deliveries = self.net.transmit(now, frame);
                 self.schedule_deliveries(deliveries);
             }
@@ -798,14 +826,13 @@ impl Cluster {
                 if self.stations[i].down {
                     return;
                 }
-                let now = self.engine.now();
+                let now = self.ctx.now();
                 // Hardware check sequence: a corrupted frame never reaches
                 // the kernel; the sender recovers by retransmission.
                 if !frame.checksum_valid() {
                     self.stats.corrupt_frames_dropped += 1;
                     self.metrics.inc(self.ctr_corrupt_dropped);
-                    self.trace.warn(
-                        now,
+                    self.ctx.warn(
                         Subsystem::Net,
                         TraceEvent::CorruptFrame {
                             from: frame.src.0,
@@ -823,7 +850,7 @@ impl Cluster {
                 if self.stations[i].down {
                     return;
                 }
-                let now = self.engine.now();
+                let now = self.ctx.now();
                 let outs = self.stations[i].kernel.handle_timer(now, key);
                 self.apply_kernel_outputs(i, outs);
             }
@@ -832,7 +859,7 @@ impl Cluster {
                 if self.stations[i].down {
                     return;
                 }
-                let now = self.engine.now();
+                let now = self.ctx.now();
                 let outs = {
                     let w = &mut self.stations[i];
                     match which {
@@ -856,9 +883,9 @@ impl Cluster {
                 self.audit(false);
                 // Re-arm only while other work remains, so periodic audits
                 // stop at quiescence instead of keeping the queue alive.
-                if self.engine.pending() > 0 {
+                if self.ctx.pending() > 0 {
                     if let Some(every) = self.cfg.audit_every {
-                        self.engine.schedule_after(every, Event::AuditTick);
+                        self.ctx.schedule_after(every, Event::AuditTick);
                     }
                 }
             }
@@ -869,11 +896,10 @@ impl Cluster {
 
     /// Executes one fault-plan event against the live cluster.
     fn apply_fault(&mut self, kind: FaultKind) {
-        let now = self.engine.now();
+        let now = self.ctx.now();
         self.stats.faults_injected += 1;
         self.metrics.inc(self.ctr_faults);
-        self.trace.warn(
-            now,
+        self.ctx.warn(
             Subsystem::Cluster,
             TraceEvent::FaultInjected { kind: kind.label() },
         );
@@ -885,7 +911,7 @@ impl Cluster {
                 }
                 self.on_command(Command::Crash { ws });
                 if let Some(d) = reboot_after {
-                    self.engine
+                    self.ctx
                         .schedule_after(d, Event::Command(Command::Reboot { ws }));
                 }
             }
@@ -905,7 +931,7 @@ impl Cluster {
                 let (ha, hb) = (hosts(&a), hosts(&b));
                 self.net.partition(&ha, &hb, symmetric);
                 if let Some(d) = heal_after {
-                    self.engine
+                    self.ctx
                         .schedule_after(d, Event::HealPartition { a: ha, b: hb });
                 }
             }
@@ -949,11 +975,9 @@ impl Cluster {
 
     /// Records an audit violation in the trace, stats, and metrics.
     pub(crate) fn note_violation(&mut self, v: &AuditViolation) {
-        let now = self.engine.now();
         self.stats.audit_violations += 1;
         self.metrics.inc(self.ctr_audit_violations);
-        self.trace.warn(
-            now,
+        self.ctx.warn(
             Subsystem::Cluster,
             TraceEvent::AuditViolation {
                 kind: v.kind(),
@@ -970,8 +994,7 @@ impl Cluster {
             } else {
                 at + SMALL_PACKET_CPU
             };
-            self.engine
-                .schedule_at(at, Event::Frame { host: to, frame });
+            self.ctx.schedule_at(at, Event::Frame { host: to, frame });
         }
     }
 
@@ -981,17 +1004,17 @@ impl Cluster {
             match o {
                 KernelOutput::Transmit(frame) => {
                     if is_bulk(&frame.payload) {
-                        let now = self.engine.now();
+                        let now = self.ctx.now();
                         let deliveries = self.net.transmit(now, frame);
                         self.schedule_deliveries(deliveries);
                     } else {
                         // Send-side CPU.
-                        self.engine
+                        self.ctx
                             .schedule_after(SMALL_PACKET_CPU, Event::Transmit { frame });
                     }
                 }
                 KernelOutput::SetTimer { key, after } => {
-                    self.engine
+                    self.ctx
                         .schedule_after(after, Event::KernelTimer { host, key });
                 }
                 KernelOutput::Deliver(msg) => self.route_delivery(i, msg),
@@ -1012,7 +1035,7 @@ impl Cluster {
     fn apply_svc_outputs(&mut self, i: usize, which: SvcKind, outs: SvcOutputs) {
         let host = self.stations[i].host;
         for (token, after) in outs.timers {
-            self.engine
+            self.ctx
                 .schedule_after(after, Event::SvcTimer { host, which, token });
         }
         for e in outs.events {
@@ -1032,10 +1055,8 @@ impl Cluster {
         for e in outs.events {
             match e {
                 ExecEvent::Done(report) => {
-                    let now = self.engine.now();
-                    if self.trace.enabled(TraceLevel::Info) {
-                        self.trace.info(
-                            now,
+                    if self.ctx.trace_enabled(TraceLevel::Info) {
+                        self.ctx.info(
                             Subsystem::Exec,
                             TraceEvent::ExecDone {
                                 image: report.image.clone(),
@@ -1062,7 +1083,7 @@ impl Cluster {
     // --- Routing. ---
 
     fn route_delivery(&mut self, i: usize, msg: MsgIn<ServiceMsg>) {
-        let now = self.engine.now();
+        let now = self.ctx.now();
         let w = &mut self.stations[i];
         if msg.to == w.pm.pid() {
             let outs = w.pm.handle_request(now, msg, &mut w.kernel);
@@ -1077,8 +1098,7 @@ impl Cluster {
         } else {
             self.stats.unroutable_deliveries += 1;
             self.metrics.inc(self.ctr_unroutable);
-            self.trace.warn(
-                now,
+            self.ctx.warn(
                 Subsystem::Cluster,
                 TraceEvent::Unroutable {
                     lh: msg.to.lh.0,
@@ -1095,7 +1115,7 @@ impl Cluster {
         seq: SendSeq,
         result: Result<vkernel::ReplyIn<ServiceMsg>, vkernel::SendError>,
     ) {
-        let now = self.engine.now();
+        let now = self.ctx.now();
         let w = &mut self.stations[i];
         if pid == w.pm.pid() {
             let outs = w.pm.handle_send_done(now, seq, result, &mut w.kernel);
@@ -1132,7 +1152,7 @@ impl Cluster {
         initiator: ProcessId,
         result: Result<u64, vkernel::SendError>,
     ) {
-        let now = self.engine.now();
+        let now = self.ctx.now();
         let w = &mut self.stations[i];
         if Some(initiator) == w.fs.as_ref().map(|f| f.pid()) {
             let fs = w.fs.as_mut().expect("checked");
@@ -1152,7 +1172,7 @@ impl Cluster {
     // --- Service / migration events. ---
 
     fn on_svc_event(&mut self, i: usize, e: SvcEvent) {
-        let now = self.engine.now();
+        let now = self.ctx.now();
         match e {
             SvcEvent::ProgramStarted {
                 root, lh, image, ..
@@ -1162,9 +1182,8 @@ impl Cluster {
                     .get_mut(&image)
                     .and_then(|q| q.pop_front());
                 let Some(behavior) = behavior else {
-                    if self.trace.enabled(TraceLevel::Warn) {
-                        self.trace.warn(
-                            now,
+                    if self.ctx.trace_enabled(TraceLevel::Warn) {
+                        self.ctx.warn(
                             Subsystem::Cluster,
                             TraceEvent::BehaviorMissing {
                                 image: image.clone(),
@@ -1184,9 +1203,8 @@ impl Cluster {
                     .program(lh)
                     .map(|p| p.priority)
                     .unwrap_or(Priority::GUEST);
-                if self.trace.enabled(TraceLevel::Info) {
-                    self.trace.info(
-                        now,
+                if self.ctx.trace_enabled(TraceLevel::Info) {
+                    self.ctx.info(
                         Subsystem::Cluster,
                         TraceEvent::ProgramStarted {
                             image: image.clone(),
@@ -1220,8 +1238,8 @@ impl Cluster {
                 self.resume_scheduling(i, lh);
             }
             SvcEvent::LogicalHostAdopted { lh } => {
-                self.trace
-                    .info(now, Subsystem::Migration, TraceEvent::Adopted { lh: lh.0 });
+                self.ctx
+                    .info(Subsystem::Migration, TraceEvent::Adopted { lh: lh.0 });
                 // The behaviour object arrives with the MigEvent::Evicted
                 // from the source; nothing to do here.
             }
@@ -1276,7 +1294,7 @@ impl Cluster {
     }
 
     fn on_mig_event(&mut self, i: usize, e: MigEvent) {
-        let now = self.engine.now();
+        let now = self.ctx.now();
         match e {
             MigEvent::Evicted { lh, to_host } => {
                 let j = self.index_of(to_host);
@@ -1291,8 +1309,7 @@ impl Cluster {
                     self.stations[i].cpu_current = None;
                 }
                 if let Some(prt) = self.stations[i].programs.remove(&lh) {
-                    self.trace.info(
-                        now,
+                    self.ctx.info(
                         Subsystem::Migration,
                         TraceEvent::Rebind {
                             lh: lh.0,
@@ -1311,9 +1328,8 @@ impl Cluster {
                 self.cpu_dispatch(i);
             }
             MigEvent::Done(report) => {
-                if self.trace.enabled(TraceLevel::Info) {
-                    self.trace.info(
-                        now,
+                if self.ctx.trace_enabled(TraceLevel::Info) {
+                    self.ctx.info(
                         Subsystem::Migration,
                         TraceEvent::MigrationDone {
                             image: report.image.clone(),
@@ -1379,7 +1395,7 @@ impl Cluster {
     // --- Program execution. ---
 
     fn step_program(&mut self, i: usize, lh: LogicalHostId, ev: ProgEvent) {
-        let now = self.engine.now();
+        let now = self.ctx.now();
         let action = {
             let w = &mut self.stations[i];
             let Some(prt) = w.programs.get_mut(&lh) else {
@@ -1391,7 +1407,7 @@ impl Cluster {
     }
 
     fn perform_action(&mut self, i: usize, lh: LogicalHostId, action: ProgAction) {
-        let now = self.engine.now();
+        let now = self.ctx.now();
         match action {
             ProgAction::Compute(d) => {
                 let prt = self.stations[i]
@@ -1402,7 +1418,7 @@ impl Cluster {
                 self.cpu_make_ready(i, lh);
             }
             ProgAction::Sleep(d) => {
-                self.engine.schedule_after(d, Event::SleepDone { lh });
+                self.ctx.schedule_after(d, Event::SleepDone { lh });
             }
             ProgAction::Send {
                 to,
@@ -1469,7 +1485,7 @@ impl Cluster {
                 .map(|l| l.is_frozen())
                 .unwrap_or(false);
             if frozen || self.stations[i].down {
-                self.engine
+                self.ctx
                     .schedule_after(SimDuration::from_millis(10), Event::SleepDone { lh });
                 return;
             }
@@ -1493,7 +1509,7 @@ impl Cluster {
     }
 
     fn cpu_dispatch(&mut self, i: usize) {
-        let now = self.engine.now();
+        let now = self.ctx.now();
         let w = &mut self.stations[i];
         if w.cpu_current.is_some() || w.cpu_ready.is_empty() {
             return;
@@ -1533,7 +1549,7 @@ impl Cluster {
         w.cpu_current = Some(lh);
         let host = w.host;
         let _ = now;
-        self.engine.schedule_after(
+        self.ctx.schedule_after(
             slice + CONTEXT_SWITCH,
             Event::QuantumEnd { host, lh, slice },
         );
@@ -1562,10 +1578,10 @@ impl Cluster {
                 // Record the slice as a retroactive "quantum" span: the run
                 // started a slice ago, so the open record is back-dated.
                 // `sort_by_time` puts it in order before anything reads it.
-                let now = self.engine.now();
+                let now = self.ctx.now();
                 let sid = self.spans.next();
                 sid.open(
-                    &mut self.trace,
+                    self.ctx.trace_mut(),
                     TraceLevel::Detail,
                     SimTime::from_micros(now.as_micros().saturating_sub(slice.as_micros())),
                     Subsystem::Cluster,
@@ -1573,7 +1589,12 @@ impl Cluster {
                     "quantum",
                     host.0,
                 );
-                sid.close(&mut self.trace, TraceLevel::Detail, now, Subsystem::Cluster);
+                sid.close(
+                    self.ctx.trace_mut(),
+                    TraceLevel::Detail,
+                    now,
+                    Subsystem::Cluster,
+                );
                 // Charge the slice: the behaviour dirties pages.
                 let w = &mut self.stations[i];
                 let prt = w.programs.get_mut(&lh).expect("checked");
@@ -1610,7 +1631,7 @@ impl Cluster {
 
     fn on_user_transition(&mut self, host: HostAddr, held: SimDuration) {
         let i = self.index_of(host);
-        let now = self.engine.now();
+        let now = self.ctx.now();
         let Some(user) = self.stations[i].user.as_mut() else {
             return;
         };
@@ -1618,7 +1639,7 @@ impl Cluster {
         let next_held = user.holding_time(&mut self.rng);
         let active = new_state == OwnerState::Active;
         self.stations[i].pm.set_owner_active(active);
-        self.engine.schedule_after(
+        self.ctx.schedule_after(
             next_held,
             Event::UserTransition {
                 host,
@@ -1633,7 +1654,7 @@ impl Cluster {
     }
 
     fn evict_guests(&mut self, i: usize) {
-        let now = self.engine.now();
+        let now = self.ctx.now();
         let guests: Vec<LogicalHostId> = self.stations[i]
             .pm
             .programs()
@@ -1675,7 +1696,7 @@ impl Cluster {
             .filter(|p| p.remote_origin)
             .count();
         if guests_left == 0 {
-            let now = self.engine.now();
+            let now = self.ctx.now();
             self.reclaim_pending.remove(&host);
             self.reclaim_times.push(now.since(since));
         }
@@ -1724,7 +1745,7 @@ impl Cluster {
                 // while the station was down; re-arm the kernel's
                 // retransmission/retention timers, fail its in-flight bulk
                 // transfers, and re-arm the program manager's watchdogs.
-                let now = self.engine.now();
+                let now = self.ctx.now();
                 let kouts = self.stations[ws].kernel.reboot_recover(now);
                 self.apply_kernel_outputs(ws, kouts);
                 let souts = self.stations[ws].pm.reboot_recover();
@@ -1749,7 +1770,7 @@ impl Cluster {
                 self.stations[ws].pm.set_owner_active(active);
                 if active && self.cfg.evict_on_owner_return {
                     let host = self.stations[ws].host;
-                    let now = self.engine.now();
+                    let now = self.ctx.now();
                     self.reclaim_pending.insert(host, now);
                     self.evict_guests(ws);
                     self.note_reclaim_progress(ws);

@@ -404,7 +404,7 @@ fn deterministic_given_same_seed() {
             c.exec_reports[0].selection_time,
             c.exec_reports[0].total_time,
             c.net.stats().frames_sent,
-            c.engine.events_delivered(),
+            c.events_delivered(),
         )
     };
     assert_eq!(run(), run());
@@ -629,38 +629,38 @@ fn migration_emits_typed_trace_timeline() {
     c.merge_component_traces();
     let n = lh.0;
     assert_eq!(
-        c.trace
+        c.trace()
             .count_matching(|e| matches!(e, TraceEvent::Freeze { lh } if *lh == n)),
         1,
         "pre-copy freezes exactly once, at the end"
     );
     assert_eq!(
-        c.trace
+        c.trace()
             .count_matching(|e| matches!(e, TraceEvent::Unfreeze { lh } if *lh == n)),
         1
     );
     assert!(
-        c.trace
+        c.trace()
             .count_matching(|e| matches!(e, TraceEvent::PrecopyRound { lh, .. } if *lh == n))
             >= 1,
         "at least one unfrozen pre-copy round traced"
     );
     assert_eq!(
-        c.trace.count_matching(|e| matches!(
+        c.trace().count_matching(|e| matches!(
             e,
             TraceEvent::MigrationDone { lh, success: true, .. } if *lh == n
         )),
         1
     );
     assert_eq!(
-        c.trace
+        c.trace()
             .count_matching(|e| matches!(e, TraceEvent::Rebind { lh, .. } if *lh == n)),
         1
     );
     // And the timeline is ordered: every pre-copy round precedes the
     // freeze, which precedes the unfreeze.
     let pos = |pred: &dyn Fn(&TraceEvent) -> bool| {
-        c.trace
+        c.trace()
             .records()
             .iter()
             .position(|r| pred(&r.event))
@@ -686,7 +686,7 @@ fn remote_exec_emits_typed_exec_done() {
     );
     c.run_for(SimDuration::from_secs(10));
     assert_eq!(
-        c.trace.count_matching(|e| matches!(
+        c.trace().count_matching(|e| matches!(
             e,
             TraceEvent::ExecDone {
                 success: true,
@@ -697,7 +697,7 @@ fn remote_exec_emits_typed_exec_done() {
         1
     );
     assert_eq!(
-        c.trace
+        c.trace()
             .count_matching(|e| matches!(e, TraceEvent::ProgramStarted { .. })),
         1
     );

@@ -191,7 +191,7 @@ impl<X: Clone + std::fmt::Debug> Rig<X> {
 
     /// Runs until the event queue drains or `limit` is reached.
     pub fn run_until(&mut self, limit: SimTime) {
-        while let Some((_, ev)) = self.engine.pop_due(limit) {
+        while let Some((_, ev)) = self.engine.step_due(limit) {
             match ev {
                 RigEvent::Frame { to, frame } => {
                     let i = self.host_index(to);

@@ -7,13 +7,15 @@
 //!
 //! Determinism: events that fire at the same instant are delivered in the
 //! order they were scheduled (FIFO tie-break on a monotone sequence number),
-//! so a run is a pure function of the initial state and the RNG seed.
+//! so a run is a pure function of the initial state and the RNG seed. The
+//! pending-event store itself is pluggable (see [`EventQueue`]): every
+//! backend pops the exact same `(at, seq)` order, so the choice of queue is
+//! purely a speed trade-off and never shows up in a trace.
 
-use std::cmp::Ordering;
 use std::collections::BTreeSet;
-use std::collections::BinaryHeap;
 
 use crate::metrics::{CounterId, Metrics};
+use crate::queue::{DynQueue, EventQueue, QueueBackend};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Subsystem;
 
@@ -21,37 +23,11 @@ use crate::trace::Subsystem;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
-struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (and, within an
-        // instant, the first-scheduled) event is popped first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// A deterministic discrete-event queue with a simulated clock.
+///
+/// The second type parameter selects the pending-event store; it defaults
+/// to [`DynQueue`] so `Engine<E>` keeps working everywhere while the
+/// backend stays a runtime choice ([`Engine::with_backend`]).
 ///
 /// # Examples
 ///
@@ -63,13 +39,31 @@ impl<E> Ord for Scheduled<E> {
 /// engine.schedule_after(SimDuration::from_millis(1), "hello");
 ///
 /// let mut seen = Vec::new();
-/// while let Some((t, e)) = engine.pop() {
+/// while let Some((t, e)) = engine.step() {
 ///     seen.push((t.as_micros(), e));
 /// }
 /// assert_eq!(seen, vec![(1_000, "hello"), (5_000, "world")]);
 /// ```
-pub struct Engine<E> {
-    queue: BinaryHeap<Scheduled<E>>,
+///
+/// Driving a state machine that schedules follow-up events:
+///
+/// ```
+/// use vsim::{Engine, SimDuration, SimTime};
+///
+/// let mut engine: Engine<u32> = Engine::new();
+/// engine.schedule_now(0);
+/// let mut fired = Vec::new();
+/// let n = engine.run_until(SimTime::MAX, |eng, _now, ev| {
+///     fired.push(ev);
+///     if ev < 3 {
+///         eng.schedule_after(SimDuration::from_micros(1), ev + 1);
+///     }
+/// });
+/// assert_eq!(fired, vec![0, 1, 2, 3]);
+/// assert_eq!(n, 4);
+/// ```
+pub struct Engine<E, Q: EventQueue<E> = DynQueue<E>> {
+    queue: Q,
     cancelled: BTreeSet<EventId>,
     now: SimTime,
     next_seq: u64,
@@ -78,6 +72,7 @@ pub struct Engine<E> {
     ctr_scheduled: CounterId,
     ctr_delivered: CounterId,
     ctr_cancelled: CounterId,
+    _marker: std::marker::PhantomData<fn() -> E>,
 }
 
 impl<E> Default for Engine<E> {
@@ -87,14 +82,29 @@ impl<E> Default for Engine<E> {
 }
 
 impl<E> Engine<E> {
-    /// Creates an empty engine with the clock at [`SimTime::ZERO`].
+    /// Creates an empty engine with the clock at [`SimTime::ZERO`], on the
+    /// default heap backend.
     pub fn new() -> Self {
+        Self::with_backend(QueueBackend::default())
+    }
+
+    /// Creates an empty engine on the given queue backend.
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        Self::with_queue(DynQueue::new(backend))
+    }
+}
+
+impl<E, Q: EventQueue<E>> Engine<E, Q> {
+    /// Creates an empty engine around a caller-built queue (for statically
+    /// monomorphised backends; most callers want [`Engine::new`] or
+    /// [`Engine::with_backend`]).
+    pub fn with_queue(queue: Q) -> Self {
         let mut metrics = Metrics::new();
         let ctr_scheduled = metrics.counter(Subsystem::Engine, "events_scheduled");
         let ctr_delivered = metrics.counter(Subsystem::Engine, "events_delivered");
         let ctr_cancelled = metrics.counter(Subsystem::Engine, "events_cancelled");
         Engine {
-            queue: BinaryHeap::new(),
+            queue,
             cancelled: BTreeSet::new(),
             now: SimTime::ZERO,
             next_seq: 0,
@@ -103,6 +113,7 @@ impl<E> Engine<E> {
             ctr_scheduled,
             ctr_delivered,
             ctr_cancelled,
+            _marker: std::marker::PhantomData,
         }
     }
 
@@ -129,9 +140,13 @@ impl<E> Engine<E> {
         self.popped
     }
 
-    /// Number of events still pending (including lazily-cancelled ones).
+    /// Number of events still pending.
+    ///
+    /// Cancellation is lazy, so this subtracts the tombstone count from
+    /// the stored count; a cancel that raced an already-fired event can
+    /// make the estimate low by one until the next compaction.
     pub fn pending(&self) -> usize {
-        self.queue.len() - self.cancelled.len()
+        self.queue.len().saturating_sub(self.cancelled.len())
     }
 
     /// Schedules `event` to fire at the absolute instant `at`.
@@ -149,7 +164,7 @@ impl<E> Engine<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Scheduled { at, seq, event });
+        self.queue.push(at, seq, event);
         self.metrics.inc(self.ctr_scheduled);
         EventId(seq)
     }
@@ -167,43 +182,87 @@ impl<E> Engine<E> {
 
     /// Cancels a previously scheduled event.
     ///
-    /// Cancellation is lazy: the entry stays in the heap and is skipped when
-    /// popped. Cancelling an already-fired or unknown id is a no-op (the
-    /// usual race between a timer firing and being cancelled).
+    /// Cancellation is lazy: the entry stays in the queue and is skipped
+    /// when popped (its tombstone is dropped at that point). Cancelling an
+    /// already-fired or unknown id is a no-op (the usual race between a
+    /// timer firing and being cancelled); tombstones left behind by such
+    /// races are compacted away whenever they outnumber the live queue,
+    /// so the set can never grow without bound.
     pub fn cancel(&mut self, id: EventId) {
         if id.0 < self.next_seq && self.cancelled.insert(id) {
             self.metrics.inc(self.ctr_cancelled);
         }
+        if self.cancelled.len() > self.queue.len() {
+            self.compact_tombstones();
+        }
     }
 
-    /// Pops the next event, advancing the clock to its firing time.
+    /// Drops every tombstone whose event is no longer in the queue.
+    fn compact_tombstones(&mut self) {
+        let mut live = Vec::with_capacity(self.queue.len());
+        self.queue.live_seqs(&mut live);
+        let live: BTreeSet<u64> = live.into_iter().collect();
+        self.cancelled.retain(|id| live.contains(&id.0));
+    }
+
+    /// Delivers the next event, advancing the clock to its firing time.
     ///
     /// Returns `None` when the queue is empty.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.pop_due(SimTime::MAX)
+    pub fn step(&mut self) -> Option<(SimTime, E)> {
+        self.step_due(SimTime::MAX)
     }
 
-    /// Pops the next event if it fires at or before `limit`.
+    /// Delivers the next event if it fires at or before `limit`.
     ///
     /// Advances the clock to the event time on success. The clock is *not*
     /// advanced to `limit` on failure; call [`Engine::advance_to`] if a
     /// scenario needs the clock moved past the last event.
-    pub fn pop_due(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+    pub fn step_due(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
         loop {
-            let due = self.queue.peek().map(|s| s.at)?;
+            let (due, _) = self.queue.peek()?;
             if due > limit {
                 return None;
             }
-            let s = self.queue.pop().expect("peeked entry vanished");
-            if self.cancelled.remove(&EventId(s.seq)) {
+            let (at, seq, event) = self.queue.pop()?;
+            if self.cancelled.remove(&EventId(seq)) {
+                // The clock still advances over a cancelled event's
+                // instant: the backend has committed to that time (the
+                // wheel rebases on pop), so scheduling before it is no
+                // longer possible and `now` must not trail it.
+                debug_assert!(at >= self.now, "event queue went backwards");
+                self.now = at;
                 continue;
             }
-            debug_assert!(s.at >= self.now, "event queue went backwards");
-            self.now = s.at;
+            debug_assert!(at >= self.now, "event queue went backwards");
+            self.now = at;
             self.popped += 1;
             self.metrics.inc(self.ctr_delivered);
-            return Some((s.at, s.event));
+            return Some((at, event));
         }
+    }
+
+    /// Runs `handler` on every event up to `limit`: the standard drive
+    /// loop, owned by the engine so callers don't hand-roll
+    /// `while let Some(..)` over [`Engine::step_due`]. The handler
+    /// receives the engine to schedule follow-up events; the clock already
+    /// stands at each event's firing time.
+    ///
+    /// Returns the number of events delivered by this call.
+    pub fn run_until(
+        &mut self,
+        limit: SimTime,
+        mut handler: impl FnMut(&mut Self, SimTime, E),
+    ) -> u64 {
+        let start = self.popped;
+        while let Some((t, e)) = self.step_due(limit) {
+            handler(self, t, e);
+        }
+        self.popped - start
+    }
+
+    /// Runs `handler` until the queue drains completely.
+    pub fn run(&mut self, handler: impl FnMut(&mut Self, SimTime, E)) -> u64 {
+        self.run_until(SimTime::MAX, handler)
     }
 
     /// Moves the clock forward to `t` without delivering events.
@@ -214,12 +273,11 @@ impl<E> Engine<E> {
     /// the past — both indicate scenario logic errors.
     pub fn advance_to(&mut self, t: SimTime) {
         assert!(t >= self.now, "advance_to moving backwards");
-        if let Some(s) = self.queue.peek() {
-            if !self.cancelled.contains(&EventId(s.seq)) {
+        if let Some((at, seq)) = self.queue.peek() {
+            if !self.cancelled.contains(&EventId(seq)) {
                 assert!(
-                    s.at >= t,
-                    "advance_to({t}) would skip a pending event at {}",
-                    s.at
+                    at >= t,
+                    "advance_to({t}) would skip a pending event at {at}"
                 );
             }
         }
@@ -227,89 +285,106 @@ impl<E> Engine<E> {
     }
 }
 
-/// A state machine driven by an [`Engine`].
-///
-/// The handler receives the engine so that it can schedule follow-up events;
-/// the engine's clock already stands at the event's firing time.
-pub trait Dispatch<E> {
-    /// Handles one event at time `now`.
-    fn dispatch(&mut self, engine: &mut Engine<E>, now: SimTime, event: E);
-}
-
-/// Runs `state` until the queue drains or the clock would pass `limit`.
-///
-/// Returns the number of events delivered by this call.
-pub fn run_until<E, S: Dispatch<E>>(engine: &mut Engine<E>, state: &mut S, limit: SimTime) -> u64 {
-    let start = engine.events_delivered();
-    while let Some((t, e)) = engine.pop_due(limit) {
-        state.dispatch(engine, t, e);
-    }
-    engine.events_delivered() - start
-}
-
-/// Runs `state` until the queue drains completely.
-pub fn run_to_completion<E, S: Dispatch<E>>(engine: &mut Engine<E>, state: &mut S) -> u64 {
-    run_until(engine, state, SimTime::MAX)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Every engine-semantics test runs on both backends: the queue choice
+    /// must be invisible.
+    fn engines() -> Vec<Engine<u32>> {
+        vec![
+            Engine::with_backend(QueueBackend::Heap),
+            Engine::with_backend(QueueBackend::TimingWheel),
+        ]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut e: Engine<u32> = Engine::new();
-        e.schedule_after(SimDuration::from_micros(30), 3);
-        e.schedule_after(SimDuration::from_micros(10), 1);
-        e.schedule_after(SimDuration::from_micros(20), 2);
-        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, v)| v)).collect();
-        assert_eq!(order, vec![1, 2, 3]);
-        assert_eq!(e.now(), SimTime::from_micros(30));
+        for mut e in engines() {
+            e.schedule_after(SimDuration::from_micros(30), 3);
+            e.schedule_after(SimDuration::from_micros(10), 1);
+            e.schedule_after(SimDuration::from_micros(20), 2);
+            let order: Vec<u32> = std::iter::from_fn(|| e.step().map(|(_, v)| v)).collect();
+            assert_eq!(order, vec![1, 2, 3]);
+            assert_eq!(e.now(), SimTime::from_micros(30));
+        }
     }
 
     #[test]
     fn same_instant_is_fifo() {
-        let mut e: Engine<u32> = Engine::new();
-        let t = SimTime::from_micros(5);
-        for v in 0..100 {
-            e.schedule_at(t, v);
+        for mut e in engines() {
+            let t = SimTime::from_micros(5);
+            for v in 0..100 {
+                e.schedule_at(t, v);
+            }
+            let order: Vec<u32> = std::iter::from_fn(|| e.step().map(|(_, v)| v)).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>());
         }
-        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, v)| v)).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn cancellation_skips_events() {
-        let mut e: Engine<u32> = Engine::new();
-        let a = e.schedule_after(SimDuration::from_micros(1), 1);
-        e.schedule_after(SimDuration::from_micros(2), 2);
-        e.cancel(a);
-        assert_eq!(e.pending(), 1);
-        assert_eq!(e.pop().map(|(_, v)| v), Some(2));
-        assert_eq!(e.pop(), None);
-        assert_eq!(e.events_delivered(), 1);
+        for mut e in engines() {
+            let a = e.schedule_after(SimDuration::from_micros(1), 1);
+            e.schedule_after(SimDuration::from_micros(2), 2);
+            e.cancel(a);
+            assert_eq!(e.pending(), 1);
+            assert_eq!(e.step().map(|(_, v)| v), Some(2));
+            assert_eq!(e.step(), None);
+            assert_eq!(e.events_delivered(), 1);
+        }
     }
 
     #[test]
     fn cancel_after_fire_is_noop() {
-        let mut e: Engine<u32> = Engine::new();
-        let a = e.schedule_now(1);
-        assert_eq!(e.pop().map(|(_, v)| v), Some(1));
-        e.cancel(a);
-        e.schedule_now(2);
-        assert_eq!(e.pop().map(|(_, v)| v), Some(2));
+        for mut e in engines() {
+            let a = e.schedule_now(1);
+            assert_eq!(e.step().map(|(_, v)| v), Some(1));
+            e.cancel(a);
+            e.schedule_now(2);
+            assert_eq!(e.step().map(|(_, v)| v), Some(2));
+        }
     }
 
     #[test]
-    fn pop_due_respects_limit() {
-        let mut e: Engine<u32> = Engine::new();
-        e.schedule_after(SimDuration::from_micros(10), 1);
-        e.schedule_after(SimDuration::from_micros(20), 2);
-        assert_eq!(e.pop_due(SimTime::from_micros(15)).map(|(_, v)| v), Some(1));
-        assert_eq!(e.pop_due(SimTime::from_micros(15)), None);
-        // The clock stays at the last delivered event.
-        assert_eq!(e.now(), SimTime::from_micros(10));
-        assert_eq!(e.pop().map(|(_, v)| v), Some(2));
+    fn stale_tombstones_do_not_accumulate_or_underflow() {
+        // Regression: cancelling ids after they fired used to leave
+        // permanent tombstones, eventually making `pending()` underflow
+        // (queue.len() - cancelled.len() in unsigned arithmetic).
+        for mut e in engines() {
+            let a = e.schedule_now(1);
+            let b = e.schedule_now(2);
+            assert!(e.step().is_some());
+            assert!(e.step().is_some());
+            // Both events have fired; cancelling them now is the race.
+            e.cancel(a);
+            e.cancel(b);
+            // Old code: pending() panicked on 0usize - 2. New code: the
+            // stale tombstones are compacted away against the empty queue.
+            assert_eq!(e.pending(), 0);
+            let c = e.schedule_after(SimDuration::from_micros(5), 3);
+            assert_eq!(e.pending(), 1);
+            // And a live cancel still works exactly.
+            e.cancel(c);
+            assert_eq!(e.pending(), 0);
+            assert_eq!(e.step(), None);
+        }
+    }
+
+    #[test]
+    fn step_due_respects_limit() {
+        for mut e in engines() {
+            e.schedule_after(SimDuration::from_micros(10), 1);
+            e.schedule_after(SimDuration::from_micros(20), 2);
+            assert_eq!(
+                e.step_due(SimTime::from_micros(15)).map(|(_, v)| v),
+                Some(1)
+            );
+            assert_eq!(e.step_due(SimTime::from_micros(15)), None);
+            // The clock stays at the last delivered event.
+            assert_eq!(e.now(), SimTime::from_micros(10));
+            assert_eq!(e.step().map(|(_, v)| v), Some(2));
+        }
     }
 
     #[test]
@@ -317,8 +392,8 @@ mod tests {
         let mut e: Engine<&str> = Engine::new();
         e.schedule_at(SimTime::ZERO, "first");
         e.schedule_now("second");
-        assert_eq!(e.pop().map(|(_, v)| v), Some("first"));
-        assert_eq!(e.pop().map(|(_, v)| v), Some("second"));
+        assert_eq!(e.step().map(|(_, v)| v), Some("first"));
+        assert_eq!(e.step().map(|(_, v)| v), Some("second"));
     }
 
     #[test]
@@ -326,7 +401,7 @@ mod tests {
     fn scheduling_in_the_past_panics() {
         let mut e: Engine<u32> = Engine::new();
         e.schedule_after(SimDuration::from_micros(10), 1);
-        e.pop();
+        e.step();
         e.schedule_at(SimTime::from_micros(5), 2);
     }
 
@@ -345,38 +420,49 @@ mod tests {
         e.advance_to(SimTime::from_micros(20));
     }
 
-    struct Counter {
-        fired: Vec<u32>,
-    }
-
-    impl Dispatch<u32> for Counter {
-        fn dispatch(&mut self, engine: &mut Engine<u32>, _now: SimTime, event: u32) {
-            self.fired.push(event);
-            // Chain follow-up events to exercise re-entrancy.
-            if event < 3 {
-                engine.schedule_after(SimDuration::from_micros(1), event + 1);
-            }
+    #[test]
+    fn run_until_drives_chained_events() {
+        for mut e in engines() {
+            e.schedule_now(0);
+            let mut fired = Vec::new();
+            let n = e.run(|eng, _now, ev| {
+                fired.push(ev);
+                // Chain follow-up events to exercise re-entrancy.
+                if ev < 3 {
+                    eng.schedule_after(SimDuration::from_micros(1), ev + 1);
+                }
+            });
+            assert_eq!(fired, vec![0, 1, 2, 3]);
+            assert_eq!(n, 4);
+            assert_eq!(e.now(), SimTime::from_micros(3));
         }
     }
 
     #[test]
-    fn run_until_drives_chained_events() {
-        let mut e: Engine<u32> = Engine::new();
-        let mut c = Counter { fired: Vec::new() };
-        e.schedule_now(0);
-        let n = run_to_completion(&mut e, &mut c);
-        assert_eq!(c.fired, vec![0, 1, 2, 3]);
-        assert_eq!(n, 4);
-        assert_eq!(e.now(), SimTime::from_micros(3));
+    fn run_until_stops_at_limit() {
+        for mut e in engines() {
+            e.schedule_now(0);
+            let mut fired = Vec::new();
+            e.run_until(SimTime::from_micros(1), |eng, _now, ev| {
+                fired.push(ev);
+                if ev < 3 {
+                    eng.schedule_after(SimDuration::from_micros(1), ev + 1);
+                }
+            });
+            assert_eq!(fired, vec![0, 1]);
+            assert_eq!(e.pending(), 1);
+        }
     }
 
     #[test]
-    fn run_until_stops_at_limit() {
-        let mut e: Engine<u32> = Engine::new();
-        let mut c = Counter { fired: Vec::new() };
-        e.schedule_now(0);
-        run_until(&mut e, &mut c, SimTime::from_micros(1));
-        assert_eq!(c.fired, vec![0, 1]);
-        assert_eq!(e.pending(), 1);
+    fn backends_agree_on_far_future_schedules() {
+        // Past the wheel horizon (~19 simulated hours) and back.
+        for mut e in engines() {
+            e.schedule_after(SimDuration::from_secs(100_000), 9);
+            e.schedule_after(SimDuration::from_micros(1), 1);
+            let order: Vec<(u64, u32)> =
+                std::iter::from_fn(|| e.step().map(|(t, v)| (t.as_micros(), v))).collect();
+            assert_eq!(order, vec![(1, 1), (100_000_000_000, 9)]);
+        }
     }
 }

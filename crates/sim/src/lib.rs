@@ -14,22 +14,29 @@
 //! to events and schedule new ones; only the cluster runtime owns the loop.
 
 pub mod calib;
+mod context;
 mod engine;
 mod faults;
 pub mod json;
 pub mod metrics;
+mod queue;
 mod rng;
 pub mod span;
 mod stats;
 mod time;
 mod trace;
 
-pub use engine::{run_to_completion, run_until, Dispatch, Engine, EventId};
+pub use context::SimContext;
+pub use engine::{Engine, EventId};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultTrigger, MigrationPhase};
 pub use json::{Json, ToJson};
 pub use metrics::{CounterId, GaugeId, HistogramId, Metrics, MetricsReport, ScopeMetrics};
+pub use queue::{DynQueue, EventQueue, HeapQueue, QueueBackend, TimingWheel};
 pub use rng::DetRng;
 pub use span::{SpanContext, SpanId, SpanIdGen, SpanNode, SpanTree, SpanViolation};
 pub use stats::{Histogram, OnlineStats, Samples};
 pub use time::{SimDuration, SimTime};
-pub use trace::{Subsystem, Trace, TraceEvent, TraceLevel, TraceRecord};
+pub use trace::{
+    NullSink, RingSink, Subsystem, Trace, TraceEvent, TraceLevel, TraceRecord, TraceSink,
+    TraceSinkSpec, VecSink,
+};

@@ -375,6 +375,172 @@ impl fmt::Display for TraceRecord {
     }
 }
 
+/// Where retained records go: the storage side of a [`Trace`], split out
+/// so the hot emit path can be swapped between an unbounded buffer, a
+/// fixed ring, and nothing at all.
+pub trait TraceSink {
+    /// Stores one record (the level filter has already passed).
+    fn record(&mut self, rec: TraceRecord);
+    /// Number of retained records.
+    fn len(&self) -> usize;
+    /// True when nothing is retained.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Drops all retained records.
+    fn clear(&mut self);
+    /// Removes and returns every retained record in emission order.
+    fn drain_ordered(&mut self) -> Vec<TraceRecord>;
+    /// The retained records in *storage* order — emission order for
+    /// unbounded sinks; for a wrapped ring the oldest retained record is
+    /// not necessarily first (records carry `seq`, so callers that need
+    /// order sort or use [`TraceSink::drain_ordered`]).
+    fn as_slice(&self) -> &[TraceRecord];
+}
+
+/// Unbounded sink: keeps everything, in emission order.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    records: Vec<TraceRecord>,
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, rec: TraceRecord) {
+        self.records.push(rec);
+    }
+    fn len(&self) -> usize {
+        self.records.len()
+    }
+    fn clear(&mut self) {
+        self.records.clear();
+    }
+    fn drain_ordered(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.records)
+    }
+    fn as_slice(&self) -> &[TraceRecord] {
+        &self.records
+    }
+}
+
+/// Fixed-capacity ring sink: keeps the most recent `cap` records,
+/// overwriting the oldest. Emission stays allocation-free once the ring
+/// has filled — the flight-recorder mode for long high-rate runs where
+/// only the recent past matters.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    buf: Vec<TraceRecord>,
+    cap: usize,
+    /// Next write position; when `buf` is full this is also the index of
+    /// the oldest retained record.
+    next: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// An empty ring retaining at most `cap` records (min 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        RingSink {
+            buf: Vec::with_capacity(cap),
+            cap,
+            next: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records overwritten so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, rec: TraceRecord) {
+        if self.buf.len() < self.cap {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.next] = rec;
+            self.next = (self.next + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.next = 0;
+    }
+    fn drain_ordered(&mut self) -> Vec<TraceRecord> {
+        let mut out = std::mem::take(&mut self.buf);
+        out.rotate_left(self.next);
+        self.next = 0;
+        out
+    }
+    fn as_slice(&self) -> &[TraceRecord] {
+        &self.buf
+    }
+}
+
+/// Discards everything. A null-sink trace reports `enabled() == false`
+/// for every level, so emit sites skip even building the event.
+#[derive(Debug, Clone, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _rec: TraceRecord) {}
+    fn len(&self) -> usize {
+        0
+    }
+    fn clear(&mut self) {}
+    fn drain_ordered(&mut self) -> Vec<TraceRecord> {
+        Vec::new()
+    }
+    fn as_slice(&self) -> &[TraceRecord] {
+        &[]
+    }
+}
+
+/// Sink configuration, for carrying the choice through config structs
+/// (e.g. `ClusterConfig`) without building the sink eagerly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceSinkSpec {
+    /// Keep every record ([`VecSink`]) — the default, and what the replay
+    /// and chaos suites compare.
+    #[default]
+    Unbounded,
+    /// Keep the most recent N records ([`RingSink`]).
+    Ring(usize),
+    /// Keep nothing and disable emission entirely ([`NullSink`]).
+    Off,
+}
+
+/// The concrete sink inside a [`Trace`]. An enum rather than a boxed
+/// trait object so traces stay `Clone` and emission stays a static call.
+#[derive(Debug, Clone)]
+enum Store {
+    Vec(VecSink),
+    Ring(RingSink),
+    Null(NullSink),
+}
+
+impl Store {
+    fn sink(&self) -> &dyn TraceSink {
+        match self {
+            Store::Vec(s) => s,
+            Store::Ring(s) => s,
+            Store::Null(s) => s,
+        }
+    }
+    fn sink_mut(&mut self) -> &mut dyn TraceSink {
+        match self {
+            Store::Vec(s) => s,
+            Store::Ring(s) => s,
+            Store::Null(s) => s,
+        }
+    }
+}
+
 /// An in-memory trace buffer with a level filter.
 ///
 /// # Examples
@@ -391,18 +557,41 @@ impl fmt::Display for TraceRecord {
 #[derive(Debug, Clone)]
 pub struct Trace {
     min_level: TraceLevel,
-    records: Vec<TraceRecord>,
+    store: Store,
     next_seq: u64,
 }
 
 impl Trace {
-    /// Creates a trace that keeps records at `min_level` and above.
+    /// Creates a trace that keeps records at `min_level` and above, in an
+    /// unbounded buffer.
     pub fn new(min_level: TraceLevel) -> Self {
+        Trace::with_sink(min_level, TraceSinkSpec::Unbounded)
+    }
+
+    /// Creates a trace with an explicit sink choice.
+    pub fn with_sink(min_level: TraceLevel, spec: TraceSinkSpec) -> Self {
+        let store = match spec {
+            TraceSinkSpec::Unbounded => Store::Vec(VecSink::default()),
+            TraceSinkSpec::Ring(cap) => Store::Ring(RingSink::new(cap)),
+            TraceSinkSpec::Off => Store::Null(NullSink),
+        };
         Trace {
             min_level,
-            records: Vec::new(),
+            store,
             next_seq: 0,
         }
+    }
+
+    /// A trace that keeps the most recent `cap` records at `min_level`
+    /// and above.
+    pub fn ring(min_level: TraceLevel, cap: usize) -> Self {
+        Trace::with_sink(min_level, TraceSinkSpec::Ring(cap))
+    }
+
+    /// A trace that retains nothing and reports every level disabled —
+    /// the near-free choice for throughput runs.
+    pub fn off() -> Self {
+        Trace::with_sink(TraceLevel::Warn, TraceSinkSpec::Off)
     }
 
     /// A trace that discards everything below [`TraceLevel::Warn`].
@@ -415,7 +604,7 @@ impl Trace {
     /// filtered-out records stay allocation-free.
     #[inline]
     pub fn enabled(&self, level: TraceLevel) -> bool {
-        level >= self.min_level
+        level >= self.min_level && !matches!(self.store, Store::Null(_))
     }
 
     /// Appends a record if it passes the level filter.
@@ -430,7 +619,7 @@ impl Trace {
         if self.enabled(level) {
             let seq = self.next_seq;
             self.next_seq += 1;
-            self.records.push(TraceRecord {
+            self.store.sink_mut().record(TraceRecord {
                 at,
                 seq,
                 level,
@@ -455,19 +644,30 @@ impl Trace {
         self.emit(TraceLevel::Warn, at, subsystem, event);
     }
 
-    /// All retained records, in emission order.
+    /// All retained records. In emission order for the default unbounded
+    /// sink; a wrapped ring yields storage order (see
+    /// [`TraceSink::as_slice`] — sort by `(at, seq)` or call
+    /// [`Trace::sort_by_time`] first when order matters).
     pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+        self.store.sink().as_slice()
+    }
+
+    /// Records overwritten by a ring sink so far (0 for other sinks).
+    pub fn records_dropped(&self) -> u64 {
+        match &self.store {
+            Store::Ring(r) => r.dropped(),
+            _ => 0,
+        }
     }
 
     /// Iterates the retained events.
     pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
-        self.records.iter().map(|r| &r.event)
+        self.records().iter().map(|r| &r.event)
     }
 
     /// Records from `subsystem`.
     pub fn for_subsystem(&self, subsystem: Subsystem) -> impl Iterator<Item = &TraceRecord> {
-        self.records
+        self.records()
             .iter()
             .filter(move |r| r.subsystem == subsystem)
     }
@@ -475,7 +675,7 @@ impl Trace {
     /// Count of retained events matching `pred` — the structured
     /// replacement for grepping formatted messages.
     pub fn count_matching(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
-        self.records.iter().filter(|r| pred(&r.event)).count()
+        self.records().iter().filter(|r| pred(&r.event)).count()
     }
 
     /// Moves all records out of `other` into this trace (used by the
@@ -485,10 +685,10 @@ impl Trace {
     /// this trace's counter (preserving their relative order), so a fixed
     /// fold order yields one deterministic tie-break sequence.
     pub fn drain_from(&mut self, other: &mut Trace) {
-        for mut r in other.records.drain(..) {
+        for mut r in other.store.sink_mut().drain_ordered() {
             r.seq = self.next_seq;
             self.next_seq += 1;
-            self.records.push(r);
+            self.store.sink_mut().record(r);
         }
     }
 
@@ -496,12 +696,22 @@ impl Trace {
     /// number so same-instant records land in a deterministic order. Call
     /// after folding several traces together.
     pub fn sort_by_time(&mut self) {
-        self.records.sort_by_key(|r| (r.at, r.seq));
+        match &mut self.store {
+            Store::Vec(s) => s.records.sort_by_key(|r| (r.at, r.seq)),
+            Store::Ring(s) => {
+                // Make storage order = emission order, then sort in place.
+                let n = s.next;
+                s.buf.rotate_left(n);
+                s.next = 0;
+                s.buf.sort_by_key(|r| (r.at, r.seq));
+            }
+            Store::Null(_) => {}
+        }
     }
 
     /// Drops all retained records.
     pub fn clear(&mut self) {
-        self.records.clear();
+        self.store.sink_mut().clear();
     }
 }
 
@@ -666,6 +876,65 @@ mod tests {
             merged.records()[3].event,
             TraceEvent::Unfreeze { lh: 0 }
         ));
+    }
+
+    #[test]
+    fn ring_sink_keeps_most_recent_records() {
+        let mut t = Trace::ring(TraceLevel::Detail, 4);
+        for lh in 0..10 {
+            t.info(
+                SimTime::from_micros(lh as u64),
+                Subsystem::Kernel,
+                TraceEvent::Freeze { lh },
+            );
+        }
+        assert_eq!(t.records().len(), 4);
+        assert_eq!(t.records_dropped(), 6);
+        // Ordered view holds exactly the last four emissions.
+        t.sort_by_time();
+        let lhs: Vec<u32> = t
+            .events()
+            .map(|e| match e {
+                TraceEvent::Freeze { lh } => *lh,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(lhs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_drains_in_emission_order() {
+        let mut src = Trace::ring(TraceLevel::Detail, 3);
+        for lh in 0..5 {
+            src.info(
+                SimTime::from_micros(lh as u64),
+                Subsystem::Kernel,
+                TraceEvent::Freeze { lh },
+            );
+        }
+        let mut dst = Trace::default();
+        dst.drain_from(&mut src);
+        assert!(src.records().is_empty());
+        let lhs: Vec<u32> = dst
+            .events()
+            .map(|e| match e {
+                TraceEvent::Freeze { lh } => *lh,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(lhs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn off_trace_disables_every_level() {
+        let mut t = Trace::off();
+        assert!(!t.enabled(TraceLevel::Warn));
+        t.warn(
+            SimTime::ZERO,
+            Subsystem::Kernel,
+            TraceEvent::Freeze { lh: 1 },
+        );
+        assert!(t.records().is_empty());
     }
 
     #[test]

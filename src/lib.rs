@@ -53,9 +53,10 @@ pub mod prelude {
     pub use vkernel::{LogicalHostId, Priority, ProcessId};
     pub use vnet::{HostAddr, LossModel};
     pub use vsim::{
-        DetRng, FaultKind, FaultPlan, FaultTrigger, Metrics, MetricsReport, MigrationPhase,
-        SimDuration, SimTime, SpanContext, SpanId, SpanIdGen, SpanNode, SpanTree, SpanViolation,
-        Subsystem, Trace, TraceEvent, TraceLevel,
+        DetRng, Engine, EventId, EventQueue, FaultKind, FaultPlan, FaultTrigger, Metrics,
+        MetricsReport, MigrationPhase, QueueBackend, SimContext, SimDuration, SimTime, SpanContext,
+        SpanId, SpanIdGen, SpanNode, SpanTree, SpanViolation, Subsystem, Trace, TraceEvent,
+        TraceLevel, TraceSinkSpec,
     };
     pub use vworkload::{profiles, Phase, ProgramProfile, UserModelParams};
 }

@@ -55,12 +55,12 @@ fn seed_workload(c: &mut Cluster) {
 fn run_to_quiescence(c: &mut Cluster, seed: u64) {
     c.run_for(SimDuration::from_secs(45));
     for _ in 0..40 {
-        if c.engine.pending() == 0 {
+        if c.pending() == 0 {
             break;
         }
         c.run_for(SimDuration::from_secs(30));
     }
-    assert_eq!(c.engine.pending(), 0, "seed {seed} failed to quiesce");
+    assert_eq!(c.pending(), 0, "seed {seed} failed to quiesce");
 }
 
 /// The tentpole soak: 32 random-but-reproducible fault plans, each run to
@@ -105,9 +105,9 @@ fn chaos_runs_are_deterministic() {
         run_to_quiescence(&mut c, 3);
         c.merge_component_traces();
         (
-            c.engine.events_delivered(),
+            c.events_delivered(),
             c.stats.faults_injected,
-            c.trace.records().to_vec(),
+            c.trace().records().to_vec(),
         )
     };
     let (events_a, faults_a, trace_a) = run();

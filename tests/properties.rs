@@ -24,7 +24,7 @@ fn engine_delivers_in_order() {
         }
         let mut last = SimTime::ZERO;
         let mut seen = vec![false; delays.len()];
-        while let Some((t, i)) = e.pop() {
+        while let Some((t, i)) = e.step() {
             assert!(t >= last, "time went backwards");
             assert_eq!(t.as_micros(), delays[i]);
             assert!(!seen[i], "duplicate delivery");
@@ -58,12 +58,74 @@ fn engine_cancellation_is_exact() {
             }
         }
         let mut got: Vec<usize> = Vec::new();
-        while let Some((_, i)) = e.pop() {
+        while let Some((_, i)) = e.step() {
             got.push(i);
         }
         got.sort_unstable();
         expected.sort_unstable();
         assert_eq!(got, expected);
+    }
+}
+
+/// The timing-wheel queue is observationally identical to the binary
+/// heap: identical schedule/cancel/step sequences produce identical
+/// `(time, event)` pop orders — including FIFO same-instant tie-break —
+/// across 32 seeds, with delays that land on every wheel level and
+/// beyond the wheel horizon into the overflow map.
+#[test]
+fn queue_backends_are_observationally_identical() {
+    for seed in 0..32u64 {
+        let mut rng = DetRng::seed(0x3E0 + seed);
+        let mut heap: Engine<usize> = Engine::with_backend(QueueBackend::Heap);
+        let mut wheel: Engine<usize> = Engine::with_backend(QueueBackend::TimingWheel);
+        let mut ids: Vec<(EventId, EventId)> = Vec::new();
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        for op in 0..400 {
+            match rng.index(10) {
+                // Mostly schedules, spanning instants (FIFO ties), each
+                // wheel level, and the far-future overflow region.
+                0..=5 => {
+                    let d = match rng.index(5) {
+                        0 => 0,
+                        1 => rng.range_u64(1, 64),
+                        2 => rng.range_u64(64, 1 << 18),
+                        3 => rng.range_u64(1 << 18, 1 << 30),
+                        // Past the ~19-simulated-hour wheel horizon.
+                        _ => rng.range_u64(1 << 36, 1 << 40),
+                    };
+                    let a = heap.schedule_after(SimDuration::from_micros(d), op);
+                    let b = wheel.schedule_after(SimDuration::from_micros(d), op);
+                    assert_eq!(a, b, "seed {seed}: id streams diverged");
+                    ids.push((a, b));
+                }
+                6..=7 => {
+                    if !ids.is_empty() {
+                        let (a, b) = ids[rng.index(ids.len())];
+                        heap.cancel(a);
+                        wheel.cancel(b);
+                    }
+                }
+                _ => {
+                    let h = heap.step();
+                    let w = wheel.step();
+                    assert_eq!(h, w, "seed {seed}: pop order diverged");
+                    if let Some(p) = h {
+                        popped.push(p);
+                    }
+                }
+            }
+            assert_eq!(heap.pending(), wheel.pending(), "seed {seed}");
+        }
+        // Drain both to the end; the tails must agree too.
+        while let Some(h) = heap.step() {
+            assert_eq!(Some(h), wheel.step(), "seed {seed}: drain diverged");
+            popped.push(h);
+        }
+        assert_eq!(wheel.step(), None, "seed {seed}: wheel had extra events");
+        assert!(
+            popped.windows(2).all(|w| w[0].0 <= w[1].0),
+            "seed {seed}: time went backwards"
+        );
     }
 }
 

@@ -31,11 +31,17 @@ struct Outcome {
 /// so retransmission randomness is in play, then merge every component
 /// trace into one stream.
 fn run_once(seed: u64) -> Outcome {
+    run_once_on(seed, QueueBackend::Heap)
+}
+
+/// [`run_once`], but on an explicit event-queue backend.
+fn run_once_on(seed: u64, queue: QueueBackend) -> Outcome {
     let mut c = Cluster::new(ClusterConfig {
         workstations: 4,
         seed,
         loss: LossModel::Bernoulli(0.02),
         trace: TraceLevel::Detail,
+        queue,
         ..ClusterConfig::default()
     });
     c.file_server_mut().add_file("replay.dat", 48 * 1024);
@@ -58,16 +64,16 @@ fn run_once(seed: u64) -> Outcome {
     }
     c.run_for(SimDuration::from_secs(60));
     for _ in 0..20 {
-        if c.engine.pending() == 0 {
+        if c.pending() == 0 {
             break;
         }
         c.run_for(SimDuration::from_secs(30));
     }
-    assert_eq!(c.engine.pending(), 0, "seed {seed} failed to quiesce");
+    assert_eq!(c.pending(), 0, "seed {seed} failed to quiesce");
     c.merge_component_traces();
     Outcome {
-        records: c.trace.records().to_vec(),
-        events_delivered: c.engine.events_delivered(),
+        records: c.trace().records().to_vec(),
+        events_delivered: c.events_delivered(),
         images_loaded: c.file_server().stats().images_loaded,
         bytes_read: c.file_server().stats().bytes_read,
         mcast_members: c.net.members(PM_MCAST).len(),
@@ -135,4 +141,31 @@ fn different_seeds_diverge() {
         a.records, b.records,
         "different seeds produced identical traces"
     );
+}
+
+/// The timing-wheel backend must be a bit-identical drop-in for the heap:
+/// one full replay pair, same seed, one run per backend, compared
+/// record-for-record. This is the whole-cluster analogue of the queue
+/// differential property test in `properties.rs`.
+#[test]
+fn queue_backends_replay_identically() {
+    let heap = run_once_on(1985, QueueBackend::Heap);
+    let wheel = run_once_on(1985, QueueBackend::TimingWheel);
+    assert_eq!(
+        heap.events_delivered, wheel.events_delivered,
+        "backends diverged in event counts"
+    );
+    assert_eq!(
+        (heap.images_loaded, heap.bytes_read, heap.mcast_members),
+        (wheel.images_loaded, wheel.bytes_read, wheel.mcast_members),
+        "backends diverged in cluster outcomes"
+    );
+    assert_eq!(
+        heap.records.len(),
+        wheel.records.len(),
+        "backends diverged in trace lengths"
+    );
+    for (i, (rh, rw)) in heap.records.iter().zip(&wheel.records).enumerate() {
+        assert_eq!(rh, rw, "backends diverged at trace record {i}");
+    }
 }
