@@ -74,6 +74,32 @@ pub enum AuditViolation {
         /// The bogus physical address.
         host: HostAddr,
     },
+    /// A logical host is *running* (resident and unfrozen) on more than
+    /// one up station at once. Unlike [`AuditViolation::ProgramDuplicated`]
+    /// this has no mid-migration exemption: a correct handoff keeps the
+    /// second copy frozen until the first is gone.
+    DuplicateLiveCopy {
+        /// The doubly-live logical host.
+        lh: LogicalHostId,
+    },
+    /// A held lease ran out more than the grace period ago but the
+    /// program is still alive on the holder — orphan extermination
+    /// failed or was disabled.
+    LeaseExpiredButAlive {
+        /// Station index still hosting the orphan.
+        ws: usize,
+        /// The overdue program.
+        lh: LogicalHostId,
+    },
+    /// A remote-origin program is alive on an up station with no lease
+    /// backing it at all — an orphan that escaped the lease machinery
+    /// entirely, past any grace window.
+    OrphanPastGrace {
+        /// Station index hosting the unleased program.
+        ws: usize,
+        /// The unleased program.
+        lh: LogicalHostId,
+    },
 }
 
 impl AuditViolation {
@@ -86,6 +112,9 @@ impl AuditViolation {
             AuditViolation::FrozenWithoutMigration { .. } => "frozen-without-migration",
             AuditViolation::UndrainedTransactions { .. } => "undrained-transactions",
             AuditViolation::StaleBinding { .. } => "stale-binding",
+            AuditViolation::DuplicateLiveCopy { .. } => "duplicate-live-copy",
+            AuditViolation::LeaseExpiredButAlive { .. } => "lease-expired-but-alive",
+            AuditViolation::OrphanPastGrace { .. } => "orphan-past-grace",
         }
     }
 
@@ -96,7 +125,10 @@ impl AuditViolation {
             | AuditViolation::ProgramDuplicated { lh }
             | AuditViolation::OrphanTempLh { lh, .. }
             | AuditViolation::FrozenWithoutMigration { lh, .. }
-            | AuditViolation::StaleBinding { lh, .. } => Some(*lh),
+            | AuditViolation::StaleBinding { lh, .. }
+            | AuditViolation::DuplicateLiveCopy { lh }
+            | AuditViolation::LeaseExpiredButAlive { lh, .. }
+            | AuditViolation::OrphanPastGrace { lh, .. } => Some(*lh),
             AuditViolation::UndrainedTransactions { .. } => None,
         }
     }
@@ -126,6 +158,19 @@ impl core::fmt::Display for AuditViolation {
                     "station {ws} caches lh{} -> invalid host{}",
                     lh.0, host.0
                 )
+            }
+            AuditViolation::DuplicateLiveCopy { lh } => {
+                write!(
+                    f,
+                    "program lh{} running live on more than one station",
+                    lh.0
+                )
+            }
+            AuditViolation::LeaseExpiredButAlive { ws, lh } => {
+                write!(f, "lh{} on station {ws} outlived its expired lease", lh.0)
+            }
+            AuditViolation::OrphanPastGrace { ws, lh } => {
+                write!(f, "remote-origin lh{} on station {ws} holds no lease", lh.0)
             }
         }
     }
@@ -216,6 +261,25 @@ impl Cluster {
             if copies > 1 && !(active_lhs.contains(&lh) && copies == 2) {
                 violations.push(AuditViolation::ProgramDuplicated { lh });
             }
+            // A correct handoff never lets two *unfrozen* copies coexist,
+            // even mid-migration: the target stays frozen until the source
+            // copy is deleted.
+            let live_copies = self
+                .stations
+                .iter()
+                .filter(|w| {
+                    !w.down
+                        && w.kernel.is_resident(lh)
+                        && !w
+                            .kernel
+                            .logical_host(lh)
+                            .map(|l| l.is_frozen())
+                            .unwrap_or(false)
+                })
+                .count();
+            if live_copies > 1 {
+                violations.push(AuditViolation::DuplicateLiveCopy { lh });
+            }
         }
 
         if final_check {
@@ -249,6 +313,26 @@ impl Cluster {
                         ws: i,
                         count: undrained,
                     });
+                }
+                // Lease liveness: at quiescence no program may outlive an
+                // expired lease, and every remote-origin program must hold
+                // one (the machinery that would exterminate it otherwise).
+                if w.pm.lease_config().enabled {
+                    for lh in w.pm.expired_leases(now) {
+                        if w.kernel.is_resident(lh) {
+                            violations.push(AuditViolation::LeaseExpiredButAlive { ws: i, lh });
+                        }
+                    }
+                    let held: BTreeSet<LogicalHostId> =
+                        w.pm.held_leases().into_iter().map(|(lh, _)| lh).collect();
+                    for (&lh, info) in w.pm.programs() {
+                        if info.origin.is_some_and(|o| o != w.host)
+                            && !held.contains(&lh)
+                            && w.kernel.is_resident(lh)
+                        {
+                            violations.push(AuditViolation::OrphanPastGrace { ws: i, lh });
+                        }
+                    }
                 }
             }
         }

@@ -24,15 +24,16 @@ use vkernel::{
 use vmem::{SpaceId, SpaceLayout};
 use vnet::{Delivery, Ethernet, Frame, HostAddr, LossModel, McastGroup};
 use vservices::{
-    AcceptPolicy, DisplayServer, ExecEnv, FileServer, ProgramInfo, ProgramSpec, ServiceMsg,
-    SvcEvent, SvcOutputs, SvcToken,
+    AcceptPolicy, DisplayServer, ExecEnv, FileServer, LeaseConfig, ProgramInfo, ProgramSpec,
+    ServiceMsg, SvcEvent, SvcOutputs, SvcToken,
 };
 use vsim::calib::{CONTEXT_SWITCH, CPU_QUANTUM, SMALL_PACKET_CPU};
 use vsim::metrics::GaugeSnapshot;
 use vsim::{
-    CounterId, DetRng, FaultKind, FaultPlan, FaultTrigger, Metrics, MetricsReport, MigrationPhase,
-    QueueBackend, SimContext, SimDuration, SimTime, SpanContext, SpanIdGen, SpanTree, Subsystem,
-    Trace, TraceEvent, TraceLevel, TraceSinkSpec,
+    CounterId, DetRng, FaultKind, FaultPlan, FaultPoint, FaultTrigger, Metrics, MetricsReport,
+    MigrationPhase, Party, ProtocolStep, QueueBackend, SimContext, SimDuration, SimTime,
+    SpanContext, SpanIdGen, SpanTree, Subsystem, Trace, TraceEvent, TraceLevel, TraceSinkSpec,
+    PARTY,
 };
 use vworkload::{
     OwnerState, ProgAction, ProgEvent, ProgramProfile, UserModel, UserModelParams, WorkloadProgram,
@@ -275,6 +276,8 @@ pub struct ClusterConfig {
     /// Run the invariant auditor at this interval (`None` = only when a
     /// caller invokes [`Cluster::audit`] explicitly).
     pub audit_every: Option<SimDuration>,
+    /// Lease-based liveness tuning, applied to every program manager.
+    pub lease: LeaseConfig,
 }
 
 impl Default for ClusterConfig {
@@ -293,6 +296,7 @@ impl Default for ClusterConfig {
             queue: QueueBackend::Heap,
             faults: FaultPlan::none(),
             audit_every: None,
+            lease: LeaseConfig::default(),
         }
     }
 }
@@ -312,6 +316,12 @@ pub struct ClusterStats {
     pub faults_injected: u64,
     /// Invariant violations found by the auditor.
     pub audit_violations: u64,
+    /// Orphan programs exterminated by lease expiry or revocation.
+    pub orphans_exterminated: u64,
+    /// Leases rebound to a new host by the origin's liveness probe.
+    pub leases_rebound: u64,
+    /// Programs re-executed from their origin after being presumed dead.
+    pub re_execs: u64,
 }
 
 /// The whole simulated cluster.
@@ -348,6 +358,15 @@ pub struct Cluster {
     cfg: ClusterConfig,
     /// Phase-triggered faults still waiting for their migration step.
     phase_faults: Vec<(Option<u32>, MigrationPhase, FaultKind)>,
+    /// Fault-point-triggered faults still waiting for their protocol-step
+    /// crossing (one-shot, like `phase_faults`).
+    point_faults: Vec<(Option<u32>, FaultPoint, FaultKind)>,
+    /// Exec profile and priority by image, kept so a leased program
+    /// presumed dead can be executed again from its origin.
+    profiles_by_image: BTreeMap<String, (ProgramProfile, Priority)>,
+    /// Image of each remotely executing program whose origin granted a
+    /// lease; consumed by [`SvcEvent::ReExecNeeded`].
+    reexec_images: BTreeMap<LogicalHostId, String>,
     /// Behaviours awaiting their ProgramStarted event, FIFO per image.
     pending_behaviors: BTreeMap<String, VecDeque<WorkloadProgram>>,
     /// Owner-reclaim measurements: (owner returned at, all guests gone at).
@@ -402,7 +421,7 @@ impl Cluster {
             // The global file server lives on station 0; every PM points
             // at it. Its pid is deterministic: system lh 1, index 16+4.
             let global_fs_pid = ProcessId::new(LogicalHostId(1), vkernel::FIRST_USER_INDEX + 4);
-            let pm = vservices::ProgramManager::new(
+            let mut pm = vservices::ProgramManager::new(
                 pm_pid,
                 host,
                 name.clone(),
@@ -410,6 +429,7 @@ impl Cluster {
                 10_000 * (i as u32 + 1),
                 accept,
             );
+            pm.set_lease_config(cfg.lease.clone());
             let fs = if is_fs_machine {
                 // The paging store for VM-flush migration.
                 let pl = kernel.create_logical_host(PAGING_LH);
@@ -500,6 +520,9 @@ impl Cluster {
             rng,
             cfg,
             phase_faults: Vec::new(),
+            point_faults: Vec::new(),
+            profiles_by_image: BTreeMap::new(),
+            reexec_images: BTreeMap::new(),
             pending_behaviors: BTreeMap::new(),
             reclaim_times: Vec::new(),
             reclaim_pending: BTreeMap::new(),
@@ -526,6 +549,9 @@ impl Cluster {
                 }
                 FaultTrigger::OnMigrationPhase { lh, phase } => {
                     cluster.phase_faults.push((lh, phase, ev.kind));
+                }
+                FaultTrigger::AtFaultPoint { lh, point } => {
+                    cluster.point_faults.push((lh, point, ev.kind));
                 }
             }
         }
@@ -624,6 +650,8 @@ impl Cluster {
     ) {
         let now = self.ctx.now();
         self.add_image(&profile);
+        self.profiles_by_image
+            .insert(profile.name.clone(), (profile.clone(), priority));
         let spec = ProgramSpec {
             image: profile.name.clone(),
             args: Vec::new(),
@@ -1072,6 +1100,16 @@ impl Cluster {
                         if let Some(q) = self.pending_behaviors.get_mut(&report.image) {
                             q.pop_front();
                         }
+                    } else if let (Some(h), Some(lh)) = (report.chosen_host, report.lh) {
+                        // Remote execution: the origin grants the remote
+                        // host a lease and remembers the image so it can
+                        // re-execute the program if the remote goes silent.
+                        if h != self.stations[i].host {
+                            self.reexec_images.insert(lh, report.image.clone());
+                            let now = self.ctx.now();
+                            let louts = self.stations[i].pm.grant_lease(now, lh, h);
+                            self.apply_svc_outputs(i, SvcKind::Pm, louts);
+                        }
                     }
                     self.exec_reports.push(*report);
                 }
@@ -1256,10 +1294,12 @@ impl Cluster {
                         .map(|p| ProgramMeta {
                             image: p.image.clone(),
                             priority: p.priority,
+                            origin: p.origin,
                         })
                         .unwrap_or(ProgramMeta {
                             image: "unknown".into(),
                             priority: Priority::GUEST,
+                            origin: None,
                         });
                 if !w.kernel.is_resident(lh) || w.migrator.migrating(lh) {
                     let pm_pid = w.pm.pid();
@@ -1290,6 +1330,112 @@ impl Cluster {
                 );
                 self.apply_mig_outputs(i, outs);
             }
+            SvcEvent::OrphanExterminated { lh } => {
+                self.stats.orphans_exterminated += 1;
+                if self.ctx.trace_enabled(TraceLevel::Warn) {
+                    self.ctx.warn(
+                        Subsystem::Services,
+                        TraceEvent::OrphanExterminated { lh: lh.0 },
+                    );
+                }
+            }
+            SvcEvent::LeaseRebound { lh, to } => {
+                self.stats.leases_rebound += 1;
+                if self.ctx.trace_enabled(TraceLevel::Info) {
+                    self.ctx.info(
+                        Subsystem::Services,
+                        TraceEvent::LeaseRebound { lh: lh.0, to: to.0 },
+                    );
+                }
+            }
+            SvcEvent::ReExecNeeded { lh } => {
+                self.re_exec(i, lh);
+            }
+            SvcEvent::LeasePoint { lh, step, party } => {
+                if step == ProtocolStep::LeaseExpiry && self.ctx.trace_enabled(TraceLevel::Warn) {
+                    self.ctx.warn(
+                        Subsystem::Services,
+                        TraceEvent::LeaseExpired {
+                            lh: lh.0,
+                            party: party.label(),
+                        },
+                    );
+                }
+                self.fire_points(lh, step, &[(party, Some(self.stations[i].host.0))]);
+            }
+        }
+    }
+
+    /// Re-executes a leased program from its origin after it was presumed
+    /// dead (origin-side lease silence, or extermination notice). Re-exec
+    /// gives at-least-once semantics: the origin may briefly race a live
+    /// copy, which the lease protocol then exterminates.
+    fn re_exec(&mut self, i: usize, lh: LogicalHostId) {
+        let Some(image) = self.reexec_images.remove(&lh) else {
+            return;
+        };
+        self.stats.re_execs += 1;
+        if self.ctx.trace_enabled(TraceLevel::Warn) {
+            self.ctx.warn(
+                Subsystem::Services,
+                TraceEvent::ReExecuted {
+                    lh: lh.0,
+                    image: image.clone(),
+                },
+            );
+        }
+        self.fire_points(
+            lh,
+            ProtocolStep::ReExec,
+            &[(Party::Origin, Some(self.stations[i].host.0))],
+        );
+        let Some((profile, priority)) = self.profiles_by_image.get(&image).cloned() else {
+            return;
+        };
+        self.exec(i, profile, ExecTarget::AnyIdle, priority);
+    }
+
+    /// Fires one-shot point faults pinned to `(step, party)` crossings.
+    /// `parties` lists which protocol parties this crossing represents and
+    /// (when known) the station each party runs on, so `PARTY`-relative
+    /// fault kinds can be resolved to a concrete station.
+    fn fire_points(
+        &mut self,
+        lh: LogicalHostId,
+        step: ProtocolStep,
+        parties: &[(Party, Option<u16>)],
+    ) {
+        if self.point_faults.is_empty() {
+            return;
+        }
+        let n = self.stations.len() as u16;
+        let mut fired = Vec::new();
+        self.point_faults.retain(|(want_lh, point, kind)| {
+            if point.step != step || want_lh.is_some_and(|l| l != lh.0) {
+                return true;
+            }
+            let Some((_, ws)) = parties.iter().find(|(p, _)| *p == point.party) else {
+                return true;
+            };
+            // A party we cannot place (e.g. target not yet chosen) keeps
+            // the fault armed for a later crossing of the same step.
+            let Some(ws) = ws else {
+                return true;
+            };
+            fired.push((*point, resolve_party(kind.clone(), *ws, n)));
+            false
+        });
+        for (point, kind) in fired {
+            if self.ctx.trace_enabled(TraceLevel::Warn) {
+                self.ctx.warn(
+                    Subsystem::Cluster,
+                    TraceEvent::FaultPointHit {
+                        step: point.step.label(),
+                        party: point.party.label(),
+                    },
+                );
+            }
+            self.apply_fault(kind);
         }
     }
 
@@ -1298,12 +1444,23 @@ impl Cluster {
         match e {
             MigEvent::Evicted { lh, to_host } => {
                 let j = self.index_of(to_host);
-                let fouts = {
+                let (info, fouts) = {
                     let w = &mut self.stations[i];
-                    let (_, fouts) = w.pm.forget_program(now, lh, &mut w.kernel);
-                    fouts
+                    w.pm.forget_program(now, lh, &mut w.kernel)
                 };
                 self.apply_svc_outputs(i, SvcKind::Pm, fouts);
+                // If the evicting station is the program's origin, the
+                // program has just *become* remote: grant a lease to the
+                // destination and remember the image for possible re-exec.
+                // (A guest's existing lease travels in InstallState.origin;
+                // the new holder heartbeats and the origin rebinds.)
+                if let Some(info) = info {
+                    if info.origin == Some(self.stations[i].host) {
+                        self.reexec_images.insert(lh, info.image.clone());
+                        let louts = self.stations[i].pm.grant_lease(now, lh, to_host);
+                        self.apply_svc_outputs(i, SvcKind::Pm, louts);
+                    }
+                }
                 self.stations[i].cpu_ready.retain(|&x| x != lh);
                 if self.stations[i].cpu_current == Some(lh) {
                     self.stations[i].cpu_current = None;
@@ -1362,13 +1519,38 @@ impl Cluster {
                     self.apply_fault(kind);
                 }
             }
+            MigEvent::Point { lh, step, target } => {
+                let origin = self.stations[i]
+                    .pm
+                    .program(lh)
+                    .and_then(|p| p.origin)
+                    .map(|h| h.0);
+                self.fire_points(
+                    lh,
+                    step,
+                    &[
+                        (Party::Source, Some(self.stations[i].host.0)),
+                        (Party::Target, target.map(|h| h.0)),
+                        (Party::Origin, origin),
+                    ],
+                );
+            }
             MigEvent::Destroyed { lh } => {
-                let fouts = {
+                let (info, fouts) = {
                     let w = &mut self.stations[i];
-                    let (_, fouts) = w.pm.forget_program(now, lh, &mut w.kernel);
-                    fouts
+                    w.pm.forget_program(now, lh, &mut w.kernel)
                 };
                 self.apply_svc_outputs(i, SvcKind::Pm, fouts);
+                // A deliberate destroy releases the lease back to the
+                // origin so it does not later presume the program dead.
+                if let Some(o) = info.and_then(|p| p.origin) {
+                    let louts = {
+                        let w = &mut self.stations[i];
+                        w.pm.release_lease_to(now, o, lh, &mut w.kernel)
+                    };
+                    self.apply_svc_outputs(i, SvcKind::Pm, louts);
+                }
+                self.reexec_images.remove(&lh);
                 self.stations[i].programs.remove(&lh);
                 self.stations[i].cpu_ready.retain(|&x| x != lh);
                 if self.stations[i].cpu_current == Some(lh) {
@@ -1675,6 +1857,7 @@ impl Cluster {
                     .map(|p| ProgramMeta {
                         image: p.image.clone(),
                         priority: p.priority,
+                        origin: p.origin,
                     })
                     .expect("guest is registered");
             let outs = w
@@ -1782,6 +1965,61 @@ impl Cluster {
     /// Convenience: register a program already known to a PM (tests).
     pub fn register_program_info(&mut self, ws: usize, lh: LogicalHostId, info: ProgramInfo) {
         self.stations[ws].pm.register_program(lh, info);
+    }
+
+    /// Point-triggered faults still waiting for their protocol-step
+    /// crossing. Matrix tests assert this reaches zero — i.e. every
+    /// scheduled fault point was actually crossed and fired.
+    pub fn pending_point_faults(&self) -> usize {
+        self.point_faults.len()
+    }
+}
+
+/// Replaces the [`PARTY`] placeholder in a fault kind with the concrete
+/// station `ws` the matched protocol party runs on. A `Partition` with an
+/// empty `b` side isolates the party from everyone else.
+fn resolve_party(kind: FaultKind, ws: u16, stations: u16) -> FaultKind {
+    let fix = |s: u16| if s == PARTY { ws } else { s };
+    match kind {
+        FaultKind::Crash {
+            ws: w,
+            reboot_after,
+        } => FaultKind::Crash {
+            ws: fix(w),
+            reboot_after,
+        },
+        FaultKind::Partition {
+            a,
+            b,
+            symmetric,
+            heal_after,
+        } => {
+            let a: Vec<u16> = a.into_iter().map(fix).collect();
+            let b: Vec<u16> = if b.is_empty() {
+                (0..stations).filter(|s| !a.contains(s)).collect()
+            } else {
+                b.into_iter().map(fix).collect()
+            };
+            FaultKind::Partition {
+                a,
+                b,
+                symmetric,
+                heal_after,
+            }
+        }
+        FaultKind::LatencySpike {
+            from,
+            to,
+            extra,
+            duration,
+        } => FaultKind::LatencySpike {
+            from: fix(from),
+            to: fix(to),
+            extra,
+            duration,
+        },
+        FaultKind::ServiceRestart { ws: w } => FaultKind::ServiceRestart { ws: fix(w) },
+        k @ FaultKind::Corrupt { .. } => k,
     }
 }
 

@@ -19,6 +19,39 @@
 //!   modified pages to the file server and let the new host demand-fault
 //!   them back (two transfers per dirty page, but the source evacuates
 //!   without shipping clean pages).
+//!
+//! # Crash consistency
+//!
+//! A migration is a distributed transaction over two program managers and
+//! the engine; its explicit states are the [`JobState`] ladder
+//! (`Selecting → Initializing → PreCopying → FrozenFinalCopy →
+//! InstallingState → Unfreezing`). The commit point is the target's
+//! acknowledgement of `InstallState` — before it, the source copy is
+//! authoritative and the temporary at the target is garbage the target's
+//! watchdog reclaims; after it, the renamed copy at the target is
+//! authoritative and the stale source copy is an orphan the lease protocol
+//! exterminates. Every coordination message is idempotent on the target
+//! side (`InitMigration` re-acks a resident temporary, `InstallState`
+//! re-acks an already-committed rename, `UnfreezeMigrated` re-acks a
+//! running copy), so the engine may retransmit any step after a timeout
+//! without creating a second live copy, and a crash of either party at any
+//! registered fault point converges to exactly one copy:
+//!
+//! * source crash before commit — the target's temporary is reclaimed by
+//!   its watchdog; the origin's lease machinery re-executes if the source
+//!   never reboots.
+//! * source crash after commit — the target copy runs; the source's stale
+//!   state died with it (a rebooted source holds nothing: logical hosts do
+//!   not survive reboot).
+//! * target crash mid-copy — the engine's transfer fails, the source
+//!   unfreezes in place (§3.1.3) and remains the one copy.
+//! * target crash after commit but before the source learns it — the
+//!   unfreeze send times out, the source unfreezes in place; the rebooted
+//!   target holds nothing, so the source copy is again the only one.
+//!
+//! The engine reports each protocol step it crosses as a
+//! [`MigEvent::Point`]; the fault matrix (`vsim::fault_points`) hangs
+//! crash/partition/corruption injections off these.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -30,8 +63,8 @@ use vnet::HostAddr;
 use vservices::{ServiceMsg, SvcError};
 use vsim::calib::PAGE_BYTES;
 use vsim::{
-    CounterId, HistogramId, Metrics, MigrationPhase, SimDuration, SimTime, SpanId, SpanIdGen,
-    Subsystem, Trace, TraceEvent, TraceLevel,
+    CounterId, HistogramId, Metrics, MigrationPhase, ProtocolStep, SimDuration, SimTime, SpanId,
+    SpanIdGen, Subsystem, Trace, TraceEvent, TraceLevel,
 };
 
 use crate::report::{IterStat, MigFailure, MigrationReport, Milestones};
@@ -174,6 +207,18 @@ pub enum MigEvent {
         /// The step just crossed.
         phase: MigrationPhase,
     },
+    /// The migration crossed a registered fault point
+    /// ([`vsim::fault_points`]) — finer-grained than [`MigEvent::Phase`].
+    /// The runtime resolves the parties involved (source = the emitting
+    /// station, target = `target`, origin = the program's lease origin).
+    Point {
+        /// The migrating logical host.
+        lh: LogicalHostId,
+        /// The protocol step just crossed.
+        step: ProtocolStep,
+        /// The target host, once one is chosen.
+        target: Option<HostAddr>,
+    },
 }
 
 /// Outputs of one engine step.
@@ -199,6 +244,9 @@ pub struct ProgramMeta {
     pub image: String,
     /// Priority on the new host.
     pub priority: Priority,
+    /// Origin host of the program's lease, if any — travels in
+    /// `InstallState` so the lease follows the program to the new host.
+    pub origin: Option<HostAddr>,
 }
 
 /// Who to answer when the eviction completes.
@@ -360,6 +408,17 @@ impl Migrator {
         v
     }
 
+    /// Records the crossing of a registered fault-point step. Pushed
+    /// before the step's own kernel outputs, so an injected crash lands
+    /// before the step's messages leave the station.
+    fn point(out: &mut MigOutputs, job: &Job, step: ProtocolStep) {
+        out.events.push(MigEvent::Point {
+            lh: job.lh,
+            step,
+            target: job.target.map(|(_, h)| h),
+        });
+    }
+
     // --- Phase spans. The invariant throughout: top-level phase spans
     // tile the root migration span (each closes exactly when the next
     // opens), and freeze sub-phases tile the freeze span, so
@@ -495,6 +554,8 @@ impl Migrator {
         job.state = JobState::Selecting;
         job.attempts += 1;
         self.open_phase(now, job, "selection");
+        let mut out = MigOutputs::default();
+        Self::point(&mut out, job, ProtocolStep::SelectHost);
         let mut exclude_hosts = vec![self.host];
         exclude_hosts.extend(job.excluded.iter().copied());
         let query = ServiceMsg::QueryHost {
@@ -510,7 +571,7 @@ impl Migrator {
             0,
         );
         self.by_seq.insert(seq, job.lh);
-        MigOutputs::default().kernel(kouts)
+        out.kernel(kouts)
     }
 
     /// Routes a completion of one of the engine's Sends.
@@ -544,6 +605,7 @@ impl Migrator {
                     job.state = JobState::Initializing;
                     self.close_phase(now, &mut job);
                     self.open_phase(now, &mut job, "initialization");
+                    Self::point(&mut out, &job, ProtocolStep::InitTarget);
                     let spaces: Vec<(SpaceId, _)> = k
                         .logical_host(lh)
                         .expect("job lh resident")
@@ -590,6 +652,7 @@ impl Migrator {
                         lh: job.lh,
                         phase: MigrationPhase::AfterCommit,
                     });
+                    Self::point(&mut out, &job, ProtocolStep::Unfreeze);
                     let (pm, _) = job.target.expect("target chosen");
                     let unfreeze = ServiceMsg::UnfreezeMigrated { lh: job.lh };
                     k.set_span_parent(job.freeze_child.expect("just opened").ctx());
@@ -735,6 +798,7 @@ impl Migrator {
                 job.state = JobState::FrozenFinalCopy;
                 job.iteration = 1;
                 let mut out = out;
+                Self::point(&mut out, &job, ProtocolStep::Freeze);
                 let mut total = 0;
                 let spaces: Vec<SpaceId> = k
                     .logical_host(job.lh)
@@ -758,6 +822,7 @@ impl Migrator {
                 job.residual_bytes = total;
                 job.iter_started = now;
                 job.iter_bytes = 0;
+                Self::point(&mut out, &job, ProtocolStep::ResidualCopy);
                 self.jobs.insert(job.lh, job);
                 out
             }
@@ -852,6 +917,7 @@ impl Migrator {
             lh: job.lh,
             phase: MigrationPhase::AfterPrecopyRound(job.iteration),
         });
+        Self::point(&mut out, &job, ProtocolStep::PrecopyRound);
         let stop = match &job.cfg.strategy {
             Strategy::PreCopy(p) => p.clone(),
             Strategy::VmFlush { stop, .. } => stop.clone(),
@@ -899,6 +965,7 @@ impl Migrator {
             lh: job.lh,
             phase: MigrationPhase::WhileFrozen,
         });
+        Self::point(&mut out, &job, ProtocolStep::Freeze);
 
         let (dest_lh, dest_space) = match &job.cfg.strategy {
             Strategy::VmFlush {
@@ -943,6 +1010,7 @@ impl Migrator {
                 kb: residual / 1024,
             },
         );
+        Self::point(&mut out, &job, ProtocolStep::ResidualCopy);
         if job.pending_xfers.is_empty() {
             // Nothing was dirty: go straight to the kernel-state copy.
             return self.install_state(now, job, k, out);
@@ -997,7 +1065,9 @@ impl Migrator {
             image: job.meta.image.clone(),
             priority: job.meta.priority,
             fetch,
+            origin: job.meta.origin,
         };
+        Self::point(&mut out, &job, ProtocolStep::Commit);
         k.set_span_parent(job.freeze_child.expect("commit open").ctx());
         let (s, kouts) = k.send_with_seq(now, self.pid, pm.into(), install, 0);
         self.by_seq.insert(s, job.lh);
@@ -1032,6 +1102,7 @@ impl Migrator {
 
         // Step 5: delete the old copy; references rebind via the binding
         // cache (or a forwarding address in Demos/MP mode).
+        Self::point(&mut out, &job, ProtocolStep::ReleaseSource);
         let kouts = if job.cfg.leave_forwarding_address {
             k.delete_logical_host_with_forwarding(now, job.lh, to_host)
         } else {

@@ -246,8 +246,15 @@ pub struct KernelStats {
     pub pulls_served: u64,
     /// Outstanding Sends abandoned at the hard retransmission cap while
     /// reply-pending packets were still arriving — the server accepted the
-    /// request but never replied (orphaned transaction).
+    /// request but never replied (orphaned transaction). Cumulative; see
+    /// [`KernelStats::orphans_resolved`] for how many were later cleared
+    /// by renewed contact with the serving logical host.
     pub orphaned_transactions: u64,
+    /// Orphaned transactions later resolved: the serving logical host
+    /// answered a subsequent Send (it rebooted, recovered, or the
+    /// partition healed), proving the orphan was transient rather than a
+    /// leak.
+    pub orphans_resolved: u64,
 }
 
 impl KernelStats {
@@ -386,6 +393,11 @@ pub struct Kernel<X> {
     /// Client "ipc" spans still open, by transaction. Closed on SendDone
     /// (success or failure); migrated with their logical host.
     open_sends: BTreeMap<(ProcessId, SendSeq), SpanId>,
+    /// Unresolved orphaned transactions per serving logical host. An entry
+    /// is cleared (and counted in `stats.orphans_resolved`) when that
+    /// logical host answers a later Send — renewed contact proves the
+    /// server came back rather than leaked.
+    orphaned_by_lh: BTreeMap<u32, u64>,
     ctr_sends: CounterId,
     ctr_replies: CounterId,
     ctr_deliveries: CounterId,
@@ -433,6 +445,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
             spans: SpanIdGen::new(0x100 + host.0 as u64),
             span_parent: SpanContext::NONE,
             open_sends: BTreeMap::new(),
+            orphaned_by_lh: BTreeMap::new(),
             ctr_sends,
             ctr_replies,
             ctr_deliveries,
@@ -1138,6 +1151,14 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
             .collect();
         v.sort_by_key(|&(from, seq, _)| (from.lh.0, from.index, seq.0));
         v
+    }
+
+    /// Orphaned transactions not yet resolved by renewed contact with
+    /// their serving logical host, summed over servers. Non-zero at the
+    /// end of a run means a server this kernel charged with an orphan
+    /// never came back (it was destroyed, or stayed partitioned).
+    pub fn unresolved_orphans(&self) -> u64 {
+        self.orphaned_by_lh.values().sum()
     }
 
     /// Number of bulk transfers this kernel is currently a party to:
@@ -1894,6 +1915,22 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
             return;
         }
         self.outstanding.remove(&(to, seq));
+        // Renewed contact: a reply from a logical host we had charged with
+        // orphaned transactions proves the server came back (reboot
+        // recovery, partition heal) — resolve them instead of warning
+        // forever.
+        if let Some(count) = self.orphaned_by_lh.remove(&from.lh.0) {
+            self.stats.orphans_resolved += count;
+            self.trace.emit(
+                TraceLevel::Info,
+                self.now,
+                Subsystem::Kernel,
+                TraceEvent::OrphansResolved {
+                    lh: from.lh.0,
+                    count,
+                },
+            );
+        }
         self.complete_local_send(to, seq, from, body, data_bytes, out);
     }
 
@@ -2017,6 +2054,7 @@ impl<X: Clone + std::fmt::Debug> Kernel<X> {
                 // replied: the transaction is orphaned, likely because the
                 // serving logical host vanished mid-request.
                 self.stats.orphaned_transactions += 1;
+                *self.orphaned_by_lh.entry(lh).or_insert(0) += 1;
                 self.metrics.inc(self.ctr_orphaned);
                 self.trace.emit(
                     TraceLevel::Warn,

@@ -976,3 +976,35 @@ fn copy_from_survives_lost_pull_request() {
         .iter()
         .any(|(_, e)| matches!(e, AppEvent::CopyDone { result: Ok(b), .. } if *b == 64 * 1024)));
 }
+
+#[test]
+fn orphaned_transactions_resolve_on_renewed_contact() {
+    let mut rig: Rig<Body> = Rig::new(2);
+    let a = spawn(&mut rig, 0, 1);
+    let b = spawn(&mut rig, 1, 2);
+    rig.kernel_mut(0)
+        .learn_binding(LogicalHostId(2), HostAddr(1));
+    // b accepts the request but never replies: reply-pending packets keep
+    // the send alive until the hard cap, where the transaction is charged
+    // as orphaned against serving logical host 2.
+    rig.drive(0, |k, t| k.send(t, a, b.into(), 1, 0));
+    run_all(&mut rig);
+    assert_eq!(rig.kernel(0).stats().orphaned_transactions, 1);
+    assert_eq!(rig.kernel(0).unresolved_orphans(), 1);
+    assert_eq!(rig.kernel(0).stats().orphans_resolved, 0);
+
+    // The server comes back to life: a later request to the same logical
+    // host is answered, proving the orphan was transient (a recovered
+    // server, not a leak) — the charge resolves instead of warning forever.
+    rig.respond(b, |m| Some(m.body + 1));
+    rig.drive(0, |k, t| k.send(t, a, b.into(), 2, 0));
+    run_all(&mut rig);
+    assert!(
+        rig.send_results().last().expect("send completed").2,
+        "renewed-contact send succeeds"
+    );
+    assert_eq!(rig.kernel(0).stats().orphans_resolved, 1);
+    assert_eq!(rig.kernel(0).unresolved_orphans(), 0);
+    // The cumulative charge counter keeps its history.
+    assert_eq!(rig.kernel(0).stats().orphaned_transactions, 1);
+}

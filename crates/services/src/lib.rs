@@ -21,5 +21,7 @@ pub use display::{DisplayServer, DisplayStats, DISPLAY_PER_CHAR};
 pub use env::{ExecEnv, NAME_DISPLAY, NAME_FILE_SERVER};
 pub use file_server::{FileServer, FsStats, OpenFile};
 pub use msg::{FetchPlan, FileHandle, ProgramSpec, ServiceMsg, SvcError};
-pub use program_manager::{AcceptPolicy, PmStats, ProgramInfo, ProgramManager, TEMP_LH_FLOOR};
+pub use program_manager::{
+    AcceptPolicy, LeaseConfig, PmStats, ProgramInfo, ProgramManager, TEMP_LH_FLOOR,
+};
 pub use service::{SvcEvent, SvcOutputs, SvcToken};

@@ -11,6 +11,7 @@
 use vkernel::{LogicalHostId, MigrationRecord, Priority, ProcessId};
 use vmem::{SpaceId, SpaceLayout};
 use vnet::HostAddr;
+use vsim::SimTime;
 
 use crate::env::ExecEnv;
 
@@ -186,6 +187,9 @@ pub enum ServiceMsg {
         /// Pages to demand-fetch from the paging store (VM-flush
         /// migrations only).
         fetch: Option<FetchPlan>,
+        /// The program's origin host, so its lease follows it to the new
+        /// host (`None` for programs with no recorded origin).
+        origin: Option<HostAddr>,
     },
     /// Step 5 (target side): unfreeze the new copy.
     UnfreezeMigrated {
@@ -204,6 +208,40 @@ pub enum ServiceMsg {
         lh: LogicalHostId,
         /// Destroy the program if no host will take it.
         destroy_if_stuck: bool,
+    },
+
+    // --- Program manager: lease-based liveness. ---
+    /// Heartbeat from the program manager hosting a remote program to the
+    /// program's origin: "lh is alive here — extend its lease". The
+    /// origin answers [`ServiceMsg::LeaseGranted`] (or
+    /// `Err(NotFound)` when the lease was revoked, which obliges the
+    /// holder to exterminate the orphan immediately).
+    RenewLease {
+        /// The leased program's logical host.
+        lh: LogicalHostId,
+    },
+    /// The origin extended the lease.
+    LeaseGranted {
+        /// New expiry instant (simulated time).
+        until: SimTime,
+    },
+    /// The holder destroyed (or handed off) the program deliberately; the
+    /// origin drops its grant instead of probing and re-executing.
+    ReleaseLease {
+        /// The released program's logical host.
+        lh: LogicalHostId,
+    },
+    /// Origin-side liveness probe, sent to the program-manager group of
+    /// `lh` when heartbeats stop: whoever hosts the program answers
+    /// [`ServiceMsg::ProgramAt`]; a send timeout means nobody does.
+    QueryProgram {
+        /// The probed program's logical host.
+        lh: LogicalHostId,
+    },
+    /// Probe answer: the program is alive here.
+    ProgramAt {
+        /// The physical host currently running the program.
+        host: HostAddr,
     },
 
     // --- File server. ---

@@ -13,13 +13,14 @@
 use std::collections::BTreeMap;
 
 use vkernel::{
-    Kernel, LogicalHostId, Priority, ProcessId, ProcessState, ReplyIn, SendError, SendSeq,
+    Destination, GroupId, Kernel, LogicalHostId, Priority, ProcessId, ProcessState, ReplyIn,
+    SendError, SendSeq,
 };
 use vnet::HostAddr;
 use vsim::calib::{
     PM_DESTROY_ENVIRONMENT, PM_QUERY_PROCESSING, PM_SETUP_ENVIRONMENT, WORKSTATION_MEMORY_BYTES,
 };
-use vsim::SimTime;
+use vsim::{Party, ProtocolStep, SimDuration, SimTime};
 
 use crate::msg::{FetchPlan, ProgramSpec, ServiceMsg, SvcError};
 use crate::service::{SvcEvent, SvcOutputs, SvcToken};
@@ -37,6 +38,75 @@ pub const MIGRATION_INIT_TIMEOUT: vsim::SimDuration = vsim::SimDuration::from_se
 /// temporary (pre-copy target) ids from; resident ids at or above this
 /// floor with no program behind them are half-built migrations.
 pub const TEMP_LH_FLOOR: u32 = 1_000_000;
+
+/// Upper bound (exclusive) of the system logical-host-id range: a
+/// requester whose logical host falls below this is a system process
+/// (shell, executor, manager) on station `lh - 1`, which is how a program
+/// manager learns the origin host of a program it creates.
+const SYSTEM_LH_CEILING: u32 = 10_000;
+
+/// How many completed install renames the target remembers so a
+/// retransmitted `InstallState`/`UnfreezeMigrated` is acknowledged
+/// idempotently instead of spawning a second copy.
+const INSTALL_MEMORY: usize = 32;
+
+/// Lease/heartbeat tuning for the liveness protocol.
+///
+/// Remote programs stay explicitly dependent on their origin host: the
+/// origin grants a time-bounded lease, the hosting (remote) program
+/// manager renews it with heartbeats every `heartbeat`, and each grant
+/// lasts `duration`. When renewals fail for `duration + grace` the holder
+/// exterminates the orphan; when heartbeats stop for `duration + grace`
+/// the origin probes for the program and rebinds — or re-executes it if
+/// the probe goes unanswered.
+#[derive(Debug, Clone)]
+pub struct LeaseConfig {
+    /// Master switch: `false` disables grants, heartbeats and
+    /// extermination entirely.
+    pub enabled: bool,
+    /// How long each granted lease lasts.
+    pub duration: SimDuration,
+    /// Heartbeat/check cadence on both sides.
+    pub heartbeat: SimDuration,
+    /// Slack past expiry before either side acts.
+    pub grace: SimDuration,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        LeaseConfig {
+            enabled: true,
+            duration: SimDuration::from_secs(10),
+            heartbeat: SimDuration::from_secs(3),
+            grace: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// Holder-side lease state for one remote-origin program.
+#[derive(Debug, Clone)]
+struct Lease {
+    /// The origin host that grants renewals.
+    origin: HostAddr,
+    /// When the current grant runs out.
+    expires_at: SimTime,
+    /// When the holder first took the lease (young leases tolerate a
+    /// not-yet-registered grant at the origin).
+    held_since: SimTime,
+    /// A renewal is in flight.
+    renewing: bool,
+}
+
+/// Origin-side state for one lease granted to a remote host.
+#[derive(Debug, Clone)]
+struct Grant {
+    /// The host last known to hold the program.
+    remote: HostAddr,
+    /// Last successful renewal (or grant) instant.
+    renewed_at: SimTime,
+    /// A liveness probe is in flight.
+    probing: bool,
+}
 
 /// Policy for answering `@*` queries.
 #[derive(Debug, Clone)]
@@ -72,6 +142,11 @@ pub struct ProgramInfo {
     pub priority: Priority,
     /// True if created on behalf of a remote requester.
     pub remote_origin: bool,
+    /// The host the program was executed from; leases bind the program to
+    /// it and migrations carry it along. `None` when the creator was not
+    /// a system process (subprogram decomposition) — such programs have
+    /// no lease.
+    pub origin: Option<HostAddr>,
 }
 
 /// Program-manager statistics.
@@ -98,6 +173,26 @@ pub struct PmStats {
     pub fetched_bytes: u64,
     /// Demand fetches that failed.
     pub fetch_failures: u64,
+    /// Leases granted to remote hosts (origin side).
+    pub leases_granted: u64,
+    /// Renewals acknowledged for granted leases (origin side).
+    pub renewals_granted: u64,
+    /// Successful heartbeat renewals of held leases (holder side).
+    pub leases_renewed: u64,
+    /// Deliberate releases processed for granted leases (origin side).
+    pub leases_released: u64,
+    /// Granted leases rebound after a liveness probe found the program on
+    /// a (possibly new) host (origin side).
+    pub leases_rebound: u64,
+    /// Remote-host silences declared after heartbeats stopped past grace
+    /// (origin side).
+    pub remote_silences: u64,
+    /// Orphans exterminated after lease expiry or revocation (holder
+    /// side).
+    pub orphans_exterminated: u64,
+    /// Duplicate migration steps acknowledged idempotently instead of
+    /// re-executed (InitMigration / InstallState / UnfreezeMigrated).
+    pub idempotent_acks: u64,
 }
 
 #[derive(Debug)]
@@ -135,6 +230,7 @@ enum Pending {
         image: String,
         priority: Priority,
         fetch: Option<FetchPlan>,
+        origin: Option<HostAddr>,
     },
     /// Destroy: environment teardown delay.
     Destroy {
@@ -149,6 +245,16 @@ enum Pending {
     /// copy if the source crashed after commit and the UnfreezeMigrated
     /// step never arrived.
     UnfreezeExpire { lh: LogicalHostId },
+    /// Holder-side lease heartbeat: renew every held lease and
+    /// exterminate any whose grant ran out past grace.
+    LeaseTick,
+    /// Origin-side grant check: probe (then rebind or re-exec) any remote
+    /// host whose heartbeats stopped past grace.
+    GrantTick,
+    /// A heartbeat renewal in flight to the origin of `lh`.
+    AwaitRenewal { lh: LogicalHostId },
+    /// A liveness probe in flight for granted lease `lh`.
+    AwaitProbe { lh: LogicalHostId },
 }
 
 /// The program manager of one workstation.
@@ -176,6 +282,23 @@ pub struct ProgramManager {
     /// this deliberately leaks half-built logical hosts — used to prove
     /// the cluster auditor detects the leak.
     migration_watchdog: bool,
+    /// Lease protocol tuning (shared by the holder and origin roles).
+    lease_cfg: LeaseConfig,
+    /// Exterminate orphans when their lease runs out. Disabling this
+    /// deliberately leaks orphans — used to prove the cluster auditor
+    /// detects lease-expired-but-alive programs.
+    lease_enforcement: bool,
+    /// Holder side: leases this manager holds for remote-origin programs.
+    leases: BTreeMap<LogicalHostId, Lease>,
+    /// Origin side: leases this manager granted to remote hosts.
+    grants: BTreeMap<LogicalHostId, Grant>,
+    /// A [`Pending::LeaseTick`] is armed.
+    lease_tick_armed: bool,
+    /// A [`Pending::GrantTick`] is armed.
+    grant_tick_armed: bool,
+    /// Recently completed install renames (temp → original id), kept so
+    /// retransmitted commit-phase requests are acknowledged idempotently.
+    installed: BTreeMap<LogicalHostId, LogicalHostId>,
     next_token: u64,
     next_lh: u32,
     lh_base: u32,
@@ -211,6 +334,13 @@ impl ProgramManager {
             awaiting_unfreeze: std::collections::BTreeSet::new(),
             suspended: std::collections::BTreeSet::new(),
             migration_watchdog: true,
+            lease_cfg: LeaseConfig::default(),
+            lease_enforcement: true,
+            leases: BTreeMap::new(),
+            grants: BTreeMap::new(),
+            lease_tick_armed: false,
+            grant_tick_armed: false,
+            installed: BTreeMap::new(),
             next_token: 0,
             next_lh: 0,
             lh_base,
@@ -260,6 +390,44 @@ impl ProgramManager {
         self.migration_watchdog = on;
     }
 
+    /// The lease protocol tuning in effect.
+    pub fn lease_config(&self) -> &LeaseConfig {
+        &self.lease_cfg
+    }
+
+    /// Replaces the lease protocol tuning (the cluster builder applies
+    /// the cluster-wide config here).
+    pub fn set_lease_config(&mut self, cfg: LeaseConfig) {
+        self.lease_cfg = cfg;
+    }
+
+    /// Enables or disables orphan extermination on lease expiry. Only
+    /// disable to demonstrate the resulting leak (the cluster auditor
+    /// flags lease-expired-but-alive programs).
+    pub fn set_lease_enforcement(&mut self, on: bool) {
+        self.lease_enforcement = on;
+    }
+
+    /// Held leases whose grant ran out more than `grace` ago — programs
+    /// the enforcement machinery should already have exterminated.
+    pub fn expired_leases(&self, now: SimTime) -> Vec<LogicalHostId> {
+        self.leases
+            .iter()
+            .filter(|(_, l)| now >= l.expires_at + self.lease_cfg.grace)
+            .map(|(&lh, _)| lh)
+            .collect()
+    }
+
+    /// Leases this manager currently holds: (program, origin host).
+    pub fn held_leases(&self) -> Vec<(LogicalHostId, HostAddr)> {
+        self.leases.iter().map(|(&lh, l)| (lh, l.origin)).collect()
+    }
+
+    /// Leases this manager granted: (program, last-known remote host).
+    pub fn granted_leases(&self) -> Vec<(LogicalHostId, HostAddr)> {
+        self.grants.iter().map(|(&lh, g)| (lh, g.remote)).collect()
+    }
+
     /// True if `lh` was deliberately frozen with SuspendProgram and not
     /// yet resumed.
     pub fn is_suspended(&self, lh: LogicalHostId) -> bool {
@@ -288,6 +456,18 @@ impl ProgramManager {
         self.pending_fetch.clear();
         self.fetches_in_flight.clear();
         let mut out = SvcOutputs::new();
+        // The lease ledgers survive (rebuildable state), but the armed
+        // ticks and in-flight renewals/probes died with the process.
+        self.lease_tick_armed = false;
+        self.grant_tick_armed = false;
+        for l in self.leases.values_mut() {
+            l.renewing = false;
+        }
+        for g in self.grants.values_mut() {
+            g.probing = false;
+        }
+        out.merge(self.arm_lease_tick());
+        out.merge(self.arm_grant_tick());
         if !self.migration_watchdog {
             return out;
         }
@@ -319,7 +499,11 @@ impl ProgramManager {
                 Pending::MigExpire { .. } | Pending::UnfreezeExpire { .. } => {
                     MIGRATION_INIT_TIMEOUT
                 }
-                Pending::AwaitStat { .. } | Pending::AwaitLoad { .. } => continue,
+                Pending::LeaseTick | Pending::GrantTick => self.lease_cfg.heartbeat,
+                Pending::AwaitStat { .. }
+                | Pending::AwaitLoad { .. }
+                | Pending::AwaitRenewal { .. }
+                | Pending::AwaitProbe { .. } => continue,
                 _ => PM_QUERY_PROCESSING,
             };
             out = out.timer(SvcToken(t), after);
@@ -361,6 +545,157 @@ impl ProgramManager {
         (self.policy.respond_when_owner_active || !self.owner_active)
             && self.guest_count() < self.policy.max_guest_programs
             && self.free_bytes(k) >= self.policy.min_free_bytes
+    }
+
+    /// The program-manager group of a station's system logical host —
+    /// how one manager addresses another by physical host.
+    fn pm_of_host(host: HostAddr) -> Destination {
+        let system_lh = LogicalHostId(1 + host.0 as u32);
+        Destination::Group(GroupId::program_manager_of(system_lh))
+    }
+
+    /// Derives a requester's physical host when the requester is a system
+    /// process (shell, executor, manager); programs get `None`.
+    fn requester_host(requester: ProcessId) -> Option<HostAddr> {
+        (requester.lh.0 >= 1 && requester.lh.0 < SYSTEM_LH_CEILING)
+            .then(|| HostAddr((requester.lh.0 - 1) as u16))
+    }
+
+    /// Arms the holder-side heartbeat tick if leases are held and no tick
+    /// is armed yet.
+    fn arm_lease_tick(&mut self) -> SvcOutputs {
+        let mut out = SvcOutputs::new();
+        if self.lease_cfg.enabled && !self.lease_tick_armed && !self.leases.is_empty() {
+            self.lease_tick_armed = true;
+            let t = self.token(Pending::LeaseTick);
+            out = out.timer(t, self.lease_cfg.heartbeat);
+        }
+        out
+    }
+
+    /// Arms the origin-side grant check tick if grants exist and no tick
+    /// is armed yet.
+    fn arm_grant_tick(&mut self) -> SvcOutputs {
+        let mut out = SvcOutputs::new();
+        if self.lease_cfg.enabled && !self.grant_tick_armed && !self.grants.is_empty() {
+            self.grant_tick_armed = true;
+            let t = self.token(Pending::GrantTick);
+            out = out.timer(t, self.lease_cfg.heartbeat);
+        }
+        out
+    }
+
+    /// Holder side: starts holding a lease for a remote-origin program
+    /// (no-op when leases are disabled or the program is home).
+    fn hold_lease(&mut self, now: SimTime, lh: LogicalHostId, origin: HostAddr) -> SvcOutputs {
+        if !self.lease_cfg.enabled || origin == self.host {
+            return SvcOutputs::new();
+        }
+        self.leases.insert(
+            lh,
+            Lease {
+                origin,
+                expires_at: now + self.lease_cfg.duration,
+                held_since: now,
+                renewing: false,
+            },
+        );
+        self.arm_lease_tick()
+    }
+
+    /// Origin side: records that `lh` now executes remotely at `remote`
+    /// under a lease this manager must keep renewed. Called by the
+    /// cluster runtime when a remote execution completes or a home
+    /// program is migrated away.
+    pub fn grant_lease(&mut self, now: SimTime, lh: LogicalHostId, remote: HostAddr) -> SvcOutputs {
+        if !self.lease_cfg.enabled || remote == self.host {
+            return SvcOutputs::new();
+        }
+        self.stats.leases_granted += 1;
+        self.grants.insert(
+            lh,
+            Grant {
+                remote,
+                renewed_at: now,
+                probing: false,
+            },
+        );
+        self.arm_grant_tick()
+    }
+
+    /// Origin side: notifies `origin` that `lh` was deliberately
+    /// destroyed so its grant is dropped rather than probed and
+    /// re-executed. Fire-and-forget: if the origin is unreachable its
+    /// grant expires and the probe finds nothing, which converges too
+    /// (at-least-once re-execution).
+    pub fn release_lease_to(
+        &mut self,
+        now: SimTime,
+        origin: HostAddr,
+        lh: LogicalHostId,
+        k: &mut Kernel<ServiceMsg>,
+    ) -> SvcOutputs {
+        let mut out = SvcOutputs::new();
+        if !self.lease_cfg.enabled || origin == self.host {
+            self.grants.remove(&lh);
+            return out;
+        }
+        let (_, kouts) = k.send_with_seq(
+            now,
+            self.pid,
+            Self::pm_of_host(origin),
+            ServiceMsg::ReleaseLease { lh },
+            0,
+        );
+        out.kernel.extend(kouts);
+        out
+    }
+
+    /// Holder side: destroys an orphan whose lease expired or was
+    /// revoked. The program is removed exactly like a destroy, and the
+    /// runtime is told twice: once for narration/latency accounting and
+    /// once to detach the behaviour.
+    fn exterminate(
+        &mut self,
+        now: SimTime,
+        lh: LogicalHostId,
+        k: &mut Kernel<ServiceMsg>,
+    ) -> SvcOutputs {
+        let mut out = SvcOutputs::new();
+        self.leases.remove(&lh);
+        self.awaiting_unfreeze.remove(&lh);
+        self.suspended.remove(&lh);
+        self.pending_fetch.remove(&lh);
+        if self.programs.remove(&lh).is_some() {
+            self.stats.orphans_exterminated += 1;
+            self.stats.programs_destroyed += 1;
+            out = out.kernel(k.delete_logical_host(now, lh));
+            out = out.event(SvcEvent::OrphanExterminated { lh });
+            out = out.event(SvcEvent::ProgramDestroyed { lh });
+        }
+        for (w, wseq) in self.waiters.remove(&lh).unwrap_or_default() {
+            out = out.kernel(k.reply(
+                now,
+                self.pid,
+                w,
+                wseq,
+                ServiceMsg::Err(SvcError::UpstreamFailed),
+                0,
+            ));
+        }
+        out
+    }
+
+    /// Remembers a completed install rename for idempotent duplicate
+    /// acks, bounded to the most recent [`INSTALL_MEMORY`] entries.
+    fn remember_install(&mut self, temp: LogicalHostId, lh: LogicalHostId) {
+        self.installed.insert(temp, lh);
+        while self.installed.len() > INSTALL_MEMORY {
+            let Some(&oldest) = self.installed.keys().next() else {
+                break;
+            };
+            self.installed.remove(&oldest);
+        }
     }
 
     /// Handles a request delivered to the manager.
@@ -522,7 +857,15 @@ impl ProgramManager {
                 out = out.kernel(k.reply(now, self.pid, requester, seq, report, 0));
             }
             ServiceMsg::InitMigration { temp, spaces } => {
-                if !self.would_accept(k) || k.is_resident(temp) {
+                if k.is_resident(temp) {
+                    // Duplicate of an init this manager already accepted
+                    // (the accept reply was lost): ack idempotently —
+                    // declining would make the source abort a healthy
+                    // transfer and could strand two half-built copies.
+                    self.stats.idempotent_acks += 1;
+                    let accepted = ServiceMsg::MigrationAccepted { host: self.host };
+                    out = out.kernel(k.reply(now, self.pid, requester, seq, accepted, 0));
+                } else if !self.would_accept(k) {
                     out = out.kernel(k.reply(
                         now,
                         self.pid,
@@ -551,8 +894,20 @@ impl ProgramManager {
                 image,
                 priority,
                 fetch,
+                origin,
             } => {
-                if !k.is_resident(temp) {
+                let committed = self
+                    .installed
+                    .get(&temp)
+                    .map(|&lh| k.is_resident(lh))
+                    .unwrap_or(false);
+                if committed {
+                    // Duplicate commit (the Ok reply was lost): the rename
+                    // already happened; re-running it would fail and make
+                    // the source retry into a second live copy.
+                    self.stats.idempotent_acks += 1;
+                    out = out.kernel(k.reply(now, self.pid, requester, seq, ServiceMsg::Ok, 0));
+                } else if !k.is_resident(temp) {
                     out = out.kernel(k.reply(
                         now,
                         self.pid,
@@ -571,12 +926,19 @@ impl ProgramManager {
                         image,
                         priority,
                         fetch,
+                        origin,
                     });
                     out = out.timer(t, cost);
                 }
             }
             ServiceMsg::UnfreezeMigrated { lh } => {
-                if k.is_resident(lh) {
+                let frozen = k.logical_host(lh).map(|l| l.is_frozen()).unwrap_or(false);
+                if k.is_resident(lh) && !frozen && !self.awaiting_unfreeze.contains(&lh) {
+                    // Duplicate unfreeze (the Ok reply was lost): the copy
+                    // already runs — ack without re-running side effects.
+                    self.stats.idempotent_acks += 1;
+                    out = out.kernel(k.reply(now, self.pid, requester, seq, ServiceMsg::Ok, 0));
+                } else if k.is_resident(lh) {
                     self.awaiting_unfreeze.remove(&lh);
                     out = out.kernel(k.unfreeze_migrated(now, lh));
                     // Demand-fetch the flushed pages back from the paging
@@ -630,6 +992,63 @@ impl ProgramManager {
                     requester,
                     seq,
                 });
+            }
+            ServiceMsg::RenewLease { lh } => {
+                let holder = Self::requester_host(requester);
+                let known = self.lease_cfg.enabled && self.grants.contains_key(&lh);
+                match (known, holder) {
+                    (true, Some(h)) => {
+                        if let Some(g) = self.grants.get_mut(&lh) {
+                            // A heartbeat also rebinds: after a migration
+                            // the renewal arrives from the new host.
+                            g.remote = h;
+                            g.renewed_at = now;
+                            g.probing = false;
+                        }
+                        self.stats.renewals_granted += 1;
+                        let until = now + self.lease_cfg.duration;
+                        out = out.event(SvcEvent::LeasePoint {
+                            lh,
+                            step: ProtocolStep::LeaseRenew,
+                            party: Party::Origin,
+                        });
+                        out = out.kernel(k.reply(
+                            now,
+                            self.pid,
+                            requester,
+                            seq,
+                            ServiceMsg::LeaseGranted { until },
+                            0,
+                        ));
+                    }
+                    _ => {
+                        // No grant here: revoked (re-executed elsewhere)
+                        // or never registered. The holder must treat this
+                        // as a revocation and exterminate its copy.
+                        out = out.kernel(k.reply(
+                            now,
+                            self.pid,
+                            requester,
+                            seq,
+                            ServiceMsg::Err(SvcError::NotFound),
+                            0,
+                        ));
+                    }
+                }
+            }
+            ServiceMsg::ReleaseLease { lh } => {
+                if self.grants.remove(&lh).is_some() {
+                    self.stats.leases_released += 1;
+                }
+                out = out.kernel(k.reply(now, self.pid, requester, seq, ServiceMsg::Ok, 0));
+            }
+            ServiceMsg::QueryProgram { lh } => {
+                let reply = if self.programs.contains_key(&lh) && k.is_resident(lh) {
+                    ServiceMsg::ProgramAt { host: self.host }
+                } else {
+                    ServiceMsg::Err(SvcError::NotFound)
+                };
+                out = out.kernel(k.reply(now, self.pid, requester, seq, reply, 0));
             }
             other => {
                 // Not a program-manager operation.
@@ -737,6 +1156,60 @@ impl ProgramManager {
                     ));
                 }
             },
+            Pending::AwaitRenewal { lh } => {
+                let young = self
+                    .leases
+                    .get(&lh)
+                    .map(|l| now.since(l.held_since) <= self.lease_cfg.duration)
+                    .unwrap_or(true);
+                match result {
+                    Ok(ReplyIn {
+                        body: ServiceMsg::LeaseGranted { until },
+                        ..
+                    }) => {
+                        if let Some(l) = self.leases.get_mut(&lh) {
+                            l.expires_at = until;
+                            l.renewing = false;
+                        }
+                        self.stats.leases_renewed += 1;
+                    }
+                    Ok(_) if !young => {
+                        // The origin answered but holds no grant: the
+                        // lease was revoked (e.g. the program was
+                        // re-executed elsewhere while this host was cut
+                        // off). Exterminate the stale copy immediately.
+                        out.merge(self.exterminate(now, lh, k));
+                    }
+                    _ => {
+                        // Origin unreachable (or the grant is simply not
+                        // registered yet on a fresh lease): keep ticking;
+                        // expiry handles a dead origin.
+                        if let Some(l) = self.leases.get_mut(&lh) {
+                            l.renewing = false;
+                        }
+                    }
+                }
+            }
+            Pending::AwaitProbe { lh } => match result {
+                Ok(ReplyIn {
+                    body: ServiceMsg::ProgramAt { host },
+                    ..
+                }) => {
+                    if let Some(g) = self.grants.get_mut(&lh) {
+                        g.remote = host;
+                        g.renewed_at = now;
+                        g.probing = false;
+                    }
+                    self.stats.leases_rebound += 1;
+                    out = out.event(SvcEvent::LeaseRebound { lh, to: host });
+                }
+                _ => {
+                    // Nobody answered for the program: presumed dead.
+                    // Drop the grant and ask the runtime to re-execute.
+                    self.grants.remove(&lh);
+                    out = out.event(SvcEvent::ReExecNeeded { lh });
+                }
+            },
             other => {
                 // Sends are only issued for the create path; anything else
                 // is a stale correlation left over from a crash-restart.
@@ -777,6 +1250,7 @@ impl ProgramManager {
                 root,
             } => {
                 self.stats.programs_created += 1;
+                let origin = Self::requester_host(requester);
                 self.programs.insert(
                     lh,
                     ProgramInfo {
@@ -784,8 +1258,14 @@ impl ProgramManager {
                         image: spec.image.clone(),
                         priority: spec.priority,
                         remote_origin: requester.lh != lh && requester.lh.0 != self.lh_base,
+                        origin,
                     },
                 );
+                // A program created for a remote requester lives on a
+                // lease from its origin from the moment it exists.
+                if let Some(o) = origin {
+                    out.merge(self.hold_lease(now, lh, o));
+                }
                 let created = ServiceMsg::ProgramCreated {
                     root,
                     lh,
@@ -801,6 +1281,7 @@ impl ProgramManager {
                 image,
                 priority,
                 fetch,
+                origin,
             } => {
                 self.stats.migrations_installed += 1;
                 let lh = record.desc.id;
@@ -811,6 +1292,7 @@ impl ProgramManager {
                     .map(|pd| ProcessId::new(lh, pd.index))
                     .unwrap_or(ProcessId::new(lh, 0));
                 out = out.kernel(k.install_migration_record(now, temp, &record));
+                self.remember_install(temp, lh);
                 self.programs.insert(
                     lh,
                     ProgramInfo {
@@ -818,8 +1300,15 @@ impl ProgramManager {
                         image,
                         priority,
                         remote_origin: true,
+                        origin,
                     },
                 );
+                // The lease follows the program: the new host renews
+                // against the same origin (whose grant rebinds on the
+                // first heartbeat from here).
+                if let Some(o) = origin {
+                    out.merge(self.hold_lease(now, lh, o));
+                }
                 if let Some(plan) = fetch {
                     self.pending_fetch.insert(lh, plan);
                 }
@@ -835,6 +1324,15 @@ impl ProgramManager {
             }
             Pending::Destroy { requester, seq, lh } => {
                 self.stats.programs_destroyed += 1;
+                // A deliberate destroy releases the lease at the origin
+                // so the program is not presumed dead and re-executed.
+                let origin = self.programs.get(&lh).and_then(|i| i.origin);
+                if self.leases.remove(&lh).is_some() {
+                    if let Some(o) = origin {
+                        out.merge(self.release_lease_to(now, o, lh, k));
+                    }
+                }
+                self.grants.remove(&lh);
                 self.programs.remove(&lh);
                 self.suspended.remove(&lh);
                 out = out.kernel(k.delete_logical_host(now, lh));
@@ -863,9 +1361,20 @@ impl ProgramManager {
                     self.awaiting_unfreeze.remove(&lh);
                     self.stats.migrations_expired += 1;
                     self.programs.remove(&lh);
+                    // Keep the lease unreleased: the origin's probe will
+                    // find nothing and re-execute the lost program.
+                    self.leases.remove(&lh);
                     out = out.kernel(k.delete_logical_host(now, lh));
                     out = out.event(SvcEvent::ProgramDestroyed { lh });
                 }
+            }
+            Pending::LeaseTick => {
+                self.lease_tick_armed = false;
+                out.merge(self.lease_tick(now, k));
+            }
+            Pending::GrantTick => {
+                self.grant_tick_armed = false;
+                out.merge(self.grant_tick(now, k));
             }
             other => {
                 // A timer for send-driven state: impossible in normal
@@ -874,6 +1383,100 @@ impl ProgramManager {
                 self.pending.insert(token.0, other);
             }
         }
+        out
+    }
+
+    /// One holder-side heartbeat round: exterminate leases that ran out
+    /// past grace, renew the rest, re-arm while any lease remains.
+    fn lease_tick(&mut self, now: SimTime, k: &mut Kernel<ServiceMsg>) -> SvcOutputs {
+        let mut out = SvcOutputs::new();
+        let lhs: Vec<LogicalHostId> = self.leases.keys().copied().collect();
+        for lh in lhs {
+            if !self.programs.contains_key(&lh) {
+                // The program went away through some other path; the
+                // lease has nothing left to protect.
+                self.leases.remove(&lh);
+                continue;
+            }
+            let Some(lease) = self.leases.get(&lh) else {
+                continue;
+            };
+            let (origin, renewing) = (lease.origin, lease.renewing);
+            if now >= lease.expires_at + self.lease_cfg.grace {
+                out = out.event(SvcEvent::LeasePoint {
+                    lh,
+                    step: ProtocolStep::LeaseExpiry,
+                    party: Party::Target,
+                });
+                if self.lease_enforcement {
+                    out.merge(self.exterminate(now, lh, k));
+                }
+                continue;
+            }
+            if !renewing {
+                let t = self.token(Pending::AwaitRenewal { lh });
+                let (sseq, kouts) = k.send_with_seq(
+                    now,
+                    self.pid,
+                    Self::pm_of_host(origin),
+                    ServiceMsg::RenewLease { lh },
+                    0,
+                );
+                self.by_seq.insert(sseq, t.0);
+                if let Some(l) = self.leases.get_mut(&lh) {
+                    l.renewing = true;
+                }
+                out = out.event(SvcEvent::LeasePoint {
+                    lh,
+                    step: ProtocolStep::LeaseRenew,
+                    party: Party::Target,
+                });
+                out.kernel.extend(kouts);
+            }
+        }
+        out.merge(self.arm_lease_tick());
+        out
+    }
+
+    /// One origin-side grant round: probe every remote host whose
+    /// heartbeats stopped past grace, re-arm while any grant remains.
+    fn grant_tick(&mut self, now: SimTime, k: &mut Kernel<ServiceMsg>) -> SvcOutputs {
+        let mut out = SvcOutputs::new();
+        let lhs: Vec<LogicalHostId> = self.grants.keys().copied().collect();
+        for lh in lhs {
+            if self.programs.contains_key(&lh) && k.is_resident(lh) {
+                // The program migrated back home; no lease needed.
+                self.grants.remove(&lh);
+                self.leases.remove(&lh);
+                continue;
+            }
+            let Some(g) = self.grants.get(&lh) else {
+                continue;
+            };
+            let silence = now.since(g.renewed_at);
+            if !g.probing && silence > self.lease_cfg.duration + self.lease_cfg.grace {
+                self.stats.remote_silences += 1;
+                out = out.event(SvcEvent::LeasePoint {
+                    lh,
+                    step: ProtocolStep::LeaseExpiry,
+                    party: Party::Origin,
+                });
+                if let Some(g) = self.grants.get_mut(&lh) {
+                    g.probing = true;
+                }
+                let t = self.token(Pending::AwaitProbe { lh });
+                let (sseq, kouts) = k.send_with_seq(
+                    now,
+                    self.pid,
+                    Destination::Group(GroupId::program_manager_of(lh)),
+                    ServiceMsg::QueryProgram { lh },
+                    0,
+                );
+                self.by_seq.insert(sseq, t.0);
+                out.kernel.extend(kouts);
+            }
+        }
+        out.merge(self.arm_grant_tick());
         out
     }
 
@@ -916,6 +1519,10 @@ impl ProgramManager {
             ));
         }
         self.suspended.remove(&lh);
+        // The program lives on at its new host, which holds the lease
+        // now; only this host's holder-side state is dropped (the origin
+        // grant rebinds on the new host's first heartbeat).
+        self.leases.remove(&lh);
         (self.programs.remove(&lh), out)
     }
 

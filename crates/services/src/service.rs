@@ -105,6 +105,39 @@ pub enum SvcEvent {
         /// Their transaction, to reply to when done.
         seq: SendSeq,
     },
+    /// This program manager exterminated an orphan: a remote-origin
+    /// program whose lease expired past grace (or was revoked by the
+    /// origin). The program is already gone from the kernel.
+    OrphanExterminated {
+        /// The exterminated logical host.
+        lh: LogicalHostId,
+    },
+    /// The origin's liveness probe found its leased program alive
+    /// (possibly on a new host after a migration) and rebound the lease.
+    LeaseRebound {
+        /// The leased program.
+        lh: LogicalHostId,
+        /// The host it was found on.
+        to: vnet::HostAddr,
+    },
+    /// The origin lost a remote host's heartbeats past the grace window
+    /// and its liveness probe went unanswered: the program is presumed
+    /// dead and should be executed again from its origin.
+    ReExecNeeded {
+        /// The lost program's logical host (the re-execution gets a fresh
+        /// one).
+        lh: LogicalHostId,
+    },
+    /// A lease-protocol fault point was crossed (used by the fault-matrix
+    /// machinery to pin faults to protocol steps).
+    LeasePoint {
+        /// The program involved.
+        lh: LogicalHostId,
+        /// Which registered step was crossed.
+        step: vsim::ProtocolStep,
+        /// Which party crossed it.
+        party: vsim::Party,
+    },
 }
 
 #[cfg(test)]

@@ -37,6 +37,160 @@ impl core::fmt::Display for MigrationPhase {
     }
 }
 
+/// The protocol party a fault point names — the station the fault hits
+/// when an [`FaultTrigger::AtFaultPoint`] trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Party {
+    /// The migration source (the station currently hosting the program).
+    Source,
+    /// The migration target (the station receiving the copy), or — for
+    /// lease steps — the remote station holding the leased program.
+    Target,
+    /// The program's origin station (the host it was executed from, which
+    /// grants and renews its lease).
+    Origin,
+}
+
+impl Party {
+    /// Short static label for traces and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Party::Source => "source",
+            Party::Target => "target",
+            Party::Origin => "origin",
+        }
+    }
+}
+
+impl core::fmt::Display for Party {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A protocol step at which fault points are registered. Migration steps
+/// follow §3.1's five-step protocol; lease steps cover the liveness
+/// subsystem (heartbeat renewal, expiry handling, re-execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ProtocolStep {
+    /// Host selection answered (a target accepted `InitMigration`
+    /// negotiation is about to begin).
+    SelectHost,
+    /// The target accepted `InitMigration` and allocated the temporary
+    /// logical host.
+    InitTarget,
+    /// A pre-copy round just completed.
+    PrecopyRound,
+    /// The logical host was frozen for the final copy.
+    Freeze,
+    /// The residual (frozen) copy finished transferring.
+    ResidualCopy,
+    /// The state record was installed at the target — the commit point.
+    Commit,
+    /// The migrated copy was unfrozen at the target.
+    Unfreeze,
+    /// The source deleted its copy, releasing the old logical host.
+    ReleaseSource,
+    /// A lease heartbeat renewal round (remote holder sends, origin
+    /// grants).
+    LeaseRenew,
+    /// A lease ran out: the holder is about to exterminate the orphan, or
+    /// the origin declared the remote host silent.
+    LeaseExpiry,
+    /// The origin is about to re-execute a program whose remote host went
+    /// silent.
+    ReExec,
+}
+
+impl core::fmt::Display for ProtocolStep {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl ProtocolStep {
+    /// A short static label for traces and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtocolStep::SelectHost => "select-host",
+            ProtocolStep::InitTarget => "init-target",
+            ProtocolStep::PrecopyRound => "precopy-round",
+            ProtocolStep::Freeze => "freeze",
+            ProtocolStep::ResidualCopy => "residual-copy",
+            ProtocolStep::Commit => "commit",
+            ProtocolStep::Unfreeze => "unfreeze",
+            ProtocolStep::ReleaseSource => "release-source",
+            ProtocolStep::LeaseRenew => "lease-renew",
+            ProtocolStep::LeaseExpiry => "lease-expiry",
+            ProtocolStep::ReExec => "re-exec",
+        }
+    }
+}
+
+/// One registered fault point: a protocol step crossed with the party the
+/// fault hits. The full registry is [`fault_points`]; matrix tests
+/// enumerate it so coverage of every point is guaranteed by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FaultPoint {
+    /// The protocol step.
+    pub step: ProtocolStep,
+    /// The party the fault hits when triggered here.
+    pub party: Party,
+}
+
+impl core::fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}/{}", self.step, self.party)
+    }
+}
+
+/// Shorthand constructor used by the registry table.
+const fn fp(step: ProtocolStep, party: Party) -> FaultPoint {
+    FaultPoint { step, party }
+}
+
+/// The complete fault-point registry: every (protocol step × party)
+/// combination the runtime can resolve and fire a fault at. Parties are
+/// only listed for steps where they exist — e.g. `ReleaseSource` has no
+/// target party (the target already owns the program by then), and
+/// `ReExec` only involves the origin.
+pub fn fault_points() -> &'static [FaultPoint] {
+    use Party::*;
+    use ProtocolStep::*;
+    const REGISTRY: &[FaultPoint] = &[
+        fp(SelectHost, Source),
+        fp(SelectHost, Origin),
+        fp(InitTarget, Source),
+        fp(InitTarget, Target),
+        fp(PrecopyRound, Source),
+        fp(PrecopyRound, Target),
+        fp(Freeze, Source),
+        fp(Freeze, Target),
+        fp(ResidualCopy, Source),
+        fp(ResidualCopy, Target),
+        fp(Commit, Source),
+        fp(Commit, Target),
+        fp(Commit, Origin),
+        fp(Unfreeze, Source),
+        fp(Unfreeze, Target),
+        fp(ReleaseSource, Source),
+        fp(LeaseRenew, Target),
+        fp(LeaseRenew, Origin),
+        fp(LeaseExpiry, Target),
+        fp(LeaseExpiry, Origin),
+        fp(ReExec, Origin),
+    ];
+    REGISTRY
+}
+
+/// Station-index sentinel for [`FaultTrigger::AtFaultPoint`] events: a
+/// `FaultKind` station field set to `PARTY` is resolved to the point's
+/// party station when the trigger fires (a `Partition` whose `b` side is
+/// empty is resolved to "everyone else"). This keeps `FaultPlan` pure
+/// data: the plan names *who in the protocol* fails, and the runtime
+/// binds that to a concrete station at fire time.
+pub const PARTY: u16 = u16::MAX;
+
 /// When a fault fires.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultTrigger {
@@ -49,6 +203,16 @@ pub enum FaultTrigger {
         lh: Option<u32>,
         /// The protocol step to fire at.
         phase: MigrationPhase,
+    },
+    /// When the protocol crosses a registered [`FaultPoint`]. Fires once,
+    /// for the first matching crossing; station fields in the paired
+    /// `FaultKind` equal to [`PARTY`] are resolved to the point's party
+    /// station at fire time.
+    AtFaultPoint {
+        /// Restrict to this logical host id (`None` = any program).
+        lh: Option<u32>,
+        /// The registered point to fire at.
+        point: FaultPoint,
     },
 }
 
@@ -223,6 +387,130 @@ impl FaultPlan {
         }
         FaultPlan { events }
     }
+
+    /// The names accepted by [`FaultPlan::by_name`], for sweep validation
+    /// and documentation.
+    pub fn names() -> &'static [&'static str] {
+        &[
+            "none",
+            "random",
+            "crash_storm",
+            "partition_heavy",
+            "corruption",
+            "lease_chaos",
+        ]
+    }
+
+    /// Builds a named, seed-reproducible plan — the declarative form used
+    /// by sweep grids, where a fault-plan axis is a list of names just
+    /// like a scalar knob is a list of numbers. Returns `None` for an
+    /// unknown name (callers report it against [`FaultPlan::names`]).
+    ///
+    /// All named plans are self-healing (crashes reboot, partitions heal)
+    /// except where a plan's purpose is to exercise permanent loss; every
+    /// plan obeys [`FaultPlan::random`]'s station-count and horizon
+    /// preconditions.
+    pub fn by_name(name: &str, seed: u64, stations: u16, horizon: SimDuration) -> Option<Self> {
+        assert!(stations >= 3, "need at least two workstations");
+        assert!(
+            horizon >= SimDuration::from_secs(2),
+            "horizon too short for a fault plan"
+        );
+        // Mix the plan name into the seed so sibling axes draw different
+        // schedules from the same sweep seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut rng = DetRng::seed(seed ^ h);
+        let span = horizon.as_micros().max(2_000_001);
+        let ws = |rng: &mut DetRng| u16::try_from(rng.range_u64(1, stations as u64)).unwrap_or(1);
+        let at = |rng: &mut DetRng| {
+            FaultTrigger::At(SimTime::from_micros(rng.range_u64(1_000_000, span)))
+        };
+        let mut plan = FaultPlan::none();
+        match name {
+            "none" => {}
+            "random" => plan = FaultPlan::random(&mut rng, stations, horizon),
+            "crash_storm" => {
+                for _ in 0..3 {
+                    let trigger = at(&mut rng);
+                    plan = plan.with(
+                        trigger,
+                        FaultKind::Crash {
+                            ws: ws(&mut rng),
+                            reboot_after: Some(SimDuration::from_millis(
+                                rng.range_u64(3_000, 12_000),
+                            )),
+                        },
+                    );
+                }
+            }
+            "partition_heavy" => {
+                for _ in 0..2 {
+                    let a = ws(&mut rng);
+                    let mut b = ws(&mut rng);
+                    if b == a {
+                        b = 1 + (a % (stations - 1));
+                    }
+                    let trigger = at(&mut rng);
+                    plan = plan.with(
+                        trigger,
+                        FaultKind::Partition {
+                            a: vec![a],
+                            b: vec![b],
+                            symmetric: true,
+                            heal_after: Some(SimDuration::from_millis(
+                                rng.range_u64(4_000, 15_000),
+                            )),
+                        },
+                    );
+                }
+            }
+            "corruption" => {
+                for _ in 0..2 {
+                    let trigger = at(&mut rng);
+                    plan = plan.with(
+                        trigger,
+                        FaultKind::Corrupt {
+                            probability: rng.range_f64(0.1, 0.4),
+                            duration: SimDuration::from_millis(rng.range_u64(2_000, 8_000)),
+                        },
+                    );
+                }
+            }
+            "lease_chaos" => {
+                // A crash long enough to outlive a default lease plus its
+                // grace window (so extermination / re-exec paths fire),
+                // and a partition racing the grace window.
+                let trigger = at(&mut rng);
+                plan = plan.with(
+                    trigger,
+                    FaultKind::Crash {
+                        ws: ws(&mut rng),
+                        reboot_after: Some(SimDuration::from_millis(rng.range_u64(18_000, 30_000))),
+                    },
+                );
+                let a = ws(&mut rng);
+                let mut b = ws(&mut rng);
+                if b == a {
+                    b = 1 + (a % (stations - 1));
+                }
+                let trigger = at(&mut rng);
+                plan = plan.with(
+                    trigger,
+                    FaultKind::Partition {
+                        a: vec![a],
+                        b: vec![b],
+                        symmetric: true,
+                        heal_after: Some(SimDuration::from_millis(rng.range_u64(12_000, 22_000))),
+                    },
+                );
+            }
+            _ => return None,
+        }
+        Some(plan)
+    }
 }
 
 #[cfg(test)]
@@ -260,6 +548,36 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn registry_is_unique_and_displayable() {
+        let points = fault_points();
+        assert!(points.len() >= 15, "registry should stay exhaustive");
+        let unique: std::collections::BTreeSet<_> = points.iter().copied().collect();
+        assert_eq!(unique.len(), points.len(), "duplicate fault point");
+        for p in points {
+            assert!(p.to_string().contains('/'));
+        }
+    }
+
+    #[test]
+    fn named_plans_are_reproducible_and_validated() {
+        for name in FaultPlan::names() {
+            let a = FaultPlan::by_name(name, 11, 5, SimDuration::from_secs(30))
+                .unwrap_or_else(|| panic!("{name} must resolve"));
+            let b = FaultPlan::by_name(name, 11, 5, SimDuration::from_secs(30)).unwrap();
+            assert_eq!(a, b, "{name} must replay");
+            if *name != "none" {
+                assert!(!a.is_empty(), "{name} must schedule something");
+            }
+        }
+        assert!(FaultPlan::by_name("nope", 1, 5, SimDuration::from_secs(30)).is_none());
+        // Sibling names must not collapse to the same schedule.
+        let storm = FaultPlan::by_name("crash_storm", 7, 5, SimDuration::from_secs(30)).unwrap();
+        let parts =
+            FaultPlan::by_name("partition_heavy", 7, 5, SimDuration::from_secs(30)).unwrap();
+        assert_ne!(storm, parts);
     }
 
     #[test]

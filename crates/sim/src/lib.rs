@@ -28,7 +28,10 @@ mod trace;
 
 pub use context::SimContext;
 pub use engine::{Engine, EventId};
-pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultTrigger, MigrationPhase};
+pub use faults::{
+    fault_points, FaultEvent, FaultKind, FaultPlan, FaultPoint, FaultTrigger, MigrationPhase,
+    Party, ProtocolStep, PARTY,
+};
 pub use json::{Json, ToJson};
 pub use metrics::{CounterId, GaugeId, HistogramId, Metrics, MetricsReport, ScopeMetrics};
 pub use queue::{DynQueue, EventQueue, HeapQueue, QueueBackend, TimingWheel};

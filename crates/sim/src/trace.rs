@@ -227,6 +227,54 @@ pub enum TraceEvent {
         /// Selection attempt number (2 = first retry).
         attempt: u32,
     },
+    /// A lease ran out past its grace window: the remote holder lost
+    /// contact with the origin (`party` "target") or the origin lost the
+    /// holder's heartbeats (`party` "origin").
+    LeaseExpired {
+        /// Numeric logical-host id of the leased program.
+        lh: u32,
+        /// Which side detected the silence ("target" or "origin").
+        party: &'static str,
+    },
+    /// A remote program manager exterminated an orphaned program whose
+    /// origin revoked (or stopped renewing) its lease.
+    OrphanExterminated {
+        /// Numeric logical-host id of the destroyed program.
+        lh: u32,
+    },
+    /// An origin's liveness probe found its leased program alive on a
+    /// (possibly different) host and rebound the lease instead of
+    /// re-executing.
+    LeaseRebound {
+        /// Numeric logical-host id of the leased program.
+        lh: u32,
+        /// Physical-host address now holding the program.
+        to: u16,
+    },
+    /// The origin re-executed a program whose remote host went silent and
+    /// whose liveness probe went unanswered.
+    ReExecuted {
+        /// Numeric logical-host id of the lost program.
+        lh: u32,
+        /// Program image name being executed again.
+        image: String,
+    },
+    /// A registered fault point was crossed while a matching
+    /// `AtFaultPoint` trigger was armed; the paired fault fires next.
+    FaultPointHit {
+        /// Static protocol-step label.
+        step: &'static str,
+        /// Static party label ("source"/"target"/"origin").
+        party: &'static str,
+    },
+    /// Renewed contact with a peer resolved previously orphaned
+    /// transactions (the host came back).
+    OrphansResolved {
+        /// Numeric logical-host id of the peer.
+        lh: u32,
+        /// How many orphaned transactions were resolved.
+        count: u64,
+    },
     /// A causal span opened (see [`crate::span`]).
     SpanOpen {
         /// Raw span id (non-zero; see [`crate::SpanId`]).
@@ -326,6 +374,24 @@ impl fmt::Display for TraceEvent {
                 }
                 TraceEvent::MigrationRetry { lh, attempt } => {
                     write!(f, "lh{lh} migration retry, attempt {attempt}")
+                }
+                TraceEvent::LeaseExpired { lh, party } => {
+                    write!(f, "lease for lh{lh} expired past grace ({party} side)")
+                }
+                TraceEvent::OrphanExterminated { lh } => {
+                    write!(f, "orphan lh{lh} exterminated")
+                }
+                TraceEvent::LeaseRebound { lh, to } => {
+                    write!(f, "lease for lh{lh} rebound to host{to}")
+                }
+                TraceEvent::ReExecuted { lh, image } => {
+                    write!(f, "re-exec {image} (lost lh{lh})")
+                }
+                TraceEvent::FaultPointHit { step, party } => {
+                    write!(f, "fault point {step}/{party} hit")
+                }
+                TraceEvent::OrphansResolved { lh, count } => {
+                    write!(f, "{count} orphaned transactions to lh{lh} resolved")
                 }
                 TraceEvent::SpanOpen {
                     id,

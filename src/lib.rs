@@ -52,11 +52,12 @@ pub mod prelude {
     pub use vcore::{ExecTarget, MigrationConfig, MigrationReport, StopPolicy, Strategy};
     pub use vkernel::{LogicalHostId, Priority, ProcessId};
     pub use vnet::{HostAddr, LossModel};
+    pub use vservices::LeaseConfig;
     pub use vsim::{
-        DetRng, Engine, EventId, EventQueue, FaultKind, FaultPlan, FaultTrigger, Metrics,
-        MetricsReport, MigrationPhase, QueueBackend, SimContext, SimDuration, SimTime, SpanContext,
-        SpanId, SpanIdGen, SpanNode, SpanTree, SpanViolation, Subsystem, Trace, TraceEvent,
-        TraceLevel, TraceSinkSpec,
+        fault_points, DetRng, Engine, EventId, EventQueue, FaultKind, FaultPlan, FaultPoint,
+        FaultTrigger, Metrics, MetricsReport, MigrationPhase, Party, ProtocolStep, QueueBackend,
+        SimContext, SimDuration, SimTime, SpanContext, SpanId, SpanIdGen, SpanNode, SpanTree,
+        SpanViolation, Subsystem, Trace, TraceEvent, TraceLevel, TraceSinkSpec, PARTY,
     };
     pub use vworkload::{profiles, Phase, ProgramProfile, UserModelParams};
 }

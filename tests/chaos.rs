@@ -316,3 +316,133 @@ fn periodic_checkpoint_audits_are_clean() {
     assert!(c.audit_reports.iter().all(|r| r.is_clean()));
     assert_eq!(c.stats.audit_violations, 0);
 }
+
+/// A partition heal racing the lease-expiry grace window: the holder is
+/// cut off long enough that, depending on where the heal lands relative
+/// to the grace boundary, either (a) the origin declares it dead and
+/// re-executes while the stale copy self-exterminates, or (b) the healed
+/// heartbeat arrives in time and the lease survives. Sweeping the heal
+/// across the boundary must exercise BOTH branches, and every run must
+/// converge to exactly one owner with a clean audit.
+#[test]
+fn partition_heal_racing_grace_window_converges_to_one_owner() {
+    let mut exterminated_runs = 0u32;
+    let mut survived_runs = 0u32;
+    for heal_secs in [8u64, 12, 16, 20, 24] {
+        let plan = FaultPlan::none().with(
+            FaultTrigger::At(SimTime::from_micros(5_000_000)),
+            FaultKind::Partition {
+                a: vec![2],
+                b: vec![0, 1, 3, 4],
+                symmetric: true,
+                heal_after: Some(SimDuration::from_secs(heal_secs)),
+            },
+        );
+        let mut c = Cluster::new(ClusterConfig {
+            workstations: 4,
+            seed: 42,
+            loss: LossModel::None,
+            faults: plan,
+            audit_every: Some(SimDuration::from_secs(2)),
+            ..ClusterConfig::default()
+        });
+        c.exec(
+            1,
+            profiles::simulation_profile(SimDuration::from_secs(40)),
+            ExecTarget::Named("ws2".into()),
+            Priority::GUEST,
+        );
+        run_to_quiescence(&mut c, heal_secs);
+        assert!(
+            c.stats.faults_injected >= 1,
+            "heal@{heal_secs}s: partition never applied"
+        );
+        // The lease machinery was actually engaged.
+        assert!(
+            c.stations[1].pm.stats().leases_granted >= 1,
+            "heal@{heal_secs}s: no lease granted"
+        );
+        if c.stats.orphans_exterminated > 0 || c.stats.re_execs > 0 {
+            exterminated_runs += 1;
+        } else {
+            survived_runs += 1;
+        }
+        // One owner, every checkpoint and the final sweep clean.
+        let report = c.audit(true);
+        assert!(report.is_clean(), "heal@{heal_secs}s: {report}");
+        assert!(
+            c.audit_reports.iter().all(|r| r.is_clean()),
+            "heal@{heal_secs}s: a checkpoint audit caught a split brain"
+        );
+    }
+    assert!(
+        exterminated_runs >= 1,
+        "sweep never crossed the grace boundary (no extermination branch)"
+    );
+    assert!(
+        survived_runs >= 1,
+        "sweep never healed inside the grace window (no survival branch)"
+    );
+}
+
+/// Disabling orphan extermination must leak an orphan the auditor then
+/// reports as lease-expired-but-alive — proving the lease checks in the
+/// final audit are not vacuous (the healthy twin of this run stays
+/// clean in the matrix soak).
+#[test]
+fn auditor_catches_disabled_lease_enforcement() {
+    let plan = || {
+        FaultPlan::none().with(
+            FaultTrigger::At(SimTime::from_micros(4_000_000)),
+            FaultKind::Crash {
+                ws: 1,
+                reboot_after: None,
+            },
+        )
+    };
+    let run = |enforce: bool| {
+        let mut c = Cluster::new(ClusterConfig {
+            workstations: 3,
+            seed: 11,
+            loss: LossModel::None,
+            faults: plan(),
+            ..ClusterConfig::default()
+        });
+        if !enforce {
+            for w in &mut c.stations {
+                w.pm.set_lease_enforcement(false);
+            }
+        }
+        // A long-running remote execution from ws1 onto ws2; the origin
+        // then crashes for good, so the lease can never be renewed.
+        c.exec(
+            1,
+            profiles::simulation_profile(SimDuration::from_secs(600)),
+            ExecTarget::Named("ws2".into()),
+            Priority::GUEST,
+        );
+        c.run_for(SimDuration::from_secs(120));
+        (c.audit(true), c.stats.orphans_exterminated)
+    };
+    let (broken, exterminated) = run(false);
+    assert_eq!(exterminated, 0, "enforcement was supposed to be off");
+    assert!(
+        broken
+            .violations
+            .iter()
+            .any(|v| matches!(v, AuditViolation::LeaseExpiredButAlive { .. })),
+        "expected a lease-expired-but-alive violation, got: {broken}"
+    );
+    let (healthy, exterminated) = run(true);
+    assert!(
+        exterminated >= 1,
+        "enforcement must exterminate the orphan whose origin died"
+    );
+    assert!(
+        healthy
+            .violations
+            .iter()
+            .all(|v| !matches!(v, AuditViolation::LeaseExpiredButAlive { .. })),
+        "enforcement-on run must not leak an expired lease: {healthy}"
+    );
+}

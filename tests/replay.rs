@@ -24,6 +24,7 @@ struct Outcome {
     images_loaded: u64,
     bytes_read: u64,
     mcast_members: usize,
+    faults_injected: u64,
 }
 
 /// One full cluster run at the given seed: three `@*` remote execs whose
@@ -36,12 +37,19 @@ fn run_once(seed: u64) -> Outcome {
 
 /// [`run_once`], but on an explicit event-queue backend.
 fn run_once_on(seed: u64, queue: QueueBackend) -> Outcome {
+    run_once_with(seed, queue, FaultPlan::none())
+}
+
+/// [`run_once_on`], with a fault plan driving crashes, partitions, and
+/// corruption windows through the run.
+fn run_once_with(seed: u64, queue: QueueBackend, faults: FaultPlan) -> Outcome {
     let mut c = Cluster::new(ClusterConfig {
         workstations: 4,
         seed,
         loss: LossModel::Bernoulli(0.02),
         trace: TraceLevel::Detail,
         queue,
+        faults,
         ..ClusterConfig::default()
     });
     c.file_server_mut().add_file("replay.dat", 48 * 1024);
@@ -77,6 +85,7 @@ fn run_once_on(seed: u64, queue: QueueBackend) -> Outcome {
         images_loaded: c.file_server().stats().images_loaded,
         bytes_read: c.file_server().stats().bytes_read,
         mcast_members: c.net.members(PM_MCAST).len(),
+        faults_injected: c.stats.faults_injected,
     }
 }
 
@@ -167,5 +176,37 @@ fn queue_backends_replay_identically() {
     );
     for (i, (rh, rw)) in heap.records.iter().zip(&wheel.records).enumerate() {
         assert_eq!(rh, rw, "backends diverged at trace record {i}");
+    }
+}
+
+/// The backend equivalence must also hold with fault plans enabled:
+/// reboots, partition heals, corruption-window closes, and fault-point
+/// firings all ride the event queue, so a backend that mis-orders them
+/// diverges here even if the fault-free replay above stays identical.
+#[test]
+fn queue_backends_replay_identically_under_fault_plans() {
+    for plan in ["crash_storm", "lease_chaos"] {
+        let named = || {
+            FaultPlan::by_name(plan, 1985, 5, SimDuration::from_secs(30)).expect("known plan name")
+        };
+        let heap = run_once_with(1985, QueueBackend::Heap, named());
+        let wheel = run_once_with(1985, QueueBackend::TimingWheel, named());
+        assert!(heap.faults_injected >= 1, "plan {plan}: injected nothing");
+        assert_eq!(
+            heap.faults_injected, wheel.faults_injected,
+            "plan {plan}: backends diverged in fault execution"
+        );
+        assert_eq!(
+            heap.events_delivered, wheel.events_delivered,
+            "plan {plan}: backends diverged in event counts"
+        );
+        assert_eq!(
+            heap.records.len(),
+            wheel.records.len(),
+            "plan {plan}: backends diverged in trace lengths"
+        );
+        for (i, (rh, rw)) in heap.records.iter().zip(&wheel.records).enumerate() {
+            assert_eq!(rh, rw, "plan {plan}: backends diverged at trace record {i}");
+        }
     }
 }
