@@ -157,5 +157,10 @@ fn main() {
     summary
         .table("Span durations across all chaos seeds")
         .print();
-    emit_full("abl_chaos", &rows, &metrics, Some(&summary));
+    emit_full(
+        "abl_chaos",
+        &rows,
+        &metrics,
+        vbench::Extras::spans(&summary),
+    );
 }

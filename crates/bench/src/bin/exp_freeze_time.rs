@@ -211,5 +211,10 @@ fn main() {
          suspension 5-210 ms plus the kernel-state copy. Freeze-and-copy\n\
          suspends for the full ~3 s/MB copy."
     );
-    emit_full("exp_freeze_time", &rows, &metrics, Some(&summary));
+    emit_full(
+        "exp_freeze_time",
+        &rows,
+        &metrics,
+        vbench::Extras::spans(&summary),
+    );
 }

@@ -119,6 +119,6 @@ fn main() {
             paper_rounds_secs: paper,
         },
         &c.metrics_report(),
-        Some(&summary),
+        vbench::Extras::spans(&summary),
     );
 }

@@ -1,0 +1,260 @@
+//! P2 — what observability costs: trace emission (null vs ring sink) and
+//! 1 ms-interval time-series sampling, against a bare 1 000-host event
+//! churn.
+//!
+//! Four cells share the exact same deterministic churn loop (the
+//! `sim_throughput` workload shape on the timing wheel):
+//!
+//! * `base` — no trace calls, no sampling: the reference rate.
+//! * `trace_null` — one detail-level trace record offered per dispatch
+//!   into [`TraceSinkSpec::Off`]: proves the null sink is ~free.
+//! * `trace_ring` — the same records into a fixed ring: tracing "on".
+//! * `sampling_1ms` — `base` plus a [`SeriesStore`] sweeping the engine's
+//!   queue-depth and tombstone gauges every simulated millisecond.
+//!
+//! Each cell runs `reps` times in one process and keeps its best wall
+//! rate, so the overhead ratios in the `run` section compare like with
+//! like and cancel machine speed. `bench_regress` gates
+//! `run.sampling_overhead_ratio` at ≤ 10% — the promise that telemetry
+//! never becomes the bottleneck it is meant to find. The sampled series
+//! of every rep must serialize byte-identically (asserted here): the
+//! time-series determinism claim at bench scale.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use vbench::{emit_full, Extras, Table};
+use vsim::{
+    DetRng, Probe, SamplingSpec, SeriesReport, SeriesStore, SimContext, SimDuration, SimTime,
+    Subsystem, ToJson, TraceEvent, TraceLevel, TraceSinkSpec,
+};
+
+/// Per-host timer period: 100 events per simulated second per host.
+const TICK_US: u64 = 10_000;
+/// Simulated events each cell targets (before sampling ticks).
+const EVENTS_PER_CELL: u64 = 2_000_000;
+/// Hosts in the churn (the acceptance criterion's 1k-host point).
+const HOSTS: usize = 1_000;
+
+/// One-shot event marker (messages, timeouts): deliver and die.
+const ONE_SHOT: u64 = 1 << 63;
+/// The telemetry sweep event in the sampling cell.
+const SAMPLE: u64 = u64::MAX;
+
+struct Row {
+    cell: String,
+    hosts: usize,
+    events: u64,
+    sim_secs: f64,
+    sweeps: u64,
+}
+vsim::impl_to_json!(Row {
+    cell,
+    hosts,
+    events,
+    sim_secs,
+    sweeps
+});
+
+enum Variant {
+    Base,
+    Trace(TraceSinkSpec),
+    Sampling,
+}
+
+struct CellOut {
+    events: u64,
+    wall_secs: f64,
+    sweeps: u64,
+    series: Option<SeriesReport>,
+    scope: vsim::ScopeMetrics,
+}
+
+fn run_cell(name: &str, variant: &Variant, sim_us: u64, seed: u64) -> CellOut {
+    let (level, sink) = match variant {
+        Variant::Trace(sink) => (TraceLevel::Detail, *sink),
+        _ => (TraceLevel::Warn, TraceSinkSpec::Off),
+    };
+    let mut ctx: SimContext<u64> =
+        SimContext::with_sink(vsim::QueueBackend::TimingWheel, level, sink);
+    let trace_each = matches!(variant, Variant::Trace(_));
+    let mut store = match variant {
+        Variant::Sampling => {
+            let depth = ctx.metrics_mut().gauge(Subsystem::Engine, "queue_depth");
+            let tombs = ctx.metrics_mut().gauge(Subsystem::Engine, "tombstones");
+            let mut s = SeriesStore::new(SamplingSpec {
+                every: SimDuration::from_millis(1),
+                capacity: 1024,
+            });
+            s.enroll(
+                Subsystem::Engine,
+                "queue_depth",
+                "events",
+                Probe::Gauge(depth),
+            );
+            s.enroll(
+                Subsystem::Engine,
+                "tombstones",
+                "events",
+                Probe::Gauge(tombs),
+            );
+            ctx.schedule_after(SimDuration::from_millis(1), SAMPLE);
+            Some(s)
+        }
+        _ => None,
+    };
+    let mut rng = DetRng::seed(seed);
+    let mut cancellable = Vec::new();
+    for h in 0..HOSTS as u64 {
+        ctx.schedule_at(SimTime::from_micros(rng.range_u64(0, TICK_US)), h);
+    }
+    let limit = SimTime::from_micros(sim_us);
+    let wall = Instant::now();
+    while let Some((now, ev)) = ctx.step_due(limit) {
+        if ev == SAMPLE {
+            if let Some(s) = &mut store {
+                s.sample(now, ctx.metrics());
+            }
+            if ctx.pending() > 0 {
+                ctx.schedule_after(SimDuration::from_millis(1), SAMPLE);
+            }
+            continue;
+        }
+        if trace_each {
+            ctx.detail(Subsystem::Engine, TraceEvent::Note { text: "dispatch" });
+        }
+        if ev & ONE_SHOT != 0 {
+            continue;
+        }
+        let host = ev;
+        let next = TICK_US + rng.range_u64(0, TICK_US / 5) - TICK_US / 10;
+        ctx.schedule_after(SimDuration::from_micros(next), host);
+        match rng.index(100) {
+            0..=9 => {
+                ctx.schedule_after(
+                    SimDuration::from_micros(rng.range_u64(1, 5_000)),
+                    host | ONE_SHOT,
+                );
+            }
+            10..=14 => {
+                let id = ctx.schedule_after(SimDuration::from_micros(50_000), host | ONE_SHOT);
+                cancellable.push(id);
+            }
+            15 => {
+                ctx.schedule_after(SimDuration::from_secs(24 * 3600), host | ONE_SHOT);
+            }
+            _ => {}
+        }
+        if cancellable.len() >= 32 {
+            for id in cancellable.drain(..) {
+                ctx.cancel(id);
+            }
+        }
+    }
+    CellOut {
+        events: ctx.events_delivered(),
+        wall_secs: wall.elapsed().as_secs_f64(),
+        sweeps: store.as_ref().map_or(0, SeriesStore::sweeps),
+        series: store.map(|s| s.report()),
+        scope: ctx.metrics().snapshot(name),
+    }
+}
+
+fn main() {
+    vbench::args();
+    let seed = vbench::config_u64("seed", 1985);
+    let budget = vbench::config_u64("events_per_cell", EVENTS_PER_CELL);
+    let reps = vbench::config_usize("reps", 3).max(1);
+    let sim_us = budget * TICK_US / HOSTS as u64;
+
+    let cells: [(&str, Variant); 4] = [
+        ("base", Variant::Base),
+        ("trace_null", Variant::Trace(TraceSinkSpec::Off)),
+        ("trace_ring", Variant::Trace(TraceSinkSpec::Ring(4096))),
+        ("sampling_1ms", Variant::Sampling),
+    ];
+
+    let mut rows = Vec::new();
+    let mut metrics = vsim::MetricsReport::new();
+    let mut best_rate: BTreeMap<String, f64> = BTreeMap::new();
+    let mut sample_series: Option<SeriesReport> = None;
+    let mut t = Table::new(
+        "P2: telemetry overhead — deterministic per-cell event totals",
+        &["cell", "hosts", "events", "sim s", "sweeps"],
+    );
+    println!("cell            events    best wall s   best ev/wall-s  (of {reps} reps)");
+    for (name, variant) in &cells {
+        let mut best: Option<CellOut> = None;
+        let mut first_series: Option<String> = None;
+        for _ in 0..reps {
+            let out = run_cell(name, variant, sim_us, seed);
+            // Same seed, same cell: the sampled series must serialize
+            // byte-identically across reps — wall clock may vary, the
+            // telemetry must not.
+            if let Some(series) = &out.series {
+                let json = series.to_json().pretty();
+                match &first_series {
+                    None => first_series = Some(json),
+                    Some(prev) => assert_eq!(
+                        prev, &json,
+                        "{name}: same-seed reps produced different series"
+                    ),
+                }
+            }
+            if best.as_ref().is_none_or(|b| out.wall_secs < b.wall_secs) {
+                best = Some(out);
+            }
+        }
+        let out = best.expect("reps >= 1");
+        let rate = out.events as f64 / out.wall_secs;
+        best_rate.insert((*name).to_string(), rate);
+        println!(
+            "{name:<14} {events:>9}  {wall:>11.3}  {rate:>14.0}",
+            events = out.events,
+            wall = out.wall_secs,
+        );
+        let sim_secs = sim_us as f64 / 1e6;
+        t.row(&[
+            (*name).to_string(),
+            HOSTS.to_string(),
+            out.events.to_string(),
+            format!("{sim_secs:.1}"),
+            out.sweeps.to_string(),
+        ]);
+        rows.push(Row {
+            cell: (*name).to_string(),
+            hosts: HOSTS,
+            events: out.events,
+            sim_secs,
+            sweeps: out.sweeps,
+        });
+        metrics.push(out.scope);
+        if let Some(series) = out.series {
+            sample_series = Some(series);
+        }
+    }
+    t.print();
+
+    let base = best_rate["base"];
+    let ratio = |cell: &str| (base - best_rate[cell]) / base;
+    let sampling = ratio("sampling_1ms");
+    let trace_null = ratio("trace_null");
+    let trace_ring = ratio("trace_ring");
+    println!(
+        "\nOverheads vs base: trace_null {:+.1}%  trace_ring {:+.1}%  sampling_1ms {:+.1}%",
+        trace_null * 100.0,
+        trace_ring * 100.0,
+        sampling * 100.0
+    );
+
+    let extras = Extras {
+        series: sample_series.as_ref(),
+        run_extra: vec![
+            ("sampling_overhead_ratio", sampling.to_json()),
+            ("trace_null_overhead_ratio", trace_null.to_json()),
+            ("trace_ring_overhead_ratio", trace_ring.to_json()),
+        ],
+        ..Extras::default()
+    };
+    emit_full("telemetry_overhead", &rows, &metrics, extras);
+}

@@ -5,6 +5,7 @@
 //! cluster setups, dirty-window measurement, and JSON result emission so
 //! EXPERIMENTS.md can be regenerated and diffed.
 
+pub mod hostclock;
 pub mod regress;
 pub mod spans;
 
@@ -18,9 +19,13 @@ use vcore::ExecTarget;
 use vkernel::{LogicalHostId, Priority};
 use vmem::SpaceId;
 use vnet::LossModel;
-use vsim::{Json, MetricsReport, Samples, SimDuration, Subsystem, ToJson, TraceLevel};
+use vsim::{
+    Json, MetricsReport, ProfileReport, Samples, SeriesReport, SimDuration, Subsystem, ToJson,
+    TraceLevel,
+};
 use vworkload::ProgramProfile;
 
+pub use hostclock::WallClock;
 pub use spans::{
     export_trace, migration_phases, perfetto_json, trace_level, MigrationPhases, SpanSummary,
 };
@@ -298,24 +303,47 @@ pub fn artifact_dir() -> std::path::PathBuf {
 /// table: `<dir>/<name>.json` holding the table rows and a
 /// [`MetricsReport`] snapshot of every instrumented component.
 pub fn emit(name: &str, rows: &impl ToJson, metrics: &MetricsReport) {
-    emit_full(name, rows, metrics, None);
+    emit_full(name, rows, metrics, Extras::default());
 }
 
-/// Like [`emit`], plus an optional `spans` section carrying per-phase
-/// duration percentiles from a [`SpanSummary`].
+/// Optional artifact sections beyond the table and metrics: causal span
+/// percentiles, sampled time series, dispatch-profiler attribution, and
+/// extra `run`-section fields (nondeterministic wall-clock derivatives a
+/// gate may want, e.g. an overhead ratio).
+#[derive(Default)]
+pub struct Extras<'a> {
+    /// Per-phase duration percentiles (the `spans` section).
+    pub spans: Option<&'a SpanSummary>,
+    /// Sampled telemetry (the `series` section).
+    pub series: Option<&'a SeriesReport>,
+    /// Dispatch attribution (the `profile` section).
+    pub profile: Option<&'a ProfileReport>,
+    /// Extra fields merged into the nondeterministic `run` section.
+    pub run_extra: Vec<(&'static str, Json)>,
+}
+
+impl<'a> Extras<'a> {
+    /// Extras carrying only a `spans` section.
+    pub fn spans(spans: &'a SpanSummary) -> Self {
+        Extras {
+            spans: Some(spans),
+            ..Extras::default()
+        }
+    }
+}
+
+/// Like [`emit`], plus the optional [`Extras`] sections.
 ///
-/// Besides the deterministic `experiment` / `table` / `metrics` sections,
-/// every artifact carries a `run` section with `sim_events_total` (the
-/// engine's delivered-event counter summed across scopes), the wall-clock
-/// duration since [`args`] was first called, and the resulting simulated
-/// events per wall second. `run` is the only nondeterministic section:
-/// the doc generator and the regression gate read `table` alone.
-pub fn emit_full(
-    name: &str,
-    rows: &impl ToJson,
-    metrics: &MetricsReport,
-    spans: Option<&SpanSummary>,
-) {
+/// Besides the deterministic `experiment` / `table` / `metrics` sections
+/// (and the equally deterministic `series` / `profile` extras when the
+/// null clock is in use), every artifact carries a `run` section with
+/// `sim_events_total` (the engine's delivered-event counter summed across
+/// scopes), the wall-clock duration since [`args`] was first called, and
+/// the resulting simulated events per wall second. `run` is the only
+/// always-nondeterministic section: the doc generator reads `table`
+/// alone, and the regression gate reads `table` plus its pinned `run`
+/// bands.
+pub fn emit_full(name: &str, rows: &impl ToJson, metrics: &MetricsReport, extras: Extras<'_>) {
     let events = metrics.counter_total(Subsystem::Engine, "events_delivered");
     let wall = args().started.elapsed().as_secs_f64();
     let rate = if wall > 0.0 {
@@ -323,19 +351,27 @@ pub fn emit_full(
     } else {
         0.0
     };
-    let run = Json::obj(vec![
+    let mut run_fields = vec![
         ("sim_events_total", events.to_json()),
         ("wall_secs", wall.to_json()),
         ("events_per_sec", rate.to_json()),
-    ]);
+    ];
+    run_fields.extend(extras.run_extra);
+    let run = Json::obj(run_fields);
     let mut fields = vec![
         ("experiment", name.to_json()),
         ("table", rows.to_json()),
         ("metrics", metrics.to_json()),
         ("run", run),
     ];
-    if let Some(s) = spans {
+    if let Some(s) = extras.spans {
         fields.push(("spans", s.to_json()));
+    }
+    if let Some(s) = extras.series {
+        fields.push(("series", s.to_json()));
+    }
+    if let Some(p) = extras.profile {
+        fields.push(("profile", p.to_json()));
     }
     let artifact = Json::obj(fields);
     let path = match &args().out {

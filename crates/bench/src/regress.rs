@@ -39,6 +39,19 @@
 //! absorbs machine noise without flaking, while a real order-of-magnitude
 //! slowdown — the kind an accidentally quadratic queue would cause —
 //! still trips the gate.
+//!
+//! A third band shape gates a *ratio* computed by the bench itself:
+//!
+//! ```json
+//! { "experiment": "telemetry_overhead",
+//!   "overhead": { "column": "sampling_overhead_ratio", "max": 0.10 } }
+//! ```
+//!
+//! This reads `run.<column>` and fails when it exceeds `max` (a list of
+//! such bands is also accepted). Unlike the throughput band it needs no
+//! pinned absolute rate: the bench measures its variants back-to-back in
+//! one process, so the ratio cancels machine speed and the band can be
+//! tight (the ≤10% sampling-overhead promise) without flaking.
 
 use vsim::Json;
 
@@ -160,6 +173,16 @@ pub fn check_experiment(entry: &Json, artifact: &Json, tolerance: f64) -> Vec<Ch
     if let Some(band) = entry.get("throughput") {
         out.push(check_throughput(&experiment, band, artifact));
     }
+    for band in entry
+        .get("overhead")
+        .map(|b| match b.as_arr() {
+            Some(list) => list.to_vec(),
+            None => vec![b.clone()],
+        })
+        .unwrap_or_default()
+    {
+        out.push(check_overhead(&experiment, &band, artifact));
+    }
     out
 }
 
@@ -188,6 +211,33 @@ fn check_throughput(experiment: &str, band: &Json, artifact: &Json) -> Check {
         row: None,
         column: "run.events_per_sec".to_string(),
         baseline,
+        measured,
+        pass,
+    }
+}
+
+/// Checks a ceiling band on a bench-computed ratio in the artifact's
+/// `run` section: fails when `run.<column>` is missing or exceeds `max`.
+fn check_overhead(experiment: &str, band: &Json, artifact: &Json) -> Check {
+    let column = band
+        .get("column")
+        .and_then(|c| c.as_str())
+        .unwrap_or("?")
+        .to_string();
+    let max = band.get("max").and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
+    let measured = artifact
+        .get("run")
+        .and_then(|r| r.get(&column))
+        .and_then(Json::as_f64);
+    let pass = match measured {
+        Some(m) => max.is_finite() && m <= max,
+        None => false,
+    };
+    Check {
+        experiment: experiment.to_string(),
+        row: None,
+        column: format!("run.{column}"),
+        baseline: max,
         measured,
         pass,
     }
@@ -387,6 +437,63 @@ mod tests {
         let checks = run_gate(&throughput_baseline(), |_| Ok(artifact.clone())).expect("gate runs");
         assert!(!checks[0].pass);
         assert!(checks[0].measured.is_none());
+    }
+
+    fn overhead_baseline() -> Json {
+        Json::parse(
+            r#"{
+                "experiments": [
+                    {
+                        "experiment": "telemetry_overhead",
+                        "overhead": [
+                            { "column": "sampling_overhead_ratio", "max": 0.10 },
+                            { "column": "trace_overhead_ratio", "max": 0.25 }
+                        ]
+                    }
+                ]
+            }"#,
+        )
+        .expect("baseline parses")
+    }
+
+    fn overhead_artifact(sampling: f64, trace: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{
+                "experiment": "telemetry_overhead",
+                "table": [],
+                "run": {{
+                    "events_per_sec": 1.0e6,
+                    "sampling_overhead_ratio": {sampling},
+                    "trace_overhead_ratio": {trace}
+                }}
+            }}"#
+        ))
+        .expect("artifact parses")
+    }
+
+    #[test]
+    fn overhead_band_is_a_ceiling() {
+        for (sampling, expect) in [(0.03, true), (0.10, true), (0.17, false), (-0.05, true)] {
+            let checks = run_gate(&overhead_baseline(), |_| {
+                Ok(overhead_artifact(sampling, 0.0))
+            })
+            .expect("gate runs");
+            assert_eq!(checks.len(), 2);
+            let c = checks
+                .iter()
+                .find(|c| c.column == "run.sampling_overhead_ratio")
+                .expect("band checked");
+            assert_eq!(c.pass, expect, "ratio {sampling}: {c:?}");
+        }
+    }
+
+    #[test]
+    fn overhead_band_fails_when_column_missing() {
+        let artifact = Json::parse(r#"{ "experiment": "telemetry_overhead", "run": {} }"#)
+            .expect("artifact parses");
+        let checks = run_gate(&overhead_baseline(), |_| Ok(artifact.clone())).expect("gate runs");
+        assert!(checks.iter().all(|c| !c.pass));
+        assert!(checks.iter().all(|c| c.measured.is_none()));
     }
 
     #[test]

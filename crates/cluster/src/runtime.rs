@@ -30,8 +30,9 @@ use vservices::{
 use vsim::calib::{CONTEXT_SWITCH, CPU_QUANTUM, SMALL_PACKET_CPU};
 use vsim::metrics::GaugeSnapshot;
 use vsim::{
-    CounterId, DetRng, FaultKind, FaultPlan, FaultPoint, FaultTrigger, Metrics, MetricsReport,
-    MigrationPhase, Party, ProtocolStep, QueueBackend, SimContext, SimDuration, SimTime,
+    CounterId, DetRng, FaultKind, FaultPlan, FaultPoint, FaultTrigger, HostClock, Metrics,
+    MetricsReport, MigrationPhase, Party, Probe, ProfileReport, ProtocolStep, QueueBackend,
+    SamplingSpec, SeriesId, SeriesReport, SeriesStore, SimContext, SimDuration, SimTime, SlotId,
     SpanContext, SpanIdGen, SpanTree, Subsystem, Trace, TraceEvent, TraceLevel, TraceSinkSpec,
     PARTY,
 };
@@ -171,6 +172,9 @@ pub enum Event {
     /// A periodic invariant-audit checkpoint (see
     /// [`ClusterConfig::audit_every`]).
     AuditTick,
+    /// A periodic telemetry sweep (see [`ClusterConfig::sampling`]): the
+    /// enrolled time series read their probes at this instant.
+    SampleTick,
 }
 
 /// A running program: kernel state lives in the kernel; this is the
@@ -278,6 +282,9 @@ pub struct ClusterConfig {
     pub audit_every: Option<SimDuration>,
     /// Lease-based liveness tuning, applied to every program manager.
     pub lease: LeaseConfig,
+    /// Sample enrolled time series at this sim-time cadence (`None` =
+    /// telemetry off; the store still exists but holds no points).
+    pub sampling: Option<SamplingSpec>,
 }
 
 impl Default for ClusterConfig {
@@ -297,6 +304,7 @@ impl Default for ClusterConfig {
             faults: FaultPlan::none(),
             audit_every: None,
             lease: LeaseConfig::default(),
+            sampling: None,
         }
     }
 }
@@ -354,6 +362,11 @@ pub struct Cluster {
     ctr_audit_violations: CounterId,
     /// Span ids for cluster-level scheduling spans.
     spans: SpanIdGen,
+    /// Sim-time-sampled telemetry (enrolled gauges + cluster aggregates).
+    series: SeriesStore,
+    sids: SeriesIds,
+    /// Pre-interned profiler slots, one per [`Event`] kind.
+    slots: EventSlots,
     rng: DetRng,
     cfg: ClusterConfig,
     /// Phase-triggered faults still waiting for their migration step.
@@ -372,6 +385,68 @@ pub struct Cluster {
     /// Owner-reclaim measurements: (owner returned at, all guests gone at).
     pub reclaim_times: Vec<SimDuration>,
     reclaim_pending: BTreeMap<HostAddr, SimTime>,
+}
+
+/// Handles to the cluster's default-enrolled time series.
+struct SeriesIds {
+    ready: SeriesId,
+    frozen: SeriesId,
+    migrations: SeriesId,
+    leases: SeriesId,
+    retransmit: SeriesId,
+}
+
+/// One profiler slot per [`Event`] kind, interned at construction so the
+/// dispatch loop never searches the slot table.
+struct EventSlots {
+    frame: SlotId,
+    transmit: SlotId,
+    kernel_timer: SlotId,
+    svc_timer: SlotId,
+    quantum_end: SlotId,
+    sleep_done: SlotId,
+    user_transition: SlotId,
+    command: SlotId,
+    apply_fault: SlotId,
+    heal_partition: SlotId,
+    audit_tick: SlotId,
+    sample_tick: SlotId,
+}
+
+impl EventSlots {
+    fn intern(p: &mut vsim::Profiler) -> Self {
+        EventSlots {
+            frame: p.slot(Subsystem::Net, "Frame"),
+            transmit: p.slot(Subsystem::Net, "Transmit"),
+            kernel_timer: p.slot(Subsystem::Kernel, "KernelTimer"),
+            svc_timer: p.slot(Subsystem::Services, "SvcTimer"),
+            quantum_end: p.slot(Subsystem::Cluster, "QuantumEnd"),
+            sleep_done: p.slot(Subsystem::Workload, "SleepDone"),
+            user_transition: p.slot(Subsystem::Workload, "UserTransition"),
+            command: p.slot(Subsystem::Cluster, "Command"),
+            apply_fault: p.slot(Subsystem::Cluster, "ApplyFault"),
+            heal_partition: p.slot(Subsystem::Net, "HealPartition"),
+            audit_tick: p.slot(Subsystem::Cluster, "AuditTick"),
+            sample_tick: p.slot(Subsystem::Engine, "SampleTick"),
+        }
+    }
+
+    fn for_event(&self, ev: &Event) -> SlotId {
+        match ev {
+            Event::Frame { .. } => self.frame,
+            Event::Transmit { .. } => self.transmit,
+            Event::KernelTimer { .. } => self.kernel_timer,
+            Event::SvcTimer { .. } => self.svc_timer,
+            Event::QuantumEnd { .. } => self.quantum_end,
+            Event::SleepDone { .. } => self.sleep_done,
+            Event::UserTransition { .. } => self.user_transition,
+            Event::Command(_) => self.command,
+            Event::ApplyFault { .. } => self.apply_fault,
+            Event::HealPartition { .. } => self.heal_partition,
+            Event::AuditTick => self.audit_tick,
+            Event::SampleTick => self.sample_tick,
+        }
+    }
 }
 
 impl Cluster {
@@ -499,8 +574,38 @@ impl Cluster {
         let ctr_corrupt_dropped = metrics.counter(Subsystem::Cluster, "corrupt_frames_dropped");
         let ctr_faults = metrics.counter(Subsystem::Cluster, "faults_injected");
         let ctr_audit_violations = metrics.counter(Subsystem::Cluster, "audit_violations");
+        let mut ctx: SimContext<Event> =
+            SimContext::new(cfg.queue, Trace::with_sink(cfg.trace, cfg.trace_sink));
+        let slots = EventSlots::intern(ctx.profiler_mut());
+        // Default telemetry enrollments. The engine's queue gauges are
+        // probed straight out of its registry (re-interning is idempotent,
+        // so these are the same ids the engine itself updates); cluster
+        // aggregates have no single registry home and are recorded
+        // manually on each tick.
+        let g_depth = ctx.metrics_mut().gauge(Subsystem::Engine, "queue_depth");
+        let g_tombs = ctx.metrics_mut().gauge(Subsystem::Engine, "tombstones");
+        let mut series = SeriesStore::new(cfg.sampling.unwrap_or_default());
+        series.enroll(
+            Subsystem::Engine,
+            "queue_depth",
+            "events",
+            Probe::Gauge(g_depth),
+        );
+        series.enroll(
+            Subsystem::Engine,
+            "tombstones",
+            "events",
+            Probe::Gauge(g_tombs),
+        );
+        let sids = SeriesIds {
+            ready: series.manual(Subsystem::Cluster, "ready_programs", "programs"),
+            frozen: series.manual(Subsystem::Cluster, "frozen_programs", "programs"),
+            migrations: series.manual(Subsystem::Migration, "inflight_migrations", "migrations"),
+            leases: series.manual(Subsystem::Services, "active_leases", "leases"),
+            retransmit: series.manual(Subsystem::Kernel, "retransmit_backlog", "sends"),
+        };
         let mut cluster = Cluster {
-            ctx: SimContext::new(cfg.queue, Trace::with_sink(cfg.trace, cfg.trace_sink)),
+            ctx,
             net,
             stations,
             exec_reports: Vec::new(),
@@ -517,6 +622,9 @@ impl Cluster {
             ctr_faults,
             ctr_audit_violations,
             spans: SpanIdGen::new(1),
+            series,
+            sids,
+            slots,
             rng,
             cfg,
             phase_faults: Vec::new(),
@@ -557,6 +665,9 @@ impl Cluster {
         }
         if let Some(every) = cluster.cfg.audit_every {
             cluster.ctx.schedule_after(every, Event::AuditTick);
+        }
+        if let Some(spec) = cluster.cfg.sampling {
+            cluster.ctx.schedule_after(spec.every, Event::SampleTick);
         }
         cluster
     }
@@ -734,9 +845,18 @@ impl Cluster {
     }
 
     /// Runs until the queue drains or `limit` passes.
+    ///
+    /// Every dispatch is charged to its event kind's profiler slot; under
+    /// the default null clock that costs two free reads and a counter
+    /// bump, so the loop stays deterministic and cheap. Bench bins inject
+    /// a real clock via [`Cluster::set_host_clock`] to turn the counts
+    /// into wall-clock attribution.
     pub fn run_until(&mut self, limit: SimTime) {
         while let Some((_, ev)) = self.ctx.step_due(limit) {
+            let slot = self.slots.for_event(&ev);
+            let t0 = self.ctx.profiler_mut().begin();
             self.dispatch(ev);
+            self.ctx.profiler_mut().end(slot, t0);
         }
     }
 
@@ -917,7 +1037,80 @@ impl Cluster {
                     }
                 }
             }
+            Event::SampleTick => {
+                self.take_sample();
+                // Same re-arm rule as AuditTick: sampling follows the
+                // simulation, it must never keep the queue alive.
+                if self.ctx.pending() > 0 {
+                    if let Some(spec) = self.cfg.sampling {
+                        self.ctx.schedule_after(spec.every, Event::SampleTick);
+                    }
+                }
+            }
         }
+    }
+
+    /// One telemetry sweep: records the cluster aggregates into their
+    /// manual series, then reads every enrolled probe out of the engine
+    /// registry — all stamped with the same instant.
+    fn take_sample(&mut self) {
+        let now = self.ctx.now();
+        let mut ready = 0usize;
+        let mut frozen = 0usize;
+        let mut migrations = 0usize;
+        let mut leases = 0usize;
+        let mut retransmit = 0usize;
+        for w in &self.stations {
+            if w.down {
+                continue;
+            }
+            ready += w.cpu_ready.len() + usize::from(w.cpu_current.is_some());
+            frozen += w
+                .kernel
+                .resident_lhs()
+                .into_iter()
+                .filter(|&lh| w.kernel.logical_host(lh).is_some_and(|l| l.is_frozen()))
+                .count();
+            migrations += w.migrator.active_jobs().len();
+            leases += w.pm.granted_leases().len();
+            retransmit += w.kernel.outstanding_sends().len();
+        }
+        self.series.record(self.sids.ready, now, ready as f64);
+        self.series.record(self.sids.frozen, now, frozen as f64);
+        self.series
+            .record(self.sids.migrations, now, migrations as f64);
+        self.series.record(self.sids.leases, now, leases as f64);
+        self.series
+            .record(self.sids.retransmit, now, retransmit as f64);
+        self.series.sample(now, self.ctx.metrics());
+    }
+
+    /// The telemetry store (enrolled engine gauges + cluster aggregates).
+    pub fn series(&self) -> &SeriesStore {
+        &self.series
+    }
+
+    /// Mutable telemetry access, e.g. to enroll scenario-specific series
+    /// before the run starts.
+    pub fn series_mut(&mut self) -> &mut SeriesStore {
+        &mut self.series
+    }
+
+    /// Snapshots every sampled series (the `series` artifact section).
+    pub fn series_report(&self) -> SeriesReport {
+        self.series.report()
+    }
+
+    /// Snapshots the dispatch profiler (the `profile` artifact section).
+    pub fn profile_report(&self) -> ProfileReport {
+        self.ctx.profiler().report()
+    }
+
+    /// Injects a real host clock so dispatch profiling attributes wall
+    /// time. Bench binaries only — library and test code stays on the
+    /// deterministic null clock.
+    pub fn set_host_clock(&mut self, clock: Box<dyn HostClock>) {
+        self.ctx.set_host_clock(clock);
     }
 
     // --- Fault injection. ---

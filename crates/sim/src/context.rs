@@ -11,6 +11,7 @@
 
 use crate::engine::{Engine, EventId};
 use crate::metrics::Metrics;
+use crate::profile::{HostClock, Profiler};
 use crate::queue::{DynQueue, EventQueue, QueueBackend};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Subsystem, Trace, TraceEvent, TraceLevel, TraceSinkSpec};
@@ -35,6 +36,7 @@ use crate::trace::{Subsystem, Trace, TraceEvent, TraceLevel, TraceSinkSpec};
 pub struct SimContext<E, Q: EventQueue<E> = DynQueue<E>> {
     engine: Engine<E, Q>,
     trace: Trace,
+    profiler: Profiler,
 }
 
 impl<E> SimContext<E> {
@@ -43,6 +45,7 @@ impl<E> SimContext<E> {
         SimContext {
             engine: Engine::with_backend(backend),
             trace,
+            profiler: Profiler::null(),
         }
     }
 
@@ -67,7 +70,11 @@ impl<E> Default for SimContext<E> {
 impl<E, Q: EventQueue<E>> SimContext<E, Q> {
     /// Wraps an existing engine and trace.
     pub fn from_parts(engine: Engine<E, Q>, trace: Trace) -> Self {
-        SimContext { engine, trace }
+        SimContext {
+            engine,
+            trace,
+            profiler: Profiler::null(),
+        }
     }
 
     // --- Clock and queue (forwarded to the engine). ---
@@ -185,6 +192,25 @@ impl<E, Q: EventQueue<E>> SimContext<E, Q> {
     /// Mutable trace access (merging component traces, clearing).
     pub fn trace_mut(&mut self) -> &mut Trace {
         &mut self.trace
+    }
+
+    // --- Self-profiling (see [`crate::profile`]). ---
+
+    /// The dispatch profiler (null-clocked by default, so deterministic).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Mutable profiler access: interning slots, charging dispatches.
+    pub fn profiler_mut(&mut self) -> &mut Profiler {
+        &mut self.profiler
+    }
+
+    /// Injects a real host clock for wall-clock attribution. Only bench
+    /// binaries should call this; library code stays on the null clock so
+    /// simulation results never depend on host time.
+    pub fn set_host_clock(&mut self, clock: Box<dyn HostClock>) {
+        self.profiler.set_clock(clock);
     }
 }
 

@@ -14,7 +14,7 @@
 
 use std::collections::BTreeSet;
 
-use crate::metrics::{CounterId, Metrics};
+use crate::metrics::{CounterId, GaugeId, Metrics};
 use crate::queue::{DynQueue, EventQueue, QueueBackend};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Subsystem;
@@ -72,6 +72,8 @@ pub struct Engine<E, Q: EventQueue<E> = DynQueue<E>> {
     ctr_scheduled: CounterId,
     ctr_delivered: CounterId,
     ctr_cancelled: CounterId,
+    g_queue_depth: GaugeId,
+    g_tombstones: GaugeId,
     _marker: std::marker::PhantomData<fn() -> E>,
 }
 
@@ -103,6 +105,8 @@ impl<E, Q: EventQueue<E>> Engine<E, Q> {
         let ctr_scheduled = metrics.counter(Subsystem::Engine, "events_scheduled");
         let ctr_delivered = metrics.counter(Subsystem::Engine, "events_delivered");
         let ctr_cancelled = metrics.counter(Subsystem::Engine, "events_cancelled");
+        let g_queue_depth = metrics.gauge(Subsystem::Engine, "queue_depth");
+        let g_tombstones = metrics.gauge(Subsystem::Engine, "tombstones");
         Engine {
             queue,
             cancelled: BTreeSet::new(),
@@ -113,8 +117,20 @@ impl<E, Q: EventQueue<E>> Engine<E, Q> {
             ctr_scheduled,
             ctr_delivered,
             ctr_cancelled,
+            g_queue_depth,
+            g_tombstones,
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Mirrors the live queue depth and tombstone count into their gauges
+    /// so they are observable (and samplable) like any other metric.
+    #[inline]
+    fn sync_queue_gauges(&mut self) {
+        let depth = self.pending() as f64;
+        let tombstones = self.cancelled.len() as f64;
+        self.metrics.set_gauge(self.g_queue_depth, depth);
+        self.metrics.set_gauge(self.g_tombstones, tombstones);
     }
 
     /// The current simulated time.
@@ -166,6 +182,7 @@ impl<E, Q: EventQueue<E>> Engine<E, Q> {
         self.next_seq += 1;
         self.queue.push(at, seq, event);
         self.metrics.inc(self.ctr_scheduled);
+        self.sync_queue_gauges();
         EventId(seq)
     }
 
@@ -195,6 +212,7 @@ impl<E, Q: EventQueue<E>> Engine<E, Q> {
         if self.cancelled.len() > self.queue.len() {
             self.compact_tombstones();
         }
+        self.sync_queue_gauges();
     }
 
     /// Drops every tombstone whose event is no longer in the queue.
@@ -231,12 +249,14 @@ impl<E, Q: EventQueue<E>> Engine<E, Q> {
                 // longer possible and `now` must not trail it.
                 debug_assert!(at >= self.now, "event queue went backwards");
                 self.now = at;
+                self.sync_queue_gauges();
                 continue;
             }
             debug_assert!(at >= self.now, "event queue went backwards");
             self.now = at;
             self.popped += 1;
             self.metrics.inc(self.ctr_delivered);
+            self.sync_queue_gauges();
             return Some((at, event));
         }
     }
@@ -451,6 +471,33 @@ mod tests {
             });
             assert_eq!(fired, vec![0, 1]);
             assert_eq!(e.pending(), 1);
+        }
+    }
+
+    #[test]
+    fn queue_gauges_track_depth_and_tombstones() {
+        for mut e in engines() {
+            let depth = |e: &Engine<u32>| {
+                e.metrics()
+                    .snapshot("engine")
+                    .gauge(Subsystem::Engine, "queue_depth")
+            };
+            let tombs = |e: &Engine<u32>| {
+                e.metrics()
+                    .snapshot("engine")
+                    .gauge(Subsystem::Engine, "tombstones")
+            };
+            let a = e.schedule_after(SimDuration::from_micros(1), 1);
+            e.schedule_after(SimDuration::from_micros(2), 2);
+            assert_eq!(depth(&e), Some(2.0));
+            assert_eq!(tombs(&e), Some(0.0));
+            e.cancel(a);
+            assert_eq!(depth(&e), Some(1.0));
+            assert_eq!(tombs(&e), Some(1.0));
+            // Delivering event 2 walks over the tombstone for event 1.
+            assert_eq!(e.step().map(|(_, v)| v), Some(2));
+            assert_eq!(depth(&e), Some(0.0));
+            assert_eq!(tombs(&e), Some(0.0));
         }
     }
 

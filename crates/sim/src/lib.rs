@@ -19,11 +19,13 @@ mod engine;
 mod faults;
 pub mod json;
 pub mod metrics;
+mod profile;
 mod queue;
 mod rng;
 pub mod span;
 mod stats;
 mod time;
+pub mod timeseries;
 mod trace;
 
 pub use context::SimContext;
@@ -34,11 +36,13 @@ pub use faults::{
 };
 pub use json::{Json, ToJson};
 pub use metrics::{CounterId, GaugeId, HistogramId, Metrics, MetricsReport, ScopeMetrics};
+pub use profile::{HostClock, NullClock, ProfileReport, Profiler, SlotId, SlotReport};
 pub use queue::{DynQueue, EventQueue, HeapQueue, QueueBackend, TimingWheel};
 pub use rng::DetRng;
 pub use span::{SpanContext, SpanId, SpanIdGen, SpanNode, SpanTree, SpanViolation};
 pub use stats::{Histogram, OnlineStats, Samples};
 pub use time::{SimDuration, SimTime};
+pub use timeseries::{Probe, SamplingSpec, SeriesId, SeriesReport, SeriesSnapshot, SeriesStore};
 pub use trace::{
     NullSink, RingSink, Subsystem, Trace, TraceEvent, TraceLevel, TraceRecord, TraceSink,
     TraceSinkSpec, VecSink,

@@ -306,6 +306,14 @@ impl ScopeMetrics {
             .map(|c| c.value)
     }
 
+    /// Value of a gauge by `subsystem/name`, if registered.
+    pub fn gauge(&self, subsystem: Subsystem, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|g| g.subsystem == subsystem && g.name == name)
+            .map(|g| g.value)
+    }
+
     /// A histogram summary by `subsystem/name`, if registered.
     pub fn histogram(&self, subsystem: Subsystem, name: &str) -> Option<&HistogramSummary> {
         self.histograms

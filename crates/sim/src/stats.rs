@@ -160,6 +160,12 @@ impl Samples {
 
     /// The `p`-th percentile (nearest-rank), `p` in `[0, 100]`.
     ///
+    /// Nearest-rank is exact: the result is always one of the stored
+    /// samples, the `ceil(p·n/100)`-th smallest (1-indexed). At tiny
+    /// counts the high percentiles legitimately coincide with the max
+    /// (p95 of three samples *is* the third), but every rank boundary is
+    /// honoured precisely — see the note on evaluation order below.
+    ///
     /// Returns `None` if empty.
     ///
     /// # Panics
@@ -172,8 +178,12 @@ impl Samples {
         }
         let mut sorted = self.values.clone();
         sorted.sort_by(f64::total_cmp);
-        // Nearest-rank: the ceil(p/100 * n)-th smallest sample (1-indexed).
-        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        // Multiply before dividing: `p / 100.0` rounds upward for many p
+        // (7.0, 14.0, 55.0, …), and that overshoot survived the multiply
+        // and pushed `ceil` one rank high — `p·n/100` with integer p and
+        // small n divides exactly, so rank boundaries land where
+        // nearest-rank says they must.
+        let rank = ((p * sorted.len() as f64) / 100.0).ceil() as usize;
         Some(sorted[rank.clamp(1, sorted.len()) - 1])
     }
 
@@ -322,6 +332,59 @@ mod tests {
         assert_eq!(s.percentile(90.0), Some(90.0));
         assert_eq!(s.min(), Some(1.0));
         assert_eq!(s.max(), Some(100.0));
+    }
+
+    #[test]
+    fn nearest_rank_is_exact_at_rank_boundaries() {
+        // Regression: the old `(p / 100.0) * n` form rounded `p / 100`
+        // upward for p = 7, 14, 55, … and the overshoot pushed `ceil`
+        // one rank too high (percentile(7) over 1..=100 returned 8).
+        let mut s = Samples::new();
+        for x in 1..=100 {
+            s.add(x as f64);
+        }
+        for p in 1..=100 {
+            assert_eq!(s.percentile(p as f64), Some(p as f64), "p{p} of 100");
+        }
+        let mut s = Samples::new();
+        for x in 1..=50 {
+            s.add(x as f64);
+        }
+        for p in 1..=50 {
+            // Every even percentile is an exact rank boundary at n = 50.
+            assert_eq!(s.percentile(2.0 * p as f64), Some(p as f64), "p{p} of 50");
+        }
+    }
+
+    #[test]
+    fn tiny_sample_counts_use_nearest_rank() {
+        // n < 4: the nearest-rank definition pins every value exactly.
+        // p95/p99 coincide with the max (rank ceil(2.85) = 3 of 3) — that
+        // is correct, not a collapse — while p50 and below must resolve
+        // to the interior ranks, never the max.
+        let mut s = Samples::new();
+        for x in [30.0, 10.0, 20.0] {
+            s.add(x);
+        }
+        assert_eq!(s.percentile(0.0), Some(10.0));
+        assert_eq!(s.percentile(33.0), Some(10.0)); // ceil(0.99) = 1
+        assert_eq!(s.percentile(50.0), Some(20.0)); // ceil(1.50) = 2
+        assert_eq!(s.percentile(66.0), Some(20.0)); // ceil(1.98) = 2
+        assert_eq!(s.percentile(67.0), Some(30.0)); // ceil(2.01) = 3
+        assert_eq!(s.percentile(95.0), Some(30.0));
+        assert_eq!(s.percentile(99.0), Some(30.0));
+
+        let mut two = Samples::new();
+        two.add(4.0);
+        two.add(8.0);
+        assert_eq!(two.percentile(50.0), Some(4.0)); // ceil(1.0) = 1
+        assert_eq!(two.percentile(51.0), Some(8.0)); // ceil(1.02) = 2
+
+        let mut one = Samples::new();
+        one.add(42.0);
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(one.percentile(p), Some(42.0));
+        }
     }
 
     #[test]

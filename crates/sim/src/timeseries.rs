@@ -1,0 +1,470 @@
+//! Deterministic sim-time-sampled time series.
+//!
+//! End-of-run [`crate::metrics`] snapshots say *what* happened; a
+//! [`SeriesStore`] says *when*. Any registry counter, gauge, or histogram
+//! can be enrolled as a [`Probe`] and swept at a fixed sim-time cadence,
+//! and values computed outside a registry (ready-queue lengths, lease
+//! counts) are recorded into manual series on the same tick. Sampling is
+//! driven entirely by the simulated clock — the tick is an ordinary event
+//! on the engine queue — so two same-seed runs produce bit-identical
+//! series, byte for byte, through [`crate::json`].
+//!
+//! Memory is bounded: each series keeps at most `capacity` points in a
+//! ring that *decimates on overflow* — when full, every other retained
+//! point is dropped and the keep-stride doubles, halving resolution
+//! instead of growing memory or silently truncating history. The first
+//! recorded point is always retained and the most recent one is always
+//! re-attached on read, so a decimated series still spans the full run.
+//!
+//! # Examples
+//!
+//! ```
+//! use vsim::{Metrics, Probe, SamplingSpec, SeriesStore, SimTime, Subsystem};
+//!
+//! let mut m = Metrics::new();
+//! let depth = m.gauge(Subsystem::Engine, "queue_depth");
+//! let mut store = SeriesStore::new(SamplingSpec::default());
+//! store.enroll(Subsystem::Engine, "queue_depth", "events", Probe::Gauge(depth));
+//! m.set_gauge(depth, 17.0);
+//! store.sample(SimTime::from_micros(1_000), &m);
+//! assert_eq!(store.report().series[0].points, vec![(1_000, 17.0)]);
+//! ```
+
+use crate::json::{Json, ToJson};
+use crate::metrics::{CounterId, GaugeId, HistogramId, Metrics};
+use crate::time::SimDuration;
+use crate::time::SimTime;
+use crate::trace::Subsystem;
+
+/// What an enrolled series reads out of a [`Metrics`] registry on each
+/// sweep. Handles are registry-local: a store's probes must all come from
+/// the registry passed to [`SeriesStore::sample`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// A counter's cumulative value.
+    Counter(CounterId),
+    /// A gauge's last-set value.
+    Gauge(GaugeId),
+    /// A histogram's cumulative sample count.
+    HistogramCount(HistogramId),
+}
+
+/// Sampling cadence and per-series retention for a [`SeriesStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingSpec {
+    /// Sim-time interval between sweeps (the owner schedules the tick).
+    pub every: SimDuration,
+    /// Maximum retained points per series before decimation halves the
+    /// resolution (values below 2 are treated as 2).
+    pub capacity: usize,
+}
+
+impl Default for SamplingSpec {
+    fn default() -> Self {
+        SamplingSpec {
+            every: SimDuration::from_millis(1),
+            capacity: 1024,
+        }
+    }
+}
+
+/// Handle to an enrolled series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesId(u32);
+
+#[derive(Debug, Clone)]
+struct Series {
+    subsystem: Subsystem,
+    name: &'static str,
+    unit: &'static str,
+    probe: Option<Probe>,
+    /// Retained `(t_micros, value)` points, oldest first.
+    points: Vec<(u64, f64)>,
+    /// Keep every `stride`-th offered sample (doubles on decimation).
+    stride: u64,
+    /// Samples offered since enrollment.
+    seen: u64,
+    /// Most recent offered sample, retained or not.
+    last: Option<(u64, f64)>,
+}
+
+impl Series {
+    fn offer(&mut self, capacity: usize, at: u64, value: f64) {
+        let idx = self.seen;
+        self.seen += 1;
+        self.last = Some((at, value));
+        if !idx.is_multiple_of(self.stride) {
+            return;
+        }
+        if self.points.len() >= capacity {
+            // Decimate: drop every other retained point and double the
+            // stride. Retained point k sits at offer k·stride, so keeping
+            // the even k keeps exactly the offers divisible by the new
+            // stride — including offer 0, the series' first point.
+            let mut keep = 0;
+            self.points.retain(|_| {
+                let k = keep;
+                keep += 1;
+                k % 2 == 0
+            });
+            self.stride *= 2;
+            if !idx.is_multiple_of(self.stride) {
+                return;
+            }
+        }
+        self.points.push((at, value));
+    }
+
+    /// Retained points plus the most recent sample when decimation (or
+    /// striding) dropped it — the series always ends at the last sweep.
+    fn points_with_endpoint(&self) -> Vec<(u64, f64)> {
+        let mut out = self.points.clone();
+        if let Some(last) = self.last {
+            if out.last() != Some(&last) {
+                out.push(last);
+            }
+        }
+        out
+    }
+}
+
+/// A set of enrolled series sampled on a common sim-time cadence.
+#[derive(Debug, Clone)]
+pub struct SeriesStore {
+    spec: SamplingSpec,
+    series: Vec<Series>,
+    sweeps: u64,
+}
+
+impl SeriesStore {
+    /// Creates an empty store with the given cadence and retention.
+    pub fn new(spec: SamplingSpec) -> Self {
+        SeriesStore {
+            spec: SamplingSpec {
+                every: spec.every,
+                capacity: spec.capacity.max(2),
+            },
+            series: Vec::new(),
+            sweeps: 0,
+        }
+    }
+
+    /// The store's sampling spec (capacity already clamped to ≥ 2).
+    pub fn spec(&self) -> SamplingSpec {
+        self.spec
+    }
+
+    /// Number of sweeps taken so far.
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    /// Number of enrolled series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when nothing is enrolled.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Enrolls a registry metric for periodic sampling. Idempotent by
+    /// `(subsystem, name)`, like registration in [`Metrics`] itself.
+    pub fn enroll(
+        &mut self,
+        subsystem: Subsystem,
+        name: &'static str,
+        unit: &'static str,
+        probe: Probe,
+    ) -> SeriesId {
+        self.intern(subsystem, name, unit, Some(probe))
+    }
+
+    /// Enrolls a manually recorded series (values pushed by the owner via
+    /// [`SeriesStore::record`] instead of read from a registry).
+    pub fn manual(
+        &mut self,
+        subsystem: Subsystem,
+        name: &'static str,
+        unit: &'static str,
+    ) -> SeriesId {
+        self.intern(subsystem, name, unit, None)
+    }
+
+    fn intern(
+        &mut self,
+        subsystem: Subsystem,
+        name: &'static str,
+        unit: &'static str,
+        probe: Option<Probe>,
+    ) -> SeriesId {
+        if let Some(i) = self
+            .series
+            .iter()
+            .position(|s| s.subsystem == subsystem && s.name == name)
+        {
+            return SeriesId(i as u32);
+        }
+        self.series.push(Series {
+            subsystem,
+            name,
+            unit,
+            probe,
+            points: Vec::new(),
+            stride: 1,
+            seen: 0,
+            last: None,
+        });
+        SeriesId(self.series.len() as u32 - 1)
+    }
+
+    /// Records one sample into a series (manual or enrolled) at `at`.
+    pub fn record(&mut self, id: SeriesId, at: SimTime, value: f64) {
+        let capacity = self.spec.capacity;
+        self.series[id.0 as usize].offer(capacity, at.as_micros(), value);
+    }
+
+    /// One sweep: reads every probe-enrolled series out of `metrics` at
+    /// the instant `at`. Manual series are untouched — the owner records
+    /// them on the same tick.
+    pub fn sample(&mut self, at: SimTime, metrics: &Metrics) {
+        self.sweeps += 1;
+        let t = at.as_micros();
+        let capacity = self.spec.capacity;
+        for s in &mut self.series {
+            let Some(probe) = s.probe else { continue };
+            let value = match probe {
+                Probe::Counter(id) => metrics.counter_value(id) as f64,
+                Probe::Gauge(id) => metrics.gauge_value(id),
+                Probe::HistogramCount(id) => metrics.histogram_count(id) as f64,
+            };
+            s.offer(capacity, t, value);
+        }
+    }
+
+    /// Snapshots every series for artifact emission.
+    pub fn report(&self) -> SeriesReport {
+        SeriesReport {
+            interval_us: self.spec.every.as_micros(),
+            capacity: self.spec.capacity,
+            sweeps: self.sweeps,
+            series: self
+                .series
+                .iter()
+                .map(|s| SeriesSnapshot {
+                    subsystem: s.subsystem,
+                    name: s.name,
+                    unit: s.unit,
+                    stride: s.stride,
+                    seen: s.seen,
+                    points: s.points_with_endpoint(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One frozen series: identity, decimation state, and the retained points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    /// Owning subsystem.
+    pub subsystem: Subsystem,
+    /// Series name.
+    pub name: &'static str,
+    /// Unit label for display (`"events"`, `"programs"`, …).
+    pub unit: &'static str,
+    /// Final keep-stride (1 = never decimated; doubles per decimation).
+    pub stride: u64,
+    /// Samples offered over the run (retained ≤ capacity + 1 of these).
+    pub seen: u64,
+    /// Retained `(t_micros, value)` points, oldest first, ending at the
+    /// most recent sample.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// A frozen [`SeriesStore`]: the `series` section of bench artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesReport {
+    /// Sampling interval in microseconds of sim time.
+    pub interval_us: u64,
+    /// Per-series retention limit.
+    pub capacity: usize,
+    /// Sweeps taken.
+    pub sweeps: u64,
+    /// One snapshot per enrolled series, in enrollment order.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+impl SeriesReport {
+    /// Finds a series by name (any subsystem).
+    pub fn series(&self, name: &str) -> Option<&SeriesSnapshot> {
+        self.series.iter().find(|s| s.name == name)
+    }
+}
+
+impl ToJson for SeriesSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("subsystem", self.subsystem.to_string().to_json()),
+            ("name", self.name.to_json()),
+            ("unit", self.unit.to_json()),
+            ("stride", self.stride.to_json()),
+            ("seen", self.seen.to_json()),
+            (
+                "points",
+                Json::arr(
+                    self.points
+                        .iter()
+                        .map(|(t, v)| Json::arr([t.to_json(), v.to_json()])),
+                ),
+            ),
+        ])
+    }
+}
+
+impl ToJson for SeriesReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("interval_us", self.interval_us.to_json()),
+            ("capacity", self.capacity.to_json()),
+            ("sweeps", self.sweeps.to_json()),
+            ("series", self.series.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(capacity: usize) -> SeriesStore {
+        SeriesStore::new(SamplingSpec {
+            every: SimDuration::from_millis(1),
+            capacity,
+        })
+    }
+
+    #[test]
+    fn enrollment_is_idempotent() {
+        let mut st = store(8);
+        let mut m = Metrics::new();
+        let g = m.gauge(Subsystem::Engine, "queue_depth");
+        let a = st.enroll(Subsystem::Engine, "queue_depth", "events", Probe::Gauge(g));
+        let b = st.enroll(Subsystem::Engine, "queue_depth", "events", Probe::Gauge(g));
+        let c = st.manual(Subsystem::Cluster, "ready", "programs");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(st.len(), 2);
+    }
+
+    #[test]
+    fn probes_read_counters_gauges_and_histograms() {
+        let mut m = Metrics::new();
+        let ctr = m.counter(Subsystem::Net, "frames");
+        let g = m.gauge(Subsystem::Engine, "depth");
+        let h = m.histogram(Subsystem::Migration, "freeze_ms", "ms");
+        let mut st = store(8);
+        st.enroll(Subsystem::Net, "frames", "frames", Probe::Counter(ctr));
+        st.enroll(Subsystem::Engine, "depth", "events", Probe::Gauge(g));
+        st.enroll(
+            Subsystem::Migration,
+            "freezes",
+            "samples",
+            Probe::HistogramCount(h),
+        );
+        m.add(ctr, 5);
+        m.set_gauge(g, 2.5);
+        m.observe(h, 1.0);
+        st.sample(SimTime::from_micros(10), &m);
+        let r = st.report();
+        assert_eq!(r.series("frames").unwrap().points, vec![(10, 5.0)]);
+        assert_eq!(r.series("depth").unwrap().points, vec![(10, 2.5)]);
+        assert_eq!(r.series("freezes").unwrap().points, vec![(10, 1.0)]);
+        assert_eq!(r.sweeps, 1);
+    }
+
+    #[test]
+    fn decimation_halves_points_and_doubles_stride() {
+        let mut st = store(4);
+        let id = st.manual(Subsystem::Cluster, "x", "u");
+        for i in 0..4u64 {
+            st.record(id, SimTime::from_micros(i), i as f64);
+        }
+        // Full at 4 points, stride 1. The 5th sample decimates to
+        // offers {0, 2} then retains offer 4.
+        st.record(id, SimTime::from_micros(4), 4.0);
+        let snap = st.report();
+        let s = snap.series("x").unwrap();
+        assert_eq!(s.stride, 2);
+        assert_eq!(s.points, vec![(0, 0.0), (2, 2.0), (4, 4.0)]);
+    }
+
+    #[test]
+    fn memory_stays_bounded_under_long_runs() {
+        let mut st = store(16);
+        let id = st.manual(Subsystem::Cluster, "x", "u");
+        for i in 0..100_000u64 {
+            st.record(id, SimTime::from_micros(i), i as f64);
+        }
+        let s = st.report();
+        let s = s.series("x").unwrap();
+        assert!(s.points.len() <= 17, "retained {}", s.points.len());
+        assert_eq!(s.seen, 100_000);
+        assert!(s.stride >= 100_000 / 16);
+    }
+
+    #[test]
+    fn decimation_preserves_endpoints() {
+        // Property (seeded): for arbitrary sample-count and capacity, the
+        // reported points always start at the first recorded sample and
+        // end at the last one, and time stays strictly increasing.
+        let mut rng = crate::DetRng::seed(0x7153);
+        for case in 0..200 {
+            let capacity = 2 + rng.index(63);
+            let n = 1 + rng.index(5_000) as u64;
+            let mut st = store(capacity);
+            let id = st.manual(Subsystem::Cluster, "p", "u");
+            let mut t = 0u64;
+            let mut first = None;
+            let mut last = None;
+            for i in 0..n {
+                t += 1 + rng.range_u64(0, 1_000);
+                let v = rng.range_f64(-1e6, 1e6);
+                st.record(id, SimTime::from_micros(t), v);
+                if i == 0 {
+                    first = Some((t, v));
+                }
+                last = Some((t, v));
+            }
+            let snap = st.report();
+            let s = snap.series("p").unwrap();
+            assert_eq!(s.points.first().copied(), first, "case {case}: lost head");
+            assert_eq!(s.points.last().copied(), last, "case {case}: lost tail");
+            assert!(s.points.len() <= capacity + 1, "case {case}: unbounded");
+            assert!(
+                s.points.windows(2).all(|w| w[0].0 < w[1].0),
+                "case {case}: time not increasing"
+            );
+        }
+    }
+
+    #[test]
+    fn same_samples_produce_identical_json() {
+        let run = || {
+            let mut st = store(8);
+            let id = st.manual(Subsystem::Cluster, "x", "u");
+            for i in 0..50u64 {
+                st.record(id, SimTime::from_micros(i * 7), (i * 3) as f64 * 0.5);
+            }
+            st.report().to_json().pretty()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn capacity_below_two_is_clamped() {
+        let st = store(0);
+        assert_eq!(st.spec().capacity, 2);
+    }
+}

@@ -56,8 +56,8 @@ pub mod prelude {
     pub use vsim::{
         fault_points, DetRng, Engine, EventId, EventQueue, FaultKind, FaultPlan, FaultPoint,
         FaultTrigger, Metrics, MetricsReport, MigrationPhase, Party, ProtocolStep, QueueBackend,
-        SimContext, SimDuration, SimTime, SpanContext, SpanId, SpanIdGen, SpanNode, SpanTree,
-        SpanViolation, Subsystem, Trace, TraceEvent, TraceLevel, TraceSinkSpec, PARTY,
+        SamplingSpec, SimContext, SimDuration, SimTime, SpanContext, SpanId, SpanIdGen, SpanNode,
+        SpanTree, SpanViolation, Subsystem, Trace, TraceEvent, TraceLevel, TraceSinkSpec, PARTY,
     };
     pub use vworkload::{profiles, Phase, ProgramProfile, UserModelParams};
 }

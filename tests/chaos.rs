@@ -23,6 +23,12 @@ fn chaos_cluster(seed: u64, faults: FaultPlan) -> Cluster {
             retry_limit: 3,
             ..MigrationConfig::default()
         },
+        // Coarse sampling (the runs span many simulated minutes) so the
+        // soak also exercises the telemetry path under faults.
+        sampling: Some(SamplingSpec {
+            every: SimDuration::from_millis(100),
+            capacity: 512,
+        }),
         ..ClusterConfig::default()
     })
 }
@@ -90,6 +96,23 @@ fn soak_32_seeds_zero_violations() {
         let tree = c.span_tree();
         let violations = tree.validate();
         assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        // Sampled series must stay monotone in sim time under faults:
+        // crashes and partitions may flatten the values, and decimation
+        // may thin the points, but time never reorders or repeats.
+        let telemetry = c.series_report();
+        assert!(telemetry.sweeps > 0, "seed {seed}: sampling never swept");
+        for s in &telemetry.series {
+            assert!(
+                !s.points.is_empty(),
+                "seed {seed}: series {} retained nothing",
+                s.name
+            );
+            assert!(
+                s.points.windows(2).all(|w| w[0].0 < w[1].0),
+                "seed {seed}: series {} went backwards in sim time",
+                s.name
+            );
+        }
     }
 }
 

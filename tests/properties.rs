@@ -115,6 +115,27 @@ fn queue_backends_are_observationally_identical() {
                 }
             }
             assert_eq!(heap.pending(), wheel.pending(), "seed {seed}");
+            // The engine's registry gauges must track the live queue on
+            // both backends: depth mirrors pending() exactly, and the
+            // tombstone count (cancelled-but-not-yet-popped events) must
+            // agree between backends at every step.
+            let hg = heap.metrics().snapshot("heap");
+            let wg = wheel.metrics().snapshot("wheel");
+            assert_eq!(
+                hg.gauge(Subsystem::Engine, "queue_depth"),
+                Some(heap.pending() as f64),
+                "seed {seed}: heap depth gauge drifted from pending()"
+            );
+            assert_eq!(
+                hg.gauge(Subsystem::Engine, "queue_depth"),
+                wg.gauge(Subsystem::Engine, "queue_depth"),
+                "seed {seed}: depth gauges diverged"
+            );
+            assert_eq!(
+                hg.gauge(Subsystem::Engine, "tombstones"),
+                wg.gauge(Subsystem::Engine, "tombstones"),
+                "seed {seed}: tombstone gauges diverged"
+            );
         }
         // Drain both to the end; the tails must agree too.
         while let Some(h) = heap.step() {
@@ -122,6 +143,19 @@ fn queue_backends_are_observationally_identical() {
             popped.push(h);
         }
         assert_eq!(wheel.step(), None, "seed {seed}: wheel had extra events");
+        // A drained queue reads depth 0 through the registry as well.
+        // (Tombstones may stay nonzero: cancelling an already-delivered
+        // id leaves a stale tombstone until the next compaction, so only
+        // backend agreement is asserted for that gauge.)
+        let hg = heap.metrics().snapshot("drained-heap");
+        let wg = wheel.metrics().snapshot("drained-wheel");
+        assert_eq!(hg.gauge(Subsystem::Engine, "queue_depth"), Some(0.0));
+        assert_eq!(wg.gauge(Subsystem::Engine, "queue_depth"), Some(0.0));
+        assert_eq!(
+            hg.gauge(Subsystem::Engine, "tombstones"),
+            wg.gauge(Subsystem::Engine, "tombstones"),
+            "seed {seed}: drained tombstone gauges diverged"
+        );
         assert!(
             popped.windows(2).all(|w| w[0].0 <= w[1].0),
             "seed {seed}: time went backwards"

@@ -12,7 +12,7 @@
 
 use v_system::prelude::*;
 use v_system::vnet::McastGroup;
-use v_system::vsim::TraceRecord;
+use v_system::vsim::{ToJson, TraceRecord};
 
 /// The well-known program-manager group (mirrors `PM_MCAST` in vcluster).
 const PM_MCAST: McastGroup = McastGroup(1);
@@ -25,6 +25,10 @@ struct Outcome {
     bytes_read: u64,
     mcast_members: usize,
     faults_injected: u64,
+    /// The sampled time-series, fully serialized: series identity is
+    /// byte identity of the JSON artifact two runs would emit.
+    series_json: String,
+    sweeps: u64,
 }
 
 /// One full cluster run at the given seed: three `@*` remote execs whose
@@ -50,6 +54,7 @@ fn run_once_with(seed: u64, queue: QueueBackend, faults: FaultPlan) -> Outcome {
         trace: TraceLevel::Detail,
         queue,
         faults,
+        sampling: Some(SamplingSpec::default()),
         ..ClusterConfig::default()
     });
     c.file_server_mut().add_file("replay.dat", 48 * 1024);
@@ -86,6 +91,8 @@ fn run_once_with(seed: u64, queue: QueueBackend, faults: FaultPlan) -> Outcome {
         bytes_read: c.file_server().stats().bytes_read,
         mcast_members: c.net.members(PM_MCAST).len(),
         faults_injected: c.stats.faults_injected,
+        series_json: c.series_report().to_json().pretty(),
+        sweeps: c.series().sweeps(),
     }
 }
 
@@ -140,6 +147,35 @@ fn same_seed_runs_produce_identical_traces() {
     }
 }
 
+/// Same seed, same backend: the sampled time-series must serialize
+/// byte-identically — the telemetry layer inherits the replay guarantee.
+/// The sweeps are driven off the event queue (`SampleTick`), so any
+/// nondeterminism in sampling cadence or probe reads diverges here.
+#[test]
+fn same_seed_runs_produce_identical_series() {
+    for queue in [QueueBackend::Heap, QueueBackend::TimingWheel] {
+        let a = run_once_on(1985, queue);
+        let b = run_once_on(1985, queue);
+        // Non-vacuity: sampling actually ran, on the default 1 ms
+        // cadence, and captured the default cluster enrollments.
+        assert!(
+            a.sweeps > 1_000,
+            "sampling barely ran ({} sweeps)",
+            a.sweeps
+        );
+        for series in ["queue_depth", "ready_programs", "active_leases"] {
+            assert!(
+                a.series_json.contains(series),
+                "default enrollment `{series}` missing from report"
+            );
+        }
+        assert_eq!(
+            a.series_json, b.series_json,
+            "{queue:?}: same-seed series artifacts diverged"
+        );
+    }
+}
+
 /// Different seeds must *not* replay identically — otherwise the equality
 /// above proves nothing about determinism, only about constancy.
 #[test]
@@ -168,6 +204,10 @@ fn queue_backends_replay_identically() {
         (heap.images_loaded, heap.bytes_read, heap.mcast_members),
         (wheel.images_loaded, wheel.bytes_read, wheel.mcast_members),
         "backends diverged in cluster outcomes"
+    );
+    assert_eq!(
+        heap.series_json, wheel.series_json,
+        "backends diverged in sampled series"
     );
     assert_eq!(
         heap.records.len(),
