@@ -7,11 +7,65 @@
 //! schema: which sections exist, which value types they take, and the
 //! validation that makes a bad config a loud CI failure instead of a
 //! silently skipped rule.
+//!
+//! v2 generalizes the old `[panics]` / `[casts]` allowance tables into
+//! rule-generic `[allow.<rule-id>]` ratchets, and adds the
+//! configuration for the flow passes: `[[dispatch]]` (exhaustive
+//! dispatch surfaces per audited enum), `[schema]` (where the emitted
+//! metric/series names are cross-checked), and `[taint]` (extra
+//! determinism-taint sources/sinks).
 
 use std::collections::BTreeMap;
 use std::path::Path;
 
-use crate::toml::{TomlDoc, TomlValue};
+use crate::toml::{TomlDoc, TomlTable, TomlValue};
+
+/// Rule ids that accept a `[allow.<rule-id>]` ratchet table.
+pub const RATCHET_RULES: &[&str] = &[
+    "panic-budget",
+    "lossy-cast",
+    "dispatch-wildcard",
+    "det-taint",
+];
+
+/// One `[[dispatch]]` entry: an enum whose dispatch surfaces must stay
+/// exhaustive.
+#[derive(Debug, Clone, Default)]
+pub struct DispatchSpec {
+    /// The audited enum's name (`Event`, `TraceEvent`, …).
+    pub enum_name: String,
+    /// Workspace-relative file defining the enum.
+    pub defined_in: String,
+    /// Dispatch surfaces as `(file, fn-name)`, from `"file#fn"` strings.
+    pub surfaces: Vec<(String, String)>,
+    /// `lint.toml` line of the entry, for diagnostics.
+    pub line: usize,
+}
+
+/// The `[schema]` section: where emitted names are collected from and
+/// which consumers they are cross-checked against.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaCfg {
+    /// Markdown docs holding `<!-- vlint:schema -->` tables.
+    pub docs: Vec<String>,
+    /// Directory of sweep specs whose `plan` axes must use known names.
+    pub sweeps: Option<String>,
+    /// `"file#fn"` of the canonical fault-plan name list
+    /// (`FaultPlan::names`).
+    pub plan_names: Option<(String, String)>,
+    /// The fault-matrix soak test that must iterate `fault_points()`.
+    pub fault_matrix: Option<String>,
+}
+
+/// The `[taint]` section: extra source/sink patterns for the
+/// determinism-taint pass (dotted call paths, see [`crate::taint`]).
+#[derive(Debug, Clone, Default)]
+pub struct TaintCfg {
+    /// Extra taint sources (e.g. `"Instant::now"`, `".now_ns"`).
+    pub sources: Vec<String>,
+    /// Extra taint sinks (e.g. `".schedule"`).
+    pub sinks: Vec<String>,
+}
 
 /// The full `lint.toml` configuration.
 #[derive(Debug, Clone, Default)]
@@ -28,18 +82,32 @@ pub struct Config {
     /// Workspace-relative file paths exempt from the determinism rules
     /// (e.g. the bench harness timing real wall-clock runs).
     pub determinism_allow: Vec<String>,
-    /// Per-file panic-site allowances (`unwrap()`/`expect(`/`panic!`).
-    /// Files absent from the map have an allowance of zero.
-    pub panic_allow: BTreeMap<String, usize>,
-    /// Per-file narrowing-cast allowances for `cast_crates`.
-    pub cast_allow: BTreeMap<String, usize>,
+    /// Rule-generic per-file ratchets: rule id → file → allowance.
+    /// Files absent from a rule's map have an allowance of zero, and an
+    /// allowance above the actual count is itself an error.
+    pub allow: BTreeMap<String, BTreeMap<String, usize>>,
     /// Bench binaries (file stems under `crates/bench/src/bin/`) exempt
     /// from the `bench-emit` rule — gates and meta-tools that do not
     /// produce experiment artifacts.
     pub bench_emit_exempt: Vec<String>,
+    /// `[[dispatch]]` entries for the exhaustive-dispatch audit.
+    pub dispatch: Vec<DispatchSpec>,
+    /// `[schema]` configuration for the schema-drift audit.
+    pub schema: SchemaCfg,
+    /// `[taint]` extras for the determinism-taint pass.
+    pub taint: TaintCfg,
 }
 
 impl Config {
+    /// Per-file allowance for a ratchet rule (0 when absent).
+    pub fn allowance(&self, rule: &str, file: &str) -> usize {
+        self.allow
+            .get(rule)
+            .and_then(|m| m.get(file))
+            .copied()
+            .unwrap_or(0)
+    }
+
     /// Loads and validates `root/lint.toml`.
     ///
     /// # Errors
@@ -63,9 +131,9 @@ impl Config {
         let mut cfg = Config::default();
         for table in &doc.tables {
             let name = table.name();
-            if table.array {
+            if table.array && name != "dispatch" {
                 return Err(format!(
-                    "lint.toml:{}: [[{name}]] array tables are not used here",
+                    "lint.toml:{}: [[{name}]] array tables are only used for [[dispatch]]",
                     table.line
                 ));
             }
@@ -117,20 +185,60 @@ impl Config {
                     }
                 }
                 "panics" | "casts" => {
-                    let map = if name == "panics" {
-                        &mut cfg.panic_allow
-                    } else {
-                        &mut cfg.cast_allow
-                    };
+                    return Err(format!(
+                        "lint.toml:{}: [{name}] was replaced by the rule-generic ratchets — \
+                         move the entries to [allow.{}]",
+                        table.line,
+                        if name == "panics" {
+                            "panic-budget"
+                        } else {
+                            "lossy-cast"
+                        },
+                    ));
+                }
+                "dispatch" => {
+                    if !table.array {
+                        return Err(format!(
+                            "lint.toml:{}: use [[dispatch]] (array of tables), one per enum",
+                            table.line
+                        ));
+                    }
+                    cfg.dispatch.push(parse_dispatch(table)?);
+                }
+                "schema" => {
+                    parse_schema(table, &mut cfg.schema)?;
+                }
+                "taint" => {
+                    for (k, v, line) in &table.entries {
+                        match k.as_str() {
+                            "sources" => cfg.taint.sources = string_list(v, line, "taint", k)?,
+                            "sinks" => cfg.taint.sinks = string_list(v, line, "taint", k)?,
+                            _ => {
+                                return Err(format!("lint.toml:{line}: unknown [taint] key `{k}`"))
+                            }
+                        }
+                    }
+                }
+                other if other.starts_with("allow.") => {
+                    let rule = &other["allow.".len()..];
+                    if !RATCHET_RULES.contains(&rule) {
+                        return Err(format!(
+                            "lint.toml:{}: [allow.{rule}] — `{rule}` is not a ratchetable rule \
+                             (known: {})",
+                            table.line,
+                            RATCHET_RULES.join(", "),
+                        ));
+                    }
+                    let map = cfg.allow.entry(rule.to_string()).or_default();
                     for (k, v, line) in &table.entries {
                         let Some(n) = v.as_int() else {
                             return Err(format!(
-                                "lint.toml:{line}: [{name}] `{k}` must be an integer"
+                                "lint.toml:{line}: [allow.{rule}] `{k}` must be an integer"
                             ));
                         };
                         if n < 0 {
                             return Err(format!(
-                                "lint.toml:{line}: [{name}] `{k}` must be non-negative"
+                                "lint.toml:{line}: [allow.{rule}] `{k}` must be non-negative"
                             ));
                         }
                         map.insert(k.clone(), usize::try_from(n).unwrap_or(usize::MAX));
@@ -146,6 +254,77 @@ impl Config {
         }
         Ok(cfg)
     }
+}
+
+/// Splits a `"path/file.rs#fn_name"` reference.
+fn parse_site(s: &str, line: usize, what: &str) -> Result<(String, String), String> {
+    match s.split_once('#') {
+        Some((f, func)) if !f.is_empty() && !func.is_empty() => {
+            Ok((f.to_string(), func.to_string()))
+        }
+        _ => Err(format!(
+            "lint.toml:{line}: {what} `{s}` must look like `path/to/file.rs#fn_name`"
+        )),
+    }
+}
+
+fn parse_dispatch(table: &TomlTable) -> Result<DispatchSpec, String> {
+    let mut spec = DispatchSpec {
+        line: table.line,
+        ..DispatchSpec::default()
+    };
+    for (k, v, line) in &table.entries {
+        match k.as_str() {
+            "enum" => {
+                spec.enum_name = require_str(v, line, "dispatch", k)?;
+            }
+            "defined_in" => {
+                spec.defined_in = require_str(v, line, "dispatch", k)?;
+            }
+            "surfaces" => {
+                for s in string_list(v, line, "dispatch", k)? {
+                    spec.surfaces.push(parse_site(&s, *line, "surface")?);
+                }
+            }
+            _ => return Err(format!("lint.toml:{line}: unknown [[dispatch]] key `{k}`")),
+        }
+    }
+    if spec.enum_name.is_empty() || spec.defined_in.is_empty() {
+        return Err(format!(
+            "lint.toml:{}: [[dispatch]] needs `enum` and `defined_in`",
+            table.line
+        ));
+    }
+    if spec.surfaces.is_empty() {
+        return Err(format!(
+            "lint.toml:{}: [[dispatch]] for `{}` lists no surfaces",
+            table.line, spec.enum_name
+        ));
+    }
+    Ok(spec)
+}
+
+fn parse_schema(table: &TomlTable, out: &mut SchemaCfg) -> Result<(), String> {
+    for (k, v, line) in &table.entries {
+        match k.as_str() {
+            "docs" => out.docs = string_list(v, line, "schema", k)?,
+            "sweeps" => out.sweeps = Some(require_str(v, line, "schema", k)?),
+            "plan_names" => {
+                let s = require_str(v, line, "schema", k)?;
+                out.plan_names = Some(parse_site(&s, *line, "plan_names")?);
+            }
+            "fault_matrix" => out.fault_matrix = Some(require_str(v, line, "schema", k)?),
+            _ => return Err(format!("lint.toml:{line}: unknown [schema] key `{k}`")),
+        }
+    }
+    Ok(())
+}
+
+/// Requires `v` to be a string.
+fn require_str(v: &TomlValue, line: &usize, section: &str, key: &str) -> Result<String, String> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("lint.toml:{line}: [{section}] `{key}` must be a string"))
 }
 
 /// Requires `v` to be an all-strings array.
@@ -185,22 +364,64 @@ allow = ["crates/bench/src/lib.rs"]
 [bench]
 emit_exempt = ["bench_regress"]
 
-[panics]
+[allow.panic-budget]
 "crates/sim/src/engine.rs" = 2
 
-[casts]
+[allow.lossy-cast]
 "crates/sim/src/metrics.rs" = 6
+
+[allow.dispatch-wildcard]
+"crates/bench/src/bin/abl.rs" = 1
+
+[[dispatch]]
+enum = "Event"
+defined_in = "crates/sim/src/engine.rs"
+surfaces = ["crates/sim/src/engine.rs#dispatch"]
+
+[schema]
+docs = ["EXPERIMENTS.md"]
+sweeps = "sweeps"
+plan_names = "crates/sim/src/faults.rs#names"
+fault_matrix = "tests/fault_matrix.rs"
+
+[taint]
+sources = ["Instant::now"]
+sinks = [".schedule"]
 "#,
         )
         .unwrap();
         assert_eq!(cfg.library_crates, vec!["vsim", "vnet"]);
         assert_eq!(cfg.cast_crates, vec!["vsim", "vnet"]);
         assert_eq!(cfg.layering["vnet"], vec!["vsim"]);
-        assert_eq!(cfg.layering["vsim"], Vec::<String>::new());
         assert_eq!(cfg.determinism_allow, vec!["crates/bench/src/lib.rs"]);
         assert_eq!(cfg.bench_emit_exempt, vec!["bench_regress"]);
-        assert_eq!(cfg.panic_allow["crates/sim/src/engine.rs"], 2);
-        assert_eq!(cfg.cast_allow["crates/sim/src/metrics.rs"], 6);
+        assert_eq!(cfg.allowance("panic-budget", "crates/sim/src/engine.rs"), 2);
+        assert_eq!(cfg.allowance("lossy-cast", "crates/sim/src/metrics.rs"), 6);
+        assert_eq!(
+            cfg.allowance("dispatch-wildcard", "crates/bench/src/bin/abl.rs"),
+            1
+        );
+        assert_eq!(cfg.allowance("det-taint", "anything.rs"), 0);
+        assert_eq!(cfg.dispatch.len(), 1);
+        assert_eq!(cfg.dispatch[0].enum_name, "Event");
+        assert_eq!(
+            cfg.dispatch[0].surfaces,
+            vec![(
+                "crates/sim/src/engine.rs".to_string(),
+                "dispatch".to_string()
+            )]
+        );
+        assert_eq!(cfg.schema.docs, vec!["EXPERIMENTS.md"]);
+        assert_eq!(cfg.schema.sweeps.as_deref(), Some("sweeps"));
+        assert_eq!(
+            cfg.schema.plan_names,
+            Some((
+                "crates/sim/src/faults.rs".to_string(),
+                "names".to_string()
+            ))
+        );
+        assert_eq!(cfg.taint.sources, vec!["Instant::now"]);
+        assert_eq!(cfg.taint.sinks, vec![".schedule"]);
     }
 
     #[test]
@@ -209,11 +430,27 @@ emit_exempt = ["bench_regress"]
     }
 
     #[test]
+    fn legacy_panics_casts_sections_error_with_migration_hint() {
+        let err = Config::parse("[panics]\n\"a.rs\" = 1\n").expect_err("legacy");
+        assert!(err.contains("allow.panic-budget"), "{err}");
+        let err = Config::parse("[casts]\n\"a.rs\" = 1\n").expect_err("legacy");
+        assert!(err.contains("allow.lossy-cast"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_ratchet_rule() {
+        let err = Config::parse("[allow.det-hash]\n\"a.rs\" = 1\n").expect_err("not ratchetable");
+        assert!(err.contains("not a ratchetable rule"), "{err}");
+    }
+
+    #[test]
     fn rejects_unknown_keys_with_line_numbers() {
         for (src, line) in [
             ("[workspace]\nnope = []\n", 2),
             ("[determinism]\nnope = []\n", 2),
             ("[bench]\nnope = []\n", 2),
+            ("[schema]\nnope = \"x\"\n", 2),
+            ("[taint]\nnope = []\n", 2),
         ] {
             let err = Config::parse(src).expect_err(src);
             assert!(err.contains(&format!("lint.toml:{line}")), "{err}");
@@ -225,13 +462,35 @@ emit_exempt = ["bench_regress"]
         assert!(Config::parse("[workspace]\nlibrary_crates = 3\n").is_err());
         assert!(Config::parse("[layering]\nvsim = \"vnet\"\n").is_err());
         assert!(Config::parse("[layering]\nvsim = [1]\n").is_err());
-        assert!(Config::parse("[panics]\n\"a.rs\" = \"two\"\n").is_err());
+        assert!(Config::parse("[allow.panic-budget]\n\"a.rs\" = \"two\"\n").is_err());
         assert!(Config::parse("[bench]\nemit_exempt = [true]\n").is_err());
     }
 
     #[test]
     fn rejects_negative_allowance() {
-        assert!(Config::parse("[panics]\n\"a.rs\" = -1\n").is_err());
+        assert!(Config::parse("[allow.panic-budget]\n\"a.rs\" = -1\n").is_err());
+    }
+
+    #[test]
+    fn dispatch_entries_validate_shape() {
+        // Not an array table.
+        assert!(Config::parse("[dispatch]\nenum = \"E\"\n").is_err());
+        // Missing surfaces.
+        assert!(
+            Config::parse("[[dispatch]]\nenum = \"E\"\ndefined_in = \"a.rs\"\nsurfaces = []\n")
+                .is_err()
+        );
+        // Bad surface syntax.
+        let err = Config::parse(
+            "[[dispatch]]\nenum = \"E\"\ndefined_in = \"a.rs\"\nsurfaces = [\"a.rs\"]\n",
+        )
+        .expect_err("bad surface");
+        assert!(err.contains("file.rs#fn_name"), "{err}");
+        // Missing enum.
+        assert!(
+            Config::parse("[[dispatch]]\ndefined_in = \"a.rs\"\nsurfaces = [\"a.rs#f\"]\n")
+                .is_err()
+        );
     }
 
     #[test]
@@ -240,7 +499,7 @@ emit_exempt = ["bench_regress"]
     }
 
     #[test]
-    fn rejects_array_of_tables() {
-        assert!(Config::parse("[[panics]]\n\"a.rs\" = 1\n").is_err());
+    fn rejects_stray_array_tables() {
+        assert!(Config::parse("[[workspace]]\nlibrary_crates = []\n").is_err());
     }
 }

@@ -1,0 +1,296 @@
+//! Exhaustive-dispatch audit: every watched enum variant must be
+//! handled by every registered dispatch surface, and no non-test match
+//! over a watched enum may hide behind a wildcard arm.
+//!
+//! `lint.toml` registers each audited enum with a `[[dispatch]]` entry:
+//! where it is defined, and the `file#fn` surfaces (dispatchers,
+//! serializers, label fns) that must mention **every** variant as an
+//! `Enum::Variant` / `Self::Variant` path. The check is textual on the
+//! token stream, so it fails even when the surface uses a wildcard arm
+//! and therefore still compiles after a variant is added — exactly the
+//! silent-drift case rustc cannot catch.
+//!
+//! Rules:
+//!
+//! * `dispatch-enum-missing` — the configured `defined_in` file no
+//!   longer defines the enum (config drift is an error, not a skip);
+//! * `dispatch-surface-missing` — a configured surface fn is gone;
+//! * `dispatch-missing` — a surface fn does not mention some variant;
+//! * `dispatch-wildcard` — a non-test `match` whose arms name a watched
+//!   enum also has an unguarded catch-all arm (`_` or a plain binding)
+//!   that would silently swallow new variants. Sites are ratcheted via
+//!   `[allow.dispatch-wildcard]`.
+
+use std::collections::BTreeMap;
+
+use crate::ast::ParsedFile;
+use crate::config::{Config, DispatchSpec};
+use crate::lexer::TokKind;
+use crate::report::{Report, Violation};
+
+/// Runs the dispatch audit. `files` maps workspace-relative paths to
+/// parsed files; `wildcard_sites` collects ratchetable wildcard hits
+/// per file for the generic ratchet machinery in [`crate::rules`].
+pub fn check(
+    files: &BTreeMap<String, ParsedFile>,
+    cfg: &Config,
+    report: &mut Report,
+    wildcard_sites: &mut BTreeMap<String, Vec<usize>>,
+) {
+    for spec in &cfg.dispatch {
+        check_spec(files, spec, report);
+    }
+    if !cfg.dispatch.is_empty() {
+        find_wildcards(files, cfg, wildcard_sites);
+    }
+}
+
+fn check_spec(files: &BTreeMap<String, ParsedFile>, spec: &DispatchSpec, report: &mut Report) {
+    let Some(def_file) = files.get(&spec.defined_in) else {
+        report.violations.push(Violation {
+            rule: "dispatch-enum-missing",
+            file: spec.defined_in.clone(),
+            line: 0,
+            message: format!(
+                "[[dispatch]] (lint.toml:{}) points at `{}` for enum `{}`, but the file was not \
+                 scanned",
+                spec.line, spec.defined_in, spec.enum_name
+            ),
+            hint: "fix the defined_in path in lint.toml (the dispatch registry must track the \
+                   code, or the audit silently lapses)",
+        });
+        return;
+    };
+    let Some(en) = def_file
+        .enums
+        .iter()
+        .find(|e| e.name == spec.enum_name && !e.in_test)
+    else {
+        report.violations.push(Violation {
+            rule: "dispatch-enum-missing",
+            file: spec.defined_in.clone(),
+            line: 0,
+            message: format!(
+                "enum `{}` is not defined in `{}` (lint.toml:{})",
+                spec.enum_name, spec.defined_in, spec.line
+            ),
+            hint: "update the [[dispatch]] entry in lint.toml to the enum's new home",
+        });
+        return;
+    };
+
+    for (sfile, sfn) in &spec.surfaces {
+        let Some(pf) = files.get(sfile) else {
+            report.violations.push(Violation {
+                rule: "dispatch-surface-missing",
+                file: sfile.clone(),
+                line: 0,
+                message: format!(
+                    "dispatch surface `{sfile}#{sfn}` for `{}`: file was not scanned",
+                    spec.enum_name
+                ),
+                hint: "fix the surface path in lint.toml",
+            });
+            continue;
+        };
+        // All same-named fns contribute (e.g. several `fmt`/`label`
+        // impls in one file); their bodies are unioned.
+        let bodies: Vec<(usize, usize)> = pf
+            .fns
+            .iter()
+            .filter(|f| f.name == *sfn && !f.in_test && f.body.1 > f.body.0)
+            .map(|f| f.body)
+            .collect();
+        if bodies.is_empty() {
+            report.violations.push(Violation {
+                rule: "dispatch-surface-missing",
+                file: sfile.clone(),
+                line: 0,
+                message: format!(
+                    "dispatch surface fn `{sfn}` for `{}` not found in `{sfile}`",
+                    spec.enum_name
+                ),
+                hint: "the fn was renamed or moved; update surfaces in lint.toml so the \
+                       exhaustiveness audit keeps covering it",
+            });
+            continue;
+        }
+        let fn_line = pf
+            .fns
+            .iter()
+            .find(|f| f.name == *sfn && !f.in_test)
+            .map_or(0, |f| f.line);
+        for v in &en.variants {
+            let mentioned = bodies
+                .iter()
+                .any(|&b| mentions_variant(pf, b, &spec.enum_name, &v.name));
+            if !mentioned {
+                report.violations.push(Violation {
+                    rule: "dispatch-missing",
+                    file: sfile.clone(),
+                    line: fn_line,
+                    message: format!(
+                        "`{sfn}` does not handle `{}::{}` (declared at {}:{})",
+                        spec.enum_name, v.name, spec.defined_in, v.line
+                    ),
+                    hint: "add a match arm (or serialization case) for the variant; wildcard \
+                           arms that swallow variants are flagged separately as \
+                           dispatch-wildcard",
+                });
+            }
+        }
+    }
+}
+
+/// True when `Enum::Variant` or `Self::Variant` appears in the body.
+fn mentions_variant(pf: &ParsedFile, body: (usize, usize), enum_name: &str, variant: &str) -> bool {
+    let toks = &pf.toks;
+    for i in body.0..body.1.saturating_sub(2) {
+        if (toks[i].is_ident(enum_name) || toks[i].is_ident("Self"))
+            && toks[i + 1].is_punct("::")
+            && toks[i + 2].is_ident(variant)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Flags non-test matches that name a watched enum in an arm pattern
+/// yet keep an unguarded catch-all arm.
+fn find_wildcards(
+    files: &BTreeMap<String, ParsedFile>,
+    cfg: &Config,
+    sites: &mut BTreeMap<String, Vec<usize>>,
+) {
+    let watched: Vec<&str> = cfg.dispatch.iter().map(|d| d.enum_name.as_str()).collect();
+    for (rel, pf) in files {
+        for m in pf.matches.iter().filter(|m| !m.in_test) {
+            let Some(ca) = m.catch_all(&pf.toks) else {
+                continue;
+            };
+            let names_watched = m.arms.iter().any(|a| {
+                (a.pat.0..a.pat.1.saturating_sub(1)).any(|i| {
+                    pf.toks[i].kind == TokKind::Ident
+                        && watched.contains(&pf.toks[i].text.as_str())
+                        && pf.toks[i + 1].is_punct("::")
+                })
+            });
+            if names_watched {
+                sites.entry(rel.clone()).or_default().push(ca.line);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast;
+
+    fn setup(src: &str, surfaces: &[(&str, &str)]) -> (Report, BTreeMap<String, Vec<usize>>) {
+        let mut files = BTreeMap::new();
+        files.insert("a.rs".to_string(), ast::parse(src));
+        let cfg = Config {
+            dispatch: vec![DispatchSpec {
+                enum_name: "Ev".to_string(),
+                defined_in: "a.rs".to_string(),
+                surfaces: surfaces
+                    .iter()
+                    .map(|(f, n)| (f.to_string(), n.to_string()))
+                    .collect(),
+                line: 1,
+            }],
+            ..Config::default()
+        };
+        let mut report = Report::default();
+        let mut sites = BTreeMap::new();
+        check(&files, &cfg, &mut report, &mut sites);
+        (report, sites)
+    }
+
+    #[test]
+    fn complete_dispatcher_is_clean() {
+        let (r, s) = setup(
+            "pub enum Ev { A, B }\nfn go(e: Ev) { match e { Ev::A => {} Ev::B => {} } }",
+            &[("a.rs", "go")],
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn missing_arm_is_reported_per_variant() {
+        let (r, _) = setup(
+            "pub enum Ev { A, B, C }\nfn go(e: Ev) { match e { Ev::A => {} Ev::B => {} _ => {} } }",
+            &[("a.rs", "go")],
+        );
+        let missing: Vec<_> = r
+            .violations
+            .iter()
+            .filter(|v| v.rule == "dispatch-missing")
+            .collect();
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].message.contains("Ev::C"), "{}", missing[0].message);
+        assert_eq!(missing[0].line, 2);
+    }
+
+    #[test]
+    fn self_paths_count_as_mentions() {
+        let (r, _) = setup(
+            "pub enum Ev { A, B }\nimpl Ev { fn go(&self) { match self { Self::A => {} Self::B => {} } } }",
+            &[("a.rs", "go")],
+        );
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn wildcard_over_watched_enum_is_collected() {
+        let (_, s) = setup(
+            "pub enum Ev { A, B }\nfn go(e: Ev) { match e { Ev::A => {} _ => {} } }",
+            &[("a.rs", "go")],
+        );
+        assert_eq!(s["a.rs"], vec![2]);
+    }
+
+    #[test]
+    fn wildcard_over_other_enums_is_ignored() {
+        let (_, s) = setup(
+            "pub enum Ev { A }\nfn f(x: Other) { match x { Other::Y => {} _ => {} } }\nfn go(e: Ev) { match e { Ev::A => {} } }",
+            &[("a.rs", "go")],
+        );
+        assert!(s.is_empty(), "{s:?}");
+    }
+
+    #[test]
+    fn guarded_catch_all_is_not_a_wildcard() {
+        let (_, s) = setup(
+            "pub enum Ev { A }\nfn go(e: Ev, n: u32) { match e { Ev::A if n > 0 => {} other if n == 0 => {} Ev::A => {} } }",
+            &[("a.rs", "go")],
+        );
+        assert!(s.is_empty(), "{s:?}");
+    }
+
+    #[test]
+    fn vanished_surface_and_enum_are_errors() {
+        let (r, _) = setup("pub enum Ev { A }\n", &[("a.rs", "gone")]);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.rule == "dispatch-surface-missing"));
+        let (r, _) = setup("fn nothing() {}\n", &[("a.rs", "nothing")]);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.rule == "dispatch-enum-missing"));
+    }
+
+    #[test]
+    fn test_scope_matches_are_exempt() {
+        let (_, s) = setup(
+            "pub enum Ev { A }\nfn go(e: Ev) { match e { Ev::A => {} } }\n#[cfg(test)]\nmod t {\n    fn f(e: super::Ev) -> u32 { match e { super::Ev::A => 1, _ => 0 } }\n}",
+            &[("a.rs", "go")],
+        );
+        assert!(s.is_empty(), "{s:?}");
+    }
+}

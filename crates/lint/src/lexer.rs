@@ -1,0 +1,471 @@
+//! A hand-rolled Rust tokenizer — the foundation of the v2 auditor.
+//!
+//! One pass over the source produces two views the rule passes share:
+//!
+//! * a token stream ([`Tok`]) with line numbers, which the AST-lite
+//!   ([`crate::ast`]) and the flow passes ([`crate::taint`],
+//!   [`crate::dispatch`], [`crate::schema`]) consume; and
+//! * a *blanked* copy of the source (comments and literal contents
+//!   replaced by spaces, line structure preserved) that keeps the
+//!   original line-oriented rules working unchanged.
+//!
+//! The lexer understands everything the old line scanner mis-handled:
+//! nested block comments, raw strings of any hash depth (`r##"…"##`),
+//! byte and raw-byte strings, raw identifiers (`r#match`), char
+//! literals vs lifetimes, and numeric literals with suffixes. It is
+//! deliberately not a full Rust lexer — no float-exponent pedantry, no
+//! shebang handling — but it is exact on everything this workspace's
+//! rules match against.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `match`, `Subsystem`, …).
+    Ident,
+    /// String literal — [`Tok::text`] holds the *contents* (no quotes),
+    /// which is how the schema pass reads metric names.
+    Str,
+    /// Char literal (contents, no quotes).
+    Char,
+    /// Numeric literal, suffix included (`0xff`, `1_000u64`).
+    Num,
+    /// Lifetime (`'a`, without the quote).
+    Life,
+    /// Punctuation; compound operators (`::`, `=>`, `..=`) are one token.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what each kind stores).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Tok {
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for a punctuation token with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// The lexer's combined output.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// The token stream, comments skipped.
+    pub toks: Vec<Tok>,
+    /// The source with comments and literal contents blanked to spaces
+    /// (string quotes kept), newlines preserved.
+    pub blanked: String,
+}
+
+/// Compound punctuation, longest first so maximal munch wins.
+const PUNCTS: &[&str] = &[
+    "..=", "<<=", ">>=", "::", "->", "=>", "..", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Tokenizes `src`, producing the stream and the blanked text.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = Lexed {
+        toks: Vec::new(),
+        blanked: String::with_capacity(src.len()),
+    };
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Copies a char to the blanked output verbatim.
+    fn keep(l: &mut Lexed, c: char) {
+        l.blanked.push(c);
+    }
+    // Blanks a char in the output, preserving newlines.
+    fn blank(l: &mut Lexed, c: char) {
+        l.blanked.push(if c == '\n' { '\n' } else { ' ' });
+    }
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            keep(&mut out, c);
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            keep(&mut out, c);
+            i += 1;
+            continue;
+        }
+        // Line comments (incl. doc comments).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                blank(&mut out, b[i]);
+                i += 1;
+            }
+            continue;
+        }
+        // Nested block comments.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 0usize;
+            while i < n {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    blank(&mut out, b[i]);
+                    blank(&mut out, b[i + 1]);
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    blank(&mut out, b[i]);
+                    blank(&mut out, b[i + 1]);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw identifiers, raw strings, byte strings: r#ident, r"…",
+        // r#"…"#, b"…", br#"…"#.
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            let mut is_byte = false;
+            if b[j] == 'b' {
+                is_byte = true;
+                j += 1;
+            }
+            let has_r = j < n && b[j] == 'r';
+            if has_r {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            let mut k = j;
+            while k < n && b[k] == '#' {
+                hashes += 1;
+                k += 1;
+            }
+            let raw_ident = !is_byte && has_r && hashes == 1 && k < n && is_ident_start(b[k]);
+            let raw_str = has_r && k < n && b[k] == '"';
+            let byte_str = is_byte && !has_r && hashes == 0 && j < n && b[j] == '"';
+            if raw_ident {
+                // r#match — lex the ident, keep `r#` visible in blanked.
+                keep(&mut out, b[i]);
+                keep(&mut out, b[i + 1]);
+                i += 2;
+                lex_ident(&b, &mut i, n, &mut out, line);
+                continue;
+            }
+            if raw_str || byte_str {
+                let start_line = line;
+                let open = if raw_str { k } else { j };
+                for &ch in &b[i..=open] {
+                    blank(&mut out, ch);
+                }
+                i = open + 1;
+                let mut text = String::new();
+                loop {
+                    if i >= n {
+                        break;
+                    }
+                    if b[i] == '"' {
+                        if raw_str {
+                            let mut h = 0usize;
+                            let mut e = i + 1;
+                            while e < n && h < hashes && b[e] == '#' {
+                                h += 1;
+                                e += 1;
+                            }
+                            if h == hashes {
+                                for &ch in &b[i..e] {
+                                    blank(&mut out, ch);
+                                }
+                                i = e;
+                                break;
+                            }
+                        } else {
+                            blank(&mut out, b[i]);
+                            i += 1;
+                            break;
+                        }
+                    }
+                    if !raw_str && b[i] == '\\' && i + 1 < n {
+                        text.push(b[i]);
+                        text.push(b[i + 1]);
+                        blank(&mut out, b[i]);
+                        blank(&mut out, b[i + 1]);
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    text.push(b[i]);
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line: start_line,
+                });
+                continue;
+            }
+            // Plain identifier starting with r/b.
+            lex_ident(&b, &mut i, n, &mut out, line);
+            continue;
+        }
+        // Ordinary string literal.
+        if c == '"' {
+            let start_line = line;
+            keep(&mut out, '"');
+            i += 1;
+            let mut text = String::new();
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    text.push(b[i]);
+                    text.push(b[i + 1]);
+                    blank(&mut out, b[i]);
+                    blank(&mut out, b[i + 1]);
+                    i += 2;
+                } else if b[i] == '"' {
+                    keep(&mut out, '"');
+                    i += 1;
+                    break;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    text.push(b[i]);
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if i + 1 < n && b[i + 1] == '\\' {
+                // Escaped char literal '\n', '\u{..}'.
+                keep(&mut out, '\'');
+                i += 1;
+                let mut text = String::new();
+                while i < n && b[i] != '\'' {
+                    text.push(b[i]);
+                    blank(&mut out, b[i]);
+                    i += 1;
+                }
+                if i < n {
+                    keep(&mut out, '\'');
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                });
+                continue;
+            }
+            if i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'' {
+                // Plain char literal 'x'.
+                keep(&mut out, '\'');
+                blank(&mut out, b[i + 1]);
+                keep(&mut out, '\'');
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: b[i + 1].to_string(),
+                    line,
+                });
+                i += 3;
+                continue;
+            }
+            // Lifetime 'a.
+            keep(&mut out, '\'');
+            i += 1;
+            let start = i;
+            while i < n && is_ident_char(b[i]) {
+                keep(&mut out, b[i]);
+                i += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Life,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Numeric literal (suffixes and `.` between digits included).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n {
+                let d = b[i];
+                let cont_dot = d == '.'
+                    && i + 1 < n
+                    && b[i + 1].is_ascii_digit()
+                    && !(i > start && b[i - 1] == '.');
+                if d.is_ascii_alphanumeric() || d == '_' || cont_dot {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            let text: String = b[start..i].iter().collect();
+            for ch in text.chars() {
+                keep(&mut out, ch);
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text,
+                line,
+            });
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            lex_ident(&b, &mut i, n, &mut out, line);
+            continue;
+        }
+        // Punctuation, compound first.
+        let mut matched = false;
+        for p in PUNCTS {
+            let pl = p.chars().count();
+            if i + pl <= n && b[i..i + pl].iter().collect::<String>() == **p {
+                for &ch in &b[i..i + pl] {
+                    keep(&mut out, ch);
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (*p).to_string(),
+                    line,
+                });
+                i += pl;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            keep(&mut out, c);
+            out.toks.push(Tok {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn lex_ident(b: &[char], i: &mut usize, n: usize, out: &mut Lexed, line: usize) {
+    let start = *i;
+    while *i < n && is_ident_char(b[*i]) {
+        out.blanked.push(b[*i]);
+        *i += 1;
+    }
+    out.toks.push(Tok {
+        kind: TokKind::Ident,
+        text: b[start..*i].iter().collect(),
+        line,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn lexes_compound_punct_and_paths() {
+        let toks = kinds("a::b => c..=d");
+        assert_eq!(toks[1], (TokKind::Punct, "::".to_string()));
+        assert_eq!(toks[3], (TokKind::Punct, "=>".to_string()));
+        assert_eq!(toks[5], (TokKind::Punct, "..=".to_string()));
+    }
+
+    #[test]
+    fn string_tokens_keep_contents() {
+        let toks = kinds(r#"counter(Subsystem::Net, "frames_sent")"#);
+        assert!(toks.contains(&(TokKind::Str, "frames_sent".to_string())));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let toks = kinds("let s = r##\"inner \"# quote\"##; done");
+        assert!(toks.contains(&(TokKind::Str, "inner \"# quote".to_string())));
+        assert!(toks.iter().any(|t| t.1 == "done"));
+    }
+
+    #[test]
+    fn raw_idents_are_idents() {
+        let toks = kinds("r#match + r#fn");
+        assert_eq!(toks[0], (TokKind::Ident, "match".to_string()));
+        assert_eq!(toks[2], (TokKind::Ident, "fn".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_vanish() {
+        let l = lex("a /* x /* y */ z */ b");
+        assert_eq!(l.toks.len(), 2);
+        assert!(!l.blanked.contains('y'));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'h'; }");
+        assert!(toks.contains(&(TokKind::Life, "a".to_string())));
+        assert!(toks.contains(&(TokKind::Char, "h".to_string())));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let l = lex("let a = r#\"two\nlines\"#;\nlet b = 1;");
+        let b_tok = l.toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn blanked_preserves_code_and_line_structure() {
+        let src = "x.unwrap(); // comment\nlet s = \"dot.dot\";\n";
+        let l = lex(src);
+        assert_eq!(l.blanked.lines().count(), src.lines().count());
+        assert!(l.blanked.contains(".unwrap()"));
+        assert!(!l.blanked.contains("comment"));
+        assert!(!l.blanked.contains("dot.dot"));
+    }
+}

@@ -1,45 +1,66 @@
-//! `vlint` — the workspace determinism & layering auditor.
+//! `vlint` — the workspace determinism, layering, dispatch, and schema
+//! auditor.
 //!
 //! The headline claims of this reproduction (sub-second freeze times,
 //! identical-trace replay, the 32-seed chaos soak) all rest on the
-//! simulation being bit-for-bit deterministic. Nondeterminism bugs do not
-//! announce themselves at compile time: unordered `HashMap` iteration once
-//! picked different migration guests per run and only surfaced as diverging
-//! traces at runtime. `vlint` catches that class of bug *before* the code
-//! runs, with a hand-rolled line/token scanner in the spirit of
-//! [`vsim::json`] — no `syn`, no external crates, nothing but `std`.
+//! simulation being bit-for-bit deterministic and on the telemetry
+//! surface staying coherent across its many copies. Neither property
+//! announces its violation at compile time: unordered `HashMap`
+//! iteration once picked different migration guests per run, and a
+//! wildcard match arm happily swallows an `Event` variant added years
+//! later. `vlint` catches those classes of bug *before* the code runs —
+//! with a hand-rolled tokenizer ([`lexer`]), an item/block-level
+//! AST-lite ([`ast`]), and zero external crates, in the spirit of
+//! `vsim::json`.
 //!
-//! Four rule families, configured by `lint.toml` at the workspace root:
+//! Rule families, configured by `lint.toml` at the workspace root:
 //!
-//! * **determinism** (`det-hash`, `det-time`, `det-thread`, `det-rand`) —
-//!   deny hash-ordered collections, wall-clock time, OS threads, and
-//!   ambient randomness in library code. Simulation state must iterate in
-//!   a deterministic order and draw time/randomness only from
-//!   `vsim::SimTime` / `vsim::rng`.
-//! * **layering** (`layering-dep`, `layering-use`) — parse each crate's
-//!   `Cargo.toml` and `use` statements and enforce the intended dependency
-//!   DAG (`vsim` depends on nothing, `vkernel` never on `vcluster`,
-//!   bench-only code never imported by library crates, …).
-//! * **panic budget** (`panic-budget`, `panic-budget-stale`) — count
-//!   `unwrap()` / `expect(` / `panic!` in non-test library paths against a
-//!   checked-in per-file allowlist, so the count can only shrink.
-//! * **lossy casts** (`lossy-cast`, `lossy-cast-stale`) — flag narrowing
-//!   `as` casts in the crates doing `SimTime`/byte-count arithmetic, where
-//!   a silent truncation corrupts simulated time.
-//! * **bench emit** (`bench-emit`) — every experiment binary under
-//!   `crates/bench/src/bin/` must route its results through
-//!   `vbench::emit`, so each run leaves a machine-readable artifact the
-//!   `vrun` cache and doc generator can consume.
+//! * **determinism** (`det-hash`, `det-time`, `det-thread`, `det-rand`)
+//!   — deny hash-ordered collections, wall-clock time, OS threads, and
+//!   ambient randomness in library code.
+//! * **determinism taint** (`det-taint`) — a file-local data-flow pass
+//!   ([`taint`]): values derived from `Instant::now()`, `env::var`, or
+//!   a host clock must not flow — through lets, struct fields, or
+//!   helper returns — into `Engine::schedule*`, event payloads, or
+//!   timeseries samples.
+//! * **layering** (`layering-dep`, `layering-use`) — enforce the
+//!   intended dependency DAG over `Cargo.toml` and `use` statements.
+//! * **exhaustive dispatch** (`dispatch-missing`, `dispatch-wildcard`,
+//!   `dispatch-enum-missing`, `dispatch-surface-missing`) — every
+//!   variant of the enums registered under `[[dispatch]]` (`Event`,
+//!   `TraceEvent`, `FaultKind`, …) must be named by every configured
+//!   dispatch surface, and matches over them must not hide behind
+//!   unguarded wildcard arms ([`dispatch`]).
+//! * **schema drift** (`schema-undocumented`, `schema-stale-doc`,
+//!   `schema-snake-case`, `schema-kind-conflict`, `schema-series-ref`,
+//!   `schema-plan-unknown`, `schema-fault-matrix`) — the metric and
+//!   time-series names registered in code are the source of truth; the
+//!   documented schema table, sweep plan axes, series references, and
+//!   the fault-matrix test are all cross-checked against them
+//!   ([`schema`]).
+//! * **panic budget** (`panic-budget`) — count `unwrap()` / `expect(` /
+//!   `panic!` in non-test library paths against `[allow.panic-budget]`.
+//! * **lossy casts** (`lossy-cast`) — flag narrowing `as` casts in the
+//!   crates doing `SimTime`/byte-count arithmetic.
+//! * **bench emit** (`bench-emit`) — every experiment binary must route
+//!   results through `vbench::emit`.
+//! * **ratchets** (`ratchet-stale`) — the per-file allowances under
+//!   `[allow.<rule-id>]` may only shrink; an allowance above the actual
+//!   count is itself an error.
 //!
 //! The binary (`cargo run -p vlint`) exits non-zero on any violation and
-//! `--json` writes a `results/vlint.json` artifact for CI.
-//!
-//! [`vsim::json`]: ../vsim/json/index.html
+//! `--json` writes a `results/vlint.json` artifact (schema version 2)
+//! for CI and `vrun lint`.
 
+pub mod ast;
 pub mod config;
+pub mod dispatch;
+pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod schema;
+pub mod taint;
 pub mod toml;
 
 use std::path::Path;

@@ -78,6 +78,7 @@ impl Report {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"tool\": \"vlint\",");
+        let _ = writeln!(out, "  \"schema\": 2,");
         let _ = writeln!(out, "  \"clean\": {},", self.is_clean());
         let _ = writeln!(out, "  \"crates_audited\": {},", self.crates_audited);
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
@@ -165,6 +166,7 @@ mod tests {
     #[test]
     fn json_roundtrips_basic_fields() {
         let json = sample().to_json();
+        assert!(json.contains("\"schema\": 2"));
         assert!(json.contains("\"clean\": false"));
         assert!(json.contains("\"rule\": \"det-hash\""));
         assert!(json.contains("\"det-hash\": 1"));

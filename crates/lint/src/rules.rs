@@ -1,22 +1,34 @@
-//! The four rule families: determinism, layering, panic budget, lossy
-//! casts.
+//! The rule families: determinism, layering, panic budget, lossy casts,
+//! bench artifacts, determinism taint, exhaustive dispatch, and schema
+//! drift.
 //!
-//! Rules operate on cleaned lines from [`crate::scan`] (comments and
-//! literal contents blanked, test scopes marked) plus a line-level parse
-//! of each crate's `Cargo.toml`. Scope is configured by `lint.toml`:
+//! Each source file is read and parsed **once** into a
+//! [`crate::ast::ParsedFile`] (tokens + items + cleaned lines); every
+//! pass — the v1 line rules and the v2 flow passes — runs off that
+//! shared parse. Scope is configured by `lint.toml`:
 //!
-//! * determinism + panic budget run over `library_crates` `src/` trees
-//!   (test scopes excluded — tests may hash and unwrap freely);
+//! * determinism + panic budget + determinism taint run over
+//!   `library_crates` `src/` trees (test scopes excluded — tests may
+//!   hash, unwrap, and read clocks freely);
 //! * the lossy-cast rule runs over `cast_crates` (the ones doing
 //!   `SimTime`/byte arithmetic);
-//! * layering runs over every crate in the `[layering]` DAG.
+//! * layering runs over every crate in the `[layering]` DAG;
+//! * the dispatch and schema audits run over the whole scanned set,
+//!   with library-only emission collection for schema.
+//!
+//! Ratchetable rules (`panic-budget`, `lossy-cast`, `dispatch-wildcard`,
+//! `det-taint`) share one mechanism: per-file allowances under
+//! `[allow.<rule-id>]`, and a `ratchet-stale` violation whenever an
+//! allowance exceeds reality — budgets may only shrink.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
+use crate::ast::ParsedFile;
 use crate::config::Config;
 use crate::report::{Report, Violation};
 use crate::scan::{self, word_positions, CleanLine};
+use crate::{dispatch, schema, taint};
 
 /// A discovered workspace member.
 #[derive(Debug, Clone)]
@@ -165,10 +177,8 @@ fn references_crate(line: &str, krate: &str) -> bool {
     false
 }
 
-struct SiteCounter {
-    /// `(line, token)` occurrences in non-test code.
-    sites: Vec<(usize, &'static str)>,
-}
+/// Per-rule observed site counts, for the stale-allowance check.
+type RatchetSeen = BTreeMap<&'static str, BTreeMap<String, usize>>;
 
 /// Runs every rule family over the discovered crates.
 ///
@@ -180,8 +190,12 @@ pub fn check_workspace(root: &Path, cfg: &Config, crates: &[CrateInfo]) -> Resul
     let mut report = Report::default();
     // All DAG names, in identifier form, for the use-statement scan.
     let known: Vec<(String, String)> = cfg.layering.keys().map(|k| (k.clone(), ident(k))).collect();
-    let mut panic_seen: BTreeMap<String, usize> = BTreeMap::new();
-    let mut cast_seen: BTreeMap<String, usize> = BTreeMap::new();
+    let mut seen: RatchetSeen = BTreeMap::new();
+    // The parse cache: every file is lexed and item-parsed exactly once;
+    // line rules, the taint pass, and the dispatch/schema audits all run
+    // off this shared view.
+    let mut files: BTreeMap<String, ParsedFile> = BTreeMap::new();
+    let mut lib_files: BTreeSet<String> = BTreeSet::new();
 
     for krate in crates {
         report.crates_audited += 1;
@@ -220,10 +234,11 @@ pub fn check_workspace(root: &Path, cfg: &Config, crates: &[CrateInfo]) -> Resul
             let rel = rel_path(root, &file);
             let src = std::fs::read_to_string(&file)
                 .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-            let lines = scan::clean(&src);
+            let pf = crate::ast::parse(&src);
+            let lines = &pf.lines;
 
             // ---- layering-use: path references to crates outside the DAG.
-            for line in &lines {
+            for line in lines {
                 for (dep_name, dep_ident) in &known {
                     if *dep_ident == self_ident {
                         continue;
@@ -249,33 +264,53 @@ pub fn check_workspace(root: &Path, cfg: &Config, crates: &[CrateInfo]) -> Resul
 
             // ---- bench-emit: experiment binaries must leave an artifact.
             if krate.name == "vbench" && rel.starts_with("crates/bench/src/bin/") {
-                check_bench_emit(&lines, &rel, cfg, &mut report);
+                check_bench_emit(lines, &rel, cfg, &mut report);
             }
 
-            if is_library && !cfg.determinism_allow.contains(&rel) {
-                check_determinism(&lines, &rel, &mut report);
+            let det_exempt = cfg.determinism_allow.contains(&rel);
+            if is_library && !det_exempt {
+                check_determinism(lines, &rel, &mut report);
+                // ---- det-taint: host time flowing into the engine.
+                let sites = taint::analyze(&pf, &cfg.taint.sources, &cfg.taint.sinks);
+                let n = report_taint(&sites, &rel, cfg, &mut report);
+                seen.entry("det-taint").or_default().insert(rel.clone(), n);
             }
             if is_library {
-                let n = count_panic_sites(&lines, &rel, cfg, &mut report);
-                panic_seen.insert(rel.clone(), n);
+                let n = count_panic_sites(lines, &rel, cfg, &mut report);
+                seen.entry("panic-budget")
+                    .or_default()
+                    .insert(rel.clone(), n);
+                lib_files.insert(rel.clone());
             }
             if is_cast_crate {
-                let n = count_cast_sites(&lines, &rel, cfg, &mut report);
-                cast_seen.insert(rel.clone(), n);
+                let n = count_cast_sites(lines, &rel, cfg, &mut report);
+                seen.entry("lossy-cast").or_default().insert(rel.clone(), n);
             }
+
+            files.insert(rel, pf);
         }
     }
+
+    // ---- dispatch audit: exhaustive variant coverage + wildcard arms.
+    let mut wildcard_sites: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    dispatch::check(&files, cfg, &mut report, &mut wildcard_sites);
+    if !cfg.dispatch.is_empty() {
+        for rel in files.keys() {
+            let sites = wildcard_sites.get(rel).cloned().unwrap_or_default();
+            let n = report_wildcards(&sites, rel, cfg, &mut report);
+            seen.entry("dispatch-wildcard")
+                .or_default()
+                .insert(rel.clone(), n);
+        }
+    }
+
+    // ---- schema audit: emitted names vs. docs, sweeps, and tests.
+    schema::check(&files, &lib_files, root, cfg, &mut report);
 
     // ---- stale allowances: the budgets may only shrink, so an allowance
     // above the actual count (or naming a vanished file) is itself an
     // error — it would let regressions creep back in unnoticed.
-    stale_allowances(
-        &cfg.panic_allow,
-        &panic_seen,
-        "panic-budget-stale",
-        &mut report,
-    );
-    stale_allowances(&cfg.cast_allow, &cast_seen, "lossy-cast-stale", &mut report);
+    stale_allowances(cfg, &seen, &mut report);
 
     report
         .violations
@@ -392,27 +427,27 @@ fn check_determinism(lines: &[CleanLine], rel: &str, report: &mut Report) {
 
 /// Counts `unwrap()`/`expect(`/`panic!` sites and reports overruns.
 fn count_panic_sites(lines: &[CleanLine], rel: &str, cfg: &Config, report: &mut Report) -> usize {
-    let mut counter = SiteCounter { sites: Vec::new() };
+    let mut sites: Vec<(usize, &'static str)> = Vec::new();
     for line in lines {
         if line.in_test {
             continue;
         }
         let t = &line.text;
         for _ in 0..t.matches(".unwrap()").count() {
-            counter.sites.push((line.number, ".unwrap()"));
+            sites.push((line.number, ".unwrap()"));
         }
         for _ in 0..t.matches(".expect(").count() {
-            counter.sites.push((line.number, ".expect(…)"));
+            sites.push((line.number, ".expect(…)"));
         }
         for p in word_positions(t, "panic") {
             if t[p + "panic".len()..].starts_with('!') {
-                counter.sites.push((line.number, "panic!"));
+                sites.push((line.number, "panic!"));
             }
         }
     }
-    let allowed = cfg.panic_allow.get(rel).copied().unwrap_or(0);
-    let total = counter.sites.len();
-    for (line, token) in counter.sites.iter().skip(allowed) {
+    let allowed = cfg.allowance("panic-budget", rel);
+    let total = sites.len();
+    for (line, token) in sites.iter().skip(allowed) {
         report.violations.push(Violation {
             rule: "panic-budget",
             file: rel.to_string(),
@@ -420,18 +455,18 @@ fn count_panic_sites(lines: &[CleanLine], rel: &str, cfg: &Config, report: &mut 
             message: format!(
                 "`{token}` — {total} panic site(s) in non-test code exceed the file's allowance of {allowed}",
             ),
-            hint: "return Result/Option or handle the case; the checked-in [panics] budget in \
-                   lint.toml may only shrink",
+            hint: "return Result/Option or handle the case; the checked-in [allow.panic-budget] \
+                   ratchet in lint.toml may only shrink",
         });
     }
     total
 }
 
 /// Counts narrowing `as` casts (`as u8/u16/u32/i8/i16/i32`) and reports
-/// overruns against the `[casts]` allowances.
+/// overruns against the `[allow.lossy-cast]` allowances.
 fn count_cast_sites(lines: &[CleanLine], rel: &str, cfg: &Config, report: &mut Report) -> usize {
     const NARROW: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
-    let mut counter = SiteCounter { sites: Vec::new() };
+    let mut sites: Vec<usize> = Vec::new();
     for line in lines {
         if line.in_test {
             continue;
@@ -446,15 +481,15 @@ fn count_cast_sites(lines: &[CleanLine], rel: &str, cfg: &Config, report: &mut R
                         .next()
                         .is_some_and(|c| c.is_alphanumeric() || c == '_');
                     if end_ok {
-                        counter.sites.push((line.number, "as-cast"));
+                        sites.push(line.number);
                     }
                 }
             }
         }
     }
-    let allowed = cfg.cast_allow.get(rel).copied().unwrap_or(0);
-    let total = counter.sites.len();
-    for (line, _) in counter.sites.iter().skip(allowed) {
+    let allowed = cfg.allowance("lossy-cast", rel);
+    let total = sites.len();
+    for line in sites.iter().skip(allowed) {
         report.violations.push(Violation {
             rule: "lossy-cast",
             file: rel.to_string(),
@@ -463,47 +498,95 @@ fn count_cast_sites(lines: &[CleanLine], rel: &str, cfg: &Config, report: &mut R
                 "narrowing `as` cast — {total} site(s) exceed the file's allowance of {allowed}",
             ),
             hint: "use u64 arithmetic or TryFrom: silently truncating SimTime or byte counts \
-                   corrupts simulated time; if provably safe, bump [casts] in lint.toml with \
-                   a comment",
+                   corrupts simulated time; if provably safe, bump [allow.lossy-cast] in \
+                   lint.toml with a comment",
         });
     }
     total
 }
 
-/// Flags allowances that exceed reality (or name files that no longer
-/// exist): the budget is a ratchet and may only move down.
-fn stale_allowances(
-    allow: &BTreeMap<String, usize>,
-    seen: &BTreeMap<String, usize>,
-    rule: &'static str,
+/// Reports `det-taint` sites past the file's allowance; returns the count.
+fn report_taint(
+    sites: &[taint::TaintSite],
+    rel: &str,
+    cfg: &Config,
     report: &mut Report,
-) {
-    for (file, &allowance) in allow {
-        match seen.get(file) {
-            Some(&actual) if actual < allowance => {
-                report.violations.push(Violation {
-                    rule,
-                    file: file.clone(),
-                    line: 0,
-                    message: format!(
-                        "allowance {allowance} exceeds the actual count {actual} — ratchet it down",
-                    ),
-                    hint: "tighten the entry in lint.toml to match reality so the budget \
-                           cannot silently regrow",
-                });
+) -> usize {
+    let allowed = cfg.allowance("det-taint", rel);
+    let total = sites.len();
+    for site in sites.iter().skip(allowed) {
+        report.violations.push(Violation {
+            rule: "det-taint",
+            file: rel.to_string(),
+            line: site.line,
+            message: format!(
+                "host-derived value `{}` flows into `{}(…)` — {total} tainted sink(s) exceed \
+                 the file's allowance of {allowed}",
+                site.evidence, site.sink,
+            ),
+            hint: "values built from the host clock or environment must never reach the event \
+                   engine, payloads, or samples; derive them from SimTime, or record a \
+                   deliberate exception in [allow.det-taint]",
+        });
+    }
+    total
+}
+
+/// Reports `dispatch-wildcard` sites past the file's allowance.
+fn report_wildcards(sites: &[usize], rel: &str, cfg: &Config, report: &mut Report) -> usize {
+    let allowed = cfg.allowance("dispatch-wildcard", rel);
+    let total = sites.len();
+    for line in sites.iter().skip(allowed) {
+        report.violations.push(Violation {
+            rule: "dispatch-wildcard",
+            file: rel.to_string(),
+            line: *line,
+            message: format!(
+                "unguarded catch-all arm over a watched enum — {total} site(s) exceed the \
+                 file's allowance of {allowed}",
+            ),
+            hint: "spell out the remaining variants so new ones fail loudly; a deliberate \
+                   residual wildcard belongs in [allow.dispatch-wildcard] with a comment",
+        });
+    }
+    total
+}
+
+/// Flags allowances that exceed reality (or name files that were never
+/// scanned by their rule): every budget is a ratchet and may only move
+/// down.
+fn stale_allowances(cfg: &Config, seen: &RatchetSeen, report: &mut Report) {
+    for (rule, allow) in &cfg.allow {
+        let counts = seen.get(rule.as_str());
+        for (file, &allowance) in allow {
+            match counts.and_then(|m| m.get(file)) {
+                Some(&actual) if actual < allowance => {
+                    report.violations.push(Violation {
+                        rule: "ratchet-stale",
+                        file: file.clone(),
+                        line: 0,
+                        message: format!(
+                            "[allow.{rule}] allowance {allowance} exceeds the actual count \
+                             {actual} — ratchet it down",
+                        ),
+                        hint: "tighten the entry in lint.toml to match reality so the budget \
+                               cannot silently regrow",
+                    });
+                }
+                None => {
+                    report.violations.push(Violation {
+                        rule: "ratchet-stale",
+                        file: file.clone(),
+                        line: 0,
+                        message: format!(
+                            "[allow.{rule}] names a file the rule never scanned (moved, \
+                             deleted, or out of the rule's scope)",
+                        ),
+                        hint: "remove or update the stale entry in lint.toml",
+                    });
+                }
+                Some(_) => {}
             }
-            None => {
-                report.violations.push(Violation {
-                    rule,
-                    file: file.clone(),
-                    line: 0,
-                    message: "allowlisted file was not scanned (moved, deleted, or not a \
-                              library source file)"
-                        .to_string(),
-                    hint: "remove or update the stale entry in lint.toml",
-                });
-            }
-            Some(_) => {}
         }
     }
 }

@@ -1,15 +1,13 @@
-//! Source cleaning: a hand-rolled lexical pass over Rust files.
+//! Source cleaning: the line-oriented view over the [`crate::lexer`].
 //!
-//! The rules in [`crate::rules`] are token-level, so before matching they
-//! need a view of the source with everything that is *not* code blanked
-//! out: line and (nested) block comments, string/char literal contents,
-//! and raw strings. Doc comments are comments too, which is what lets the
-//! rules mention `HashMap` in their own documentation without tripping
-//! themselves.
-//!
-//! The cleaner also marks lines inside `#[cfg(test)]` items (and `#[test]`
-//! functions) so the determinism and panic-budget rules can skip test
-//! code: tests may unwrap and hash to their heart's content.
+//! The original v1 auditor was built on a line scanner that stripped
+//! comments and literals with ad-hoc state. v2 keeps this module's API —
+//! the line rules in [`crate::rules`] still match `.unwrap()` or
+//! `HashMap` against blanked text — but the implementation now rides on
+//! the real tokenizer and the AST-lite test-scope marking, which fixes
+//! the scanner's known edge cases: multi-line attribute lists
+//! (`#[cfg(\n test\n)]`), attributes not at the start of a line, and
+//! raw strings that span lines.
 
 /// One cleaned source line.
 #[derive(Debug, Clone)]
@@ -23,19 +21,11 @@ pub struct CleanLine {
 }
 
 /// Cleans a whole file: strips comments/literals, marks test scopes.
+///
+/// Equivalent to `ast::parse(src).lines`; kept for callers that only
+/// need the line view.
 pub fn clean(src: &str) -> Vec<CleanLine> {
-    let stripped = strip_comments_and_literals(src);
-    let mut lines: Vec<CleanLine> = stripped
-        .lines()
-        .enumerate()
-        .map(|(i, text)| CleanLine {
-            number: i + 1,
-            text: text.to_string(),
-            in_test: false,
-        })
-        .collect();
-    mark_test_scopes(&mut lines);
-    lines
+    crate::ast::parse(src).lines
 }
 
 /// Blanks comments and literal contents, preserving line structure.
@@ -44,170 +34,7 @@ pub fn clean(src: &str) -> Vec<CleanLine> {
 /// raw strings `r"…"` / `r#"…"#` (any hash depth), byte strings, and char
 /// literals vs lifetimes (`'a'` vs `'a`).
 pub fn strip_comments_and_literals(src: &str) -> String {
-    let b: Vec<char> = src.chars().collect();
-    let n = b.len();
-    let mut out = String::with_capacity(src.len());
-    let mut i = 0;
-    // Pushes a blanked char, preserving newlines so line numbers survive.
-    fn blank(out: &mut String, c: char) {
-        out.push(if c == '\n' { '\n' } else { ' ' });
-    }
-    while i < n {
-        let c = b[i];
-        match c {
-            '/' if i + 1 < n && b[i + 1] == '/' => {
-                while i < n && b[i] != '\n' {
-                    blank(&mut out, b[i]);
-                    i += 1;
-                }
-            }
-            '/' if i + 1 < n && b[i + 1] == '*' => {
-                let mut depth = 1usize;
-                blank(&mut out, b[i]);
-                blank(&mut out, b[i + 1]);
-                i += 2;
-                while i < n && depth > 0 {
-                    if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
-                        depth += 1;
-                        blank(&mut out, b[i]);
-                        blank(&mut out, b[i + 1]);
-                        i += 2;
-                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
-                        depth -= 1;
-                        blank(&mut out, b[i]);
-                        blank(&mut out, b[i + 1]);
-                        i += 2;
-                    } else {
-                        blank(&mut out, b[i]);
-                        i += 1;
-                    }
-                }
-            }
-            '"' => {
-                out.push('"');
-                i += 1;
-                while i < n {
-                    if b[i] == '\\' && i + 1 < n {
-                        blank(&mut out, b[i]);
-                        blank(&mut out, b[i + 1]);
-                        i += 2;
-                    } else if b[i] == '"' {
-                        out.push('"');
-                        i += 1;
-                        break;
-                    } else {
-                        blank(&mut out, b[i]);
-                        i += 1;
-                    }
-                }
-            }
-            'r' if i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '#') => {
-                // Possible raw string r"…" / r#"…"#; otherwise plain ident.
-                let mut j = i + 1;
-                let mut hashes = 0usize;
-                while j < n && b[j] == '#' {
-                    hashes += 1;
-                    j += 1;
-                }
-                if j < n && b[j] == '"' {
-                    for &c in &b[i..=j] {
-                        blank(&mut out, c);
-                    }
-                    i = j + 1;
-                    while i < n {
-                        if b[i] == '"' {
-                            let mut k = i + 1;
-                            let mut h = 0usize;
-                            while k < n && h < hashes && b[k] == '#' {
-                                h += 1;
-                                k += 1;
-                            }
-                            if h == hashes {
-                                for &c in &b[i..k] {
-                                    blank(&mut out, c);
-                                }
-                                i = k;
-                                break;
-                            }
-                        }
-                        blank(&mut out, b[i]);
-                        i += 1;
-                    }
-                } else {
-                    out.push('r');
-                    i += 1;
-                }
-            }
-            '\'' => {
-                // Char literal vs lifetime: '\…' or 'x' is a literal.
-                if i + 1 < n && b[i + 1] == '\\' {
-                    out.push('\'');
-                    i += 1;
-                    while i < n && b[i] != '\'' {
-                        blank(&mut out, b[i]);
-                        i += 1;
-                    }
-                    if i < n {
-                        out.push('\'');
-                        i += 1;
-                    }
-                } else if i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'' {
-                    out.push('\'');
-                    out.push(' ');
-                    out.push('\'');
-                    i += 3;
-                } else {
-                    out.push('\'');
-                    i += 1;
-                }
-            }
-            _ => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-    out
-}
-
-/// Marks lines belonging to `#[cfg(test)]` items and `#[test]` functions.
-///
-/// Brace-counts from the attribute to the end of the item it decorates;
-/// `mod tests;` (no body) ends at the semicolon.
-fn mark_test_scopes(lines: &mut [CleanLine]) {
-    let mut i = 0;
-    while i < lines.len() {
-        let t = lines[i].text.trim_start();
-        let is_test_attr = t.starts_with("#[cfg(test)]") || t.starts_with("#[test]");
-        if !is_test_attr {
-            i += 1;
-            continue;
-        }
-        let mut depth = 0i64;
-        let mut opened = false;
-        let mut j = i;
-        while j < lines.len() {
-            lines[j].in_test = true;
-            for c in lines[j].text.chars() {
-                match c {
-                    '{' => {
-                        depth += 1;
-                        opened = true;
-                    }
-                    '}' => depth -= 1,
-                    _ => {}
-                }
-            }
-            if opened && depth <= 0 {
-                break;
-            }
-            if !opened && lines[j].text.contains(';') {
-                break; // `#[cfg(test)] mod tests;` form
-            }
-            j += 1;
-        }
-        i = j + 1;
-    }
+    crate::lexer::lex(src).blanked
 }
 
 /// True when `line` contains `word` as a standalone token (not a substring
@@ -284,6 +111,18 @@ mod tests {
     }
 
     #[test]
+    fn strips_multiline_raw_strings_keeping_line_count() {
+        // Regression: the old scanner had no cross-line literal state
+        // threaded through test marking; a raw string spanning lines
+        // could desynchronize the two passes.
+        let src = "let s = r#\"line one\nSystemTime inside\nline three\"#;\nlet x = 1;\n";
+        let out = strip_comments_and_literals(src);
+        assert_eq!(out.lines().count(), src.lines().count());
+        assert!(!out.contains("SystemTime"));
+        assert!(out.contains("let x = 1;"));
+    }
+
+    #[test]
     fn char_literals_vs_lifetimes() {
         let out = strip_comments_and_literals("fn f<'a>(x: &'a str) { let c = 'h'; }");
         assert!(out.contains("<'a>"));
@@ -303,6 +142,21 @@ mod tests {
         let lines = clean("#[test]\nfn t() {\n    x();\n}\nfn d() {}\n");
         let flags: Vec<bool> = lines.iter().map(|l| l.in_test).collect();
         assert_eq!(flags, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn marks_multiline_cfg_attribute() {
+        // Regression: `#[cfg(\n test\n)]` was invisible to the old
+        // line-prefix check, so the whole test module was linted as
+        // library code.
+        let lines = clean("#[cfg(\n    test\n)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n");
+        assert!(lines.iter().all(|l| l.in_test), "{lines:?}");
+    }
+
+    #[test]
+    fn cfg_not_test_stays_library() {
+        let lines = clean("#[cfg(not(test))]\nfn lib() { x(); }\n");
+        assert!(lines.iter().all(|l| !l.in_test));
     }
 
     #[test]

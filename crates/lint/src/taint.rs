@@ -1,0 +1,566 @@
+//! Determinism taint: host-time and environment values must not reach
+//! the simulation.
+//!
+//! The name-based `det-time` rule flags `Instant`/`SystemTime` by
+//! mention; this pass tracks *flow*. A value originating from a host
+//! clock or the environment (`Instant::now()`, `SystemTime::now()`,
+//! `HostClock::now_ns()`, `env::var`, a `WallClock`) may be stored,
+//! added to, or wrapped — but the moment it flows into an
+//! `Engine::schedule`-family call, an event payload, or a timeseries
+//! sample inside a library crate, the run is no longer a pure function
+//! of the seed, and `det-taint` fires at the sink's line.
+//!
+//! The analysis is deliberately over-approximate and file-local:
+//!
+//! * **let bindings** — `let t = clock.now_ns();` taints every
+//!   identifier bound by the pattern;
+//! * **assignments and struct fields** — `x = t + 5;` taints `x`;
+//!   `S { when: t }` and `self.when = t` taint the *field name*
+//!   (globally per file, not per struct — over-approximation #1);
+//! * **returns** — a fn whose return (or tail) expression is tainted
+//!   becomes a file-local source, so helpers cannot launder a clock
+//!   read (cross-file flows are out of scope; the name-based rules
+//!   still cover raw host-clock mentions there);
+//! * any tainted identifier appearing anywhere in a sink's argument
+//!   list trips the rule, with no attempt at path-sensitivity.
+//!
+//! Sites are ratcheted by `[allow.det-taint]` in `lint.toml`; genuinely
+//! host-facing files (the bench harness, the wall-clock `HostClock`
+//! impl, the engine self-profiler) stay under `[determinism] allow`,
+//! which skips the whole file.
+
+use std::collections::BTreeSet;
+
+use crate::ast::ParsedFile;
+use crate::lexer::{Tok, TokKind};
+
+/// Built-in taint sources, as dotted call paths (`[taint] sources`
+/// extends the list). A leading `.` means "as a method call".
+const SOURCES: &[&str] = &[
+    "Instant::now",
+    "SystemTime::now",
+    "UNIX_EPOCH",
+    ".now_ns",
+    "env::var",
+    "env::var_os",
+    "WallClock",
+];
+
+/// Built-in taint sinks (`[taint] sinks` extends the list): the
+/// schedule family plus timeseries/metrics sample recording.
+const SINKS: &[&str] = &[
+    ".schedule",
+    ".schedule_at",
+    ".schedule_after",
+    ".record",
+    ".sample",
+];
+
+/// A compiled dotted pattern: token texts matched in sequence, plus
+/// whether the first token must follow a `.` (method position).
+#[derive(Debug, Clone)]
+pub struct Pat {
+    method: bool,
+    seq: Vec<String>,
+    /// The original spec, for diagnostics.
+    pub spec: String,
+}
+
+/// Compiles `"Instant::now"` / `".now_ns"`-style specs.
+pub fn compile(spec: &str) -> Pat {
+    let method = spec.starts_with('.');
+    let body = spec.trim_start_matches('.');
+    let mut seq = Vec::new();
+    for part in body.split("::") {
+        if !seq.is_empty() {
+            seq.push("::".to_string());
+        }
+        seq.push(part.to_string());
+    }
+    Pat {
+        method,
+        seq,
+        spec: spec.to_string(),
+    }
+}
+
+impl Pat {
+    /// True when the pattern matches starting at token index `i`.
+    fn matches_at(&self, toks: &[Tok], i: usize) -> bool {
+        if self.method {
+            if !(i > 0 && toks[i - 1].is_punct(".")) {
+                return false;
+            }
+        } else if i > 0 && toks[i - 1].is_punct(".") {
+            // `x.var(…)` is not `env::var`.
+            return false;
+        }
+        for (k, want) in self.seq.iter().enumerate() {
+            let Some(t) = toks.get(i + k) else {
+                return false;
+            };
+            let kind_ok = if want == "::" {
+                t.kind == TokKind::Punct
+            } else {
+                t.kind == TokKind::Ident
+            };
+            if !kind_ok || t.text != *want {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One taint finding: a sink whose arguments carry host state.
+#[derive(Debug, Clone)]
+pub struct TaintSite {
+    /// 1-based line of the sink call.
+    pub line: usize,
+    /// The sink spec that matched (`".schedule"`, …).
+    pub sink: String,
+    /// The tainted identifier (or source) observed in the arguments.
+    pub evidence: String,
+}
+
+/// Per-file taint state shared across the fixpoint.
+struct State {
+    sources: Vec<Pat>,
+    sinks: Vec<Pat>,
+    /// Tainted struct-field names (file-global).
+    fields: BTreeSet<String>,
+    /// Fns whose return value is tainted (file-local sources).
+    fns: BTreeSet<String>,
+}
+
+/// Runs the taint analysis over one parsed file.
+pub fn analyze(
+    pf: &ParsedFile,
+    extra_sources: &[String],
+    extra_sinks: &[String],
+) -> Vec<TaintSite> {
+    let mut st = State {
+        sources: SOURCES
+            .iter()
+            .map(|s| compile(s))
+            .chain(extra_sources.iter().map(|s| compile(s)))
+            .collect(),
+        sinks: SINKS
+            .iter()
+            .map(|s| compile(s))
+            .chain(extra_sinks.iter().map(|s| compile(s)))
+            .collect(),
+        fields: BTreeSet::new(),
+        fns: BTreeSet::new(),
+    };
+
+    // File-level fixpoint: fn-return and field taint feed back into
+    // every function until nothing new appears (bounded for safety).
+    for _ in 0..8 {
+        let mut changed = false;
+        for f in pf.fns.iter().filter(|f| !f.in_test && f.body.1 > f.body.0) {
+            let flow = fn_taint(pf, f.body, &st);
+            for nf in flow.fields {
+                changed |= st.fields.insert(nf);
+            }
+            if flow.returns_taint {
+                changed |= st.fns.insert(f.name.clone());
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut out = Vec::new();
+    for f in pf.fns.iter().filter(|f| !f.in_test && f.body.1 > f.body.0) {
+        let flow = fn_taint(pf, f.body, &st);
+        collect_sinks(pf, f.body, &st, &flow.locals, &mut out);
+    }
+    out.sort_by_key(|a| (a.line, a.sink.clone()));
+    out.dedup_by(|a, b| a.line == b.line && a.sink == b.sink);
+    out
+}
+
+/// What one fn's local fixpoint produced.
+struct Flow {
+    locals: BTreeSet<String>,
+    fields: Vec<String>,
+    returns_taint: bool,
+}
+
+/// Local fixpoint over one fn body: propagates taint through lets,
+/// assignments, struct-literal fields, and detects tainted returns.
+fn fn_taint(pf: &ParsedFile, body: (usize, usize), st: &State) -> Flow {
+    let toks = &pf.toks;
+    let (lo, hi) = body;
+    let mut locals: BTreeSet<String> = BTreeSet::new();
+    let mut fields: Vec<String> = Vec::new();
+    let mut returns_taint = false;
+
+    for _ in 0..8 {
+        let mut changed = false;
+        let mut i = lo;
+        while i < hi {
+            let t = &toks[i];
+            // let PAT = EXPR ;
+            if t.is_ident("let") {
+                if let Some((eq, semi)) = let_extent(toks, i, hi) {
+                    if expr_tainted(toks, eq + 1, semi, st, &locals).is_some() {
+                        for id in pattern_idents(toks, i + 1, eq) {
+                            changed |= locals.insert(id);
+                        }
+                    }
+                    i = semi + 1;
+                    continue;
+                }
+            }
+            // IDENT = EXPR ;   /   recv.FIELD = EXPR ;
+            if t.is_punct("=") && i > lo {
+                let prev = &toks[i - 1];
+                if prev.kind == TokKind::Ident {
+                    let semi = stmt_end(toks, i + 1, hi);
+                    if expr_tainted(toks, i + 1, semi, st, &locals).is_some() {
+                        if i >= 2 && toks[i - 2].is_punct(".") {
+                            if !st.fields.contains(&prev.text) {
+                                fields.push(prev.text.clone());
+                                changed = true;
+                            }
+                        } else {
+                            changed |= locals.insert(prev.text.clone());
+                        }
+                    }
+                }
+            }
+            // Struct literal field: IDENT : EXPR (to `,` or `}`).
+            if t.kind == TokKind::Ident
+                && i + 1 < hi
+                && toks[i + 1].is_punct(":")
+                && (i == lo || !toks[i - 1].is_punct(":"))
+                // `let x: T = …` is a binding, not a struct field; the
+                // `let` arm above owns it.
+                && !(i > lo && toks[i - 1].is_ident("let"))
+                && !(i > lo + 1 && toks[i - 1].is_ident("mut") && toks[i - 2].is_ident("let"))
+            {
+                let end = field_init_end(toks, i + 2, hi);
+                if expr_tainted(toks, i + 2, end, st, &locals).is_some()
+                    && !st.fields.contains(&t.text)
+                    && !fields.contains(&t.text)
+                {
+                    fields.push(t.text.clone());
+                    changed = true;
+                }
+            }
+            // return EXPR ;
+            if t.is_ident("return") {
+                let semi = stmt_end(toks, i + 1, hi);
+                if expr_tainted(toks, i + 1, semi, st, &locals).is_some() {
+                    returns_taint = true;
+                }
+            }
+            i += 1;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Tail expression: the last statement at body depth 1, not `;`-
+    // terminated, is the return value.
+    if let Some((tl, th)) = tail_expr(toks, lo, hi) {
+        if expr_tainted(toks, tl, th, st, &locals).is_some() {
+            returns_taint = true;
+        }
+    }
+
+    Flow {
+        locals,
+        fields,
+        returns_taint,
+    }
+}
+
+/// Finds sink calls in a fn body whose argument lists carry taint.
+fn collect_sinks(
+    pf: &ParsedFile,
+    body: (usize, usize),
+    st: &State,
+    locals: &BTreeSet<String>,
+    out: &mut Vec<TaintSite>,
+) {
+    let toks = &pf.toks;
+    let (lo, hi) = body;
+    for i in lo..hi {
+        for sink in &st.sinks {
+            if !sink.matches_at(toks, i) {
+                continue;
+            }
+            let after = i + sink.seq.len();
+            if after >= hi || !toks[after].is_punct("(") {
+                continue;
+            }
+            let args_end = crate::ast::block_end(toks, after).min(hi);
+            if let Some(evidence) = expr_tainted(toks, after + 1, args_end, st, locals) {
+                out.push(TaintSite {
+                    line: toks[i].line,
+                    sink: sink.spec.clone(),
+                    evidence,
+                });
+            }
+        }
+    }
+}
+
+/// Whether a token range contains a taint source or a tainted
+/// identifier; returns the evidence text.
+fn expr_tainted(
+    toks: &[Tok],
+    lo: usize,
+    hi: usize,
+    st: &State,
+    locals: &BTreeSet<String>,
+) -> Option<String> {
+    let hi = hi.min(toks.len());
+    let mut i = lo;
+    while i < hi {
+        for src in &st.sources {
+            if src.matches_at(toks, i) {
+                return Some(src.spec.clone());
+            }
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            let after_path = i > 0 && toks[i - 1].is_punct("::");
+            let before_colon = toks
+                .get(i + 1)
+                .is_some_and(|n| n.is_punct(":") || n.is_punct("::"));
+            let is_call = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+            if is_call && st.fns.contains(&t.text) {
+                return Some(format!("{}()", t.text));
+            }
+            if !after_path
+                && !before_colon
+                && (locals.contains(&t.text) || st.fields.contains(&t.text))
+            {
+                return Some(t.text.clone());
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// For `let` at `i`: the `=` and `;` token indices at let depth.
+fn let_extent(toks: &[Tok], i: usize, hi: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i64;
+    let mut eq = None;
+    let mut k = i + 1;
+    while k < hi {
+        let t = &toks[k];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => {
+                    if depth == 0 {
+                        return None;
+                    }
+                    depth -= 1;
+                }
+                "=" if depth == 0 && eq.is_none() => eq = Some(k),
+                ";" if depth == 0 => return eq.map(|e| (e, k)),
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+/// First `;` at expression depth, or `hi`.
+fn stmt_end(toks: &[Tok], lo: usize, hi: usize) -> usize {
+    let mut depth = 0i64;
+    let mut k = lo;
+    while k < hi {
+        let t = &toks[k];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => {
+                    if depth == 0 {
+                        return k;
+                    }
+                    depth -= 1;
+                }
+                ";" if depth == 0 => return k,
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    hi
+}
+
+/// End of a struct-literal field initializer: `,` or `}` at depth 0.
+fn field_init_end(toks: &[Tok], lo: usize, hi: usize) -> usize {
+    let mut depth = 0i64;
+    let mut k = lo;
+    while k < hi {
+        let t = &toks[k];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => {
+                    if depth == 0 {
+                        return k;
+                    }
+                    depth -= 1;
+                }
+                "," | ";" if depth == 0 => return k,
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    hi
+}
+
+/// Identifiers bound by a `let` pattern (skips keywords, type paths,
+/// and the `: Type` annotation after a top-level colon).
+fn pattern_idents(toks: &[Tok], lo: usize, hi: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    for i in lo..hi.min(toks.len()) {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => depth -= 1,
+                // `let x: u64 = …` — the annotation is not a binding.
+                ":" if depth == 0 => break,
+                _ => {}
+            }
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if matches!(t.text.as_str(), "mut" | "ref" | "_") {
+            continue;
+        }
+        if i > lo && toks[i - 1].is_punct("::") {
+            continue;
+        }
+        out.push(t.text.clone());
+    }
+    out
+}
+
+/// The tail expression of a block body, if any: the tokens after the
+/// last `;` / nested block at depth 1, when not empty.
+fn tail_expr(toks: &[Tok], lo: usize, hi: usize) -> Option<(usize, usize)> {
+    if hi <= lo + 2 {
+        return None;
+    }
+    let inner_hi = hi - 1; // exclude closing `}`
+    let mut depth = 0i64;
+    let mut start = lo + 1;
+    let mut k = lo + 1;
+    while k < inner_hi {
+        let t = &toks[k];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" | "(" | "[" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    // A closing brace back at statement depth ends a
+                    // block statement (`if … {}`, `match … {}`); a
+                    // closing paren/bracket is part of the expression.
+                    if depth == 0 {
+                        start = k + 1;
+                    }
+                }
+                ")" | "]" => depth -= 1,
+                ";" if depth == 0 => start = k + 1,
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    (start < inner_hi).then_some((start, inner_hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast;
+
+    fn sites(src: &str) -> Vec<TaintSite> {
+        analyze(&ast::parse(src), &[], &[])
+    }
+
+    #[test]
+    fn direct_source_in_sink_args() {
+        let s = sites("fn f(e: &mut E, c: &mut C) { e.schedule(c.now_ns()); }");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].sink, ".schedule");
+    }
+
+    #[test]
+    fn taint_through_let_chain() {
+        let s = sites(
+            "fn f(e: &mut E, c: &mut C) {\n    let t = c.now_ns();\n    let d = t + 5;\n    e.schedule_at(d, ev);\n}",
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].line, 4);
+        assert_eq!(s[0].evidence, "d");
+    }
+
+    #[test]
+    fn taint_through_struct_field() {
+        let s = sites(
+            "fn f(e: &mut E, c: &mut C) {\n    let s = S { when: c.now_ns() };\n    e.schedule(s.when);\n}",
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].line, 3);
+    }
+
+    #[test]
+    fn taint_through_helper_return() {
+        let s = sites(
+            "fn stamp(c: &mut C) -> u64 { c.now_ns() }\nfn f(e: &mut E, c: &mut C) {\n    e.schedule(stamp(c));\n}",
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].line, 3);
+        assert_eq!(s[0].evidence, "stamp()");
+    }
+
+    #[test]
+    fn untainted_schedule_is_clean() {
+        assert!(sites("fn f(e: &mut E) { let t = now(); e.schedule(42); }").is_empty());
+    }
+
+    #[test]
+    fn sim_now_is_not_a_source() {
+        // `ctx.now()` (SimTime) is fine; only `.now_ns` / `Instant::now`
+        // style host reads taint.
+        assert!(sites("fn f(e: &mut E, ctx: &C) { e.schedule_at(ctx.now(), ev); }").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let s = sites(
+            "#[cfg(test)]\nmod t {\n    fn f(e: &mut E, c: &mut C) { e.schedule(c.now_ns()); }\n}",
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn profiler_begin_end_shape_is_clean() {
+        // The live profiler pattern: t0 from begin() flows only into
+        // end(), which is not a sink.
+        let s = sites(
+            "fn f(p: &mut P, e: &mut E) {\n    let t0 = p.begin();\n    e.schedule(ev);\n    p.end(slot, t0);\n}",
+        );
+        assert!(s.is_empty());
+    }
+}

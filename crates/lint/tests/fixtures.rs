@@ -75,10 +75,7 @@ fn nondet_runtime_fires_time_thread_rand() {
 
 #[test]
 fn panic_budget_reports_overrun_and_stale_entries() {
-    assert_eq!(
-        rules_for("panic_budget"),
-        ["panic-budget", "panic-budget-stale"]
-    );
+    assert_eq!(rules_for("panic_budget"), ["panic-budget", "ratchet-stale"]);
     let report = vlint::run(&fixture("panic_budget")).unwrap();
     let over: Vec<_> = report
         .violations
@@ -91,7 +88,7 @@ fn panic_budget_reports_overrun_and_stale_entries() {
     let stale: Vec<_> = report
         .violations
         .iter()
-        .filter(|v| v.rule == "panic-budget-stale")
+        .filter(|v| v.rule == "ratchet-stale")
         .collect();
     assert_eq!(stale.len(), 1);
     assert_eq!(stale[0].file, "crates/eps/src/gone.rs");
@@ -105,6 +102,97 @@ fn bench_without_emit_fires_bench_emit_only() {
     // exempt via [bench] emit_exempt.
     assert_eq!(report.violations.len(), 1);
     assert_eq!(report.violations[0].file, "crates/bench/src/bin/bad_exp.rs");
+}
+
+#[test]
+fn taint_flow_fires_det_taint_at_the_sink() {
+    assert_eq!(rules_for("taint_flow"), ["det-taint"]);
+    let report = vlint::run(&fixture("taint_flow")).unwrap();
+    assert_eq!(report.violations.len(), 1, "clean sim path must not fire");
+    let v = &report.violations[0];
+    assert_eq!(v.file, "crates/tau/src/lib.rs");
+    // Reported at the tainted `s.schedule(deadline)` call, not at the
+    // clock read where the value originated.
+    assert_eq!(v.line, 19, "got: {}", v.message);
+    assert!(v.message.contains("schedule"), "got: {}", v.message);
+}
+
+#[test]
+fn dispatch_missing_reports_variant_and_wildcard() {
+    assert_eq!(
+        rules_for("dispatch_missing"),
+        ["dispatch-missing", "dispatch-wildcard"]
+    );
+    let report = vlint::run(&fixture("dispatch_missing")).unwrap();
+    let missing = report
+        .violations
+        .iter()
+        .find(|v| v.rule == "dispatch-missing")
+        .unwrap();
+    assert_eq!(missing.file, "crates/disp/src/lib.rs");
+    assert!(
+        missing.message.contains("Color::Blue"),
+        "got: {}",
+        missing.message
+    );
+    let wild = report
+        .violations
+        .iter()
+        .find(|v| v.rule == "dispatch-wildcard")
+        .unwrap();
+    // The `_ =>` arm in `label`; the cfg(test) wildcard is exempt.
+    assert_eq!(wild.file, "crates/disp/src/lib.rs");
+    assert_eq!(wild.line, 15, "got: {}", wild.message);
+}
+
+#[test]
+fn schema_drift_reports_both_directions() {
+    assert_eq!(
+        rules_for("schema_drift"),
+        ["schema-stale-doc", "schema-undocumented"]
+    );
+    let report = vlint::run(&fixture("schema_drift")).unwrap();
+    let undoc = report
+        .violations
+        .iter()
+        .find(|v| v.rule == "schema-undocumented")
+        .unwrap();
+    // At the emission site of the undocumented gauge.
+    assert_eq!(undoc.file, "crates/sig/src/lib.rs");
+    assert!(
+        undoc.message.contains("net/queue_depth"),
+        "got: {}",
+        undoc.message
+    );
+    let stale = report
+        .violations
+        .iter()
+        .find(|v| v.rule == "schema-stale-doc")
+        .unwrap();
+    // At the doc row nothing emits.
+    assert_eq!(stale.file, "SCHEMA.md");
+    assert!(
+        stale.message.contains("frames_lost"),
+        "got: {}",
+        stale.message
+    );
+}
+
+#[test]
+fn ratchet_stale_fires_for_overrun_and_missing_files() {
+    assert_eq!(rules_for("ratchet_stale"), ["ratchet-stale"]);
+    let report = vlint::run(&fixture("ratchet_stale")).unwrap();
+    // panic-budget 3 vs 1, lossy-cast 5 vs 1, lossy-cast on a missing
+    // file: three stale allowances.
+    assert_eq!(report.violations.len(), 3);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.file == "crates/rho/src/gone.rs"));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.message.contains("[allow.panic-budget]")));
 }
 
 #[test]
@@ -135,6 +223,10 @@ fn bin_exits_nonzero_on_each_bad_fixture() {
         "nondet_runtime",
         "panic_budget",
         "bench_no_emit",
+        "taint_flow",
+        "dispatch_missing",
+        "schema_drift",
+        "ratchet_stale",
     ] {
         let out = run_bin(&["--root", fixture(name).to_str().unwrap()]);
         assert_eq!(

@@ -1,0 +1,33 @@
+//! Dispatch fixture: `Color` has three variants but `label` only names
+//! two, hiding the gap behind a catch-all arm rustc accepts. The audit
+//! must report the missing `Blue` and the unguarded wildcard.
+
+pub enum Color {
+    Red,
+    Green,
+    Blue,
+}
+
+pub fn label(c: &Color) -> &'static str {
+    match c {
+        Color::Red => "red",
+        Color::Green => "green",
+        _ => "other",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_matches_are_exempt() {
+        // A wildcard over the watched enum inside cfg(test) is fine.
+        let c = Color::Blue;
+        let _ = match c {
+            Color::Red => 0,
+            _ => 1,
+        };
+        assert_eq!(label(&Color::Red), "red");
+    }
+}

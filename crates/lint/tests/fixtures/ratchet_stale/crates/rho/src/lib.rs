@@ -1,0 +1,11 @@
+//! Ratchet fixture: the code has one narrowing cast and one unwrap,
+//! but lint.toml still allows far more. Over-generous allowances are
+//! themselves errors — the ratchet may only move down.
+
+pub fn truncate(x: u64) -> u32 {
+    x as u32
+}
+
+pub fn first(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,44 @@
+//! Taint fixture: a host-clock reading flows through two locals into a
+//! scheduling sink. The flow itself — not the source call — is the
+//! defect det-taint must report.
+
+pub struct Sched;
+
+impl Sched {
+    pub fn schedule(&mut self, _at: u64) {}
+}
+
+pub trait Host {
+    fn now_ns(&self) -> u64;
+}
+
+/// Tainted: `clock.now_ns()` → `stamp` → `deadline` → `schedule`.
+pub fn tick(clock: &dyn Host, s: &mut Sched) {
+    let stamp = clock.now_ns();
+    let deadline = stamp + 5;
+    s.schedule(deadline);
+}
+
+/// Clean: the argument is caller-supplied simulated time, so the same
+/// sink with an untainted value must not fire.
+pub fn tick_sim(at: u64, s: &mut Sched) {
+    let deadline = at + 5;
+    s.schedule(deadline);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_touch_the_host_clock() {
+        struct C;
+        impl Host for C {
+            fn now_ns(&self) -> u64 {
+                7
+            }
+        }
+        let mut s = Sched;
+        tick(&C, &mut s);
+    }
+}

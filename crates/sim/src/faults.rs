@@ -155,30 +155,32 @@ const fn fp(step: ProtocolStep, party: Party) -> FaultPoint {
 /// target party (the target already owns the program by then), and
 /// `ReExec` only involves the origin.
 pub fn fault_points() -> &'static [FaultPoint] {
-    use Party::*;
-    use ProtocolStep::*;
+    // Full `Enum::Variant` paths on purpose: the vlint dispatch audit
+    // checks this registry names every `ProtocolStep` variant, so adding
+    // a step without deciding its fault points fails the lint. Glob
+    // imports would hide the variants from that token-level check.
     const REGISTRY: &[FaultPoint] = &[
-        fp(SelectHost, Source),
-        fp(SelectHost, Origin),
-        fp(InitTarget, Source),
-        fp(InitTarget, Target),
-        fp(PrecopyRound, Source),
-        fp(PrecopyRound, Target),
-        fp(Freeze, Source),
-        fp(Freeze, Target),
-        fp(ResidualCopy, Source),
-        fp(ResidualCopy, Target),
-        fp(Commit, Source),
-        fp(Commit, Target),
-        fp(Commit, Origin),
-        fp(Unfreeze, Source),
-        fp(Unfreeze, Target),
-        fp(ReleaseSource, Source),
-        fp(LeaseRenew, Target),
-        fp(LeaseRenew, Origin),
-        fp(LeaseExpiry, Target),
-        fp(LeaseExpiry, Origin),
-        fp(ReExec, Origin),
+        fp(ProtocolStep::SelectHost, Party::Source),
+        fp(ProtocolStep::SelectHost, Party::Origin),
+        fp(ProtocolStep::InitTarget, Party::Source),
+        fp(ProtocolStep::InitTarget, Party::Target),
+        fp(ProtocolStep::PrecopyRound, Party::Source),
+        fp(ProtocolStep::PrecopyRound, Party::Target),
+        fp(ProtocolStep::Freeze, Party::Source),
+        fp(ProtocolStep::Freeze, Party::Target),
+        fp(ProtocolStep::ResidualCopy, Party::Source),
+        fp(ProtocolStep::ResidualCopy, Party::Target),
+        fp(ProtocolStep::Commit, Party::Source),
+        fp(ProtocolStep::Commit, Party::Target),
+        fp(ProtocolStep::Commit, Party::Origin),
+        fp(ProtocolStep::Unfreeze, Party::Source),
+        fp(ProtocolStep::Unfreeze, Party::Target),
+        fp(ProtocolStep::ReleaseSource, Party::Source),
+        fp(ProtocolStep::LeaseRenew, Party::Target),
+        fp(ProtocolStep::LeaseRenew, Party::Origin),
+        fp(ProtocolStep::LeaseExpiry, Party::Target),
+        fp(ProtocolStep::LeaseExpiry, Party::Origin),
+        fp(ProtocolStep::ReExec, Party::Origin),
     ];
     REGISTRY
 }

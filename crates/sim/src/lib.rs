@@ -44,6 +44,6 @@ pub use stats::{Histogram, OnlineStats, Samples};
 pub use time::{SimDuration, SimTime};
 pub use timeseries::{Probe, SamplingSpec, SeriesId, SeriesReport, SeriesSnapshot, SeriesStore};
 pub use trace::{
-    NullSink, RingSink, Subsystem, Trace, TraceEvent, TraceLevel, TraceRecord, TraceSink,
-    TraceSinkSpec, VecSink,
+    NullSink, RingSink, SpanEvent, Subsystem, Trace, TraceEvent, TraceLevel, TraceRecord,
+    TraceSink, TraceSinkSpec, VecSink,
 };

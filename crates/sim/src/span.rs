@@ -25,7 +25,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{Subsystem, Trace, TraceEvent, TraceLevel};
+use crate::trace::{SpanEvent, Subsystem, Trace, TraceEvent, TraceLevel};
 
 /// Identifier of one span. Never zero; zero is reserved for "no span"
 /// (see [`SpanContext::NONE`]).
@@ -270,13 +270,16 @@ impl SpanTree {
     pub fn build(trace: &Trace) -> SpanTree {
         let mut t = SpanTree::default();
         for r in trace.records() {
-            match r.event {
-                TraceEvent::SpanOpen {
+            // `as_span` is the exhaustive accessor: every `TraceEvent`
+            // variant explicitly opts in or out of span structure there,
+            // so this loop needs no wildcard arm over the enum.
+            match r.event.as_span() {
+                Some(SpanEvent::Open {
                     id,
                     parent,
                     name,
                     host,
-                } => {
+                }) => {
                     if t.by_id.contains_key(&id) {
                         t.violations.push(SpanViolation::DuplicateOpen { id });
                         continue;
@@ -293,7 +296,7 @@ impl SpanTree {
                         children: Vec::new(),
                     });
                 }
-                TraceEvent::SpanClose { id } => match t.by_id.get(&id) {
+                Some(SpanEvent::Close { id }) => match t.by_id.get(&id) {
                     Some(&idx) if t.nodes[idx].close.is_none() => {
                         t.nodes[idx].close = Some(r.at);
                     }
@@ -301,7 +304,7 @@ impl SpanTree {
                     // unmatched as a close with no open at all.
                     _ => t.violations.push(SpanViolation::CloseWithoutOpen { id }),
                 },
-                _ => {}
+                None => {}
             }
         }
         for idx in 0..t.nodes.len() {

@@ -4,10 +4,11 @@
 //! vrun run  <spec.toml> [--force] [--pool N] [--bin-dir DIR] [--results DIR] [--quiet]
 //! vrun plan <spec.toml> [--bin-dir DIR] [--results DIR]
 //! vrun docs [--check] [--doc PATH] [--results DIR]
+//! vrun lint <vlint.json>
 //! ```
 //!
-//! Exit codes: 0 success; 1 a cell failed / docs drifted (`--check`);
-//! 2 usage or spec error.
+//! Exit codes: 0 success; 1 a cell failed / docs drifted (`--check`) /
+//! the lint artifact records violations; 2 usage or spec error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,11 +23,13 @@ fn main() -> ExitCode {
         Some((&"run", rest)) => cmd_run(rest),
         Some((&"plan", rest)) => cmd_plan(rest),
         Some((&"docs", rest)) => cmd_docs(rest),
+        Some((&"lint", rest)) => cmd_lint(rest),
         _ => {
             eprintln!(
                 "usage: vrun run <spec.toml> [--force] [--pool N] [--bin-dir DIR] [--results DIR] [--quiet]\n\
                  \x20      vrun plan <spec.toml> [--bin-dir DIR] [--results DIR]\n\
-                 \x20      vrun docs [--check] [--doc PATH] [--results DIR]"
+                 \x20      vrun docs [--check] [--doc PATH] [--results DIR]\n\
+                 \x20      vrun lint <vlint.json>"
             );
             ExitCode::from(2)
         }
@@ -161,6 +164,51 @@ fn cmd_plan(rest: &[&str]) -> ExitCode {
         ));
     }
     ExitCode::SUCCESS
+}
+
+/// `vrun lint <vlint.json>` — validate the vlint artifact CI uploads:
+/// it must parse, carry the schema version this vrun understands, and
+/// record a clean workspace. This is the consumer-side half of the
+/// `--json` contract; a schema bump without updating vrun fails here,
+/// not silently downstream.
+fn cmd_lint(rest: &[&str]) -> ExitCode {
+    let [path] = rest else {
+        return usage_err("lint takes exactly one artifact path");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return usage_err(&format!("cannot read {path}: {e}")),
+    };
+    let json = match vsim::Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => return usage_err(&format!("{path}: invalid JSON: {e}")),
+    };
+    if json.get("tool").and_then(|t| t.as_str()) != Some("vlint") {
+        return usage_err(&format!("{path}: not a vlint artifact (missing tool tag)"));
+    }
+    const EXPECTED_SCHEMA: f64 = 2.0;
+    match json.get("schema").and_then(|s| s.as_f64()) {
+        Some(v) if v == EXPECTED_SCHEMA => {}
+        Some(v) => {
+            return usage_err(&format!(
+                "{path}: artifact schema {v} but this vrun expects {EXPECTED_SCHEMA}"
+            ))
+        }
+        None => return usage_err(&format!("{path}: artifact predates the schema field")),
+    }
+    let clean = matches!(json.get("clean"), Some(vsim::Json::Bool(true)));
+    let violations = json
+        .get("violations")
+        .and_then(|v| v.as_arr())
+        .map(<[vsim::Json]>::len)
+        .unwrap_or(0);
+    if clean && violations == 0 {
+        say(&format!("{path}: clean vlint artifact (schema 2)"));
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("vrun: {path}: vlint recorded {violations} violation(s)");
+        ExitCode::from(1)
+    }
 }
 
 fn cmd_docs(rest: &[&str]) -> ExitCode {
